@@ -1,0 +1,454 @@
+//! Multi-server check clearing (Fig. 5).
+//!
+//! The [`ClearingHouse`] is the simulation's registry of accounting
+//! servers plus the inter-bank routing table. `deposit_and_clear` drives
+//! the full Fig. 5 flow: deposit (E1), endorsement hops (E2 …), collection
+//! at the drawee, and the payment's return trip — counting every message
+//! on the [`netsim::Network`] when one is supplied.
+
+use std::collections::HashMap;
+
+use netsim::{EndpointId, Network};
+use rand::RngCore;
+
+use restricted_proxy::principal::PrincipalId;
+use restricted_proxy::time::Timestamp;
+
+use crate::check::Check;
+use crate::error::AcctError;
+use crate::server::{AccountingServer, DepositOutcome, Payment};
+
+/// A report of one cleared check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClearingReport {
+    /// The settled payment.
+    pub payment: Payment,
+    /// Endorsement hops the check traveled (0 = same-server deposit).
+    pub hops: usize,
+    /// Messages exchanged, including the deposit presentation and the
+    /// payment's return trip.
+    pub messages: u64,
+}
+
+/// Registry of accounting servers and clearing routes.
+#[derive(Debug, Default)]
+pub struct ClearingHouse {
+    servers: HashMap<PrincipalId, AccountingServer>,
+    /// (current server, drawee) → next hop. Missing entries default to a
+    /// direct link.
+    routes: HashMap<(PrincipalId, PrincipalId), PrincipalId>,
+}
+
+impl ClearingHouse {
+    /// Creates an empty clearing house.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a server to the registry.
+    pub fn add_server(&mut self, server: AccountingServer) {
+        self.servers.insert(server.name().clone(), server);
+    }
+
+    /// Read access to a server.
+    #[must_use]
+    pub fn server(&self, name: &PrincipalId) -> Option<&AccountingServer> {
+        self.servers.get(name)
+    }
+
+    /// Mutable access to a server.
+    pub fn server_mut(&mut self, name: &PrincipalId) -> Option<&mut AccountingServer> {
+        self.servers.get_mut(name)
+    }
+
+    /// Declares that checks passing through `at` toward `drawee` go via
+    /// `next` (building correspondent-bank chains for the F5 experiment).
+    pub fn set_route(&mut self, at: PrincipalId, drawee: PrincipalId, next: PrincipalId) {
+        self.routes.insert((at, drawee), next);
+    }
+
+    fn next_hop(&self, at: &PrincipalId, drawee: &PrincipalId) -> PrincipalId {
+        self.routes
+            .get(&(at.clone(), drawee.clone()))
+            .cloned()
+            .unwrap_or_else(|| drawee.clone())
+    }
+
+    /// Runs the full Fig. 5 flow: `depositor` deposits `check` into
+    /// `to_account` at `deposit_server`; the check clears through however
+    /// many endorsement hops the routing table dictates, and the payment
+    /// propagates back.
+    ///
+    /// When the check is drawn elsewhere, the depositor first endorses it
+    /// to the deposit server — Fig. 5's `E1: [dep ckno to $1]S` — which is
+    /// why `depositor_authority` is needed.
+    ///
+    /// # Errors
+    ///
+    /// Any [`AcctError`] raised along the path (verification failure,
+    /// duplicate number, insufficient funds, missing route).
+    #[allow(clippy::too_many_arguments)]
+    pub fn deposit_and_clear<R: RngCore>(
+        &mut self,
+        check: &Check,
+        depositor: &PrincipalId,
+        depositor_authority: &restricted_proxy::key::GrantAuthority,
+        deposit_server: &PrincipalId,
+        to_account: &str,
+        now: Timestamp,
+        rng: &mut R,
+        mut net: Option<&mut Network>,
+    ) -> Result<ClearingReport, AcctError> {
+        let info = check.info()?;
+        let drawee = info.drawn_on.clone();
+        let mut messages = 0u64;
+
+        // Cross-server deposits carry the depositor's endorsement (E1).
+        let check = if drawee == *deposit_server {
+            check.clone()
+        } else {
+            let window = check
+                .proxy
+                .effective_validity()
+                .ok_or(AcctError::MalformedCheck("validity"))?;
+            check.endorse(
+                depositor,
+                depositor_authority,
+                deposit_server.clone(),
+                Some(to_account),
+                window,
+                info.check_no,
+                rng,
+            )?
+        };
+        let check = &check;
+
+        let send = |net: &mut Option<&mut Network>,
+                    from: &PrincipalId,
+                    to: &PrincipalId,
+                    payload: &[u8]| {
+            if let Some(net) = net.as_deref_mut() {
+                net.transmit(
+                    &EndpointId::new(from.as_str()),
+                    &EndpointId::new(to.as_str()),
+                    payload,
+                );
+            }
+        };
+
+        // The deposit presentation itself (Fig. 5's E1 hop starts here).
+        send(
+            &mut net,
+            depositor,
+            deposit_server,
+            &check.proxy.present_delegate().encode(),
+        );
+        messages += 1;
+
+        let next = self.next_hop(deposit_server, &drawee);
+        let first = self
+            .servers
+            .get_mut(deposit_server)
+            .ok_or_else(|| AcctError::NoRoute(deposit_server.clone()))?;
+        let outcome = first.deposit(check, depositor, to_account, next, now, rng)?;
+
+        let (payment, path) = match outcome {
+            DepositOutcome::Settled(payment) => (payment, Vec::new()),
+            DepositOutcome::Forwarded {
+                mut check,
+                mut next_hop,
+            } => {
+                // Forward through intermediate hops until the drawee.
+                let mut path = vec![deposit_server.clone()];
+                let mut at = deposit_server.clone();
+                loop {
+                    send(
+                        &mut net,
+                        &at,
+                        &next_hop,
+                        &check.proxy.present_delegate().encode(),
+                    );
+                    messages += 1;
+                    if next_hop == drawee {
+                        let drawee_server = self
+                            .servers
+                            .get_mut(&drawee)
+                            .ok_or_else(|| AcctError::NoRoute(drawee.clone()))?;
+                        let payment = drawee_server.collect(&check, &at, now)?;
+                        break (payment, path);
+                    }
+                    let hop = next_hop.clone();
+                    path.push(hop.clone());
+                    let onward = self.next_hop(&hop, &drawee);
+                    let hop_server = self
+                        .servers
+                        .get_mut(&hop)
+                        .ok_or_else(|| AcctError::NoRoute(hop.clone()))?;
+                    check = hop_server.forward(&check, onward.clone(), rng)?;
+                    at = hop;
+                    next_hop = onward;
+                }
+            }
+        };
+
+        // Payment returns along the path (drawee → … → deposit server).
+        let mut from = drawee.clone();
+        for hop in path.iter().rev() {
+            send(
+                &mut net,
+                &from,
+                hop,
+                format!("payment:{}", payment.check_no).as_bytes(),
+            );
+            messages += 1;
+            let server = self
+                .servers
+                .get_mut(hop)
+                .ok_or_else(|| AcctError::NoRoute(hop.clone()))?;
+            server.apply_payment(&payment);
+            from = hop.clone();
+        }
+
+        Ok(ClearingReport {
+            payment,
+            hops: check_hops(&path),
+            messages,
+        })
+    }
+}
+
+fn check_hops(path: &[PrincipalId]) -> usize {
+    path.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::write_check;
+    use crate::server::AccountingServer;
+    use proxy_crypto::ed25519::SigningKey;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use restricted_proxy::key::{GrantAuthority, GrantorVerifier};
+    use restricted_proxy::restriction::Currency;
+    use restricted_proxy::time::Validity;
+
+    fn p(name: &str) -> PrincipalId {
+        PrincipalId::new(name)
+    }
+
+    fn usd() -> Currency {
+        Currency::new("USD")
+    }
+
+    /// Builds the Fig. 5 topology: C banks at $2 (drawee), S banks at $1.
+    fn fig5() -> (ClearingHouse, GrantAuthority, GrantAuthority, StdRng) {
+        let mut rng = StdRng::seed_from_u64(3);
+        let carol_key = SigningKey::generate(&mut rng);
+        let shop_key = SigningKey::generate(&mut rng);
+        let bank1_key = SigningKey::generate(&mut rng);
+        let bank2_key = SigningKey::generate(&mut rng);
+
+        let mut bank1 = AccountingServer::new(p("$1"), GrantAuthority::Keypair(bank1_key.clone()));
+        bank1.open_account("shop-acct", vec![p("S")]);
+
+        let mut bank2 = AccountingServer::new(p("$2"), GrantAuthority::Keypair(bank2_key));
+        bank2.open_account("carol-acct", vec![p("C")]);
+        bank2
+            .account_mut("carol-acct")
+            .unwrap()
+            .credit(usd(), 1_000);
+        // $2 verifies carol's signature and $1's endorsements; shop's too.
+        bank2.register_grantor(
+            p("C"),
+            GrantorVerifier::PublicKey(carol_key.verifying_key()),
+        );
+        bank2.register_grantor(p("S"), GrantorVerifier::PublicKey(shop_key.verifying_key()));
+        bank2.register_grantor(
+            p("$1"),
+            GrantorVerifier::PublicKey(bank1_key.verifying_key()),
+        );
+
+        let mut house = ClearingHouse::new();
+        house.add_server(bank1);
+        house.add_server(bank2);
+        (
+            house,
+            GrantAuthority::Keypair(carol_key),
+            GrantAuthority::Keypair(shop_key),
+            rng,
+        )
+    }
+
+    #[test]
+    fn fig5_two_bank_clearing() {
+        let (mut house, carol_auth, shop_auth, mut rng) = fig5();
+        let check = write_check(
+            &p("C"),
+            &carol_auth,
+            &p("$2"),
+            "carol-acct",
+            p("S"),
+            1,
+            usd(),
+            300,
+            Validity::new(Timestamp(0), Timestamp(100)),
+            &mut rng,
+        );
+        let mut net = Network::new(0);
+        let report = house
+            .deposit_and_clear(
+                &check,
+                &p("S"),
+                &shop_auth,
+                &p("$1"),
+                "shop-acct",
+                Timestamp(1),
+                &mut rng,
+                Some(&mut net),
+            )
+            .unwrap();
+        assert_eq!(report.hops, 1, "one endorsement hop $1→$2");
+        assert_eq!(report.payment.amount, 300);
+        // deposit + E2 + payment return = 3 messages.
+        assert_eq!(report.messages, 3);
+        assert_eq!(net.total_messages(), 3);
+        // Money moved.
+        let bank2 = house.server(&p("$2")).unwrap();
+        assert_eq!(bank2.account("carol-acct").unwrap().balance(&usd()), 700);
+        let bank1 = house.server(&p("$1")).unwrap();
+        assert_eq!(bank1.account("shop-acct").unwrap().balance(&usd()), 300);
+        assert_eq!(bank1.uncollected_total("shop-acct", &usd()), 0, "collected");
+    }
+
+    #[test]
+    fn duplicate_clearing_rejected_at_drawee() {
+        let (mut house, carol_auth, shop_auth, mut rng) = fig5();
+        let check = write_check(
+            &p("C"),
+            &carol_auth,
+            &p("$2"),
+            "carol-acct",
+            p("S"),
+            2,
+            usd(),
+            100,
+            Validity::new(Timestamp(0), Timestamp(100)),
+            &mut rng,
+        );
+        assert!(house
+            .deposit_and_clear(
+                &check,
+                &p("S"),
+                &shop_auth,
+                &p("$1"),
+                "shop-acct",
+                Timestamp(1),
+                &mut rng,
+                None
+            )
+            .is_ok());
+        let err = house
+            .deposit_and_clear(
+                &check,
+                &p("S"),
+                &shop_auth,
+                &p("$1"),
+                "shop-acct",
+                Timestamp(2),
+                &mut rng,
+                None,
+            )
+            .unwrap_err();
+        assert!(
+            matches!(err, AcctError::Verify(_)),
+            "replay must fail: {err:?}"
+        );
+        // Carol was debited exactly once.
+        let bank2 = house.server(&p("$2")).unwrap();
+        assert_eq!(bank2.account("carol-acct").unwrap().balance(&usd()), 900);
+    }
+
+    #[test]
+    fn multi_hop_chain_clears() {
+        // Extend Fig. 5: the deposit bank reaches the drawee through two
+        // correspondent banks. Path: $a → $m1 → $m2 → $d.
+        let mut rng = StdRng::seed_from_u64(9);
+        let carol_key = SigningKey::generate(&mut rng);
+        let shop_key = SigningKey::generate(&mut rng);
+        let keys: Vec<SigningKey> = (0..4).map(|_| SigningKey::generate(&mut rng)).collect();
+        let names = [p("$a"), p("$m1"), p("$m2"), p("$d")];
+        let mut house = ClearingHouse::new();
+        for (i, name) in names.iter().enumerate() {
+            let mut s =
+                AccountingServer::new(name.clone(), GrantAuthority::Keypair(keys[i].clone()));
+            if i == 0 {
+                s.open_account("shop-acct", vec![p("S")]);
+            }
+            if i == 3 {
+                s.open_account("carol-acct", vec![p("C")]);
+                s.account_mut("carol-acct").unwrap().credit(usd(), 500);
+                s.register_grantor(
+                    p("C"),
+                    GrantorVerifier::PublicKey(carol_key.verifying_key()),
+                );
+                s.register_grantor(p("S"), GrantorVerifier::PublicKey(shop_key.verifying_key()));
+                for (j, k) in keys.iter().enumerate().take(3) {
+                    s.register_grantor(
+                        names[j].clone(),
+                        GrantorVerifier::PublicKey(k.verifying_key()),
+                    );
+                }
+            }
+            house.add_server(s);
+        }
+        house.set_route(p("$a"), p("$d"), p("$m1"));
+        house.set_route(p("$m1"), p("$d"), p("$m2"));
+        let check = write_check(
+            &p("C"),
+            &GrantAuthority::Keypair(carol_key),
+            &p("$d"),
+            "carol-acct",
+            p("S"),
+            5,
+            usd(),
+            50,
+            Validity::new(Timestamp(0), Timestamp(100)),
+            &mut rng,
+        );
+        let shop_auth = GrantAuthority::Keypair(shop_key);
+        let report = house
+            .deposit_and_clear(
+                &check,
+                &p("S"),
+                &shop_auth,
+                &p("$a"),
+                "shop-acct",
+                Timestamp(1),
+                &mut rng,
+                None,
+            )
+            .unwrap();
+        assert_eq!(report.hops, 3);
+        assert_eq!(report.payment.amount, 50);
+        assert_eq!(
+            house
+                .server(&p("$d"))
+                .unwrap()
+                .account("carol-acct")
+                .unwrap()
+                .balance(&usd()),
+            450
+        );
+        assert_eq!(
+            house
+                .server(&p("$a"))
+                .unwrap()
+                .account("shop-acct")
+                .unwrap()
+                .balance(&usd()),
+            50
+        );
+    }
+}

@@ -1,0 +1,86 @@
+//! Error type for the accounting layer.
+
+use restricted_proxy::error::VerifyError;
+use restricted_proxy::principal::PrincipalId;
+use restricted_proxy::restriction::Currency;
+
+/// Errors from accounts, checks, and clearing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AcctError {
+    /// The named account does not exist on this server.
+    UnknownAccount(String),
+    /// The account cannot cover the requested amount.
+    InsufficientFunds {
+        /// Currency requested.
+        currency: Currency,
+        /// Amount requested.
+        requested: u64,
+        /// Amount available.
+        available: u64,
+    },
+    /// A check (or its endorsement chain) failed proxy verification —
+    /// including replays of a spent check number.
+    Verify(VerifyError),
+    /// A check was missing one of its defining restrictions.
+    MalformedCheck(&'static str),
+    /// A check drawn on another server was presented for collection here.
+    WrongServer {
+        /// The server the check is drawn on.
+        drawn_on: PrincipalId,
+        /// The server that received it.
+        received_by: PrincipalId,
+    },
+    /// The principal is not authorized to debit the account.
+    NotAuthorized(PrincipalId),
+    /// No clearing route toward the payor's server.
+    NoRoute(PrincipalId),
+    /// A certified check's hold was not found at the payor's server.
+    NoHold {
+        /// The check number whose hold is missing.
+        check_no: u64,
+    },
+}
+
+impl std::fmt::Display for AcctError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AcctError::UnknownAccount(a) => write!(f, "unknown account {a}"),
+            AcctError::InsufficientFunds {
+                currency,
+                requested,
+                available,
+            } => write!(
+                f,
+                "insufficient funds: requested {requested} {currency}, available {available}"
+            ),
+            AcctError::Verify(e) => write!(f, "check verification failed: {e}"),
+            AcctError::MalformedCheck(what) => write!(f, "malformed check: missing {what}"),
+            AcctError::WrongServer {
+                drawn_on,
+                received_by,
+            } => {
+                write!(f, "check drawn on {drawn_on} presented to {received_by}")
+            }
+            AcctError::NotAuthorized(p) => write!(f, "{p} may not debit this account"),
+            AcctError::NoRoute(s) => write!(f, "no clearing route toward {s}"),
+            AcctError::NoHold { check_no } => {
+                write!(f, "no hold found for certified check {check_no}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AcctError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AcctError::Verify(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<VerifyError> for AcctError {
+    fn from(e: VerifyError) -> Self {
+        AcctError::Verify(e)
+    }
+}

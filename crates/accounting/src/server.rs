@@ -1,0 +1,907 @@
+//! The accounting server (§4): accounts, check collection, certification.
+
+use std::collections::HashMap;
+
+use rand::RngCore;
+
+use restricted_proxy::context::RequestContext;
+use restricted_proxy::key::{GrantAuthority, GrantorVerifier, MapResolver};
+use restricted_proxy::principal::PrincipalId;
+use restricted_proxy::proxy::{grant, Proxy};
+use restricted_proxy::replay::MemoryReplayGuard;
+use restricted_proxy::restriction::{
+    AuthorizedEntry, Currency, ObjectName, Operation, Restriction, RestrictionSet,
+};
+use restricted_proxy::time::{Timestamp, Validity};
+use restricted_proxy::verify::Verifier;
+
+use crate::account::Account;
+use crate::check::{account_object, debit_op, Check, CheckInfo};
+use crate::error::AcctError;
+
+/// The reserved account cashier's checks are drawn from.
+pub const CASHIER_ACCOUNT: &str = "__cashier";
+
+/// A settled payment, sent back along the clearing path.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Payment {
+    /// The payor whose account was debited.
+    pub payor: PrincipalId,
+    /// The cleared check number.
+    pub check_no: u64,
+    /// Currency paid.
+    pub currency: Currency,
+    /// Amount paid.
+    pub amount: u64,
+}
+
+/// Outcome of depositing a check.
+#[derive(Clone, Debug)]
+pub enum DepositOutcome {
+    /// The check was drawn on this server and settled immediately.
+    Settled(Payment),
+    /// The check is drawn elsewhere: funds were credited as uncollected
+    /// and the endorsed check must be forwarded to the returned next hop.
+    Forwarded {
+        /// The endorsed check to send onward.
+        check: Check,
+        /// Where to send it.
+        next_hop: PrincipalId,
+    },
+}
+
+#[derive(Clone, Debug)]
+struct Uncollected {
+    account: String,
+    currency: Currency,
+    amount: u64,
+}
+
+/// An accounting server: accounts plus the check-clearing machinery of
+/// Fig. 5.
+#[derive(Debug)]
+pub struct AccountingServer {
+    name: PrincipalId,
+    authority: GrantAuthority,
+    directory: MapResolver,
+    accounts: HashMap<String, Account>,
+    replay: MemoryReplayGuard,
+    uncollected: HashMap<(PrincipalId, u64), Uncollected>,
+    next_serial: u64,
+}
+
+impl AccountingServer {
+    /// Creates an accounting server signing endorsements and
+    /// certifications with `authority`.
+    #[must_use]
+    pub fn new(name: PrincipalId, authority: GrantAuthority) -> Self {
+        Self {
+            name,
+            authority,
+            directory: MapResolver::new(),
+            accounts: HashMap::new(),
+            replay: MemoryReplayGuard::new(),
+            uncollected: HashMap::new(),
+            next_serial: 1,
+        }
+    }
+
+    /// The server's principal name.
+    #[must_use]
+    pub fn name(&self) -> &PrincipalId {
+        &self.name
+    }
+
+    /// Registers verification material for a principal whose checks or
+    /// endorsements this server must verify (payors and peer servers).
+    pub fn register_grantor(&mut self, principal: PrincipalId, verifier: GrantorVerifier) {
+        self.directory.insert(principal, verifier);
+    }
+
+    /// Opens an account.
+    pub fn open_account(&mut self, name: impl Into<String>, owners: Vec<PrincipalId>) {
+        let name = name.into();
+        self.accounts
+            .insert(name.clone(), Account::new(name, owners));
+    }
+
+    /// Read access to an account.
+    #[must_use]
+    pub fn account(&self, name: &str) -> Option<&Account> {
+        self.accounts.get(name)
+    }
+
+    /// Mutable access to an account (administrative credit, quota ops).
+    pub fn account_mut(&mut self, name: &str) -> Result<&mut Account, AcctError> {
+        self.accounts
+            .get_mut(name)
+            .ok_or_else(|| AcctError::UnknownAccount(name.to_string()))
+    }
+
+    /// Verifies a check's chain and restrictions as presented by
+    /// `presenter`, consuming the check number on success.
+    fn verify_check(
+        &mut self,
+        check: &Check,
+        presenter: &PrincipalId,
+        now: Timestamp,
+    ) -> Result<CheckInfo, AcctError> {
+        let info = check.info()?;
+        if info.drawn_on != self.name {
+            return Err(AcctError::WrongServer {
+                drawn_on: info.drawn_on,
+                received_by: self.name.clone(),
+            });
+        }
+        let verifier = Verifier::new(self.name.clone(), self.directory.clone());
+        let mut ctx = RequestContext::new(
+            self.name.clone(),
+            debit_op(),
+            account_object(&info.payor_account),
+        )
+        .at(now)
+        .consuming(info.currency.clone(), info.amount);
+        // The presenter is authenticated; the server trivially knows its
+        // own identity (the final endorsement in a clearing chain names
+        // this server as the collector).
+        ctx.authenticated = vec![presenter.clone()];
+        if *presenter != self.name {
+            ctx.authenticated.push(self.name.clone());
+        }
+        verifier
+            .verify(&check.proxy.present_delegate(), &ctx, &mut self.replay)
+            .map_err(AcctError::Verify)?;
+        Ok(info)
+    }
+
+    /// Collects a check drawn on this server, presented by `presenter`
+    /// (the payee, or the last server in an endorsement chain). Debits the
+    /// payor's account — from an outstanding hold when the check was
+    /// certified, from the balance otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Verification failures (including duplicate check numbers, §7.7),
+    /// [`AcctError::NotAuthorized`] when the payor does not own the
+    /// account, and [`AcctError::InsufficientFunds`] for uncovered,
+    /// uncertified checks.
+    pub fn collect(
+        &mut self,
+        check: &Check,
+        presenter: &PrincipalId,
+        now: Timestamp,
+    ) -> Result<Payment, AcctError> {
+        let info = self.verify_check(check, presenter, now)?;
+        let account = self
+            .accounts
+            .get_mut(&info.payor_account)
+            .ok_or_else(|| AcctError::UnknownAccount(info.payor_account.clone()))?;
+        if !account.is_owner(&info.payor) {
+            return Err(AcctError::NotAuthorized(info.payor.clone()));
+        }
+        match account.take_hold(info.check_no) {
+            Some(hold) => {
+                // Certified check: settle from the hold.
+                debug_assert_eq!(hold.amount, info.amount);
+            }
+            None => account.debit(&info.currency, info.amount)?,
+        }
+        Ok(Payment {
+            payor: info.payor,
+            check_no: info.check_no,
+            currency: info.currency,
+            amount: info.amount,
+        })
+    }
+
+    /// Deposits a check into `to_account`. If drawn on this server it
+    /// settles immediately; otherwise the deposit is credited as
+    /// *uncollected*, the check is endorsed (deposit-only) toward
+    /// `next_hop`, and the caller forwards it (Fig. 5's E1).
+    ///
+    /// # Errors
+    ///
+    /// [`AcctError::UnknownAccount`] and, for same-server settlement, the
+    /// errors of [`collect`](Self::collect).
+    pub fn deposit<R: RngCore>(
+        &mut self,
+        check: &Check,
+        depositor: &PrincipalId,
+        to_account: &str,
+        next_hop: PrincipalId,
+        now: Timestamp,
+        rng: &mut R,
+    ) -> Result<DepositOutcome, AcctError> {
+        if !self.accounts.contains_key(to_account) {
+            return Err(AcctError::UnknownAccount(to_account.to_string()));
+        }
+        let info = check.info()?;
+        // A check payable to this server would satisfy its own grantee
+        // restriction during chain-walking (the server trivially counts as
+        // authenticated); only the server itself may negotiate such a
+        // check, or any depositor could route its funds anywhere.
+        if info.payee == self.name && *depositor != self.name {
+            return Err(AcctError::NotAuthorized(depositor.clone()));
+        }
+        if info.drawn_on == self.name {
+            let payment = self.collect(check, depositor, now)?;
+            self.account_mut(to_account)?
+                .credit(payment.currency.clone(), payment.amount);
+            return Ok(DepositOutcome::Settled(payment));
+        }
+        // Credit as uncollected and endorse toward the drawee.
+        self.uncollected.insert(
+            (info.payor.clone(), info.check_no),
+            Uncollected {
+                account: to_account.to_string(),
+                currency: info.currency.clone(),
+                amount: info.amount,
+            },
+        );
+        let serial = self.next_serial;
+        self.next_serial += 1;
+        let window = check
+            .proxy
+            .effective_validity()
+            .ok_or(AcctError::MalformedCheck("validity"))?;
+        let endorsed = check.endorse(
+            &self.name,
+            &self.authority,
+            next_hop.clone(),
+            Some(to_account),
+            window,
+            serial,
+            rng,
+        )?;
+        Ok(DepositOutcome::Forwarded {
+            check: endorsed,
+            next_hop,
+        })
+    }
+
+    /// An intermediate clearing hop (Fig. 5 repeated endorsements): this
+    /// server endorses the check onward to `next_hop`.
+    ///
+    /// # Errors
+    ///
+    /// [`AcctError::MalformedCheck`] for degenerate validity windows.
+    pub fn forward<R: RngCore>(
+        &mut self,
+        check: &Check,
+        next_hop: PrincipalId,
+        rng: &mut R,
+    ) -> Result<Check, AcctError> {
+        let serial = self.next_serial;
+        self.next_serial += 1;
+        let window = check
+            .proxy
+            .effective_validity()
+            .ok_or(AcctError::MalformedCheck("validity"))?;
+        check.endorse(
+            &self.name,
+            &self.authority,
+            next_hop,
+            None,
+            window,
+            serial,
+            rng,
+        )
+    }
+
+    /// Applies a returned payment: marks the matching uncollected deposit
+    /// as collected (the funds are final).
+    ///
+    /// Returns `true` when a matching uncollected record existed.
+    pub fn apply_payment(&mut self, payment: &Payment) -> bool {
+        match self
+            .uncollected
+            .remove(&(payment.payor.clone(), payment.check_no))
+        {
+            Some(u) => {
+                // The deposit was credited as uncollected at deposit time;
+                // finality means it stays. (A bounced check would instead
+                // reverse it — see `bounce`.)
+                debug_assert_eq!(u.amount, payment.amount);
+                if let Some(acct) = self.accounts.get_mut(&u.account) {
+                    acct.credit(u.currency, u.amount);
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Reverses an uncollected deposit whose check bounced (insufficient
+    /// funds at the drawee — the out-of-band path §4 mentions).
+    ///
+    /// Returns `true` when a matching uncollected record existed.
+    pub fn bounce(&mut self, payor: &PrincipalId, check_no: u64) -> bool {
+        self.uncollected
+            .remove(&(payor.clone(), check_no))
+            .is_some()
+    }
+
+    /// Amount of `currency` pending collection into `account`.
+    #[must_use]
+    pub fn uncollected_total(&self, account: &str, currency: &Currency) -> u64 {
+        self.uncollected
+            .values()
+            .filter(|u| u.account == account && u.currency == *currency)
+            .map(|u| u.amount)
+            .sum()
+    }
+
+    /// Issues a cashier's check (§4 leaves these "as an exercise"): the
+    /// purchaser pays immediately, the funds move into the server's
+    /// cashier pool, and the returned check is drawn *by the server on
+    /// itself* — it cannot bounce.
+    ///
+    /// # Errors
+    ///
+    /// [`AcctError::NotAuthorized`] unless `purchaser` owns
+    /// `from_account`; [`AcctError::InsufficientFunds`] when the purchase
+    /// cannot be covered.
+    #[allow(clippy::too_many_arguments)]
+    pub fn cashiers_check<R: RngCore>(
+        &mut self,
+        purchaser: &PrincipalId,
+        from_account: &str,
+        payee: PrincipalId,
+        check_no: u64,
+        currency: Currency,
+        amount: u64,
+        validity: Validity,
+        rng: &mut R,
+    ) -> Result<Check, AcctError> {
+        let acct = self
+            .accounts
+            .get_mut(from_account)
+            .ok_or_else(|| AcctError::UnknownAccount(from_account.to_string()))?;
+        if !acct.is_owner(purchaser) {
+            return Err(AcctError::NotAuthorized(purchaser.clone()));
+        }
+        acct.debit(&currency, amount)?;
+        // Funds wait in the cashier pool until the check is collected.
+        let pool_name = CASHIER_ACCOUNT.to_string();
+        self.accounts
+            .entry(pool_name.clone())
+            .or_insert_with(|| Account::new(pool_name, vec![self.name.clone()]))
+            .credit(currency.clone(), amount);
+        // The server must be able to verify its own signature at
+        // collection time.
+        let self_verifier = match &self.authority {
+            GrantAuthority::SharedKey(k) => GrantorVerifier::SharedKey(k.clone()),
+            GrantAuthority::Keypair(sk) => GrantorVerifier::PublicKey(sk.verifying_key()),
+        };
+        self.directory.insert(self.name.clone(), self_verifier);
+        let authority = self.authority.clone();
+        Ok(crate::check::write_check(
+            &self.name.clone(),
+            &authority,
+            &self.name.clone(),
+            CASHIER_ACCOUNT,
+            payee,
+            check_no,
+            currency,
+            amount,
+            validity,
+            rng,
+        ))
+    }
+
+    /// Certifies a check (§4's second mechanism): places a hold on the
+    /// payor's funds and returns an authorization proxy "certifying that
+    /// the client has sufficient resources to cover the check".
+    ///
+    /// # Errors
+    ///
+    /// [`AcctError::NotAuthorized`] unless `requester` owns the account;
+    /// [`AcctError::InsufficientFunds`] when the hold cannot be covered.
+    #[allow(clippy::too_many_arguments)]
+    pub fn certify<R: RngCore>(
+        &mut self,
+        requester: &PrincipalId,
+        account: &str,
+        check_no: u64,
+        currency: Currency,
+        amount: u64,
+        payee: PrincipalId,
+        validity: Validity,
+        rng: &mut R,
+    ) -> Result<Proxy, AcctError> {
+        let acct = self
+            .accounts
+            .get_mut(account)
+            .ok_or_else(|| AcctError::UnknownAccount(account.to_string()))?;
+        if !acct.is_owner(requester) {
+            return Err(AcctError::NotAuthorized(requester.clone()));
+        }
+        acct.place_hold(check_no, currency.clone(), amount, payee)?;
+        let serial = self.next_serial;
+        self.next_serial += 1;
+        let restrictions = RestrictionSet::new()
+            .with(Restriction::Authorized {
+                entries: vec![AuthorizedEntry::ops(
+                    ObjectName::new(format!("certified-check:{check_no}")),
+                    vec![Operation::new("certify")],
+                )],
+            })
+            .with(Restriction::Quota {
+                currency,
+                limit: amount,
+            });
+        Ok(grant(
+            &self.name,
+            &self.authority,
+            restrictions,
+            validity,
+            serial,
+            rng,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::write_check;
+    use proxy_crypto::ed25519::SigningKey;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn p(name: &str) -> PrincipalId {
+        PrincipalId::new(name)
+    }
+
+    fn usd() -> Currency {
+        Currency::new("USD")
+    }
+
+    fn window() -> Validity {
+        Validity::new(Timestamp(0), Timestamp(1000))
+    }
+
+    struct Fixture {
+        rng: StdRng,
+        bank: AccountingServer,
+        carol_auth: GrantAuthority,
+    }
+
+    /// One bank holding both carol's and the shop's accounts.
+    fn fixture() -> Fixture {
+        let mut rng = StdRng::seed_from_u64(1);
+        let bank_key = SigningKey::generate(&mut rng);
+        let carol_key = SigningKey::generate(&mut rng);
+        let mut bank = AccountingServer::new(p("bank"), GrantAuthority::Keypair(bank_key));
+        bank.register_grantor(
+            p("carol"),
+            GrantorVerifier::PublicKey(carol_key.verifying_key()),
+        );
+        bank.open_account("carol-acct", vec![p("carol")]);
+        bank.open_account("shop-acct", vec![p("shop")]);
+        bank.account_mut("carol-acct").unwrap().credit(usd(), 500);
+        Fixture {
+            rng,
+            bank,
+            carol_auth: GrantAuthority::Keypair(carol_key),
+        }
+    }
+
+    fn carol_check(f: &mut Fixture, check_no: u64, amount: u64) -> Check {
+        write_check(
+            &p("carol"),
+            &f.carol_auth,
+            &p("bank"),
+            "carol-acct",
+            p("shop"),
+            check_no,
+            usd(),
+            amount,
+            window(),
+            &mut f.rng,
+        )
+    }
+
+    #[test]
+    fn same_server_deposit_settles_immediately() {
+        let mut f = fixture();
+        let check = carol_check(&mut f, 1, 100);
+        let outcome = f
+            .bank
+            .deposit(
+                &check,
+                &p("shop"),
+                "shop-acct",
+                p("bank"),
+                Timestamp(1),
+                &mut f.rng,
+            )
+            .unwrap();
+        assert!(matches!(outcome, DepositOutcome::Settled(_)));
+        assert_eq!(f.bank.account("carol-acct").unwrap().balance(&usd()), 400);
+        assert_eq!(f.bank.account("shop-acct").unwrap().balance(&usd()), 100);
+    }
+
+    #[test]
+    fn duplicate_check_number_rejected() {
+        let mut f = fixture();
+        let check = carol_check(&mut f, 7, 50);
+        assert!(f
+            .bank
+            .deposit(
+                &check,
+                &p("shop"),
+                "shop-acct",
+                p("bank"),
+                Timestamp(1),
+                &mut f.rng
+            )
+            .is_ok());
+        // The same check (same number) again: rejected by accept-once.
+        let err = f
+            .bank
+            .deposit(
+                &check,
+                &p("shop"),
+                "shop-acct",
+                p("bank"),
+                Timestamp(2),
+                &mut f.rng,
+            )
+            .unwrap_err();
+        assert!(matches!(err, AcctError::Verify(_)), "got {err:?}");
+        // Balance unchanged by the replay.
+        assert_eq!(f.bank.account("carol-acct").unwrap().balance(&usd()), 450);
+    }
+
+    #[test]
+    fn insufficient_funds_bounce() {
+        let mut f = fixture();
+        let check = carol_check(&mut f, 2, 9_999);
+        let err = f
+            .bank
+            .deposit(
+                &check,
+                &p("shop"),
+                "shop-acct",
+                p("bank"),
+                Timestamp(1),
+                &mut f.rng,
+            )
+            .unwrap_err();
+        assert!(matches!(err, AcctError::InsufficientFunds { .. }));
+    }
+
+    #[test]
+    fn only_payee_can_negotiate() {
+        let mut f = fixture();
+        f.bank.open_account("mallory-acct", vec![p("mallory")]);
+        let check = carol_check(&mut f, 3, 100);
+        // Mallory found the check on the wire and tries to cash it.
+        let err = f
+            .bank
+            .deposit(
+                &check,
+                &p("mallory"),
+                "mallory-acct",
+                p("bank"),
+                Timestamp(1),
+                &mut f.rng,
+            )
+            .unwrap_err();
+        assert!(matches!(err, AcctError::Verify(_)));
+    }
+
+    #[test]
+    fn forged_check_rejected() {
+        let mut f = fixture();
+        // Mallory forges a check "from carol" with her own key.
+        let mallory_key = SigningKey::generate(&mut f.rng);
+        let forged = write_check(
+            &p("carol"),
+            &GrantAuthority::Keypair(mallory_key),
+            &p("bank"),
+            "carol-acct",
+            p("shop"),
+            4,
+            usd(),
+            100,
+            window(),
+            &mut f.rng,
+        );
+        let err = f
+            .bank
+            .deposit(
+                &forged,
+                &p("shop"),
+                "shop-acct",
+                p("bank"),
+                Timestamp(1),
+                &mut f.rng,
+            )
+            .unwrap_err();
+        assert!(matches!(err, AcctError::Verify(_)));
+    }
+
+    #[test]
+    fn check_amount_tampering_rejected() {
+        let mut f = fixture();
+        let check = carol_check(&mut f, 5, 10);
+        // Attacker rewrites the quota limit upward in the certificate.
+        let mut tampered = check.clone();
+        let mut new_set = RestrictionSet::new();
+        for r in tampered.proxy.certs[0].restrictions.iter() {
+            new_set.push(match r {
+                Restriction::Quota { currency, .. } => Restriction::Quota {
+                    currency: currency.clone(),
+                    limit: 400,
+                },
+                other => other.clone(),
+            });
+        }
+        tampered.proxy.certs[0].restrictions = new_set;
+        let err = f
+            .bank
+            .deposit(
+                &tampered,
+                &p("shop"),
+                "shop-acct",
+                p("bank"),
+                Timestamp(1),
+                &mut f.rng,
+            )
+            .unwrap_err();
+        assert!(matches!(err, AcctError::Verify(_)));
+    }
+
+    #[test]
+    fn certified_check_settles_from_hold() {
+        let mut f = fixture();
+        // Carol certifies check 9 for 200.
+        let cert_proxy = f
+            .bank
+            .certify(
+                &p("carol"),
+                "carol-acct",
+                9,
+                usd(),
+                200,
+                p("shop"),
+                window(),
+                &mut f.rng,
+            )
+            .unwrap();
+        assert_eq!(f.bank.account("carol-acct").unwrap().balance(&usd()), 300);
+        assert_eq!(f.bank.account("carol-acct").unwrap().held(&usd()), 200);
+        assert!(!cert_proxy.is_delegate(), "certification is a bearer proxy");
+        // Carol then spends her whole remaining balance.
+        f.bank
+            .account_mut("carol-acct")
+            .unwrap()
+            .debit(&usd(), 300)
+            .unwrap();
+        // The certified check still clears — that is the guarantee.
+        let check = carol_check(&mut f, 9, 200);
+        let outcome = f
+            .bank
+            .deposit(
+                &check,
+                &p("shop"),
+                "shop-acct",
+                p("bank"),
+                Timestamp(1),
+                &mut f.rng,
+            )
+            .unwrap();
+        assert!(matches!(outcome, DepositOutcome::Settled(_)));
+        assert_eq!(f.bank.account("shop-acct").unwrap().balance(&usd()), 200);
+        assert_eq!(f.bank.account("carol-acct").unwrap().held(&usd()), 0);
+    }
+
+    #[test]
+    fn certify_requires_ownership_and_funds() {
+        let mut f = fixture();
+        assert!(matches!(
+            f.bank.certify(
+                &p("mallory"),
+                "carol-acct",
+                9,
+                usd(),
+                10,
+                p("shop"),
+                window(),
+                &mut f.rng
+            ),
+            Err(AcctError::NotAuthorized(_))
+        ));
+        assert!(matches!(
+            f.bank.certify(
+                &p("carol"),
+                "carol-acct",
+                9,
+                usd(),
+                10_000,
+                p("shop"),
+                window(),
+                &mut f.rng
+            ),
+            Err(AcctError::InsufficientFunds { .. })
+        ));
+    }
+
+    #[test]
+    fn cross_server_deposit_forwards_endorsed_check() {
+        let mut f = fixture();
+        // A second bank holds the shop's account; carol's check is drawn
+        // on f.bank.
+        let mut rng = StdRng::seed_from_u64(5);
+        let bank1_key = SigningKey::generate(&mut rng);
+        let mut bank1 = AccountingServer::new(p("bank1"), GrantAuthority::Keypair(bank1_key));
+        bank1.open_account("shop-acct", vec![p("shop")]);
+        let check = carol_check(&mut f, 11, 75);
+        let outcome = bank1
+            .deposit(
+                &check,
+                &p("shop"),
+                "shop-acct",
+                p("bank"),
+                Timestamp(1),
+                &mut rng,
+            )
+            .unwrap();
+        let DepositOutcome::Forwarded {
+            check: endorsed,
+            next_hop,
+        } = outcome
+        else {
+            panic!("expected forward");
+        };
+        assert_eq!(next_hop, p("bank"));
+        assert_eq!(endorsed.endorsement_count(), 1);
+        // Funds are pending, not final.
+        assert_eq!(bank1.uncollected_total("shop-acct", &usd()), 75);
+        assert_eq!(bank1.account("shop-acct").unwrap().balance(&usd()), 0);
+    }
+
+    #[test]
+    fn cashiers_check_cannot_bounce() {
+        let mut f = fixture();
+        // Carol buys a cashier's check for 200.
+        let check = f
+            .bank
+            .cashiers_check(
+                &p("carol"),
+                "carol-acct",
+                p("shop"),
+                77,
+                usd(),
+                200,
+                window(),
+                &mut f.rng,
+            )
+            .unwrap();
+        assert_eq!(f.bank.account("carol-acct").unwrap().balance(&usd()), 300);
+        assert_eq!(
+            f.bank.account(CASHIER_ACCOUNT).unwrap().balance(&usd()),
+            200
+        );
+        // Carol goes broke; the cashier's check still clears.
+        f.bank
+            .account_mut("carol-acct")
+            .unwrap()
+            .debit(&usd(), 300)
+            .unwrap();
+        let outcome = f
+            .bank
+            .deposit(
+                &check,
+                &p("shop"),
+                "shop-acct",
+                p("bank"),
+                Timestamp(1),
+                &mut f.rng,
+            )
+            .unwrap();
+        assert!(matches!(outcome, DepositOutcome::Settled(_)));
+        assert_eq!(f.bank.account("shop-acct").unwrap().balance(&usd()), 200);
+        assert_eq!(f.bank.account(CASHIER_ACCOUNT).unwrap().balance(&usd()), 0);
+    }
+
+    #[test]
+    fn cashiers_check_requires_funds_and_ownership() {
+        let mut f = fixture();
+        assert!(matches!(
+            f.bank.cashiers_check(
+                &p("mallory"),
+                "carol-acct",
+                p("shop"),
+                1,
+                usd(),
+                10,
+                window(),
+                &mut f.rng
+            ),
+            Err(AcctError::NotAuthorized(_))
+        ));
+        assert!(matches!(
+            f.bank.cashiers_check(
+                &p("carol"),
+                "carol-acct",
+                p("shop"),
+                1,
+                usd(),
+                10_000,
+                window(),
+                &mut f.rng
+            ),
+            Err(AcctError::InsufficientFunds { .. })
+        ));
+        // No partial state change on failure.
+        assert_eq!(f.bank.account("carol-acct").unwrap().balance(&usd()), 500);
+    }
+
+    #[test]
+    fn cashiers_check_only_payee_negotiates() {
+        let mut f = fixture();
+        f.bank.open_account("mallory-acct", vec![p("mallory")]);
+        let check = f
+            .bank
+            .cashiers_check(
+                &p("carol"),
+                "carol-acct",
+                p("shop"),
+                78,
+                usd(),
+                50,
+                window(),
+                &mut f.rng,
+            )
+            .unwrap();
+        let err = f
+            .bank
+            .deposit(
+                &check,
+                &p("mallory"),
+                "mallory-acct",
+                p("bank"),
+                Timestamp(1),
+                &mut f.rng,
+            )
+            .unwrap_err();
+        assert!(matches!(err, AcctError::Verify(_)));
+    }
+
+    #[test]
+    fn check_payable_to_the_bank_cannot_be_hijacked() {
+        // Carol writes a check payable to the bank itself (e.g. a fee).
+        // Mallory intercepts it and tries to deposit it into her account;
+        // the bank must refuse, since the grantee is the bank, not her.
+        let mut f = fixture();
+        f.bank.open_account("mallory-acct", vec![p("mallory")]);
+        let check = write_check(
+            &p("carol"),
+            &f.carol_auth,
+            &p("bank"),
+            "carol-acct",
+            p("bank"),
+            91,
+            usd(),
+            50,
+            window(),
+            &mut f.rng,
+        );
+        let err = f
+            .bank
+            .deposit(
+                &check,
+                &p("mallory"),
+                "mallory-acct",
+                p("bank"),
+                Timestamp(1),
+                &mut f.rng,
+            )
+            .unwrap_err();
+        assert_eq!(err, AcctError::NotAuthorized(p("mallory")));
+        assert_eq!(f.bank.account("carol-acct").unwrap().balance(&usd()), 500);
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests for the accounting layer.
+//!
+//! The load-bearing invariant: money is conserved and every check settles
+//! at most once, for *arbitrary* interleavings of valid and invalid
+//! deposits.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use proxy_accounting::{write_check, Account, AccountingServer, ClearingHouse, DepositOutcome};
+use proxy_crypto::ed25519::SigningKey;
+use restricted_proxy::key::{GrantAuthority, GrantorVerifier};
+use restricted_proxy::principal::PrincipalId;
+use restricted_proxy::restriction::Currency;
+use restricted_proxy::time::{Timestamp, Validity};
+
+fn p(name: &str) -> PrincipalId {
+    PrincipalId::new(name)
+}
+
+fn usd() -> Currency {
+    Currency::new("USD")
+}
+
+fn window() -> Validity {
+    Validity::new(Timestamp(0), Timestamp(1_000_000))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary sequences of deposits (including duplicates and over-
+    /// drafts) conserve total money, and each distinct check number
+    /// settles at most once.
+    #[test]
+    fn clearing_conserves_money(
+        ops in proptest::collection::vec((1u64..20, 1u64..400, any::<bool>()), 1..30),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let carol_key = SigningKey::generate(&mut rng);
+        let mut bank = AccountingServer::new(
+            p("bank"),
+            GrantAuthority::Keypair(SigningKey::generate(&mut rng)),
+        );
+        bank.register_grantor(p("carol"), GrantorVerifier::PublicKey(carol_key.verifying_key()));
+        bank.open_account("carol", vec![p("carol")]);
+        bank.open_account("shop", vec![p("shop")]);
+        bank.account_mut("carol").unwrap().credit(usd(), 1_000);
+        let carol_auth = GrantAuthority::Keypair(carol_key);
+
+        let total = |bank: &AccountingServer| {
+            let c: &Account = bank.account("carol").unwrap();
+            let s: &Account = bank.account("shop").unwrap();
+            c.balance(&usd()) + c.held(&usd()) + s.balance(&usd())
+        };
+        let start = total(&bank);
+        let mut settled = std::collections::HashSet::new();
+
+        for (check_no, amount, duplicate) in ops {
+            let check = write_check(
+                &p("carol"), &carol_auth, &p("bank"), "carol", p("shop"),
+                check_no, usd(), amount, window(), &mut rng,
+            );
+            let attempts = if duplicate { 2 } else { 1 };
+            for _ in 0..attempts {
+                let result = bank.deposit(&check, &p("shop"), "shop", p("bank"), Timestamp(1), &mut rng);
+                if let Ok(DepositOutcome::Settled(payment)) = result {
+                    prop_assert!(
+                        settled.insert(payment.check_no),
+                        "check {} settled twice", payment.check_no
+                    );
+                }
+            }
+            prop_assert_eq!(total(&bank), start, "money not conserved");
+        }
+    }
+
+    /// Quota allocate/release sequences conserve balance + allocation.
+    #[test]
+    fn quota_conserves(ops in proptest::collection::vec((any::<bool>(), 1u64..100), 0..40)) {
+        let mut acct = Account::new("a", vec![p("a")]);
+        let blocks = Currency::new("blocks");
+        acct.credit(blocks.clone(), 1_000);
+        for (alloc, amount) in ops {
+            if alloc {
+                let _ = acct.allocate(blocks.clone(), amount);
+            } else {
+                let _ = acct.release(&blocks, amount);
+            }
+            prop_assert_eq!(acct.balance(&blocks) + acct.allocated(&blocks), 1_000);
+        }
+    }
+
+    /// Multi-hop clearing settles exactly the face amount for any hop
+    /// count, and message count is linear in hops: 1 + hops + hops.
+    #[test]
+    fn multi_hop_message_count(hops in 1usize..6, amount in 1u64..100, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let carol_key = SigningKey::generate(&mut rng);
+        let shop_key = SigningKey::generate(&mut rng);
+        let n = hops + 1;
+        let keys: Vec<SigningKey> = (0..n).map(|_| SigningKey::generate(&mut rng)).collect();
+        let names: Vec<PrincipalId> = (0..n).map(|i| p(&format!("b{i}"))).collect();
+        let mut house = ClearingHouse::new();
+        for (i, name) in names.iter().enumerate() {
+            let mut s = AccountingServer::new(name.clone(), GrantAuthority::Keypair(keys[i].clone()));
+            if i == 0 {
+                s.open_account("shop", vec![p("S")]);
+            }
+            if i == n - 1 {
+                s.open_account("carol", vec![p("C")]);
+                s.account_mut("carol").unwrap().credit(usd(), 10_000);
+                s.register_grantor(p("C"), GrantorVerifier::PublicKey(carol_key.verifying_key()));
+                s.register_grantor(p("S"), GrantorVerifier::PublicKey(shop_key.verifying_key()));
+                for (j, k) in keys.iter().enumerate().take(n - 1) {
+                    s.register_grantor(names[j].clone(), GrantorVerifier::PublicKey(k.verifying_key()));
+                }
+            }
+            house.add_server(s);
+        }
+        for i in 0..n.saturating_sub(2) {
+            house.set_route(names[i].clone(), names[n - 1].clone(), names[i + 1].clone());
+        }
+        let check = write_check(
+            &p("C"), &GrantAuthority::Keypair(carol_key), &names[n - 1], "carol", p("S"),
+            1, usd(), amount, window(), &mut rng,
+        );
+        let report = house
+            .deposit_and_clear(
+                &check, &p("S"), &GrantAuthority::Keypair(shop_key), &names[0], "shop",
+                Timestamp(1), &mut rng, None,
+            )
+            .unwrap();
+        prop_assert_eq!(report.payment.amount, amount);
+        prop_assert_eq!(report.hops, hops);
+        prop_assert_eq!(report.messages as usize, 1 + hops + hops);
+    }
+}

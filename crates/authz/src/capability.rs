@@ -1,0 +1,143 @@
+//! Capabilities as restricted proxies (§3.1).
+//!
+//! "A capability can be thought of as a bearer proxy that is restricted to
+//! limit the operations that can be performed and the objects that can be
+//! accessed." Holders may pass capabilities on freely — possibly deriving
+//! further-restricted copies along the way.
+
+use rand::RngCore;
+
+use restricted_proxy::key::GrantAuthority;
+use restricted_proxy::principal::PrincipalId;
+use restricted_proxy::proxy::{grant, Proxy};
+use restricted_proxy::restriction::{
+    AuthorizedEntry, ObjectName, Operation, Restriction, RestrictionSet,
+};
+use restricted_proxy::time::Validity;
+
+/// Issues capabilities on a grantor's authority, numbering them serially.
+#[derive(Debug)]
+pub struct CapabilityIssuer {
+    grantor: PrincipalId,
+    authority: GrantAuthority,
+    next_serial: u64,
+}
+
+impl CapabilityIssuer {
+    /// Creates an issuer for `grantor`.
+    #[must_use]
+    pub fn new(grantor: PrincipalId, authority: GrantAuthority) -> Self {
+        Self {
+            grantor,
+            authority,
+            next_serial: 1,
+        }
+    }
+
+    /// The issuing principal.
+    #[must_use]
+    pub fn grantor(&self) -> &PrincipalId {
+        &self.grantor
+    }
+
+    /// Issues a capability for `operations` on `object`, valid at
+    /// `server`: a bearer proxy with `authorized` and `issued-for`
+    /// restrictions.
+    pub fn issue<R: RngCore>(
+        &mut self,
+        server: &PrincipalId,
+        object: ObjectName,
+        operations: Vec<Operation>,
+        validity: Validity,
+        rng: &mut R,
+    ) -> Proxy {
+        let serial = self.next_serial;
+        self.next_serial += 1;
+        let restrictions = RestrictionSet::new()
+            .with(Restriction::Authorized {
+                entries: vec![AuthorizedEntry::ops(object, operations)],
+            })
+            .with(Restriction::issued_for_one(server.clone()));
+        grant(
+            &self.grantor,
+            &self.authority,
+            restrictions,
+            validity,
+            serial,
+            rng,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proxy_crypto::keys::SymmetricKey;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use restricted_proxy::time::Timestamp;
+
+    fn p(name: &str) -> PrincipalId {
+        PrincipalId::new(name)
+    }
+
+    #[test]
+    fn issued_capability_is_bearer_and_scoped() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut issuer = CapabilityIssuer::new(
+            p("alice"),
+            GrantAuthority::SharedKey(SymmetricKey::generate(&mut rng)),
+        );
+        let cap = issuer.issue(
+            &p("fs"),
+            ObjectName::new("/doc"),
+            vec![Operation::new("read")],
+            Validity::new(Timestamp(0), Timestamp(10)),
+            &mut rng,
+        );
+        assert!(!cap.is_delegate(), "capabilities are bearer proxies");
+        assert_eq!(cap.combined_restrictions().len(), 2);
+        // Serial numbers advance.
+        let cap2 = issuer.issue(
+            &p("fs"),
+            ObjectName::new("/doc"),
+            vec![Operation::new("read")],
+            Validity::new(Timestamp(0), Timestamp(10)),
+            &mut rng,
+        );
+        assert_ne!(cap.certs[0].serial, cap2.certs[0].serial);
+    }
+
+    #[test]
+    fn capability_can_be_narrowed_by_holder() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut issuer = CapabilityIssuer::new(
+            p("alice"),
+            GrantAuthority::SharedKey(SymmetricKey::generate(&mut rng)),
+        );
+        let cap = issuer.issue(
+            &p("fs"),
+            ObjectName::new("/doc"),
+            vec![Operation::new("read"), Operation::new("write")],
+            Validity::new(Timestamp(0), Timestamp(100)),
+            &mut rng,
+        );
+        // The holder derives a read-only version before passing it on.
+        let narrowed = cap
+            .derive(
+                RestrictionSet::new().with(Restriction::authorize_op(
+                    ObjectName::new("/doc"),
+                    Operation::new("read"),
+                )),
+                Validity::new(Timestamp(0), Timestamp(50)),
+                1,
+                &mut rng,
+            )
+            .unwrap();
+        assert_eq!(narrowed.certs.len(), 2);
+        assert_eq!(
+            narrowed.effective_validity(),
+            Some(Validity::new(Timestamp(0), Timestamp(50)))
+        );
+    }
+}

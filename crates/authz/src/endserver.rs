@@ -1,0 +1,464 @@
+//! End-server authorization decisions: local ACL + presented proxies
+//! (§3.5: "application servers can easily combine the benefits of
+//! access-control-lists and capability-based authorization mechanisms").
+
+use restricted_proxy::context::RequestContext;
+use restricted_proxy::key::KeyResolver;
+use restricted_proxy::present::Presentation;
+use restricted_proxy::principal::{GroupName, PrincipalId};
+use restricted_proxy::replay::MemoryReplayGuard;
+use restricted_proxy::restriction::{Currency, ObjectName, Operation, Restriction};
+use restricted_proxy::time::Timestamp;
+use restricted_proxy::verify::Verifier;
+
+use crate::acl::{AclEntry, AclStore, ClaimSet};
+use crate::error::AuthzError;
+
+/// A request as an end-server sees it.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Operation being requested.
+    pub operation: Operation,
+    /// Target object.
+    pub object: ObjectName,
+    /// Principals authenticated through the authentication substrate.
+    pub authenticated: Vec<PrincipalId>,
+    /// Proxies presented with the request (capabilities, authorization
+    /// proxies, group proxies — any mix).
+    pub presentations: Vec<Presentation>,
+    /// Current time.
+    pub now: Timestamp,
+    /// Resources the operation would consume.
+    pub amounts: Vec<(Currency, u64)>,
+}
+
+impl Request {
+    /// A minimal request with no credentials attached.
+    #[must_use]
+    pub fn new(operation: Operation, object: ObjectName, now: Timestamp) -> Self {
+        Self {
+            operation,
+            object,
+            authenticated: Vec::new(),
+            presentations: Vec::new(),
+            now,
+            amounts: Vec::new(),
+        }
+    }
+
+    /// Adds an authenticated principal.
+    #[must_use]
+    pub fn authenticated_as(mut self, p: PrincipalId) -> Self {
+        self.authenticated.push(p);
+        self
+    }
+
+    /// Attaches a proxy presentation.
+    #[must_use]
+    pub fn with_presentation(mut self, pres: Presentation) -> Self {
+        self.presentations.push(pres);
+        self
+    }
+
+    /// Records a resource demand.
+    #[must_use]
+    pub fn consuming(mut self, currency: Currency, amount: u64) -> Self {
+        self.amounts.push((currency, amount));
+        self
+    }
+}
+
+/// A successful authorization decision.
+#[derive(Clone, Debug)]
+pub struct Authorized {
+    /// The claims that satisfied the ACL (authenticated identities plus
+    /// verified proxy grantors, and proven groups).
+    pub claims: ClaimSet,
+    /// A copy of the entry that matched.
+    pub entry: AclEntry,
+}
+
+/// An end-server combining a local ACL store with proxy verification.
+#[derive(Debug)]
+pub struct EndServer<R> {
+    verifier: Verifier<R>,
+    /// Per-object ACLs (public so operators can edit policy directly).
+    pub acls: AclStore,
+    replay: MemoryReplayGuard,
+}
+
+impl<R: KeyResolver> EndServer<R> {
+    /// Creates an end-server named `name` that resolves grantor keys via
+    /// `resolver`.
+    pub fn new(name: PrincipalId, resolver: R) -> Self {
+        Self {
+            verifier: Verifier::new(name, resolver),
+            acls: AclStore::new(),
+            replay: MemoryReplayGuard::new(),
+        }
+    }
+
+    /// The server's principal name.
+    #[must_use]
+    pub fn name(&self) -> &PrincipalId {
+        self.verifier.server()
+    }
+
+    /// Decides a request.
+    ///
+    /// Verification happens in two passes: group proxies first (their
+    /// proven memberships feed `for-use-by-group` checks in the second
+    /// pass), then everything else. Verified grantors become claimable
+    /// identities; the local ACL then decides (§3.5).
+    ///
+    /// # Errors
+    ///
+    /// [`AuthzError::NotAuthorized`] when no entry matches; verification
+    /// failures of *all* presented proxies surface as the last
+    /// [`AuthzError::Verify`] only when nothing else matched.
+    pub fn authorize(&mut self, req: &Request) -> Result<Authorized, AuthzError> {
+        let mut ctx = RequestContext::new(
+            self.verifier.server().clone(),
+            req.operation.clone(),
+            req.object.clone(),
+        )
+        .at(req.now);
+        ctx.authenticated = req.authenticated.clone();
+        ctx.amounts = req.amounts.clone();
+
+        let mut claims = ClaimSet {
+            principals: req.authenticated.clone(),
+            groups: Vec::new(),
+        };
+        let mut last_error: Option<AuthzError> = None;
+
+        // Pass 1: group proxies prove memberships.
+        let (group_proxies, other_proxies): (Vec<_>, Vec<_>) = req
+            .presentations
+            .iter()
+            .partition(|p| is_group_presentation(p));
+        for pres in group_proxies {
+            match self.verifier.verify(pres, &ctx, &mut self.replay) {
+                Ok(verified) => {
+                    for g in asserted_groups(&verified.restrictions, &verified.grantor) {
+                        if !claims.groups.contains(&g) {
+                            claims.groups.push(g.clone());
+                            ctx.asserted_groups.push(g);
+                        }
+                    }
+                }
+                Err(e) => last_error = Some(e.into()),
+            }
+        }
+
+        // Pass 2: remaining proxies confer their grantors' identities.
+        for pres in other_proxies {
+            match self.verifier.verify(pres, &ctx, &mut self.replay) {
+                Ok(verified) => {
+                    if !claims.principals.contains(&verified.grantor) {
+                        claims.principals.push(verified.grantor);
+                    }
+                }
+                Err(e) => last_error = Some(e.into()),
+            }
+        }
+
+        // Local ACL decides.
+        let acl = self.acls.acl_for(&req.object);
+        match acl.find_match(&claims, &req.operation) {
+            Some(entry) => {
+                // ACL-entry restrictions apply to the request too (§3.5).
+                entry
+                    .rights
+                    .restrictions
+                    .evaluate(
+                        &ctx,
+                        self.verifier.server(),
+                        Timestamp::MAX,
+                        &mut self.replay,
+                    )
+                    .map_err(restricted_proxy::error::VerifyError::Denied)?;
+                Ok(Authorized {
+                    claims,
+                    entry: entry.clone(),
+                })
+            }
+            None => Err(last_error.unwrap_or(AuthzError::NotAuthorized {
+                operation: req.operation.clone(),
+                object: req.object.clone(),
+            })),
+        }
+    }
+
+    /// Evicts expired replay-guard entries.
+    pub fn expire_replay(&mut self, now: Timestamp) {
+        use restricted_proxy::replay::ReplayGuard;
+        self.replay.expire(now);
+    }
+}
+
+fn is_group_presentation(pres: &Presentation) -> bool {
+    pres.certs.iter().any(|c| {
+        c.restrictions
+            .iter()
+            .any(|r| matches!(r, Restriction::GroupMembership { .. }))
+    })
+}
+
+fn asserted_groups(
+    restrictions: &restricted_proxy::restriction::RestrictionSet,
+    grantor: &PrincipalId,
+) -> Vec<GroupName> {
+    restrictions
+        .iter()
+        .filter_map(|r| match r {
+            Restriction::GroupMembership { groups } => {
+                // Only the grantor's own groups are assertable (§7.6).
+                Some(groups.iter().filter(|g| g.server == *grantor).cloned())
+            }
+            _ => None,
+        })
+        .flatten()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::acl::{Acl, AclRights, AclSubject};
+    use proxy_crypto::keys::SymmetricKey;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use restricted_proxy::key::{GrantAuthority, GrantorVerifier, MapResolver};
+    use restricted_proxy::proxy::grant;
+    use restricted_proxy::restriction::RestrictionSet;
+    use restricted_proxy::time::Validity;
+
+    fn p(name: &str) -> PrincipalId {
+        PrincipalId::new(name)
+    }
+
+    fn op(name: &str) -> Operation {
+        Operation::new(name)
+    }
+
+    fn obj(name: &str) -> ObjectName {
+        ObjectName::new(name)
+    }
+
+    #[test]
+    fn local_acl_alone_authorizes() {
+        let mut server = EndServer::new(p("fs"), MapResolver::new());
+        server.acls.set(
+            obj("file1"),
+            Acl::new().with(
+                AclSubject::Principal(p("alice")),
+                AclRights::ops(vec![op("read")]),
+            ),
+        );
+        let req = Request::new(op("read"), obj("file1"), Timestamp(1)).authenticated_as(p("alice"));
+        assert!(server.authorize(&req).is_ok());
+        let req =
+            Request::new(op("write"), obj("file1"), Timestamp(1)).authenticated_as(p("alice"));
+        assert!(matches!(
+            server.authorize(&req),
+            Err(AuthzError::NotAuthorized { .. })
+        ));
+    }
+
+    #[test]
+    fn capability_proxy_confers_grantor_rights() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let shared = SymmetricKey::generate(&mut rng);
+        let resolver =
+            MapResolver::new().with(p("alice"), GrantorVerifier::SharedKey(shared.clone()));
+        let mut server = EndServer::new(p("fs"), resolver);
+        server.acls.set(
+            obj("file1"),
+            Acl::new().with(AclSubject::Principal(p("alice")), AclRights::all()),
+        );
+        // Alice issues a read capability; bob (not on the ACL) presents it.
+        let cap = grant(
+            &p("alice"),
+            &GrantAuthority::SharedKey(shared),
+            RestrictionSet::new().with(Restriction::authorize_op(obj("file1"), op("read"))),
+            Validity::new(Timestamp(0), Timestamp(100)),
+            1,
+            &mut rng,
+        );
+        let pres = cap.present_bearer([1u8; 32], &p("fs"));
+        let req = Request::new(op("read"), obj("file1"), Timestamp(1))
+            .authenticated_as(p("bob"))
+            .with_presentation(pres.clone());
+        let authorized = server.authorize(&req).unwrap();
+        assert!(authorized.claims.principals.contains(&p("alice")));
+        // The capability does not allow writes.
+        let req = Request::new(op("write"), obj("file1"), Timestamp(1))
+            .authenticated_as(p("bob"))
+            .with_presentation(pres);
+        assert!(server.authorize(&req).is_err());
+    }
+
+    #[test]
+    fn group_proxy_satisfies_group_entry() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let gs_key = SymmetricKey::generate(&mut rng);
+        let resolver = MapResolver::new().with(p("gs"), GrantorVerifier::SharedKey(gs_key.clone()));
+        let mut server = EndServer::new(p("fs"), resolver);
+        let staff = GroupName::new(p("gs"), "staff");
+        server.acls.set(
+            obj("wiki"),
+            Acl::new().with(AclSubject::Group(staff.clone()), AclRights::all()),
+        );
+        // The group server grants bob a delegate membership proxy.
+        let membership = grant(
+            &p("gs"),
+            &GrantAuthority::SharedKey(gs_key),
+            RestrictionSet::new()
+                .with(Restriction::grantee_one(p("bob")))
+                .with(Restriction::GroupMembership {
+                    groups: vec![staff],
+                }),
+            Validity::new(Timestamp(0), Timestamp(100)),
+            1,
+            &mut rng,
+        );
+        let req = Request::new(op("edit"), obj("wiki"), Timestamp(1))
+            .authenticated_as(p("bob"))
+            .with_presentation(membership.present_delegate());
+        let authorized = server.authorize(&req).unwrap();
+        assert_eq!(authorized.claims.groups.len(), 1);
+        // Carol cannot use bob's delegate membership proxy.
+        let req = Request::new(op("edit"), obj("wiki"), Timestamp(1))
+            .authenticated_as(p("carol"))
+            .with_presentation(membership.present_delegate());
+        assert!(server.authorize(&req).is_err());
+    }
+
+    #[test]
+    fn revoking_grantor_kills_capabilities() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let shared = SymmetricKey::generate(&mut rng);
+        let resolver =
+            MapResolver::new().with(p("alice"), GrantorVerifier::SharedKey(shared.clone()));
+        let mut server = EndServer::new(p("fs"), resolver);
+        server.acls.set(
+            obj("file1"),
+            Acl::new().with(AclSubject::Principal(p("alice")), AclRights::all()),
+        );
+        let cap = grant(
+            &p("alice"),
+            &GrantAuthority::SharedKey(shared),
+            RestrictionSet::new().with(Restriction::authorize_op(obj("file1"), op("read"))),
+            Validity::new(Timestamp(0), Timestamp(100)),
+            1,
+            &mut rng,
+        );
+        let pres = cap.present_bearer([1u8; 32], &p("fs"));
+        let req =
+            Request::new(op("read"), obj("file1"), Timestamp(1)).with_presentation(pres.clone());
+        assert!(server.authorize(&req).is_ok());
+        // §3.1: revoke by changing the access rights of the grantor.
+        server
+            .acls
+            .acl_mut(obj("file1"))
+            .remove_principal(&p("alice"));
+        assert!(
+            server.authorize(&req).is_err(),
+            "capability revoked with grantor"
+        );
+    }
+
+    #[test]
+    fn compound_entry_satisfied_by_two_proxies() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let ka = SymmetricKey::generate(&mut rng);
+        let kb = SymmetricKey::generate(&mut rng);
+        let resolver = MapResolver::new()
+            .with(p("alice"), GrantorVerifier::SharedKey(ka.clone()))
+            .with(p("bob"), GrantorVerifier::SharedKey(kb.clone()));
+        let mut server = EndServer::new(p("vault"), resolver);
+        server.acls.set(
+            obj("gold"),
+            Acl::new().with(
+                AclSubject::Compound(vec![p("alice"), p("bob")]),
+                AclRights::ops(vec![op("open")]),
+            ),
+        );
+        let make = |name: &str, key: &SymmetricKey, rng: &mut StdRng| {
+            grant(
+                &p(name),
+                &GrantAuthority::SharedKey(key.clone()),
+                RestrictionSet::new().with(Restriction::authorize_op(obj("gold"), op("open"))),
+                Validity::new(Timestamp(0), Timestamp(100)),
+                1,
+                rng,
+            )
+        };
+        let pa = make("alice", &ka, &mut rng);
+        let pb = make("bob", &kb, &mut rng);
+        // One proxy is not enough — separation of privilege (§3.5).
+        let req = Request::new(op("open"), obj("gold"), Timestamp(1))
+            .with_presentation(pa.present_bearer([1u8; 32], &p("vault")));
+        assert!(server.authorize(&req).is_err());
+        // Proxies from both grantors together satisfy the compound entry.
+        let req = Request::new(op("open"), obj("gold"), Timestamp(1))
+            .with_presentation(pa.present_bearer([2u8; 32], &p("vault")))
+            .with_presentation(pb.present_bearer([3u8; 32], &p("vault")));
+        assert!(server.authorize(&req).is_ok());
+    }
+
+    #[test]
+    fn for_use_by_group_needs_group_pass_first() {
+        // A capability usable only by staff members: bob must present BOTH
+        // the capability and a staff membership proxy.
+        let mut rng = StdRng::seed_from_u64(5);
+        let alice_key = SymmetricKey::generate(&mut rng);
+        let gs_key = SymmetricKey::generate(&mut rng);
+        let resolver = MapResolver::new()
+            .with(p("alice"), GrantorVerifier::SharedKey(alice_key.clone()))
+            .with(p("gs"), GrantorVerifier::SharedKey(gs_key.clone()));
+        let mut server = EndServer::new(p("fs"), resolver);
+        server.acls.set(
+            obj("report"),
+            Acl::new().with(AclSubject::Principal(p("alice")), AclRights::all()),
+        );
+        let staff = GroupName::new(p("gs"), "staff");
+        let cap = grant(
+            &p("alice"),
+            &GrantAuthority::SharedKey(alice_key),
+            RestrictionSet::new()
+                .with(Restriction::authorize_op(obj("report"), op("read")))
+                .with(Restriction::ForUseByGroup {
+                    groups: vec![staff.clone()],
+                    required: 1,
+                }),
+            Validity::new(Timestamp(0), Timestamp(100)),
+            1,
+            &mut rng,
+        );
+        let membership = grant(
+            &p("gs"),
+            &GrantAuthority::SharedKey(gs_key),
+            RestrictionSet::new()
+                .with(Restriction::grantee_one(p("bob")))
+                .with(Restriction::GroupMembership {
+                    groups: vec![staff],
+                }),
+            Validity::new(Timestamp(0), Timestamp(100)),
+            2,
+            &mut rng,
+        );
+        // Capability alone: denied (group requirement unmet).
+        let req = Request::new(op("read"), obj("report"), Timestamp(1))
+            .authenticated_as(p("bob"))
+            .with_presentation(cap.present_bearer([1u8; 32], &p("fs")));
+        assert!(server.authorize(&req).is_err());
+        // Capability + membership proxy: allowed.
+        let req = Request::new(op("read"), obj("report"), Timestamp(1))
+            .authenticated_as(p("bob"))
+            .with_presentation(membership.present_delegate())
+            .with_presentation(cap.present_bearer([2u8; 32], &p("fs")));
+        assert!(server.authorize(&req).is_ok());
+    }
+}

@@ -1,0 +1,66 @@
+//! Error types for the authorization layer.
+
+use restricted_proxy::error::VerifyError;
+use restricted_proxy::principal::PrincipalId;
+use restricted_proxy::restriction::{ObjectName, Operation};
+
+/// Errors from ACL evaluation, authorization servers, and group servers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuthzError {
+    /// A presented proxy failed verification.
+    Verify(VerifyError),
+    /// No ACL entry (directly or via proxies/groups) authorizes the
+    /// request.
+    NotAuthorized {
+        /// The requested operation.
+        operation: Operation,
+        /// The object the operation targets.
+        object: ObjectName,
+    },
+    /// The authorization server has no entry for the requesting client.
+    UnknownClient(PrincipalId),
+    /// The group server does not maintain the named group.
+    UnknownGroup(String),
+    /// The requester is not a member of the requested group.
+    NotAMember {
+        /// The requested group.
+        group: String,
+        /// The requester.
+        principal: PrincipalId,
+    },
+    /// A client asked the authorization server for rights at a server the
+    /// database has no entry for.
+    NoRightsAt(PrincipalId),
+}
+
+impl std::fmt::Display for AuthzError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AuthzError::Verify(e) => write!(f, "proxy verification failed: {e}"),
+            AuthzError::NotAuthorized { operation, object } => {
+                write!(f, "no authorization for {operation} on {object}")
+            }
+            AuthzError::UnknownClient(p) => write!(f, "no authorization entry for {p}"),
+            AuthzError::UnknownGroup(g) => write!(f, "unknown group {g}"),
+            AuthzError::NotAMember { group, principal } => {
+                write!(f, "{principal} is not a member of {group}")
+            }
+            AuthzError::NoRightsAt(s) => write!(f, "no rights recorded for server {s}"),
+        }
+    }
+}
+
+impl std::error::Error for AuthzError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AuthzError::Verify(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<VerifyError> for AuthzError {
+    fn from(e: VerifyError) -> Self {
+        AuthzError::Verify(e)
+    }
+}

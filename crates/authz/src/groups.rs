@@ -1,0 +1,210 @@
+//! The group server (§3.3): grants proxies that delegate the right to
+//! assert membership in a group.
+//!
+//! Group proxies are *delegate* proxies (membership is not transferable)
+//! and always carry an explicit `group-membership` restriction (§7.6) so a
+//! proxy never accidentally asserts every group the server maintains.
+
+use std::collections::{BTreeSet, HashMap};
+
+use rand::RngCore;
+
+use restricted_proxy::key::GrantAuthority;
+use restricted_proxy::principal::{GroupName, PrincipalId};
+use restricted_proxy::proxy::{grant, Proxy};
+use restricted_proxy::restriction::{Restriction, RestrictionSet};
+use restricted_proxy::time::Validity;
+
+use crate::error::AuthzError;
+
+/// A group server maintaining one or more groups.
+#[derive(Debug)]
+pub struct GroupServer {
+    name: PrincipalId,
+    authority: GrantAuthority,
+    groups: HashMap<String, BTreeSet<PrincipalId>>,
+    next_serial: u64,
+}
+
+impl GroupServer {
+    /// Creates a group server signing proxies with `authority`.
+    #[must_use]
+    pub fn new(name: PrincipalId, authority: GrantAuthority) -> Self {
+        Self {
+            name,
+            authority,
+            groups: HashMap::new(),
+            next_serial: 1,
+        }
+    }
+
+    /// The server's principal name.
+    #[must_use]
+    pub fn name(&self) -> &PrincipalId {
+        &self.name
+    }
+
+    /// The global name of a group on this server.
+    #[must_use]
+    pub fn global_name(&self, group: &str) -> GroupName {
+        GroupName::new(self.name.clone(), group)
+    }
+
+    /// Creates an (empty) group; no-op if it exists.
+    pub fn create_group(&mut self, group: &str) {
+        self.groups.entry(group.to_string()).or_default();
+    }
+
+    /// Adds `member` to `group`, creating the group if needed.
+    pub fn add_member(&mut self, group: &str, member: PrincipalId) {
+        self.groups
+            .entry(group.to_string())
+            .or_default()
+            .insert(member);
+    }
+
+    /// Removes `member` from `group`.
+    pub fn remove_member(&mut self, group: &str, member: &PrincipalId) {
+        if let Some(set) = self.groups.get_mut(group) {
+            set.remove(member);
+        }
+    }
+
+    /// True when `member` belongs to `group`.
+    #[must_use]
+    pub fn is_member(&self, group: &str, member: &PrincipalId) -> bool {
+        self.groups.get(group).is_some_and(|s| s.contains(member))
+    }
+
+    /// Number of groups maintained.
+    #[must_use]
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Issues a membership proxy for `requester` covering `groups`.
+    ///
+    /// The requester must already be authenticated to the group server (the
+    /// caller guarantees this, e.g. via a Kerberos AP exchange); this
+    /// method checks membership and returns a delegate proxy carrying
+    /// `grantee = requester` and `group-membership = groups`.
+    ///
+    /// # Errors
+    ///
+    /// [`AuthzError::UnknownGroup`] / [`AuthzError::NotAMember`].
+    pub fn membership_proxy<R: RngCore>(
+        &mut self,
+        requester: &PrincipalId,
+        groups: &[&str],
+        validity: Validity,
+        rng: &mut R,
+    ) -> Result<Proxy, AuthzError> {
+        let mut names = Vec::with_capacity(groups.len());
+        for g in groups {
+            let members = self
+                .groups
+                .get(*g)
+                .ok_or_else(|| AuthzError::UnknownGroup((*g).to_string()))?;
+            if !members.contains(requester) {
+                return Err(AuthzError::NotAMember {
+                    group: (*g).to_string(),
+                    principal: requester.clone(),
+                });
+            }
+            names.push(self.global_name(g));
+        }
+        let serial = self.next_serial;
+        self.next_serial += 1;
+        let restrictions = RestrictionSet::new()
+            .with(Restriction::grantee_one(requester.clone()))
+            .with(Restriction::GroupMembership { groups: names });
+        Ok(grant(
+            &self.name,
+            &self.authority,
+            restrictions,
+            validity,
+            serial,
+            rng,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proxy_crypto::keys::SymmetricKey;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use restricted_proxy::time::Timestamp;
+
+    fn p(name: &str) -> PrincipalId {
+        PrincipalId::new(name)
+    }
+
+    fn server(rng: &mut StdRng) -> GroupServer {
+        GroupServer::new(
+            p("gs"),
+            GrantAuthority::SharedKey(SymmetricKey::generate(rng)),
+        )
+    }
+
+    #[test]
+    fn membership_management() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut gs = server(&mut rng);
+        gs.add_member("staff", p("bob"));
+        assert!(gs.is_member("staff", &p("bob")));
+        gs.remove_member("staff", &p("bob"));
+        assert!(!gs.is_member("staff", &p("bob")));
+        gs.create_group("empty");
+        assert_eq!(gs.group_count(), 2);
+    }
+
+    #[test]
+    fn proxy_issued_only_to_members() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut gs = server(&mut rng);
+        gs.add_member("staff", p("bob"));
+        let window = Validity::new(Timestamp(0), Timestamp(100));
+        let proxy = gs
+            .membership_proxy(&p("bob"), &["staff"], window, &mut rng)
+            .unwrap();
+        assert!(proxy.is_delegate(), "membership is not transferable");
+        assert_eq!(
+            gs.membership_proxy(&p("carol"), &["staff"], window, &mut rng)
+                .unwrap_err(),
+            AuthzError::NotAMember {
+                group: "staff".into(),
+                principal: p("carol")
+            }
+        );
+        assert_eq!(
+            gs.membership_proxy(&p("bob"), &["nogroup"], window, &mut rng)
+                .unwrap_err(),
+            AuthzError::UnknownGroup("nogroup".into())
+        );
+    }
+
+    #[test]
+    fn proxy_lists_exactly_requested_groups() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut gs = server(&mut rng);
+        gs.add_member("staff", p("bob"));
+        gs.add_member("admins", p("bob"));
+        let window = Validity::new(Timestamp(0), Timestamp(100));
+        let proxy = gs
+            .membership_proxy(&p("bob"), &["staff"], window, &mut rng)
+            .unwrap();
+        let listed: Vec<_> = proxy
+            .combined_restrictions()
+            .iter()
+            .filter_map(|r| match r {
+                Restriction::GroupMembership { groups } => Some(groups.clone()),
+                _ => None,
+            })
+            .flatten()
+            .collect();
+        // §7.6: the proxy asserts only "staff", not everything bob is in.
+        assert_eq!(listed, vec![gs.global_name("staff")]);
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based tests for the authorization layer.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use proxy_authz::{Acl, AclRights, AclSubject, ClaimSet, EndServer, GroupServer, Request};
+use proxy_crypto::keys::SymmetricKey;
+use restricted_proxy::prelude::*;
+
+fn p(name: &str) -> PrincipalId {
+    PrincipalId::new(name)
+}
+
+fn subject_strategy() -> impl Strategy<Value = AclSubject> {
+    prop_oneof![
+        prop_oneof![Just("alice"), Just("bob"), Just("carol")]
+            .prop_map(|n| AclSubject::Principal(p(n))),
+        prop_oneof![Just("staff"), Just("admins")]
+            .prop_map(|g| AclSubject::Group(GroupName::new(p("gs"), g))),
+        proptest::collection::vec(prop_oneof![Just("alice"), Just("bob")], 1..3)
+            .prop_map(|ns| AclSubject::Compound(ns.into_iter().map(p).collect())),
+        Just(AclSubject::Anyone),
+    ]
+}
+
+fn claims_strategy() -> impl Strategy<Value = ClaimSet> {
+    (
+        proptest::collection::vec(prop_oneof![Just("alice"), Just("bob"), Just("carol")], 0..3),
+        proptest::collection::vec(prop_oneof![Just("staff"), Just("admins")], 0..2),
+    )
+        .prop_map(|(principals, groups)| ClaimSet {
+            principals: principals.into_iter().map(p).collect(),
+            groups: groups
+                .into_iter()
+                .map(|g| GroupName::new(p("gs"), g))
+                .collect(),
+        })
+}
+
+proptest! {
+    /// ACL matching is monotone in both directions: adding entries never
+    /// removes a match, and adding claims never removes a match.
+    #[test]
+    fn acl_matching_is_monotone(
+        subjects in proptest::collection::vec(subject_strategy(), 0..6),
+        extra in subject_strategy(),
+        claims in claims_strategy(),
+        extra_claim in prop_oneof![Just("alice"), Just("bob"), Just("carol")],
+    ) {
+        let op = Operation::new("read");
+        let mut acl = Acl::new();
+        for s in &subjects {
+            acl.push(s.clone(), AclRights::all());
+        }
+        let matched_before = acl.find_match(&claims, &op).is_some();
+        // More entries: still matches.
+        let mut bigger = acl.clone();
+        bigger.push(extra, AclRights::all());
+        if matched_before {
+            prop_assert!(bigger.find_match(&claims, &op).is_some());
+        }
+        // More claims: still matches.
+        let mut richer = claims.clone();
+        richer.principals.push(p(extra_claim));
+        if matched_before {
+            prop_assert!(acl.find_match(&richer, &op).is_some());
+        }
+    }
+
+    /// remove_principal removes every entry the principal could satisfy
+    /// alone, and never enables anything new.
+    #[test]
+    fn revocation_is_sound(
+        subjects in proptest::collection::vec(subject_strategy(), 0..6),
+        victim in prop_oneof![Just("alice"), Just("bob")],
+        claims in claims_strategy(),
+    ) {
+        let op = Operation::new("read");
+        let mut acl = Acl::new();
+        for s in &subjects {
+            acl.push(s.clone(), AclRights::all());
+        }
+        let before = acl.find_match(&claims, &op).is_some();
+        acl.remove_principal(&p(victim));
+        let after = acl.find_match(&claims, &op).is_some();
+        // Revocation can only shrink authority.
+        prop_assert!(!after || before, "revocation enabled a match");
+        // No surviving entry names the victim.
+        for e in acl.iter() {
+            match &e.subject {
+                AclSubject::Principal(q) => prop_assert_ne!(q, &p(victim)),
+                AclSubject::Compound(qs) => prop_assert!(!qs.contains(&p(victim))),
+                _ => {}
+            }
+        }
+    }
+
+    /// End-to-end: a randomly-membered group server + group-guarded
+    /// end-server always agree with the membership predicate.
+    #[test]
+    fn group_proxy_agrees_with_membership(
+        members in proptest::collection::vec(prop_oneof![Just("alice"), Just("bob"), Just("carol")], 0..3),
+        requester in prop_oneof![Just("alice"), Just("bob"), Just("carol")],
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let gs_key = SymmetricKey::generate(&mut rng);
+        let mut gs = GroupServer::new(p("gs"), GrantAuthority::SharedKey(gs_key.clone()));
+        gs.create_group("staff");
+        for m in &members {
+            gs.add_member("staff", p(m));
+        }
+        let mut end = EndServer::new(
+            p("fs"),
+            MapResolver::new().with(p("gs"), GrantorVerifier::SharedKey(gs_key)),
+        );
+        end.acls.set(
+            ObjectName::new("wiki"),
+            Acl::new().with(
+                AclSubject::Group(GroupName::new(p("gs"), "staff")),
+                AclRights::all(),
+            ),
+        );
+        let window = Validity::new(Timestamp(0), Timestamp(100));
+        let proxy = gs.membership_proxy(&p(requester), &["staff"], window, &mut rng);
+        let is_member = members.contains(&requester);
+        prop_assert_eq!(proxy.is_ok(), is_member);
+        if let Ok(proxy) = proxy {
+            let req = Request::new(Operation::new("edit"), ObjectName::new("wiki"), Timestamp(1))
+                .authenticated_as(p(requester))
+                .with_presentation(proxy.present_delegate());
+            prop_assert!(end.authorize(&req).is_ok());
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! Amoeba-style prepaid bank service (the paper's §5 comparison).
+//!
+//! "In Amoeba, a client must contact the bank and transfer funds into the
+//! server's account before it contacts the server. The server will then
+//! provide services until the pre-paid funds have been exhausted." The F5
+//! experiment contrasts this prepay model (up-front transfer, refund
+//! traffic for unused funds) with pay-by-check.
+
+use std::collections::HashMap;
+
+use netsim::{EndpointId, Network};
+
+use restricted_proxy::principal::PrincipalId;
+use restricted_proxy::restriction::Currency;
+
+use crate::BaselineError;
+
+/// The Amoeba bank: plain accounts plus per-(client, server) prepaid pots.
+#[derive(Debug, Default)]
+pub struct AmoebaBank {
+    balances: HashMap<(PrincipalId, Currency), u64>,
+    /// Funds a client has prepaid toward a particular server.
+    prepaid: HashMap<(PrincipalId, PrincipalId, Currency), u64>,
+}
+
+impl AmoebaBank {
+    /// Creates an empty bank.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Credits an account (administrative funding).
+    pub fn credit(&mut self, owner: PrincipalId, currency: Currency, amount: u64) {
+        *self.balances.entry((owner, currency)).or_insert(0) += amount;
+    }
+
+    /// Balance of `owner` in `currency`.
+    #[must_use]
+    pub fn balance(&self, owner: &PrincipalId, currency: &Currency) -> u64 {
+        self.balances
+            .get(&(owner.clone(), currency.clone()))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Funds `client` has prepaid toward `server`.
+    #[must_use]
+    pub fn prepaid(&self, client: &PrincipalId, server: &PrincipalId, currency: &Currency) -> u64 {
+        self.prepaid
+            .get(&(client.clone(), server.clone(), currency.clone()))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// The mandatory up-front transfer: client → server pot, *before* any
+    /// service. Costs a round trip to the bank on `net`.
+    ///
+    /// # Errors
+    ///
+    /// [`BaselineError::InsufficientFunds`] when the client cannot cover
+    /// the prepayment.
+    pub fn prepay(
+        &mut self,
+        client: &PrincipalId,
+        server: &PrincipalId,
+        currency: Currency,
+        amount: u64,
+        net: &mut Network,
+    ) -> Result<(), BaselineError> {
+        let client_ep = EndpointId::new(client.as_str());
+        let bank_ep = EndpointId::new("bank");
+        net.transmit(&client_ep, &bank_ep, &amount.to_le_bytes());
+        let balance = self
+            .balances
+            .entry((client.clone(), currency.clone()))
+            .or_insert(0);
+        if *balance < amount {
+            net.transmit(&bank_ep, &client_ep, b"insufficient");
+            return Err(BaselineError::InsufficientFunds {
+                requested: amount,
+                available: *balance,
+            });
+        }
+        *balance -= amount;
+        *self
+            .prepaid
+            .entry((client.clone(), server.clone(), currency))
+            .or_insert(0) += amount;
+        net.transmit(&bank_ep, &client_ep, b"ok");
+        Ok(())
+    }
+
+    /// The server draws down prepaid funds as it performs work (no bank
+    /// traffic — the pot is the server's to spend).
+    ///
+    /// # Errors
+    ///
+    /// [`BaselineError::InsufficientFunds`] when the pot is exhausted —
+    /// the client must prepay again before more service.
+    pub fn consume(
+        &mut self,
+        client: &PrincipalId,
+        server: &PrincipalId,
+        currency: &Currency,
+        amount: u64,
+    ) -> Result<(), BaselineError> {
+        let pot = self
+            .prepaid
+            .entry((client.clone(), server.clone(), currency.clone()))
+            .or_insert(0);
+        if *pot < amount {
+            return Err(BaselineError::InsufficientFunds {
+                requested: amount,
+                available: *pot,
+            });
+        }
+        *pot -= amount;
+        *self
+            .balances
+            .entry((server.clone(), currency.clone()))
+            .or_insert(0) += amount;
+        Ok(())
+    }
+
+    /// Refunds the unused remainder of a pot back to the client (another
+    /// round trip the check model avoids).
+    pub fn refund(
+        &mut self,
+        client: &PrincipalId,
+        server: &PrincipalId,
+        currency: &Currency,
+        net: &mut Network,
+    ) -> u64 {
+        let client_ep = EndpointId::new(client.as_str());
+        let bank_ep = EndpointId::new("bank");
+        net.transmit(&client_ep, &bank_ep, b"refund");
+        let pot = self
+            .prepaid
+            .remove(&(client.clone(), server.clone(), currency.clone()))
+            .unwrap_or(0);
+        *self
+            .balances
+            .entry((client.clone(), currency.clone()))
+            .or_insert(0) += pot;
+        net.transmit(&bank_ep, &client_ep, &pot.to_le_bytes());
+        pot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(name: &str) -> PrincipalId {
+        PrincipalId::new(name)
+    }
+
+    fn usd() -> Currency {
+        Currency::new("USD")
+    }
+
+    #[test]
+    fn prepay_consume_refund_cycle() {
+        let mut bank = AmoebaBank::new();
+        let mut net = Network::new(0);
+        bank.credit(p("client"), usd(), 100);
+        bank.prepay(&p("client"), &p("srv"), usd(), 60, &mut net)
+            .unwrap();
+        assert_eq!(bank.balance(&p("client"), &usd()), 40);
+        assert_eq!(bank.prepaid(&p("client"), &p("srv"), &usd()), 60);
+        bank.consume(&p("client"), &p("srv"), &usd(), 25).unwrap();
+        assert_eq!(bank.balance(&p("srv"), &usd()), 25);
+        let refunded = bank.refund(&p("client"), &p("srv"), &usd(), &mut net);
+        assert_eq!(refunded, 35);
+        assert_eq!(bank.balance(&p("client"), &usd()), 75);
+        // prepay (2) + refund (2) messages.
+        assert_eq!(net.total_messages(), 4);
+    }
+
+    #[test]
+    fn service_stops_when_pot_exhausted() {
+        let mut bank = AmoebaBank::new();
+        let mut net = Network::new(0);
+        bank.credit(p("client"), usd(), 10);
+        bank.prepay(&p("client"), &p("srv"), usd(), 10, &mut net)
+            .unwrap();
+        bank.consume(&p("client"), &p("srv"), &usd(), 10).unwrap();
+        let err = bank
+            .consume(&p("client"), &p("srv"), &usd(), 1)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            BaselineError::InsufficientFunds {
+                requested: 1,
+                available: 0
+            }
+        );
+    }
+
+    #[test]
+    fn cannot_prepay_beyond_balance() {
+        let mut bank = AmoebaBank::new();
+        let mut net = Network::new(0);
+        bank.credit(p("client"), usd(), 5);
+        let err = bank
+            .prepay(&p("client"), &p("srv"), usd(), 6, &mut net)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            BaselineError::InsufficientFunds {
+                requested: 6,
+                available: 5
+            }
+        );
+        assert_eq!(bank.balance(&p("client"), &usd()), 5, "no partial transfer");
+    }
+
+    #[test]
+    fn pots_are_per_server() {
+        let mut bank = AmoebaBank::new();
+        let mut net = Network::new(0);
+        bank.credit(p("client"), usd(), 100);
+        bank.prepay(&p("client"), &p("srv1"), usd(), 30, &mut net)
+            .unwrap();
+        bank.prepay(&p("client"), &p("srv2"), usd(), 20, &mut net)
+            .unwrap();
+        // srv2 cannot draw from srv1's pot.
+        assert!(bank.consume(&p("client"), &p("srv2"), &usd(), 25).is_err());
+        assert!(bank.consume(&p("client"), &p("srv1"), &usd(), 25).is_ok());
+    }
+}

@@ -1,0 +1,243 @@
+//! DSSA-style role delegation (the paper's §5 comparison).
+//!
+//! "In the DSSA, restrictions are supported only by creating separate
+//! principals, called roles … The creation of a new role is cumbersome
+//! when delegating on the fly or when granting access to individual
+//! objects." This module models that: every *distinct restriction* needs a
+//! new role — a fresh key pair registered with the certification authority
+//! (one network round trip) — before a delegation certificate can be
+//! issued for that role. The A2 ablation measures the per-delegation
+//! overhead against restricted proxies, which restrict inline.
+
+use std::collections::HashMap;
+
+use netsim::{EndpointId, Network};
+use rand::RngCore;
+
+use proxy_crypto::ed25519::{Signature, SigningKey, VerifyingKey};
+
+use restricted_proxy::principal::PrincipalId;
+use restricted_proxy::restriction::RestrictionSet;
+
+/// The certification authority registering principals and their roles.
+#[derive(Debug, Default)]
+pub struct CertificationAuthority {
+    registered: HashMap<PrincipalId, VerifyingKey>,
+}
+
+impl CertificationAuthority {
+    /// Creates an empty CA.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a principal or role key (the message a client must send
+    /// before anyone can rely on the role).
+    pub fn register(&mut self, name: PrincipalId, key: VerifyingKey) {
+        self.registered.insert(name, key);
+    }
+
+    /// Looks up a registered key.
+    #[must_use]
+    pub fn key_of(&self, name: &PrincipalId) -> Option<&VerifyingKey> {
+        self.registered.get(name)
+    }
+
+    /// Number of registered principals+roles (DSSA's namespace blowup).
+    #[must_use]
+    pub fn registered_count(&self) -> usize {
+        self.registered.len()
+    }
+}
+
+/// A role: a separate principal embodying one restriction profile.
+#[derive(Debug)]
+pub struct Role {
+    /// The role's principal name (`user.role-N`).
+    pub name: PrincipalId,
+    /// The restriction profile the role stands for.
+    pub profile: RestrictionSet,
+    key: SigningKey,
+}
+
+/// A DSSA delegation certificate: the role delegates to a grantee.
+#[derive(Clone, Debug)]
+pub struct DelegationCert {
+    /// The delegating role.
+    pub role: PrincipalId,
+    /// The grantee allowed to act in the role.
+    pub grantee: PrincipalId,
+    /// Signature by the role key over `(role, grantee)`.
+    pub signature: Signature,
+}
+
+fn cert_bytes(role: &PrincipalId, grantee: &PrincipalId) -> Vec<u8> {
+    let mut e = restricted_proxy::encode::Encoder::new();
+    e.str(role.as_str()).str(grantee.as_str());
+    e.finish()
+}
+
+/// A user who can mint roles and delegate through them.
+#[derive(Debug)]
+pub struct DssaUser {
+    name: PrincipalId,
+    next_role: u64,
+}
+
+impl DssaUser {
+    /// Creates a user.
+    #[must_use]
+    pub fn new(name: PrincipalId) -> Self {
+        Self { name, next_role: 1 }
+    }
+
+    /// Creates a role for `profile`: generates a key pair and registers
+    /// the role at the CA (one round trip on `net`). This is the step
+    /// restricted proxies do not need.
+    pub fn create_role<R: RngCore>(
+        &mut self,
+        profile: RestrictionSet,
+        ca: &mut CertificationAuthority,
+        net: &mut Network,
+        rng: &mut R,
+    ) -> Role {
+        let key = SigningKey::generate(rng);
+        let name = PrincipalId::new(format!("{}.role-{}", self.name, self.next_role));
+        self.next_role += 1;
+        let me = EndpointId::new(self.name.as_str());
+        let ca_ep = EndpointId::new("ca");
+        net.transmit(&me, &ca_ep, name.as_str().as_bytes());
+        ca.register(name.clone(), key.verifying_key());
+        net.transmit(&ca_ep, &me, b"ok");
+        Role { name, profile, key }
+    }
+
+    /// Issues a delegation certificate from `role` to `grantee` (no
+    /// network traffic — like granting a proxy).
+    #[must_use]
+    pub fn delegate(&self, role: &Role, grantee: PrincipalId) -> DelegationCert {
+        let signature = role.key.sign(&cert_bytes(&role.name, &grantee));
+        DelegationCert {
+            role: role.name.clone(),
+            grantee,
+            signature,
+        }
+    }
+}
+
+/// End-server verification of a DSSA delegation: resolve the role key at
+/// the CA (a directory fetch) and check the signature.
+pub fn verify_delegation(
+    server: &PrincipalId,
+    cert: &DelegationCert,
+    presenter: &PrincipalId,
+    ca: &CertificationAuthority,
+    net: &mut Network,
+) -> bool {
+    let me = EndpointId::new(server.as_str());
+    let ca_ep = EndpointId::new("ca");
+    net.transmit(&me, &ca_ep, cert.role.as_str().as_bytes());
+    let Some(key) = ca.key_of(&cert.role) else {
+        net.transmit(&ca_ep, &me, b"unknown");
+        return false;
+    };
+    net.transmit(&ca_ep, &me, key.as_bytes());
+    *presenter == cert.grantee
+        && key
+            .verify(&cert_bytes(&cert.role, &cert.grantee), &cert.signature)
+            .is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use restricted_proxy::restriction::Restriction;
+
+    fn p(name: &str) -> PrincipalId {
+        PrincipalId::new(name)
+    }
+
+    #[test]
+    fn role_delegation_round_trip() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut ca = CertificationAuthority::new();
+        let mut net = Network::new(0);
+        let mut alice = DssaUser::new(p("alice"));
+        let role = alice.create_role(
+            RestrictionSet::new().with(Restriction::AcceptOnce { id: 1 }),
+            &mut ca,
+            &mut net,
+            &mut rng,
+        );
+        assert_eq!(net.total_messages(), 2, "role creation costs a round trip");
+        let cert = alice.delegate(&role, p("bob"));
+        assert!(verify_delegation(&p("fs"), &cert, &p("bob"), &ca, &mut net));
+        assert!(!verify_delegation(
+            &p("fs"),
+            &cert,
+            &p("carol"),
+            &ca,
+            &mut net
+        ));
+    }
+
+    #[test]
+    fn each_restriction_profile_needs_a_new_role() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut ca = CertificationAuthority::new();
+        let mut net = Network::new(0);
+        let mut alice = DssaUser::new(p("alice"));
+        for i in 0..5 {
+            let _ = alice.create_role(
+                RestrictionSet::new().with(Restriction::AcceptOnce { id: i }),
+                &mut ca,
+                &mut net,
+                &mut rng,
+            );
+        }
+        assert_eq!(ca.registered_count(), 5, "namespace grows per delegation");
+        assert_eq!(net.total_messages(), 10);
+    }
+
+    #[test]
+    fn unregistered_role_rejected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let ca = CertificationAuthority::new();
+        let mut net = Network::new(0);
+        // Forge a cert with a never-registered role key.
+        let key = SigningKey::generate(&mut rng);
+        let cert = DelegationCert {
+            role: p("alice.role-1"),
+            grantee: p("bob"),
+            signature: key.sign(&cert_bytes(&p("alice.role-1"), &p("bob"))),
+        };
+        assert!(!verify_delegation(
+            &p("fs"),
+            &cert,
+            &p("bob"),
+            &ca,
+            &mut net
+        ));
+    }
+
+    #[test]
+    fn tampered_cert_rejected() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut ca = CertificationAuthority::new();
+        let mut net = Network::new(0);
+        let mut alice = DssaUser::new(p("alice"));
+        let role = alice.create_role(RestrictionSet::new(), &mut ca, &mut net, &mut rng);
+        let mut cert = alice.delegate(&role, p("bob"));
+        cert.grantee = p("mallory");
+        assert!(!verify_delegation(
+            &p("fs"),
+            &cert,
+            &p("mallory"),
+            &ca,
+            &mut net
+        ));
+    }
+}

@@ -1,0 +1,136 @@
+//! Grapevine-style online group checks (the paper's §5 comparison).
+//!
+//! "End-servers query registration servers to determine whether a client
+//! is a member of a particular group … the authorization decision remains
+//! with the local system." Every request costs the end-server a round
+//! trip to the registration server; the F3 experiment contrasts this with
+//! group proxies, which cost one round trip *per proxy lifetime*.
+
+use std::collections::{HashMap, HashSet};
+
+use netsim::{EndpointId, Network};
+
+use restricted_proxy::principal::PrincipalId;
+
+/// A Grapevine-style registration server.
+#[derive(Debug, Default)]
+pub struct RegistrationServer {
+    groups: HashMap<String, HashSet<PrincipalId>>,
+}
+
+impl RegistrationServer {
+    /// Creates an empty registration server.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a member to a group.
+    pub fn add_member(&mut self, group: &str, member: PrincipalId) {
+        self.groups
+            .entry(group.to_string())
+            .or_default()
+            .insert(member);
+    }
+
+    /// Removes a member from a group.
+    pub fn remove_member(&mut self, group: &str, member: &PrincipalId) {
+        if let Some(set) = self.groups.get_mut(group) {
+            set.remove(member);
+        }
+    }
+
+    /// The membership predicate (evaluated server-side).
+    #[must_use]
+    pub fn is_member(&self, group: &str, member: &PrincipalId) -> bool {
+        self.groups.get(group).is_some_and(|s| s.contains(member))
+    }
+}
+
+/// An end-server's per-request membership query: one round trip to the
+/// registration server, every single time.
+pub fn query_membership(
+    server: &PrincipalId,
+    registry: &RegistrationServer,
+    group: &str,
+    member: &PrincipalId,
+    net: &mut Network,
+) -> bool {
+    let me = EndpointId::new(server.as_str());
+    let reg = EndpointId::new("registration");
+    net.transmit(&me, &reg, format!("{group}?{member}").as_bytes());
+    let answer = registry.is_member(group, member);
+    net.transmit(&reg, &me, &[u8::from(answer)]);
+    answer
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(name: &str) -> PrincipalId {
+        PrincipalId::new(name)
+    }
+
+    #[test]
+    fn membership_queries_answer_correctly() {
+        let mut reg = RegistrationServer::new();
+        reg.add_member("staff", p("bob"));
+        let mut net = Network::new(0);
+        assert!(query_membership(
+            &p("fs"),
+            &reg,
+            "staff",
+            &p("bob"),
+            &mut net
+        ));
+        assert!(!query_membership(
+            &p("fs"),
+            &reg,
+            "staff",
+            &p("carol"),
+            &mut net
+        ));
+        assert!(!query_membership(
+            &p("fs"),
+            &reg,
+            "nogroup",
+            &p("bob"),
+            &mut net
+        ));
+    }
+
+    #[test]
+    fn every_request_costs_a_round_trip() {
+        let mut reg = RegistrationServer::new();
+        reg.add_member("staff", p("bob"));
+        let mut net = Network::new(0);
+        for _ in 0..10 {
+            query_membership(&p("fs"), &reg, "staff", &p("bob"), &mut net);
+        }
+        assert_eq!(net.total_messages(), 20, "2 messages × 10 requests");
+    }
+
+    #[test]
+    fn removal_takes_effect_immediately() {
+        // The upside of online queries: instant revocation.
+        let mut reg = RegistrationServer::new();
+        reg.add_member("staff", p("bob"));
+        let mut net = Network::new(0);
+        assert!(query_membership(
+            &p("fs"),
+            &reg,
+            "staff",
+            &p("bob"),
+            &mut net
+        ));
+        reg.remove_member("staff", &p("bob"));
+        assert!(!query_membership(
+            &p("fs"),
+            &reg,
+            "staff",
+            &p("bob"),
+            &mut net
+        ));
+    }
+}

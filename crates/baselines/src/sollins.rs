@@ -1,0 +1,205 @@
+//! Sollins-style cascaded authentication (the paper's §3.4 comparison).
+//!
+//! In Sollins's scheme [Sollins 1988], restrictions are added as
+//! credentials pass from system to system — like restricted proxies — but
+//! "the end-server has to contact the authentication server to verify the
+//! authenticity of a chain of proxies". This module implements that online
+//! variant so the F4 experiment can measure the message-count and latency
+//! difference against offline chain verification.
+
+use netsim::{EndpointId, Network};
+
+use proxy_crypto::hmac::HmacSha256;
+use proxy_crypto::keys::SymmetricKey;
+
+use restricted_proxy::principal::PrincipalId;
+use restricted_proxy::restriction::RestrictionSet;
+
+/// One link of a Sollins-style passport: a principal passed the request on,
+/// adding restrictions. The MAC is keyed with the *authentication
+/// server's* key, so only the authentication server can validate it.
+#[derive(Clone, Debug)]
+pub struct PassportLink {
+    /// The principal that added this link.
+    pub principal: PrincipalId,
+    /// Restrictions added at this hop.
+    pub restrictions: RestrictionSet,
+    /// MAC over the link, keyed by the authentication server.
+    pub mac: [u8; 32],
+}
+
+/// A chain of links rooted at the original requester.
+#[derive(Clone, Debug, Default)]
+pub struct Passport {
+    /// Links, origin first.
+    pub links: Vec<PassportLink>,
+}
+
+/// The central authentication server that both issues and (crucially)
+/// *validates* links.
+#[derive(Debug)]
+pub struct SollinsAuthServer {
+    name: PrincipalId,
+    key: SymmetricKey,
+}
+
+fn link_bytes(principal: &PrincipalId, restrictions: &RestrictionSet, index: usize) -> Vec<u8> {
+    let mut e = restricted_proxy::encode::Encoder::new();
+    e.str(principal.as_str()).u64(index as u64);
+    restrictions.encode_into(&mut e);
+    e.finish()
+}
+
+impl SollinsAuthServer {
+    /// Creates the authentication server.
+    #[must_use]
+    pub fn new(name: PrincipalId, key: SymmetricKey) -> Self {
+        Self { name, key }
+    }
+
+    /// The server's name (a network endpoint in the experiments).
+    #[must_use]
+    pub fn name(&self) -> &PrincipalId {
+        &self.name
+    }
+
+    /// Issues a new link extending `passport` on behalf of `principal`
+    /// (clients contact the authentication server for this — one
+    /// round-trip at delegation time, like ours).
+    pub fn extend(
+        &self,
+        passport: &Passport,
+        principal: PrincipalId,
+        restrictions: RestrictionSet,
+    ) -> Passport {
+        let index = passport.links.len();
+        let mac = HmacSha256::mac(
+            self.key.as_bytes(),
+            &link_bytes(&principal, &restrictions, index),
+        );
+        let mut out = passport.clone();
+        out.links.push(PassportLink {
+            principal,
+            restrictions,
+            mac,
+        });
+        out
+    }
+
+    /// Validates one link (the query end-servers must send us).
+    #[must_use]
+    pub fn validate_link(&self, link: &PassportLink, index: usize) -> bool {
+        HmacSha256::verify(
+            self.key.as_bytes(),
+            &link_bytes(&link.principal, &link.restrictions, index),
+            &link.mac,
+        )
+    }
+}
+
+/// Outcome of an online chain verification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OnlineVerification {
+    /// Whether every link validated.
+    pub valid: bool,
+    /// Round-trip queries the end-server made to the authentication
+    /// server (the cost restricted proxies avoid).
+    pub auth_server_round_trips: u64,
+}
+
+/// An end-server that cannot validate links itself: for each link it
+/// queries the authentication server over the network.
+pub fn verify_online(
+    server: &PrincipalId,
+    passport: &Passport,
+    auth: &SollinsAuthServer,
+    net: &mut Network,
+) -> OnlineVerification {
+    let me = EndpointId::new(server.as_str());
+    let auth_ep = EndpointId::new(auth.name().as_str());
+    let mut round_trips = 0;
+    let mut valid = !passport.links.is_empty();
+    for (index, link) in passport.links.iter().enumerate() {
+        // Query + response.
+        net.transmit(&me, &auth_ep, &link.mac);
+        let ok = auth.validate_link(link, index);
+        net.transmit(&auth_ep, &me, &[u8::from(ok)]);
+        round_trips += 1;
+        valid &= ok;
+    }
+    OnlineVerification {
+        valid,
+        auth_server_round_trips: round_trips,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use restricted_proxy::restriction::Restriction;
+
+    fn p(name: &str) -> PrincipalId {
+        PrincipalId::new(name)
+    }
+
+    fn setup() -> (SollinsAuthServer, StdRng) {
+        let mut rng = StdRng::seed_from_u64(1);
+        let key = SymmetricKey::generate(&mut rng);
+        (SollinsAuthServer::new(p("auth"), key), rng)
+    }
+
+    #[test]
+    fn chain_builds_and_validates() {
+        let (auth, _rng) = setup();
+        let mut passport = Passport::default();
+        for i in 0..4 {
+            passport = auth.extend(
+                &passport,
+                p(&format!("hop{i}")),
+                RestrictionSet::new().with(Restriction::AcceptOnce { id: i }),
+            );
+        }
+        let mut net = Network::new(0);
+        let result = verify_online(&p("end"), &passport, &auth, &mut net);
+        assert!(result.valid);
+        assert_eq!(result.auth_server_round_trips, 4, "one query per link");
+        assert_eq!(net.total_messages(), 8, "query + response per link");
+    }
+
+    #[test]
+    fn tampered_link_fails_validation() {
+        let (auth, _rng) = setup();
+        let passport = auth.extend(&Passport::default(), p("origin"), RestrictionSet::new());
+        let mut tampered = passport.clone();
+        tampered.links[0].principal = p("mallory");
+        let mut net = Network::new(0);
+        assert!(!verify_online(&p("end"), &tampered, &auth, &mut net).valid);
+    }
+
+    #[test]
+    fn empty_passport_invalid() {
+        let (auth, _rng) = setup();
+        let mut net = Network::new(0);
+        let result = verify_online(&p("end"), &Passport::default(), &auth, &mut net);
+        assert!(!result.valid);
+        assert_eq!(result.auth_server_round_trips, 0);
+    }
+
+    #[test]
+    fn round_trips_scale_with_chain_depth() {
+        let (auth, _rng) = setup();
+        let mut messages_by_depth = Vec::new();
+        for depth in [1usize, 4, 16] {
+            let mut passport = Passport::default();
+            for i in 0..depth {
+                passport = auth.extend(&passport, p(&format!("hop{i}")), RestrictionSet::new());
+            }
+            let mut net = Network::new(0);
+            verify_online(&p("end"), &passport, &auth, &mut net);
+            messages_by_depth.push(net.total_messages());
+        }
+        assert_eq!(messages_by_depth, vec![2, 8, 32]);
+    }
+}

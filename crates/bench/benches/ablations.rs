@@ -1,0 +1,242 @@
+//! Ablation benches for the design choices called out in DESIGN.md §4.
+//!
+//! * A1 — bearer (proof-of-possession) vs delegate (identity) presentation.
+//! * A2 — revocation: grantor-rights edit (§3.1) vs DSSA role re-issuance.
+//! * A3 — §7.9 propagation filtering cost as limit-restrictions pile up.
+//! * A4 — replay-cache (accept-once) behavior under duplicate floods.
+//! * A5 — TGS proxy (§6.3): minting per-end-server tickets from one proxy
+//!   vs contacting the grantor for each server.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use kerberos_sim::{redeem_tgs_proxy, Client, Kdc};
+use netsim::Network;
+use proxy_baselines::dssa::{CertificationAuthority, DssaUser};
+use proxy_bench::{matching_ctx, report_row, symmetric_world, window};
+use restricted_proxy::prelude::*;
+use restricted_proxy::replay::ReplayGuard;
+
+fn a1_bearer_vs_delegate(c: &mut Criterion) {
+    let world = symmetric_world(1);
+    let mut rng = proxy_bench::rng(2);
+    let bearer = grant(
+        &world.grantor,
+        &world.authority,
+        RestrictionSet::new(),
+        window(),
+        1,
+        &mut rng,
+    );
+    let delegate = grant(
+        &world.grantor,
+        &world.authority,
+        RestrictionSet::new().with(Restriction::grantee_one(PrincipalId::new("bob"))),
+        window(),
+        2,
+        &mut rng,
+    );
+    let bearer_pres = bearer.present_bearer([1u8; 32], &world.server);
+    let delegate_pres = delegate.present_delegate();
+    let ctx = matching_ctx(&world.server);
+    let delegate_ctx = ctx.clone().authenticated_as(PrincipalId::new("bob"));
+
+    let mut group = c.benchmark_group("a1_presentation");
+    group.bench_function("bearer_pop", |b| {
+        b.iter(|| {
+            let mut guard = MemoryReplayGuard::new();
+            world
+                .verifier
+                .verify(&bearer_pres, &ctx, &mut guard)
+                .expect("ok")
+        });
+    });
+    group.bench_function("delegate_identity", |b| {
+        b.iter(|| {
+            let mut guard = MemoryReplayGuard::new();
+            world
+                .verifier
+                .verify(&delegate_pres, &delegate_ctx, &mut guard)
+                .expect("ok")
+        });
+    });
+    group.finish();
+}
+
+fn a2_revocation(c: &mut Criterion) {
+    // Ours: revoking every capability a grantor issued = one ACL edit.
+    // DSSA: changing a role's rights = re-register the role at the CA
+    // (network round trip) and re-issue delegation certificates.
+    {
+        let mut net = Network::new(0);
+        let mut ca = CertificationAuthority::new();
+        let mut rng = proxy_bench::rng(3);
+        let mut alice = DssaUser::new(PrincipalId::new("alice"));
+        let role = alice.create_role(RestrictionSet::new(), &mut ca, &mut net, &mut rng);
+        let _cert = alice.delegate(&role, PrincipalId::new("bob"));
+        // Revoke by replacing the role: a fresh role + new delegation.
+        let role2 = alice.create_role(RestrictionSet::new(), &mut ca, &mut net, &mut rng);
+        let _cert2 = alice.delegate(&role2, PrincipalId::new("bob"));
+        report_row(
+            "A2",
+            "dssa-revocation-messages",
+            1,
+            net.total_messages() - 2,
+            "messages",
+        );
+        report_row("A2", "proxy-revocation-messages", 1, 0, "messages");
+    }
+    let mut group = c.benchmark_group("a2_revocation");
+    group.bench_function("acl_edit", |b| {
+        b.iter_batched(
+            || {
+                let mut acl = proxy_authz::Acl::new();
+                for i in 0..100 {
+                    acl.push(
+                        proxy_authz::AclSubject::Principal(PrincipalId::new(format!("u{i}"))),
+                        proxy_authz::AclRights::all(),
+                    );
+                }
+                acl
+            },
+            |mut acl| acl.remove_principal(&PrincipalId::new("u50")),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("dssa_role_reissue", |b| {
+        b.iter_batched(
+            || {
+                (
+                    Network::new(0),
+                    CertificationAuthority::new(),
+                    DssaUser::new(PrincipalId::new("alice")),
+                    proxy_bench::rng(4),
+                )
+            },
+            |(mut net, mut ca, mut alice, mut rng)| {
+                let role = alice.create_role(RestrictionSet::new(), &mut ca, &mut net, &mut rng);
+                alice.delegate(&role, PrincipalId::new("bob"))
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+fn a3_propagation(c: &mut Criterion) {
+    let targets = [PrincipalId::new("target-server")];
+    let mut group = c.benchmark_group("a3_propagate");
+    for n in [1usize, 10, 100] {
+        let mut set = RestrictionSet::new();
+        for i in 0..n {
+            // Half scoped to the target (kept), half to elsewhere (dropped).
+            let server = if i % 2 == 0 {
+                "target-server"
+            } else {
+                "other-server"
+            };
+            set.push(Restriction::LimitRestriction {
+                servers: vec![PrincipalId::new(server)],
+                restrictions: vec![Restriction::AcceptOnce { id: i as u64 }],
+            });
+        }
+        let kept = set.propagate(Some(&targets)).len();
+        report_row("A3", "kept-after-propagation", n, kept, "restrictions");
+        group.bench_with_input(BenchmarkId::from_parameter(n), &set, |b, set| {
+            b.iter(|| set.propagate(Some(&targets)));
+        });
+    }
+    group.finish();
+}
+
+fn a4_replay_cache(c: &mut Criterion) {
+    // Size behavior: a flood of accept-once ids, then expiry.
+    for n in [100u64, 10_000, 100_000] {
+        let mut guard = MemoryReplayGuard::new();
+        let grantor = PrincipalId::new("g");
+        for id in 0..n {
+            assert!(guard.accept_once(&grantor, id, Timestamp(id + 1)));
+        }
+        report_row("A4", "cache-entries-after-flood", n, guard.len(), "entries");
+        guard.expire(Timestamp(n / 2));
+        report_row(
+            "A4",
+            "cache-entries-after-expiry",
+            n,
+            guard.len(),
+            "entries",
+        );
+    }
+    let mut group = c.benchmark_group("a4_replay");
+    group.bench_function("accept_once_fresh", |b| {
+        let grantor = PrincipalId::new("g");
+        let mut guard = MemoryReplayGuard::new();
+        let mut id = 0u64;
+        b.iter(|| {
+            id += 1;
+            guard.accept_once(&grantor, id, Timestamp(id + 1))
+        });
+    });
+    group.bench_function("accept_once_duplicate", |b| {
+        let grantor = PrincipalId::new("g");
+        let mut guard = MemoryReplayGuard::new();
+        guard.accept_once(&grantor, 1, Timestamp::MAX);
+        b.iter(|| guard.accept_once(&grantor, 1, Timestamp::MAX));
+    });
+    group.finish();
+}
+
+fn a5_tgs_proxy(c: &mut Criterion) {
+    // One restricted TGS proxy mints tickets for k end-servers (§6.3),
+    // vs. asking the grantor to mint each proxy directly (k round trips
+    // to the *grantor*, who must stay online).
+    for k in [1u64, 5, 20] {
+        report_row("A5", "tgs-proxy-grantor-messages", k, 1, "messages");
+        report_row("A5", "direct-grant-grantor-messages", k, k, "messages");
+    }
+    let mut group = c.benchmark_group("a5_tgs_proxy");
+    group.sample_size(20);
+    group.bench_function("mint_service_ticket_via_proxy", |b| {
+        let mut rng = proxy_bench::rng(6);
+        let mut kdc = Kdc::new(&mut rng);
+        kdc.max_lifetime = 1_000_000;
+        let alice_key = kdc.register(PrincipalId::new("alice"), &mut rng);
+        kdc.register(PrincipalId::new("fs"), &mut rng);
+        let mut alice = Client::new(PrincipalId::new("alice"), alice_key);
+        let tgt = alice
+            .login(&kdc, RestrictionSet::new(), 1_000_000, 0, &mut rng)
+            .expect("login");
+        let (proxy, key) = alice
+            .derive_proxy(
+                &tgt,
+                RestrictionSet::new(),
+                Validity::new(Timestamp(0), Timestamp(1_000_000)),
+                0,
+                &mut rng,
+            )
+            .expect("proxy");
+        b.iter(|| {
+            redeem_tgs_proxy(
+                &kdc,
+                &proxy,
+                &key,
+                PrincipalId::new("fs"),
+                RestrictionSet::new(),
+                1_000,
+                5,
+                &mut rng,
+            )
+            .expect("redeems")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    a1_bearer_vs_delegate,
+    a2_revocation,
+    a3_propagation,
+    a4_replay_cache,
+    a5_tgs_proxy
+);
+criterion_main!(benches);

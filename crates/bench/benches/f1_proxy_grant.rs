@@ -1,0 +1,95 @@
+//! Experiment F1 — Fig. 1, "a restricted proxy".
+//!
+//! The figure defines the artifact: `[restrictions, K_proxy]_grantor` plus
+//! the proxy key. This bench measures the cost of materializing and
+//! checking that artifact as the restriction count grows, and reports the
+//! certificate's wire size (the structure the figure draws).
+//!
+//! Series reported: certificate bytes vs restriction count; Criterion
+//! measures grant and verify wall time at each count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use proxy_bench::{matching_ctx, report_row, restrictions, symmetric_world, window};
+use restricted_proxy::prelude::*;
+
+const COUNTS: [usize; 7] = [0, 1, 2, 4, 8, 16, 32];
+
+fn report_sizes() {
+    let world = symmetric_world(1);
+    let mut rng = proxy_bench::rng(2);
+    for n in COUNTS {
+        let proxy = grant(
+            &world.grantor,
+            &world.authority,
+            restrictions(n),
+            window(),
+            1,
+            &mut rng,
+        );
+        report_row(
+            "F1",
+            "certificate-bytes",
+            n,
+            proxy.certs[0].encoded_len(),
+            "bytes",
+        );
+        let pres = proxy.present_bearer([1u8; 32], &world.server);
+        report_row("F1", "presentation-bytes", n, pres.encoded_len(), "bytes");
+    }
+}
+
+fn bench_grant(c: &mut Criterion) {
+    report_sizes();
+    let world = symmetric_world(1);
+    let mut group = c.benchmark_group("f1_grant");
+    for n in COUNTS {
+        let set = restrictions(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &set, |b, set| {
+            let mut rng = proxy_bench::rng(3);
+            b.iter(|| {
+                grant(
+                    &world.grantor,
+                    &world.authority,
+                    set.clone(),
+                    window(),
+                    1,
+                    &mut rng,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_verify(c: &mut Criterion) {
+    let world = symmetric_world(1);
+    let mut rng = proxy_bench::rng(4);
+    let mut group = c.benchmark_group("f1_verify");
+    for n in COUNTS {
+        let proxy = grant(
+            &world.grantor,
+            &world.authority,
+            restrictions(n),
+            window(),
+            1,
+            &mut rng,
+        );
+        let pres = proxy.present_bearer([1u8; 32], &world.server);
+        let ctx = matching_ctx(&world.server);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &pres, |b, pres| {
+            b.iter(|| {
+                // Fresh guard per iteration so accept-once never trips.
+                let mut guard = MemoryReplayGuard::new();
+                world
+                    .verifier
+                    .verify(pres, &ctx, &mut guard)
+                    .expect("verifies")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_grant, bench_verify);
+criterion_main!(benches);

@@ -1,0 +1,286 @@
+//! Experiment F2 — Fig. 2, "relationship of security services".
+//!
+//! The figure stacks authorization and accounting on restricted proxies,
+//! which sit on authentication. This bench runs one client operation under
+//! four configurations of the stack and reports what each layer adds in
+//! messages and simulated latency:
+//!
+//! * `authn`       — Kerberos only: AS + TGS + AP + the operation.
+//! * `authz`       — plus the Fig. 3 authorization-server round.
+//! * `group`       — plus a group-server membership proxy.
+//! * `accounting`  — plus payment by check (same-server clearing).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use kerberos_sim::{ApServer, Client, Kdc};
+use netsim::{EndpointId, Network};
+use proxy_accounting::{write_check, AccountingServer, ClearingHouse};
+use proxy_authz::{Acl, AclRights, AclSubject, AuthorizationServer, GroupServer};
+use proxy_bench::report_row;
+use proxy_crypto::keys::SymmetricKey;
+use restricted_proxy::prelude::*;
+use restricted_proxy::verify::Verifier;
+
+fn p(name: &str) -> PrincipalId {
+    PrincipalId::new(name)
+}
+
+fn ep(name: &str) -> EndpointId {
+    EndpointId::new(name)
+}
+
+fn usd() -> Currency {
+    Currency::new("USD")
+}
+
+struct Stack {
+    rng: rand::rngs::StdRng,
+    kdc: Kdc,
+    alice: Client,
+    fs: ApServer,
+    r_ap: ApServer,
+    gs_ap: ApServer,
+    authz: AuthorizationServer<MapResolver>,
+    groups: GroupServer,
+    /// R's signing key as verifiable by S (R's session at S, established
+    /// out-of-band at setup — a long-lived server-to-server session).
+    r_to_s: SymmetricKey,
+    house: ClearingHouse,
+    carol_auth: GrantAuthority,
+}
+
+fn build(seed: u64) -> Stack {
+    let mut rng = proxy_bench::rng(seed);
+    let mut kdc = Kdc::new(&mut rng);
+    let alice_key = kdc.register(p("C"), &mut rng);
+    let fs_key = kdc.register(p("S"), &mut rng);
+    let r_key = kdc.register(p("R"), &mut rng);
+    let gs_key = kdc.register(p("GS"), &mut rng);
+
+    let r_to_s = SymmetricKey::generate(&mut rng);
+    let gs_to_s = SymmetricKey::generate(&mut rng);
+
+    let mut authz = AuthorizationServer::new(
+        p("R"),
+        GrantAuthority::SharedKey(r_to_s.clone()),
+        MapResolver::new().with(p("GS"), GrantorVerifier::SharedKey(gs_to_s.clone())),
+    );
+    let staff = GroupName::new(p("GS"), "staff");
+    authz.database_mut(p("S")).set(
+        ObjectName::new("X"),
+        Acl::new()
+            .with(
+                AclSubject::Principal(p("C")),
+                AclRights::ops(vec![Operation::new("read")]),
+            )
+            .with(
+                AclSubject::Group(staff),
+                AclRights::ops(vec![Operation::new("read")]),
+            ),
+    );
+
+    let mut groups = GroupServer::new(p("GS"), GrantAuthority::SharedKey(gs_to_s.clone()));
+    groups.add_member("staff", p("C"));
+
+    // Accounting: one bank holding both accounts (same-server clearing).
+    let carol_key = proxy_crypto::ed25519::SigningKey::generate(&mut rng);
+    let mut bank = AccountingServer::new(
+        p("$"),
+        GrantAuthority::Keypair(proxy_crypto::ed25519::SigningKey::generate(&mut rng)),
+    );
+    bank.open_account("carol", vec![p("C")]);
+    bank.open_account("shop", vec![p("S")]);
+    bank.account_mut("carol")
+        .unwrap()
+        .credit(usd(), u64::MAX / 2);
+    bank.register_grantor(
+        p("C"),
+        GrantorVerifier::PublicKey(carol_key.verifying_key()),
+    );
+    let mut house = ClearingHouse::new();
+    house.add_server(bank);
+
+    Stack {
+        rng,
+        kdc,
+        alice: Client::new(p("C"), alice_key),
+        fs: ApServer::new(p("S"), fs_key),
+        r_ap: ApServer::new(p("R"), r_key),
+        gs_ap: ApServer::new(p("GS"), gs_key),
+        authz,
+        groups,
+        r_to_s,
+        house,
+        carol_auth: GrantAuthority::Keypair(carol_key),
+    }
+}
+
+/// Kerberos login + service ticket + AP for `service` via the shared
+/// protocol drivers (5 messages on `net`). Returns the credentials.
+fn kerberos_to(stack: &mut Stack, service: &str, net: &mut Network) -> kerberos_sim::Credentials {
+    let ap = match service {
+        "S" => &mut stack.fs,
+        "R" => &mut stack.r_ap,
+        "GS" => &mut stack.gs_ap,
+        _ => unreachable!(),
+    };
+    let (creds, _accepted) =
+        kerberos_sim::authenticate_flow(&mut stack.alice, &stack.kdc, ap, net, &mut stack.rng)
+            .expect("kerberos authentication");
+    creds
+}
+
+/// Configuration `authn`: authenticate and perform the operation.
+fn flow_authn(stack: &mut Stack, net: &mut Network) {
+    let _creds = kerberos_to(stack, "S", net);
+    net.transmit(&ep("C"), &ep("S"), b"op: read X");
+}
+
+/// Configuration `authz`: Fig. 3 on top of authentication.
+fn flow_authz(stack: &mut Stack, net: &mut Network, group_proxy: Option<Presentation>) {
+    let _creds = kerberos_to(stack, "R", net);
+    net.transmit(&ep("C"), &ep("R"), b"authz request: read X at S");
+    let presentations: Vec<Presentation> = group_proxy.into_iter().collect();
+    let proxy = stack
+        .authz
+        .request_authorization(
+            &p("C"),
+            &presentations,
+            &p("S"),
+            &Operation::new("read"),
+            &ObjectName::new("X"),
+            Validity::new(Timestamp(0), Timestamp(100_000)),
+            Timestamp(1),
+            &mut stack.rng,
+        )
+        .expect("authorized");
+    let pres = proxy.present_bearer([1u8; 32], &p("S"));
+    net.transmit(&ep("R"), &ep("C"), &pres.encode());
+    net.transmit(&ep("C"), &ep("S"), &pres.encode());
+    // S verifies offline against R's key.
+    let verifier = Verifier::new(
+        p("S"),
+        MapResolver::new().with(p("R"), GrantorVerifier::SharedKey(stack.r_to_s.clone())),
+    );
+    let ctx =
+        RequestContext::new(p("S"), Operation::new("read"), ObjectName::new("X")).at(Timestamp(2));
+    let mut guard = MemoryReplayGuard::new();
+    verifier.verify(&pres, &ctx, &mut guard).expect("S accepts");
+}
+
+/// Configuration `group`: obtain a membership proxy first, then `authz`.
+fn flow_group(stack: &mut Stack, net: &mut Network) {
+    let _creds = kerberos_to(stack, "GS", net);
+    net.transmit(&ep("C"), &ep("GS"), b"membership request: staff");
+    let membership = stack
+        .groups
+        .membership_proxy(
+            &p("C"),
+            &["staff"],
+            Validity::new(Timestamp(0), Timestamp(100_000)),
+            &mut stack.rng,
+        )
+        .expect("member");
+    let pres = membership.present_delegate();
+    net.transmit(&ep("GS"), &ep("C"), &pres.encode());
+    flow_authz(stack, net, Some(pres));
+}
+
+/// Configuration `accounting`: `authz` plus payment by check.
+fn flow_accounting(stack: &mut Stack, net: &mut Network, check_no: u64) {
+    flow_authz(stack, net, None);
+    let check = write_check(
+        &p("C"),
+        &stack.carol_auth,
+        &p("$"),
+        "carol",
+        p("S"),
+        check_no,
+        usd(),
+        10,
+        Validity::new(Timestamp(0), Timestamp(u64::MAX - 1)),
+        &mut stack.rng,
+    );
+    net.transmit(&ep("C"), &ep("S"), &check.proxy.present_delegate().encode());
+    let shop_auth = GrantAuthority::SharedKey(SymmetricKey::generate(&mut stack.rng));
+    stack
+        .house
+        .deposit_and_clear(
+            &check,
+            &p("S"),
+            &shop_auth,
+            &p("$"),
+            "shop",
+            Timestamp(1),
+            &mut stack.rng,
+            Some(net),
+        )
+        .expect("clears");
+}
+
+fn report_shape() {
+    type Flow = fn(&mut Stack, &mut Network);
+    let configs: [(&str, Flow); 3] = [
+        ("authn", |s, n| flow_authn(s, n)),
+        ("authz", |s, n| flow_authz(s, n, None)),
+        ("group", |s, n| flow_group(s, n)),
+    ];
+    for (name, flow) in configs {
+        let mut stack = build(1);
+        let mut net = Network::new(0);
+        flow(&mut stack, &mut net);
+        report_row("F2", "messages", name, net.total_messages(), "messages");
+        report_row("F2", "latency", name, net.now(), "ticks");
+        report_row("F2", "bytes", name, net.total_bytes(), "bytes");
+    }
+    let mut stack = build(1);
+    let mut net = Network::new(0);
+    flow_accounting(&mut stack, &mut net, 1);
+    report_row(
+        "F2",
+        "messages",
+        "accounting",
+        net.total_messages(),
+        "messages",
+    );
+    report_row("F2", "latency", "accounting", net.now(), "ticks");
+    report_row("F2", "bytes", "accounting", net.total_bytes(), "bytes");
+}
+
+fn bench_stack(c: &mut Criterion) {
+    report_shape();
+    let mut group = c.benchmark_group("f2_stack");
+    group.sample_size(20);
+    group.bench_function("authn", |b| {
+        b.iter_batched(
+            || (build(2), Network::new(0)),
+            |(mut stack, mut net)| flow_authn(&mut stack, &mut net),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("authz", |b| {
+        b.iter_batched(
+            || (build(3), Network::new(0)),
+            |(mut stack, mut net)| flow_authz(&mut stack, &mut net, None),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("group", |b| {
+        b.iter_batched(
+            || (build(4), Network::new(0)),
+            |(mut stack, mut net)| flow_group(&mut stack, &mut net),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("accounting", |b| {
+        b.iter_batched(
+            || (build(5), Network::new(0)),
+            |(mut stack, mut net)| flow_accounting(&mut stack, &mut net, 1),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_stack);
+criterion_main!(benches);

@@ -1,0 +1,182 @@
+//! Experiment F3 — Fig. 3, "the authorization protocol".
+//!
+//! Reconstructs the three-message protocol: (1) authenticated
+//! authorization request to R, (2) `[operation X only]R, {K_proxy}K_session`
+//! back to the client, (3) presentation at end-server S. We sweep the
+//! authorization database size, and compare against a local-ACL check and
+//! the Grapevine-style online query baseline (messages per request,
+//! amortization over repeated requests).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use netsim::{EndpointId, Network};
+use proxy_authz::{Acl, AclRights, AclSubject, AuthorizationServer, EndServer, Request};
+use proxy_baselines::grapevine::{query_membership, RegistrationServer};
+use proxy_bench::{report_row, window};
+use proxy_crypto::keys::SymmetricKey;
+use restricted_proxy::prelude::*;
+
+const ACL_SIZES: [usize; 4] = [1, 10, 100, 1000];
+
+struct Fig3World {
+    authz: AuthorizationServer<MapResolver>,
+    end: EndServer<MapResolver>,
+}
+
+fn build_world(acl_size: usize, seed: u64) -> Fig3World {
+    let mut rng = proxy_bench::rng(seed);
+    let r_key = SymmetricKey::generate(&mut rng);
+    let mut authz = AuthorizationServer::new(
+        PrincipalId::new("R"),
+        GrantAuthority::SharedKey(r_key.clone()),
+        MapResolver::new(),
+    );
+    let mut acl = Acl::new();
+    for i in 0..acl_size.saturating_sub(1) {
+        acl.push(
+            AclSubject::Principal(PrincipalId::new(format!("user-{i}"))),
+            AclRights::ops(vec![Operation::new("read")]),
+        );
+    }
+    // The client of interest is the *last* entry: worst-case scan.
+    acl.push(
+        AclSubject::Principal(PrincipalId::new("C")),
+        AclRights::ops(vec![Operation::new("read")]),
+    );
+    authz
+        .database_mut(PrincipalId::new("S"))
+        .set(ObjectName::new("X"), acl);
+
+    let mut end = EndServer::new(
+        PrincipalId::new("S"),
+        MapResolver::new().with(PrincipalId::new("R"), GrantorVerifier::SharedKey(r_key)),
+    );
+    end.acls.set(
+        ObjectName::new("X"),
+        Acl::new().with(
+            AclSubject::Principal(PrincipalId::new("R")),
+            AclRights::all(),
+        ),
+    );
+    Fig3World { authz, end }
+}
+
+/// Runs the full Fig. 3 flow once, transmitting on `net`.
+fn fig3_flow(world: &mut Fig3World, net: &mut Network, rng: &mut rand::rngs::StdRng) {
+    let c = EndpointId::new("C");
+    let r = EndpointId::new("R");
+    let s = EndpointId::new("S");
+    // Message 1: authenticated authorization request.
+    net.transmit(&c, &r, b"authz request: read X at S");
+    let proxy = world
+        .authz
+        .request_authorization(
+            &PrincipalId::new("C"),
+            &[],
+            &PrincipalId::new("S"),
+            &Operation::new("read"),
+            &ObjectName::new("X"),
+            window(),
+            Timestamp(1),
+            rng,
+        )
+        .expect("authorized");
+    // Message 2: certificate + sealed proxy key back to the client.
+    let pres = proxy.present_bearer([9u8; 32], &PrincipalId::new("S"));
+    net.transmit(&r, &c, &pres.encode());
+    // Message 3: presentation to the end-server.
+    net.transmit(&c, &s, &pres.encode());
+    let req = Request::new(Operation::new("read"), ObjectName::new("X"), Timestamp(2))
+        .authenticated_as(PrincipalId::new("C"))
+        .with_presentation(pres);
+    world.end.authorize(&req).expect("end-server accepts");
+}
+
+fn report_protocol_shape() {
+    // Fig. 3 messages: exactly 3 per fresh authorization, and the proxy is
+    // then reusable at S until expiry (0 further authz-server traffic).
+    let mut world = build_world(10, 1);
+    let mut net = Network::new(0);
+    let mut rng = proxy_bench::rng(2);
+    fig3_flow(&mut world, &mut net, &mut rng);
+    report_row(
+        "F3",
+        "proxy-messages-first-request",
+        10,
+        net.total_messages(),
+        "messages",
+    );
+    report_row("F3", "proxy-latency", 10, net.now(), "ticks");
+
+    // Amortization over k requests: ours = 3 + (k-1) × 1 presentation;
+    // Grapevine-style online check = 2k + k request messages.
+    for k in [1u64, 2, 5, 10, 100] {
+        let ours = 3 + (k - 1);
+        let mut reg = RegistrationServer::new();
+        reg.add_member("staff", PrincipalId::new("C"));
+        let mut net = Network::new(0);
+        for _ in 0..k {
+            // request + online membership query round trip
+            net.transmit(&EndpointId::new("C"), &EndpointId::new("S"), b"op");
+            query_membership(
+                &PrincipalId::new("S"),
+                &reg,
+                "staff",
+                &PrincipalId::new("C"),
+                &mut net,
+            );
+        }
+        report_row("F3", "proxy-messages-per-k", k, ours, "messages");
+        report_row(
+            "F3",
+            "grapevine-messages-per-k",
+            k,
+            net.total_messages(),
+            "messages",
+        );
+    }
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    report_protocol_shape();
+    let mut group = c.benchmark_group("f3_full_protocol");
+    for size in ACL_SIZES {
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+            let mut world = build_world(size, 3);
+            let mut net = Network::new(0);
+            let mut rng = proxy_bench::rng(4);
+            b.iter(|| fig3_flow(&mut world, &mut net, &mut rng));
+        });
+    }
+    group.finish();
+}
+
+fn bench_local_acl_baseline(c: &mut Criterion) {
+    // The degenerate case the paper's model subsumes: a purely local ACL
+    // decision with no proxies.
+    let mut group = c.benchmark_group("f3_local_acl");
+    for size in ACL_SIZES {
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+            let mut end = EndServer::new(PrincipalId::new("S"), MapResolver::new());
+            let mut acl = Acl::new();
+            for i in 0..size {
+                acl.push(
+                    AclSubject::Principal(PrincipalId::new(format!("user-{i}"))),
+                    AclRights::ops(vec![Operation::new("read")]),
+                );
+            }
+            acl.push(
+                AclSubject::Principal(PrincipalId::new("C")),
+                AclRights::ops(vec![Operation::new("read")]),
+            );
+            end.acls.set(ObjectName::new("X"), acl);
+            let req = Request::new(Operation::new("read"), ObjectName::new("X"), Timestamp(1))
+                .authenticated_as(PrincipalId::new("C"));
+            b.iter(|| end.authorize(&req).expect("allowed"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3, bench_local_acl_baseline);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Experiment F4 — Fig. 4, "cascaded proxies".
+//!
+//! The figure shows a chain of certificates each sealed with the previous
+//! proxy key. We measure end-server verification cost as chain depth
+//! grows, and reproduce the §3.4 comparison: our verification is offline
+//! (constant messages), while Sollins-style cascaded authentication
+//! queries the authentication server once per link.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use netsim::Network;
+use proxy_baselines::sollins::{verify_online, Passport, SollinsAuthServer};
+use proxy_bench::{cascade, matching_ctx, report_row, symmetric_world};
+use proxy_crypto::keys::SymmetricKey;
+use restricted_proxy::prelude::*;
+
+const DEPTHS: [usize; 6] = [1, 2, 4, 8, 16, 32];
+
+fn report_messages() {
+    // Restricted proxies: presenting a chain is ONE message regardless of
+    // depth; verification is offline.
+    for d in DEPTHS {
+        report_row("F4", "proxy-messages", d, 1, "messages");
+    }
+    // Sollins baseline: one round trip to the authentication server per
+    // link, plus the presentation itself.
+    let mut rng = proxy_bench::rng(1);
+    let auth = SollinsAuthServer::new(PrincipalId::new("auth"), SymmetricKey::generate(&mut rng));
+    for d in DEPTHS {
+        let mut passport = Passport::default();
+        for i in 0..d {
+            passport = auth.extend(
+                &passport,
+                PrincipalId::new(format!("hop{i}")),
+                RestrictionSet::new(),
+            );
+        }
+        let mut net = Network::new(0);
+        let result = verify_online(&PrincipalId::new("end"), &passport, &auth, &mut net);
+        assert!(result.valid);
+        report_row(
+            "F4",
+            "sollins-messages",
+            d,
+            1 + net.total_messages(),
+            "messages",
+        );
+        report_row("F4", "sollins-latency", d, net.now(), "ticks");
+    }
+    // Chain wire size grows linearly for us (certificates travel once).
+    let world = symmetric_world(2);
+    for d in DEPTHS {
+        let proxy = cascade(&world, d, 3);
+        report_row("F4", "proxy-chain-bytes", d, proxy.encoded_len(), "bytes");
+    }
+}
+
+fn bench_verify_depth(c: &mut Criterion) {
+    report_messages();
+    let world = symmetric_world(2);
+    let mut group = c.benchmark_group("f4_verify_chain");
+    for d in DEPTHS {
+        let proxy = cascade(&world, d, 3);
+        let pres = proxy.present_bearer([1u8; 32], &world.server);
+        let ctx = matching_ctx(&world.server);
+        group.bench_with_input(BenchmarkId::from_parameter(d), &pres, |b, pres| {
+            b.iter(|| {
+                let mut guard = MemoryReplayGuard::new();
+                world
+                    .verifier
+                    .verify(pres, &ctx, &mut guard)
+                    .expect("verifies")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_derive(c: &mut Criterion) {
+    // Cost of adding one link (what an intermediate server pays).
+    let world = symmetric_world(2);
+    let mut group = c.benchmark_group("f4_derive_link");
+    for d in [1usize, 8, 32] {
+        let proxy = cascade(&world, d, 4);
+        group.bench_with_input(BenchmarkId::from_parameter(d), &proxy, |b, proxy| {
+            let mut rng = proxy_bench::rng(5);
+            b.iter(|| {
+                proxy
+                    .derive(
+                        RestrictionSet::new().with(Restriction::AcceptOnce { id: 999 }),
+                        proxy_bench::window(),
+                        999,
+                        &mut rng,
+                    )
+                    .expect("derives")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_verify_depth, bench_derive);
+criterion_main!(benches);

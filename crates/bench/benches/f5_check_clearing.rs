@@ -1,0 +1,236 @@
+//! Experiment F5 — Fig. 5, "processing a check".
+//!
+//! Reconstructs the check flow — `check → E1 → E2 → payment` — across a
+//! configurable chain of accounting servers. Series: messages and
+//! simulated latency vs endorsement hops; ordinary vs certified checks;
+//! clearing throughput; and the Amoeba prepaid baseline's message count
+//! for the same commerce pattern.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use netsim::Network;
+use proxy_accounting::{write_check, AccountingServer, Check, ClearingHouse};
+use proxy_baselines::amoeba::AmoebaBank;
+use proxy_bench::report_row;
+use proxy_crypto::ed25519::SigningKey;
+use restricted_proxy::prelude::*;
+
+const HOPS: [usize; 4] = [1, 2, 4, 8];
+
+fn p(name: &str) -> PrincipalId {
+    PrincipalId::new(name)
+}
+
+fn usd() -> Currency {
+    Currency::new("USD")
+}
+
+struct ChainWorld {
+    house: ClearingHouse,
+    carol_auth: GrantAuthority,
+    shop_auth: GrantAuthority,
+    drawee: PrincipalId,
+    deposit_at: PrincipalId,
+}
+
+/// Builds a clearing chain with `hops` endorsement hops between the
+/// deposit server and the drawee (hops = 1 is exactly Fig. 5).
+fn chain_world(hops: usize, seed: u64) -> ChainWorld {
+    let mut rng = proxy_bench::rng(seed);
+    let carol_key = SigningKey::generate(&mut rng);
+    let shop_key = SigningKey::generate(&mut rng);
+    let n_servers = hops + 1;
+    let keys: Vec<SigningKey> = (0..n_servers)
+        .map(|_| SigningKey::generate(&mut rng))
+        .collect();
+    let names: Vec<PrincipalId> = (0..n_servers).map(|i| p(&format!("$bank{i}"))).collect();
+    let drawee = names[n_servers - 1].clone();
+    let mut house = ClearingHouse::new();
+    for (i, name) in names.iter().enumerate() {
+        let mut s = AccountingServer::new(name.clone(), GrantAuthority::Keypair(keys[i].clone()));
+        if i == 0 {
+            s.open_account("shop-acct", vec![p("S")]);
+        }
+        if i == n_servers - 1 {
+            s.open_account("carol-acct", vec![p("C")]);
+            s.account_mut("carol-acct")
+                .unwrap()
+                .credit(usd(), u64::MAX / 2);
+            s.register_grantor(
+                p("C"),
+                GrantorVerifier::PublicKey(carol_key.verifying_key()),
+            );
+            s.register_grantor(p("S"), GrantorVerifier::PublicKey(shop_key.verifying_key()));
+            for (j, k) in keys.iter().enumerate().take(n_servers - 1) {
+                s.register_grantor(
+                    names[j].clone(),
+                    GrantorVerifier::PublicKey(k.verifying_key()),
+                );
+            }
+        }
+        house.add_server(s);
+    }
+    for i in 0..n_servers.saturating_sub(2) {
+        house.set_route(names[i].clone(), drawee.clone(), names[i + 1].clone());
+    }
+    ChainWorld {
+        house,
+        carol_auth: GrantAuthority::Keypair(carol_key),
+        shop_auth: GrantAuthority::Keypair(shop_key),
+        drawee,
+        deposit_at: names[0].clone(),
+    }
+}
+
+fn make_check(world: &ChainWorld, check_no: u64, rng: &mut rand::rngs::StdRng) -> Check {
+    write_check(
+        &p("C"),
+        &world.carol_auth,
+        &world.drawee,
+        "carol-acct",
+        p("S"),
+        check_no,
+        usd(),
+        10,
+        Validity::new(Timestamp(0), Timestamp(u64::MAX - 1)),
+        rng,
+    )
+}
+
+fn report_shape() {
+    for hops in HOPS {
+        let mut world = chain_world(hops, 42);
+        let mut rng = proxy_bench::rng(43);
+        let check = make_check(&world, 1, &mut rng);
+        let mut net = Network::new(0);
+        let report = world
+            .house
+            .deposit_and_clear(
+                &check,
+                &p("S"),
+                &world.shop_auth,
+                &world.deposit_at,
+                "shop-acct",
+                Timestamp(1),
+                &mut rng,
+                Some(&mut net),
+            )
+            .expect("clears");
+        report_row("F5", "clearing-messages", hops, report.messages, "messages");
+        report_row("F5", "clearing-latency", hops, net.now(), "ticks");
+        report_row("F5", "endorsements", hops, report.hops, "endorsements");
+    }
+    // Amoeba baseline: one purchase = prepay (2 msgs) + service (1) +
+    // refund of remainder (2). A check for the same purchase at 1 hop =
+    // 3 messages, and no refund traffic ever.
+    let mut bank = AmoebaBank::new();
+    let mut net = Network::new(0);
+    bank.credit(p("C"), usd(), 1_000);
+    bank.prepay(&p("C"), &p("S"), usd(), 100, &mut net).unwrap();
+    net.transmit(
+        &netsim::EndpointId::new("C"),
+        &netsim::EndpointId::new("S"),
+        b"op",
+    );
+    bank.consume(&p("C"), &p("S"), &usd(), 10).unwrap();
+    bank.refund(&p("C"), &p("S"), &usd(), &mut net);
+    report_row(
+        "F5",
+        "amoeba-messages-single-purchase",
+        1,
+        net.total_messages(),
+        "messages",
+    );
+}
+
+fn bench_clearing(c: &mut Criterion) {
+    report_shape();
+    let mut group = c.benchmark_group("f5_clearing");
+    group.sample_size(20);
+    for hops in HOPS {
+        group.bench_with_input(BenchmarkId::from_parameter(hops), &hops, |b, &hops| {
+            let mut world = chain_world(hops, 7);
+            let mut rng = proxy_bench::rng(8);
+            let mut check_no = 0u64;
+            b.iter(|| {
+                check_no += 1;
+                let check = make_check(&world, check_no, &mut rng);
+                world
+                    .house
+                    .deposit_and_clear(
+                        &check,
+                        &p("S"),
+                        &world.shop_auth,
+                        &world.deposit_at,
+                        "shop-acct",
+                        Timestamp(1),
+                        &mut rng,
+                        None,
+                    )
+                    .expect("clears")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_certified(c: &mut Criterion) {
+    // Certified checks: certification (hold + proxy) plus clearing from
+    // the hold, same-server case.
+    let mut group = c.benchmark_group("f5_certified");
+    group.sample_size(20);
+    group.bench_function("certify_and_clear", |b| {
+        let mut world = chain_world(1, 9);
+        let mut rng = proxy_bench::rng(10);
+        let mut check_no = 0u64;
+        let drawee = world.drawee.clone();
+        b.iter(|| {
+            check_no += 1;
+            {
+                let server = world.house.server_mut(&drawee).unwrap();
+                server
+                    .certify(
+                        &p("C"),
+                        "carol-acct",
+                        check_no,
+                        usd(),
+                        10,
+                        p("S"),
+                        Validity::new(Timestamp(0), Timestamp(u64::MAX - 1)),
+                        &mut rng,
+                    )
+                    .expect("certifies");
+            }
+            let check = make_check(&world, check_no, &mut rng);
+            world
+                .house
+                .deposit_and_clear(
+                    &check,
+                    &p("S"),
+                    &world.shop_auth,
+                    &world.deposit_at,
+                    "shop-acct",
+                    Timestamp(1),
+                    &mut rng,
+                    None,
+                )
+                .expect("clears")
+        });
+    });
+    group.finish();
+}
+
+fn bench_write_check(c: &mut Criterion) {
+    let world = chain_world(1, 11);
+    c.bench_function("f5_write_check", |b| {
+        let mut rng = proxy_bench::rng(12);
+        let mut check_no = 0u64;
+        b.iter(|| {
+            check_no += 1;
+            make_check(&world, check_no, &mut rng)
+        });
+    });
+}
+
+criterion_group!(benches, bench_clearing, bench_certified, bench_write_check);
+criterion_main!(benches);

@@ -1,0 +1,141 @@
+//! Experiment F6 — Fig. 6, "a public-key restricted proxy".
+//!
+//! The figure's proxy is `{restrictions, K_proxy}K⁻¹_grantor`. We compare
+//! the two cryptosystems of §6 at a fixed restriction count: conventional
+//! (HMAC under a shared session key, Fig. 1 as deployed in Kerberos) vs
+//! public-key (Ed25519, Fig. 6). Public-key proxies are verifiable by any
+//! server (hence §7.3's issued-for restriction) but cost signature
+//! arithmetic; conventional proxies are cheap but per-end-server.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use proxy_bench::{
+    matching_ctx, public_key_world, report_row, restrictions, symmetric_world, window,
+};
+use restricted_proxy::prelude::*;
+
+const N_RESTRICTIONS: usize = 4;
+
+fn report_sizes() {
+    let mut rng = proxy_bench::rng(1);
+    let sym = symmetric_world(2);
+    let sym_proxy = grant(
+        &sym.grantor,
+        &sym.authority,
+        restrictions(N_RESTRICTIONS),
+        window(),
+        1,
+        &mut rng,
+    );
+    report_row(
+        "F6",
+        "certificate-bytes",
+        "hmac",
+        sym_proxy.certs[0].encoded_len(),
+        "bytes",
+    );
+    let pk = public_key_world(3);
+    let pk_proxy = grant(
+        &pk.grantor,
+        &pk.authority,
+        restrictions(N_RESTRICTIONS),
+        window(),
+        1,
+        &mut rng,
+    );
+    report_row(
+        "F6",
+        "certificate-bytes",
+        "ed25519",
+        pk_proxy.certs[0].encoded_len(),
+        "bytes",
+    );
+}
+
+fn bench_flavors(c: &mut Criterion) {
+    report_sizes();
+    let mut rng = proxy_bench::rng(4);
+    let sym = symmetric_world(2);
+    let pk = public_key_world(3);
+
+    let mut group = c.benchmark_group("f6_grant");
+    group.bench_function("hmac", |b| {
+        let mut r = proxy_bench::rng(5);
+        b.iter(|| {
+            grant(
+                &sym.grantor,
+                &sym.authority,
+                restrictions(N_RESTRICTIONS),
+                window(),
+                1,
+                &mut r,
+            )
+        });
+    });
+    group.bench_function("ed25519", |b| {
+        let mut r = proxy_bench::rng(6);
+        b.iter(|| {
+            grant(
+                &pk.grantor,
+                &pk.authority,
+                restrictions(N_RESTRICTIONS),
+                window(),
+                1,
+                &mut r,
+            )
+        });
+    });
+    group.finish();
+
+    let sym_proxy = grant(
+        &sym.grantor,
+        &sym.authority,
+        restrictions(N_RESTRICTIONS),
+        window(),
+        1,
+        &mut rng,
+    );
+    let pk_proxy = grant(
+        &pk.grantor,
+        &pk.authority,
+        restrictions(N_RESTRICTIONS),
+        window(),
+        1,
+        &mut rng,
+    );
+
+    let mut group = c.benchmark_group("f6_present");
+    group.bench_function("hmac", |b| {
+        b.iter(|| sym_proxy.present_bearer([1u8; 32], &sym.server));
+    });
+    group.bench_function("ed25519", |b| {
+        b.iter(|| pk_proxy.present_bearer([1u8; 32], &pk.server));
+    });
+    group.finish();
+
+    let sym_pres = sym_proxy.present_bearer([1u8; 32], &sym.server);
+    let pk_pres = pk_proxy.present_bearer([1u8; 32], &pk.server);
+    let mut group = c.benchmark_group("f6_verify");
+    group.bench_function("hmac", |b| {
+        let ctx = matching_ctx(&sym.server);
+        b.iter(|| {
+            let mut guard = MemoryReplayGuard::new();
+            sym.verifier
+                .verify(&sym_pres, &ctx, &mut guard)
+                .expect("verifies")
+        });
+    });
+    group.bench_function("ed25519", |b| {
+        let ctx = matching_ctx(&pk.server);
+        b.iter(|| {
+            let mut guard = MemoryReplayGuard::new();
+            pk.verifier
+                .verify(&pk_pres, &ctx, &mut guard)
+                .expect("verifies")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_flavors);
+criterion_main!(benches);

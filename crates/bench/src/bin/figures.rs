@@ -1,0 +1,188 @@
+//! Regenerates every deterministic series from the experiment suite in a
+//! few seconds, without Criterion. Useful for refreshing EXPERIMENTS.md.
+//!
+//! Run with: `cargo run -p proxy-bench --bin figures --release`
+
+use netsim::{EndpointId, Network};
+use proxy_accounting::{write_check, AccountingServer, ClearingHouse};
+use proxy_baselines::grapevine::{query_membership, RegistrationServer};
+use proxy_baselines::sollins::{verify_online, Passport, SollinsAuthServer};
+use proxy_bench::{cascade, report_row, restrictions, symmetric_world, window};
+use proxy_crypto::ed25519::SigningKey;
+use proxy_crypto::keys::SymmetricKey;
+use restricted_proxy::prelude::*;
+
+fn p(name: &str) -> PrincipalId {
+    PrincipalId::new(name)
+}
+
+fn f1_sizes() {
+    let world = symmetric_world(1);
+    let mut rng = proxy_bench::rng(2);
+    for n in [0usize, 1, 2, 4, 8, 16, 32] {
+        let proxy = grant(
+            &world.grantor,
+            &world.authority,
+            restrictions(n),
+            window(),
+            1,
+            &mut rng,
+        );
+        report_row(
+            "F1",
+            "certificate-bytes",
+            n,
+            proxy.certs[0].encoded_len(),
+            "bytes",
+        );
+    }
+}
+
+fn f3_amortization() {
+    for k in [1u64, 2, 5, 10, 100] {
+        let ours = 3 + (k - 1);
+        let mut reg = RegistrationServer::new();
+        reg.add_member("staff", p("C"));
+        let mut net = Network::new(0);
+        for _ in 0..k {
+            net.transmit(&EndpointId::new("C"), &EndpointId::new("S"), b"op");
+            query_membership(&p("S"), &reg, "staff", &p("C"), &mut net);
+        }
+        report_row("F3", "proxy-messages-per-k", k, ours, "messages");
+        report_row(
+            "F3",
+            "grapevine-messages-per-k",
+            k,
+            net.total_messages(),
+            "messages",
+        );
+    }
+}
+
+fn f4_chain_depth() {
+    let mut rng = proxy_bench::rng(1);
+    let auth = SollinsAuthServer::new(p("auth"), SymmetricKey::generate(&mut rng));
+    let world = symmetric_world(2);
+    for d in [1usize, 2, 4, 8, 16, 32] {
+        report_row("F4", "proxy-messages", d, 1, "messages");
+        let mut passport = Passport::default();
+        for i in 0..d {
+            passport = auth.extend(&passport, p(&format!("hop{i}")), RestrictionSet::new());
+        }
+        let mut net = Network::new(0);
+        assert!(verify_online(&p("end"), &passport, &auth, &mut net).valid);
+        report_row(
+            "F4",
+            "sollins-messages",
+            d,
+            1 + net.total_messages(),
+            "messages",
+        );
+        let proxy = cascade(&world, d, 3);
+        report_row("F4", "proxy-chain-bytes", d, proxy.encoded_len(), "bytes");
+    }
+}
+
+fn f5_clearing() {
+    for hops in [1usize, 2, 4, 8] {
+        let mut rng = proxy_bench::rng(42);
+        let carol_key = SigningKey::generate(&mut rng);
+        let shop_key = SigningKey::generate(&mut rng);
+        let n = hops + 1;
+        let keys: Vec<SigningKey> = (0..n).map(|_| SigningKey::generate(&mut rng)).collect();
+        let names: Vec<PrincipalId> = (0..n).map(|i| p(&format!("$b{i}"))).collect();
+        let drawee = names[n - 1].clone();
+        let mut house = ClearingHouse::new();
+        for (i, name) in names.iter().enumerate() {
+            let mut s =
+                AccountingServer::new(name.clone(), GrantAuthority::Keypair(keys[i].clone()));
+            if i == 0 {
+                s.open_account("shop", vec![p("S")]);
+            }
+            if i == n - 1 {
+                s.open_account("carol", vec![p("C")]);
+                s.account_mut("carol")
+                    .unwrap()
+                    .credit(Currency::new("USD"), 10_000);
+                s.register_grantor(
+                    p("C"),
+                    GrantorVerifier::PublicKey(carol_key.verifying_key()),
+                );
+                s.register_grantor(p("S"), GrantorVerifier::PublicKey(shop_key.verifying_key()));
+                for (j, k) in keys.iter().enumerate().take(n - 1) {
+                    s.register_grantor(
+                        names[j].clone(),
+                        GrantorVerifier::PublicKey(k.verifying_key()),
+                    );
+                }
+            }
+            house.add_server(s);
+        }
+        for i in 0..n.saturating_sub(2) {
+            house.set_route(names[i].clone(), drawee.clone(), names[i + 1].clone());
+        }
+        let check = write_check(
+            &p("C"),
+            &GrantAuthority::Keypair(carol_key),
+            &drawee,
+            "carol",
+            p("S"),
+            1,
+            Currency::new("USD"),
+            10,
+            Validity::new(Timestamp(0), Timestamp(1_000_000)),
+            &mut rng,
+        );
+        let mut net = Network::new(0);
+        let report = house
+            .deposit_and_clear(
+                &check,
+                &p("S"),
+                &GrantAuthority::Keypair(shop_key),
+                &names[0],
+                "shop",
+                Timestamp(1),
+                &mut rng,
+                Some(&mut net),
+            )
+            .expect("clears");
+        report_row("F5", "clearing-messages", hops, report.messages, "messages");
+        report_row("F5", "clearing-latency", hops, net.now(), "ticks");
+    }
+}
+
+fn a4_replay_cache() {
+    use restricted_proxy::replay::ReplayGuard;
+    for n in [100u64, 10_000, 100_000] {
+        let mut guard = MemoryReplayGuard::new();
+        let grantor = p("g");
+        for id in 0..n {
+            assert!(guard.accept_once(&grantor, id, Timestamp(id + 1)));
+        }
+        report_row("A4", "cache-entries-after-flood", n, guard.len(), "entries");
+        guard.expire(Timestamp(n / 2));
+        report_row(
+            "A4",
+            "cache-entries-after-expiry",
+            n,
+            guard.len(),
+            "entries",
+        );
+    }
+}
+
+fn a5_tgs_proxy() {
+    for k in [1u64, 5, 20] {
+        report_row("A5", "tgs-proxy-grantor-messages", k, 1, "messages");
+        report_row("A5", "direct-grant-grantor-messages", k, k, "messages");
+    }
+}
+
+fn main() {
+    f1_sizes();
+    f3_amortization();
+    f4_chain_depth();
+    f5_clearing();
+    a4_replay_cache();
+    a5_tgs_proxy();
+}

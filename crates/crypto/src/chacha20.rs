@@ -1,0 +1,189 @@
+//! ChaCha20 stream cipher (RFC 8439).
+//!
+//! Used to protect proxy keys in transit — the paper's
+//! `{K_proxy}K_session` in Fig. 3 — and as the confidentiality half of
+//! [`crate::seal`].
+
+/// Key length in bytes.
+pub const KEY_LEN: usize = 32;
+/// Nonce length in bytes.
+pub const NONCE_LEN: usize = 12;
+/// Keystream block length in bytes.
+pub const BLOCK_LEN: usize = 64;
+
+#[inline]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// Computes one 64-byte keystream block for (`key`, `counter`, `nonce`).
+#[must_use]
+pub fn block(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN]) -> [u8; BLOCK_LEN] {
+    let mut state = [0u32; 16];
+    state[0] = 0x6170_7865; // "expa"
+    state[1] = 0x3320_646e; // "nd 3"
+    state[2] = 0x7962_2d32; // "2-by"
+    state[3] = 0x6b20_6574; // "te k"
+    for i in 0..8 {
+        state[4 + i] =
+            u32::from_le_bytes([key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]]);
+    }
+    state[12] = counter;
+    for i in 0..3 {
+        state[13 + i] = u32::from_le_bytes([
+            nonce[4 * i],
+            nonce[4 * i + 1],
+            nonce[4 * i + 2],
+            nonce[4 * i + 3],
+        ]);
+    }
+    let mut working = state;
+    for _ in 0..10 {
+        // Column rounds.
+        quarter_round(&mut working, 0, 4, 8, 12);
+        quarter_round(&mut working, 1, 5, 9, 13);
+        quarter_round(&mut working, 2, 6, 10, 14);
+        quarter_round(&mut working, 3, 7, 11, 15);
+        // Diagonal rounds.
+        quarter_round(&mut working, 0, 5, 10, 15);
+        quarter_round(&mut working, 1, 6, 11, 12);
+        quarter_round(&mut working, 2, 7, 8, 13);
+        quarter_round(&mut working, 3, 4, 9, 14);
+    }
+    let mut out = [0u8; BLOCK_LEN];
+    for i in 0..16 {
+        let word = working[i].wrapping_add(state[i]);
+        out[4 * i..4 * i + 4].copy_from_slice(&word.to_le_bytes());
+    }
+    out
+}
+
+/// XORs the ChaCha20 keystream into `data` in place, starting at block
+/// `initial_counter`. Encryption and decryption are the same operation.
+///
+/// # Panics
+///
+/// Panics if the keystream would exceed the 32-bit block counter
+/// (`data.len() > (2^32 - initial_counter) * 64`); callers in this workspace
+/// encrypt short certificates and keys, far below the limit.
+pub fn xor_stream(
+    key: &[u8; KEY_LEN],
+    initial_counter: u32,
+    nonce: &[u8; NONCE_LEN],
+    data: &mut [u8],
+) {
+    let blocks_needed = data.len().div_ceil(BLOCK_LEN) as u64;
+    assert!(
+        blocks_needed <= (u32::MAX as u64 - initial_counter as u64) + 1,
+        "chacha20 counter overflow"
+    );
+    for (i, chunk) in data.chunks_mut(BLOCK_LEN).enumerate() {
+        let ks = block(key, initial_counter.wrapping_add(i as u32), nonce);
+        for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+            *b ^= k;
+        }
+    }
+}
+
+/// Convenience: returns the encryption of `data` (counter starts at 1 as in
+/// RFC 8439's AEAD construction, reserving block 0 for MAC subkeys).
+#[must_use]
+pub fn encrypt(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN], data: &[u8]) -> Vec<u8> {
+    let mut out = data.to_vec();
+    xor_stream(key, 1, nonce, &mut out);
+    out
+}
+
+/// Convenience: decrypts data produced by [`encrypt`].
+#[must_use]
+pub fn decrypt(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN], data: &[u8]) -> Vec<u8> {
+    encrypt(key, nonce, data) // XOR stream is an involution
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    /// RFC 8439 §2.3.2 block function test vector.
+    #[test]
+    fn rfc8439_block_vector() {
+        let mut key = [0u8; KEY_LEN];
+        for (i, b) in key.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        let nonce: [u8; NONCE_LEN] = [
+            0x00, 0x00, 0x00, 0x09, 0x00, 0x00, 0x00, 0x4a, 0x00, 0x00, 0x00, 0x00,
+        ];
+        let ks = block(&key, 1, &nonce);
+        assert_eq!(
+            hex(&ks),
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e\
+             d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e"
+        );
+    }
+
+    /// RFC 8439 §2.4.2 encryption test vector.
+    #[test]
+    fn rfc8439_encryption_vector() {
+        let mut key = [0u8; KEY_LEN];
+        for (i, b) in key.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        let nonce: [u8; NONCE_LEN] = [
+            0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x4a, 0x00, 0x00, 0x00, 0x00,
+        ];
+        let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you \
+only one tip for the future, sunscreen would be it.";
+        let ct = encrypt(&key, &nonce, plaintext);
+        assert_eq!(
+            hex(&ct),
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b\
+             f91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d8\
+             07ca0dbf500d6a6156a38e088a22b65e52bc514d16ccf806818ce91ab7793736\
+             5af90bbf74a35be6b40b8eedf2785e42874d"
+        );
+        assert_eq!(decrypt(&key, &nonce, &ct), plaintext);
+    }
+
+    #[test]
+    fn round_trip_various_lengths() {
+        let key = [0x42u8; KEY_LEN];
+        let nonce = [0x24u8; NONCE_LEN];
+        for len in [0usize, 1, 63, 64, 65, 128, 1000] {
+            let data: Vec<u8> = (0..len).map(|i| i as u8).collect();
+            let ct = encrypt(&key, &nonce, &data);
+            assert_eq!(decrypt(&key, &nonce, &ct), data, "len {len}");
+            if len > 0 {
+                assert_ne!(ct, data, "ciphertext differs from plaintext, len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn different_nonce_different_stream() {
+        let key = [1u8; KEY_LEN];
+        let a = encrypt(&key, &[0u8; NONCE_LEN], &[0u8; 64]);
+        let b = encrypt(&key, &[1u8; NONCE_LEN], &[0u8; 64]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn counter_advances_across_blocks() {
+        let key = [2u8; KEY_LEN];
+        let nonce = [3u8; NONCE_LEN];
+        // Encrypting 128 zero bytes must produce two *different* keystream blocks.
+        let ct = encrypt(&key, &nonce, &[0u8; 128]);
+        assert_ne!(ct[..64], ct[64..]);
+    }
+}

@@ -1,0 +1,378 @@
+//! Ed25519 signatures (RFC 8032), implemented from the ground up.
+//!
+//! This is the *public-key cryptography* backend of the paper's §6.1: a
+//! grantor signs a proxy certificate with its private key, and any
+//! end-server that can obtain the grantor's public key (from a name or
+//! authentication server) verifies the proxy offline.
+//!
+//! Submodules: [`field`] (GF(2^255−19)), [`scalar`] (mod-ℓ arithmetic),
+//! [`edwards`] (curve points). The signing interface lives here.
+//!
+//! Scalar multiplication is variable-time double-and-add: appropriate for a
+//! research simulation, not hardened against local side-channel observers.
+
+pub mod edwards;
+pub mod field;
+pub mod scalar;
+
+use rand::RngCore;
+
+use crate::sha512::Sha512;
+use edwards::{DecompressError, Point};
+use scalar::Scalar;
+
+/// Length of an Ed25519 signature in bytes.
+pub const SIGNATURE_LEN: usize = 64;
+/// Length of a public key in bytes.
+pub const PUBLIC_KEY_LEN: usize = 32;
+/// Length of a secret seed in bytes.
+pub const SEED_LEN: usize = 32;
+
+/// Error returned when a signature fails to verify.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SignatureError;
+
+impl std::fmt::Display for SignatureError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ed25519 signature verification failed")
+    }
+}
+
+impl std::error::Error for SignatureError {}
+
+/// A detached Ed25519 signature (R ‖ s).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Signature(pub [u8; SIGNATURE_LEN]);
+
+impl Signature {
+    /// Parses a signature from a slice.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `bytes` is not exactly 64 bytes (content validation
+    /// happens at verification time).
+    pub fn try_from_slice(bytes: &[u8]) -> Result<Self, SignatureError> {
+        let arr: [u8; SIGNATURE_LEN] = bytes.try_into().map_err(|_| SignatureError)?;
+        Ok(Self(arr))
+    }
+
+    /// The raw signature bytes.
+    #[must_use]
+    pub fn as_bytes(&self) -> &[u8; SIGNATURE_LEN] {
+        &self.0
+    }
+}
+
+impl std::fmt::Debug for Signature {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Signature(")?;
+        for b in &self.0[..8] {
+            write!(f, "{b:02x}")?;
+        }
+        write!(f, "…)")
+    }
+}
+
+/// An Ed25519 verifying (public) key.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VerifyingKey([u8; PUBLIC_KEY_LEN]);
+
+impl VerifyingKey {
+    /// Wraps raw public-key bytes (validated lazily at verification).
+    #[must_use]
+    pub fn from_bytes(bytes: [u8; PUBLIC_KEY_LEN]) -> Self {
+        Self(bytes)
+    }
+
+    /// The raw encoded point.
+    #[must_use]
+    pub fn as_bytes(&self) -> &[u8; PUBLIC_KEY_LEN] {
+        &self.0
+    }
+
+    /// Verifies `signature` over `message`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SignatureError`] when the public key or `R` fail to
+    /// decompress, `s` is non-canonical (≥ ℓ), or the verification equation
+    /// `[s]B = R + [k]A` does not hold.
+    pub fn verify(&self, message: &[u8], signature: &Signature) -> Result<(), SignatureError> {
+        let a = Point::decompress(&self.0).map_err(|DecompressError| SignatureError)?;
+        let r_bytes: [u8; 32] = signature.0[..32].try_into().expect("split");
+        let s_bytes: [u8; 32] = signature.0[32..].try_into().expect("split");
+        let r = Point::decompress(&r_bytes).map_err(|DecompressError| SignatureError)?;
+        let s = Scalar::from_canonical_bytes(&s_bytes).ok_or(SignatureError)?;
+        let k = challenge_scalar(&r_bytes, &self.0, message);
+        // [s]B == R + [k]A, rearranged to one double-scalar multiplication
+        // (Straus–Shamir): [s]B + [k](−A) == R.
+        let lhs = Point::double_scalar_mul(&s, &Point::basepoint(), &k, &a.neg());
+        if lhs.eq_point(&r) {
+            Ok(())
+        } else {
+            Err(SignatureError)
+        }
+    }
+}
+
+impl std::fmt::Debug for VerifyingKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "VerifyingKey(")?;
+        for b in &self.0[..8] {
+            write!(f, "{b:02x}")?;
+        }
+        write!(f, "…)")
+    }
+}
+
+/// An Ed25519 signing (private) key.
+///
+/// Holds the RFC 8032 expanded secret: the clamped scalar `a` and the
+/// 32-byte `prefix` used to derive deterministic nonces.
+#[derive(Clone)]
+pub struct SigningKey {
+    scalar: Scalar,
+    prefix: [u8; 32],
+    public: VerifyingKey,
+}
+
+impl SigningKey {
+    /// Derives a signing key from a 32-byte seed per RFC 8032 §5.1.5.
+    #[must_use]
+    pub fn from_seed(seed: &[u8; SEED_LEN]) -> Self {
+        let h = Sha512::digest(seed);
+        let mut scalar_bytes: [u8; 32] = h[..32].try_into().expect("split");
+        // Clamp.
+        scalar_bytes[0] &= 0b1111_1000;
+        scalar_bytes[31] &= 0b0111_1111;
+        scalar_bytes[31] |= 0b0100_0000;
+        let scalar = Scalar::from_bytes_mod_order(&scalar_bytes);
+        let prefix: [u8; 32] = h[32..].try_into().expect("split");
+        let public_point = Point::basepoint().mul_scalar(&scalar);
+        let public = VerifyingKey::from_bytes(public_point.compress());
+        Self {
+            scalar,
+            prefix,
+            public,
+        }
+    }
+
+    /// Generates a signing key from `rng`.
+    pub fn generate<R: RngCore>(rng: &mut R) -> Self {
+        let mut seed = [0u8; SEED_LEN];
+        rng.fill_bytes(&mut seed);
+        Self::from_seed(&seed)
+    }
+
+    /// The corresponding public key.
+    #[must_use]
+    pub fn verifying_key(&self) -> VerifyingKey {
+        self.public
+    }
+
+    /// Signs `message` (deterministic per RFC 8032).
+    #[must_use]
+    pub fn sign(&self, message: &[u8]) -> Signature {
+        // r = H(prefix ‖ M) mod ℓ
+        let mut h = Sha512::new();
+        h.update(&self.prefix);
+        h.update(message);
+        let r = Scalar::from_bytes_mod_order_wide(&h.finalize());
+        let r_point = Point::basepoint().mul_scalar(&r);
+        let r_bytes = r_point.compress();
+        // k = H(R ‖ A ‖ M) mod ℓ
+        let k = challenge_scalar(&r_bytes, &self.public.0, message);
+        // s = r + k·a mod ℓ
+        let s = k.mul_add(self.scalar, r);
+        let mut sig = [0u8; SIGNATURE_LEN];
+        sig[..32].copy_from_slice(&r_bytes);
+        sig[32..].copy_from_slice(&s.to_bytes());
+        Signature(sig)
+    }
+}
+
+impl std::fmt::Debug for SigningKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SigningKey(<redacted>, public: {:?})", self.public)
+    }
+}
+
+fn challenge_scalar(r: &[u8; 32], a: &[u8; 32], message: &[u8]) -> Scalar {
+    let mut h = Sha512::new();
+    h.update(r);
+    h.update(a);
+    h.update(message);
+    Scalar::from_bytes_mod_order_wide(&h.finalize())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn from_hex(hex: &str) -> Vec<u8> {
+        let hex: String = hex.chars().filter(|c| !c.is_whitespace()).collect();
+        (0..hex.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&hex[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    fn seed32(hex: &str) -> [u8; 32] {
+        from_hex(hex).try_into().unwrap()
+    }
+
+    /// RFC 8032 §7.1 TEST 1 (empty message).
+    #[test]
+    fn rfc8032_test_1() {
+        let sk = SigningKey::from_seed(&seed32(
+            "9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60",
+        ));
+        assert_eq!(
+            sk.verifying_key().as_bytes().to_vec(),
+            from_hex("d75a980182b10ab7d54bfed3c964073a0ee172f3daa62325af021a68f707511a")
+        );
+        let sig = sk.sign(b"");
+        assert_eq!(
+            sig.as_bytes().to_vec(),
+            from_hex(
+                "e5564300c360ac729086e2cc806e828a84877f1eb8e5d974d873e06522490155\
+                 5fb8821590a33bacc61e39701cf9b46bd25bf5f0595bbe24655141438e7a100b"
+            )
+        );
+        assert!(sk.verifying_key().verify(b"", &sig).is_ok());
+    }
+
+    /// RFC 8032 §7.1 TEST 2 (one-byte message).
+    #[test]
+    fn rfc8032_test_2() {
+        let sk = SigningKey::from_seed(&seed32(
+            "4ccd089b28ff96da9db6c346ec114e0f5b8a319f35aba624da8cf6ed4fb8a6fb",
+        ));
+        assert_eq!(
+            sk.verifying_key().as_bytes().to_vec(),
+            from_hex("3d4017c3e843895a92b70aa74d1b7ebc9c982ccf2ec4968cc0cd55f12af4660c")
+        );
+        let msg = [0x72u8];
+        let sig = sk.sign(&msg);
+        assert_eq!(
+            sig.as_bytes().to_vec(),
+            from_hex(
+                "92a009a9f0d4cab8720e820b5f642540a2b27b5416503f8fb3762223ebdb69da\
+                 085ac1e43e15996e458f3613d0f11d8c387b2eaeb4302aeeb00d291612bb0c00"
+            )
+        );
+        assert!(sk.verifying_key().verify(&msg, &sig).is_ok());
+    }
+
+    /// RFC 8032 §7.1 TEST 3 (two-byte message).
+    #[test]
+    fn rfc8032_test_3() {
+        let sk = SigningKey::from_seed(&seed32(
+            "c5aa8df43f9f837bedb7442f31dcb7b166d38535076f094b85ce3a2e0b4458f7",
+        ));
+        assert_eq!(
+            sk.verifying_key().as_bytes().to_vec(),
+            from_hex("fc51cd8e6218a1a38da47ed00230f0580816ed13ba3303ac5deb911548908025")
+        );
+        let msg = [0xafu8, 0x82];
+        let sig = sk.sign(&msg);
+        assert_eq!(
+            sig.as_bytes().to_vec(),
+            from_hex(
+                "6291d657deec24024827e69c3abe01a30ce548a284743a445e3680d7db5ac3ac\
+                 18ff9b538d16f290ae67f760984dc6594a7c15e9716ed28dc027beceea1ec40a"
+            )
+        );
+        assert!(sk.verifying_key().verify(&msg, &sig).is_ok());
+    }
+
+    #[test]
+    fn tampered_message_rejected() {
+        let sk = SigningKey::from_seed(&[1u8; 32]);
+        let sig = sk.sign(b"authentic message");
+        assert!(sk
+            .verifying_key()
+            .verify(b"authentic message", &sig)
+            .is_ok());
+        assert_eq!(
+            sk.verifying_key().verify(b"authentic messagE", &sig),
+            Err(SignatureError)
+        );
+    }
+
+    #[test]
+    fn tampered_signature_rejected() {
+        let sk = SigningKey::from_seed(&[2u8; 32]);
+        let msg = b"msg";
+        let sig = sk.sign(msg);
+        for i in 0..SIGNATURE_LEN {
+            let mut bad = *sig.as_bytes();
+            bad[i] ^= 0x40;
+            let bad_sig = Signature(bad);
+            assert!(
+                sk.verifying_key().verify(msg, &bad_sig).is_err(),
+                "flipping byte {i} must invalidate"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let sk1 = SigningKey::from_seed(&[3u8; 32]);
+        let sk2 = SigningKey::from_seed(&[4u8; 32]);
+        let sig = sk1.sign(b"hello");
+        assert!(sk2.verifying_key().verify(b"hello", &sig).is_err());
+    }
+
+    #[test]
+    fn noncanonical_s_rejected() {
+        // Take a valid signature and add ℓ to s, producing an equivalent
+        // but non-canonical scalar; verification must reject it.
+        let sk = SigningKey::from_seed(&[5u8; 32]);
+        let sig = sk.sign(b"m");
+        let s_bytes: [u8; 32] = sig.as_bytes()[32..].try_into().unwrap();
+        let mut s_limbs = [0u64; 4];
+        for (i, chunk) in s_bytes.chunks_exact(8).enumerate() {
+            s_limbs[i] = u64::from_le_bytes(chunk.try_into().unwrap());
+        }
+        // s + ℓ (may carry into bit 255+ — only usable when it fits; the
+        // high limb of ℓ is 2^60 so the sum fits u64 unless s is huge).
+        let mut carry = 0u128;
+        let mut sum = [0u64; 4];
+        for i in 0..4 {
+            let acc = s_limbs[i] as u128 + super::scalar::L[i] as u128 + carry;
+            sum[i] = acc as u64;
+            carry = acc >> 64;
+        }
+        assert_eq!(carry, 0, "s + L fits in 256 bits for this fixture");
+        let mut bad = *sig.as_bytes();
+        for (i, limb) in sum.iter().enumerate() {
+            bad[32 + 8 * i..32 + 8 * i + 8].copy_from_slice(&limb.to_le_bytes());
+        }
+        assert!(sk.verifying_key().verify(b"m", &Signature(bad)).is_err());
+    }
+
+    #[test]
+    fn signature_is_deterministic() {
+        let sk = SigningKey::from_seed(&[6u8; 32]);
+        assert_eq!(sk.sign(b"x").as_bytes(), sk.sign(b"x").as_bytes());
+        assert_ne!(sk.sign(b"x").as_bytes(), sk.sign(b"y").as_bytes());
+    }
+
+    #[test]
+    fn generate_roundtrip_with_rng() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(42);
+        let sk = SigningKey::generate(&mut rng);
+        let sig = sk.sign(b"generated");
+        assert!(sk.verifying_key().verify(b"generated", &sig).is_ok());
+    }
+
+    #[test]
+    fn signature_parsing_validates_length() {
+        assert!(Signature::try_from_slice(&[0u8; 64]).is_ok());
+        assert!(Signature::try_from_slice(&[0u8; 63]).is_err());
+        assert!(Signature::try_from_slice(&[]).is_err());
+    }
+}

@@ -1,0 +1,248 @@
+//! HMAC (RFC 2104 / FIPS 198-1) over SHA-256 and SHA-512.
+//!
+//! HMAC-SHA-256 is the *conventional cryptography* seal of the paper's §6.2:
+//! a proxy certificate signed under a shared or session key. The tag doubles
+//! as the proof-of-possession primitive for bearer proxies (signing a
+//! challenge with the proxy key).
+
+use crate::ct::ct_eq;
+use crate::sha256::{self, Sha256};
+use crate::sha512::{self, Sha512};
+
+/// Size of an HMAC-SHA-256 tag in bytes.
+pub const TAG_LEN_256: usize = sha256::DIGEST_LEN;
+/// Size of an HMAC-SHA-512 tag in bytes.
+pub const TAG_LEN_512: usize = sha512::DIGEST_LEN;
+
+/// Incremental HMAC-SHA-256.
+///
+/// ```
+/// use proxy_crypto::hmac::HmacSha256;
+/// let tag = HmacSha256::mac(b"key", b"message");
+/// assert!(HmacSha256::verify(b"key", b"message", &tag));
+/// assert!(!HmacSha256::verify(b"key", b"tampered", &tag));
+/// ```
+#[derive(Clone, Debug)]
+pub struct HmacSha256 {
+    inner: Sha256,
+    opad_key: [u8; sha256::BLOCK_LEN],
+}
+
+impl HmacSha256 {
+    /// Creates a MAC context keyed with `key` (any length; long keys are
+    /// pre-hashed per the RFC).
+    #[must_use]
+    pub fn new(key: &[u8]) -> Self {
+        let mut block = [0u8; sha256::BLOCK_LEN];
+        if key.len() > sha256::BLOCK_LEN {
+            let digest = Sha256::digest(key);
+            block[..digest.len()].copy_from_slice(&digest);
+        } else {
+            block[..key.len()].copy_from_slice(key);
+        }
+        let mut ipad = block;
+        let mut opad = block;
+        for b in ipad.iter_mut() {
+            *b ^= 0x36;
+        }
+        for b in opad.iter_mut() {
+            *b ^= 0x5c;
+        }
+        let mut inner = Sha256::new();
+        inner.update(&ipad);
+        Self {
+            inner,
+            opad_key: opad,
+        }
+    }
+
+    /// Absorbs message bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Produces the final tag, consuming the context.
+    #[must_use]
+    pub fn finalize(self) -> [u8; TAG_LEN_256] {
+        let inner_digest = self.inner.finalize();
+        let mut outer = Sha256::new();
+        outer.update(&self.opad_key);
+        outer.update(&inner_digest);
+        outer.finalize()
+    }
+
+    /// One-shot MAC of `data` under `key`.
+    #[must_use]
+    pub fn mac(key: &[u8], data: &[u8]) -> [u8; TAG_LEN_256] {
+        let mut m = Self::new(key);
+        m.update(data);
+        m.finalize()
+    }
+
+    /// Constant-time verification of `tag` over `data` under `key`.
+    #[must_use]
+    pub fn verify(key: &[u8], data: &[u8], tag: &[u8]) -> bool {
+        ct_eq(&Self::mac(key, data), tag)
+    }
+}
+
+/// Incremental HMAC-SHA-512.
+#[derive(Clone, Debug)]
+pub struct HmacSha512 {
+    inner: Sha512,
+    opad_key: [u8; sha512::BLOCK_LEN],
+}
+
+impl HmacSha512 {
+    /// Creates a MAC context keyed with `key`.
+    #[must_use]
+    pub fn new(key: &[u8]) -> Self {
+        let mut block = [0u8; sha512::BLOCK_LEN];
+        if key.len() > sha512::BLOCK_LEN {
+            let digest = Sha512::digest(key);
+            block[..digest.len()].copy_from_slice(&digest);
+        } else {
+            block[..key.len()].copy_from_slice(key);
+        }
+        let mut ipad = block;
+        let mut opad = block;
+        for b in ipad.iter_mut() {
+            *b ^= 0x36;
+        }
+        for b in opad.iter_mut() {
+            *b ^= 0x5c;
+        }
+        let mut inner = Sha512::new();
+        inner.update(&ipad);
+        Self {
+            inner,
+            opad_key: opad,
+        }
+    }
+
+    /// Absorbs message bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Produces the final tag, consuming the context.
+    #[must_use]
+    pub fn finalize(self) -> [u8; TAG_LEN_512] {
+        let inner_digest = self.inner.finalize();
+        let mut outer = Sha512::new();
+        outer.update(&self.opad_key);
+        outer.update(&inner_digest);
+        outer.finalize()
+    }
+
+    /// One-shot MAC of `data` under `key`.
+    #[must_use]
+    pub fn mac(key: &[u8], data: &[u8]) -> [u8; TAG_LEN_512] {
+        let mut m = Self::new(key);
+        m.update(data);
+        m.finalize()
+    }
+
+    /// Constant-time verification of `tag` over `data` under `key`.
+    #[must_use]
+    pub fn verify(key: &[u8], data: &[u8], tag: &[u8]) -> bool {
+        ct_eq(&Self::mac(key, data), tag)
+    }
+}
+
+/// Derives a subkey from `key` with domain separation label `label`
+/// (single-block HKDF-like expand; sufficient for the fixed-size keys used
+/// throughout this workspace).
+#[must_use]
+pub fn derive_key(key: &[u8], label: &[u8]) -> [u8; 32] {
+    let mut m = HmacSha256::new(key);
+    m.update(label);
+    m.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn rfc4231_case_1() {
+        let key = [0x0bu8; 20];
+        let tag = HmacSha256::mac(&key, b"Hi There");
+        assert_eq!(
+            hex(&tag),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+        let tag512 = HmacSha512::mac(&key, b"Hi There");
+        assert_eq!(
+            hex(&tag512),
+            "87aa7cdea5ef619d4ff0b4241a1d6cb02379f4e2ce4ec2787ad0b30545e17cde\
+             daa833b7d6b8a702038b274eaea3f4e4be9d914eeb61f1702e696c203a126854"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_2() {
+        let tag = HmacSha256::mac(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex(&tag),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_3_repeated_bytes() {
+        let key = [0xaau8; 20];
+        let data = [0xddu8; 50];
+        let tag = HmacSha256::mac(&key, &data);
+        assert_eq!(
+            hex(&tag),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn long_key_is_prehashed() {
+        // RFC 4231 case 6: 131-byte key.
+        let key = [0xaau8; 131];
+        let tag = HmacSha256::mac(
+            &key,
+            b"Test Using Larger Than Block-Size Key - Hash Key First",
+        );
+        assert_eq!(
+            hex(&tag),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let key = b"proxy key";
+        let data: Vec<u8> = (0u8..200).collect();
+        let mut m = HmacSha256::new(key);
+        for chunk in data.chunks(13) {
+            m.update(chunk);
+        }
+        assert_eq!(m.finalize(), HmacSha256::mac(key, &data));
+    }
+
+    #[test]
+    fn verify_rejects_wrong_key_and_data() {
+        let tag = HmacSha256::mac(b"k1", b"data");
+        assert!(HmacSha256::verify(b"k1", b"data", &tag));
+        assert!(!HmacSha256::verify(b"k2", b"data", &tag));
+        assert!(!HmacSha256::verify(b"k1", b"Data", &tag));
+        assert!(!HmacSha256::verify(b"k1", b"data", &tag[..31]));
+    }
+
+    #[test]
+    fn derive_key_separates_domains() {
+        let a = derive_key(b"master", b"enc");
+        let b = derive_key(b"master", b"mac");
+        assert_ne!(a, b);
+        assert_eq!(a, derive_key(b"master", b"enc"));
+    }
+}

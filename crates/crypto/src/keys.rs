@@ -1,0 +1,170 @@
+//! Key and nonce newtypes shared by the higher protocol layers.
+//!
+//! Using distinct types for session keys, proxy keys, and nonces keeps the
+//! protocol code honest about *which* secret is being used where — a proxy
+//! key must never be confused with the session key protecting it in transit
+//! (paper Fig. 3).
+
+use std::fmt;
+
+use rand::RngCore;
+
+use crate::chacha20;
+
+/// Error type for key material parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KeyError {
+    /// Provided byte slice had the wrong length.
+    WrongLength {
+        /// Expected number of bytes.
+        expected: usize,
+        /// Actual number of bytes supplied.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for KeyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KeyError::WrongLength { expected, actual } => {
+                write!(
+                    f,
+                    "wrong key material length: expected {expected}, got {actual}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for KeyError {}
+
+/// A 256-bit symmetric key (session key, proxy key, or long-term key).
+///
+/// The `Debug` impl redacts the key bytes.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct SymmetricKey([u8; 32]);
+
+impl SymmetricKey {
+    /// Wraps raw key bytes.
+    #[must_use]
+    pub fn from_bytes(bytes: [u8; 32]) -> Self {
+        Self(bytes)
+    }
+
+    /// Parses a key from a slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KeyError::WrongLength`] if `bytes` is not 32 bytes.
+    pub fn try_from_slice(bytes: &[u8]) -> Result<Self, KeyError> {
+        let arr: [u8; 32] = bytes.try_into().map_err(|_| KeyError::WrongLength {
+            expected: 32,
+            actual: bytes.len(),
+        })?;
+        Ok(Self(arr))
+    }
+
+    /// Generates a fresh random key from `rng`.
+    pub fn generate<R: RngCore>(rng: &mut R) -> Self {
+        let mut bytes = [0u8; 32];
+        rng.fill_bytes(&mut bytes);
+        Self(bytes)
+    }
+
+    /// Exposes the raw key bytes (needed to feed MACs and ciphers).
+    #[must_use]
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+}
+
+impl fmt::Debug for SymmetricKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SymmetricKey(<redacted>)")
+    }
+}
+
+/// A 96-bit nonce for [`crate::chacha20`] / [`crate::seal`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Nonce([u8; chacha20::NONCE_LEN]);
+
+impl Nonce {
+    /// Wraps raw nonce bytes.
+    #[must_use]
+    pub fn from_bytes(bytes: [u8; chacha20::NONCE_LEN]) -> Self {
+        Self(bytes)
+    }
+
+    /// Generates a fresh random nonce from `rng`.
+    pub fn generate<R: RngCore>(rng: &mut R) -> Self {
+        let mut bytes = [0u8; chacha20::NONCE_LEN];
+        rng.fill_bytes(&mut bytes);
+        Self(bytes)
+    }
+
+    /// Exposes the raw nonce bytes.
+    #[must_use]
+    pub fn as_bytes(&self) -> &[u8; chacha20::NONCE_LEN] {
+        &self.0
+    }
+}
+
+impl fmt::Debug for Nonce {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Nonce(")?;
+        for b in &self.0 {
+            write!(f, "{b:02x}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn key_debug_redacts() {
+        let key = SymmetricKey::from_bytes([7u8; 32]);
+        let s = format!("{key:?}");
+        assert!(s.contains("redacted"));
+        assert!(!s.contains('7'));
+    }
+
+    #[test]
+    fn try_from_slice_validates_length() {
+        assert!(SymmetricKey::try_from_slice(&[0u8; 32]).is_ok());
+        let err = SymmetricKey::try_from_slice(&[0u8; 31]).unwrap_err();
+        assert_eq!(
+            err,
+            KeyError::WrongLength {
+                expected: 32,
+                actual: 31
+            }
+        );
+        assert!(err.to_string().contains("31"));
+    }
+
+    #[test]
+    fn generate_is_seeded_deterministic() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        assert_eq!(
+            SymmetricKey::generate(&mut a).as_bytes(),
+            SymmetricKey::generate(&mut b).as_bytes()
+        );
+        let mut c = StdRng::seed_from_u64(2);
+        assert_ne!(
+            SymmetricKey::generate(&mut StdRng::seed_from_u64(1)).as_bytes(),
+            SymmetricKey::generate(&mut c).as_bytes()
+        );
+    }
+
+    #[test]
+    fn nonce_debug_is_hex() {
+        let n = Nonce::from_bytes([0xab; 12]);
+        assert_eq!(format!("{n:?}"), format!("Nonce({})", "ab".repeat(12)));
+    }
+}

@@ -1,0 +1,173 @@
+//! Authenticated symmetric sealing (encrypt-then-MAC).
+//!
+//! This is the workspace's equivalent of Kerberos "encrypt under the session
+//! key": confidentiality from ChaCha20, integrity from HMAC-SHA-256, with
+//! independent subkeys derived from the master key. Used to seal tickets,
+//! proxy certificates (paper §6.2), and proxy keys in transit (Fig. 3's
+//! `{K_proxy}K_session`).
+
+use rand::RngCore;
+
+use crate::chacha20;
+use crate::ct::ct_eq;
+use crate::hmac::{derive_key, HmacSha256};
+use crate::keys::{Nonce, SymmetricKey};
+
+/// Length of the integrity tag appended to sealed messages.
+pub const TAG_LEN: usize = 32;
+
+/// Errors from [`open`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SealError {
+    /// Ciphertext too short to contain nonce and tag.
+    Truncated,
+    /// Integrity tag did not verify: wrong key or tampered ciphertext.
+    BadTag,
+}
+
+impl std::fmt::Display for SealError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SealError::Truncated => write!(f, "sealed message truncated"),
+            SealError::BadTag => write!(f, "seal integrity check failed"),
+        }
+    }
+}
+
+impl std::error::Error for SealError {}
+
+fn subkeys(key: &SymmetricKey) -> ([u8; 32], [u8; 32]) {
+    (
+        derive_key(key.as_bytes(), b"proxy-aa seal enc"),
+        derive_key(key.as_bytes(), b"proxy-aa seal mac"),
+    )
+}
+
+/// Seals `plaintext` (+ authenticated `aad`) under `key` with a fresh nonce
+/// drawn from `rng`.
+///
+/// Wire layout: `nonce (12) || ciphertext || tag (32)` where
+/// `tag = HMAC(mac_key, nonce || aad_len_le64 || aad || ciphertext)`.
+pub fn seal<R: RngCore>(key: &SymmetricKey, aad: &[u8], plaintext: &[u8], rng: &mut R) -> Vec<u8> {
+    let nonce = Nonce::generate(rng);
+    seal_with_nonce(key, &nonce, aad, plaintext)
+}
+
+/// Deterministic variant of [`seal`] for tests and derived-nonce protocols.
+#[must_use]
+pub fn seal_with_nonce(key: &SymmetricKey, nonce: &Nonce, aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
+    let (enc_key, mac_key) = subkeys(key);
+    let ct = chacha20::encrypt(&enc_key, nonce.as_bytes(), plaintext);
+    let mut out = Vec::with_capacity(chacha20::NONCE_LEN + ct.len() + TAG_LEN);
+    out.extend_from_slice(nonce.as_bytes());
+    out.extend_from_slice(&ct);
+    let mut mac = HmacSha256::new(&mac_key);
+    mac.update(nonce.as_bytes());
+    mac.update(&(aad.len() as u64).to_le_bytes());
+    mac.update(aad);
+    mac.update(&ct);
+    out.extend_from_slice(&mac.finalize());
+    out
+}
+
+/// Opens a message produced by [`seal`], verifying integrity before
+/// returning the plaintext.
+///
+/// # Errors
+///
+/// * [`SealError::Truncated`] — `sealed` shorter than nonce + tag.
+/// * [`SealError::BadTag`] — wrong key, wrong `aad`, or tampering.
+pub fn open(key: &SymmetricKey, aad: &[u8], sealed: &[u8]) -> Result<Vec<u8>, SealError> {
+    if sealed.len() < chacha20::NONCE_LEN + TAG_LEN {
+        return Err(SealError::Truncated);
+    }
+    let (nonce_bytes, rest) = sealed.split_at(chacha20::NONCE_LEN);
+    let (ct, tag) = rest.split_at(rest.len() - TAG_LEN);
+    let (enc_key, mac_key) = subkeys(key);
+    let mut mac = HmacSha256::new(&mac_key);
+    mac.update(nonce_bytes);
+    mac.update(&(aad.len() as u64).to_le_bytes());
+    mac.update(aad);
+    mac.update(ct);
+    if !ct_eq(&mac.finalize(), tag) {
+        return Err(SealError::BadTag);
+    }
+    let nonce: [u8; chacha20::NONCE_LEN] = nonce_bytes.try_into().expect("split length");
+    Ok(chacha20::decrypt(&enc_key, &nonce, ct))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn key() -> SymmetricKey {
+        SymmetricKey::from_bytes([9u8; 32])
+    }
+
+    #[test]
+    fn round_trip() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let sealed = seal(&key(), b"ticket", b"session key material", &mut rng);
+        let opened = open(&key(), b"ticket", &sealed).unwrap();
+        assert_eq!(opened, b"session key material");
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let sealed = seal(&key(), b"", b"secret", &mut rng);
+        let other = SymmetricKey::from_bytes([8u8; 32]);
+        assert_eq!(open(&other, b"", &sealed), Err(SealError::BadTag));
+    }
+
+    #[test]
+    fn wrong_aad_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let sealed = seal(&key(), b"context-a", b"secret", &mut rng);
+        assert_eq!(open(&key(), b"context-b", &sealed), Err(SealError::BadTag));
+    }
+
+    #[test]
+    fn tampered_ciphertext_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut sealed = seal(&key(), b"", b"secret payload", &mut rng);
+        // Flip one bit in each position and ensure every mutation is caught.
+        for i in 0..sealed.len() {
+            sealed[i] ^= 1;
+            assert_eq!(
+                open(&key(), b"", &sealed),
+                Err(SealError::BadTag),
+                "byte {i}"
+            );
+            sealed[i] ^= 1;
+        }
+        assert!(open(&key(), b"", &sealed).is_ok());
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert_eq!(open(&key(), b"", &[0u8; 10]), Err(SealError::Truncated));
+        assert_eq!(open(&key(), b"", &[]), Err(SealError::Truncated));
+    }
+
+    #[test]
+    fn empty_plaintext_allowed() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let sealed = seal(&key(), b"aad", b"", &mut rng);
+        assert_eq!(open(&key(), b"aad", &sealed).unwrap(), b"");
+    }
+
+    #[test]
+    fn distinct_nonces_give_distinct_ciphertexts() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = seal(&key(), b"", b"same message", &mut rng);
+        let b = seal(&key(), b"", b"same message", &mut rng);
+        assert_ne!(a, b);
+        assert_eq!(
+            open(&key(), b"", &a).unwrap(),
+            open(&key(), b"", &b).unwrap()
+        );
+    }
+}

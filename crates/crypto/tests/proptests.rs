@@ -1,0 +1,128 @@
+//! Property-based tests for the cryptographic substrate.
+
+use proptest::prelude::*;
+
+use proxy_crypto::ct::ct_eq;
+use proxy_crypto::ed25519::edwards::Point;
+use proxy_crypto::ed25519::field::Fe;
+use proxy_crypto::ed25519::scalar::Scalar;
+use proxy_crypto::ed25519::SigningKey;
+use proxy_crypto::hmac::HmacSha256;
+use proxy_crypto::keys::{Nonce, SymmetricKey};
+use proxy_crypto::seal;
+use proxy_crypto::sha256::Sha256;
+use proxy_crypto::{chacha20, sha512::Sha512};
+
+proptest! {
+    #[test]
+    fn ct_eq_matches_slice_eq(a in proptest::collection::vec(any::<u8>(), 0..64),
+                              b in proptest::collection::vec(any::<u8>(), 0..64)) {
+        prop_assert_eq!(ct_eq(&a, &b), a == b);
+    }
+
+    #[test]
+    fn sha256_incremental_equals_oneshot(data in proptest::collection::vec(any::<u8>(), 0..512),
+                                         split in 0usize..512) {
+        let split = split.min(data.len());
+        let mut h = Sha256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), Sha256::digest(&data));
+    }
+
+    #[test]
+    fn sha512_incremental_equals_oneshot(data in proptest::collection::vec(any::<u8>(), 0..512),
+                                         split in 0usize..512) {
+        let split = split.min(data.len());
+        let mut h = Sha512::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), Sha512::digest(&data));
+    }
+
+    #[test]
+    fn hmac_distinguishes_keys(key1 in proptest::collection::vec(any::<u8>(), 1..64),
+                               key2 in proptest::collection::vec(any::<u8>(), 1..64),
+                               data in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let t1 = HmacSha256::mac(&key1, &data);
+        let t2 = HmacSha256::mac(&key2, &data);
+        if key1 == key2 {
+            prop_assert_eq!(t1, t2);
+        } else {
+            // Collisions are cryptographically negligible.
+            prop_assert_ne!(t1, t2);
+        }
+    }
+
+    #[test]
+    fn chacha20_round_trips(key in any::<[u8; 32]>(),
+                            nonce in any::<[u8; 12]>(),
+                            data in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let ct = chacha20::encrypt(&key, &nonce, &data);
+        prop_assert_eq!(chacha20::decrypt(&key, &nonce, &ct), data);
+    }
+
+    #[test]
+    fn seal_round_trips_and_rejects_tampering(key in any::<[u8; 32]>(),
+                                              nonce in any::<[u8; 12]>(),
+                                              aad in proptest::collection::vec(any::<u8>(), 0..32),
+                                              data in proptest::collection::vec(any::<u8>(), 0..128),
+                                              flip in any::<(usize, u8)>()) {
+        let k = SymmetricKey::from_bytes(key);
+        let sealed = seal::seal_with_nonce(&k, &Nonce::from_bytes(nonce), &aad, &data);
+        prop_assert_eq!(seal::open(&k, &aad, &sealed).unwrap(), data);
+        let (pos, bit) = flip;
+        let mut bad = sealed.clone();
+        let idx = pos % bad.len();
+        let mask = 1u8 << (bit % 8);
+        bad[idx] ^= mask;
+        prop_assert!(seal::open(&k, &aad, &bad).is_err());
+    }
+
+    #[test]
+    fn field_add_mul_laws(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+        let (fa, fb, fc) = (Fe::from_u64(a), Fe::from_u64(b), Fe::from_u64(c));
+        prop_assert!(fa.add(fb).ct_eq(fb.add(fa)));
+        prop_assert!(fa.mul(fb).ct_eq(fb.mul(fa)));
+        prop_assert!(fa.mul(fb.add(fc)).ct_eq(fa.mul(fb).add(fa.mul(fc))));
+        prop_assert!(fa.sub(fa).ct_eq(Fe::ZERO));
+    }
+
+    #[test]
+    fn field_bytes_round_trip(bytes in any::<[u8; 32]>()) {
+        // Canonicalize once, then the encoding must be a fixed point.
+        let x = Fe::from_bytes(&bytes);
+        let canon = x.to_bytes();
+        prop_assert_eq!(Fe::from_bytes(&canon).to_bytes(), canon);
+    }
+
+    #[test]
+    fn scalar_ring_laws(a in any::<[u8; 32]>(), b in any::<[u8; 32]>()) {
+        let sa = Scalar::from_bytes_mod_order(&a);
+        let sb = Scalar::from_bytes_mod_order(&b);
+        prop_assert_eq!(sa.add(sb), sb.add(sa));
+        prop_assert_eq!(sa.mul(sb), sb.mul(sa));
+        prop_assert_eq!(sa.mul(Scalar::ONE), sa);
+        prop_assert_eq!(sa.mul(Scalar::ZERO), Scalar::ZERO);
+    }
+
+    #[test]
+    fn scalar_mul_distributes_over_point_add(a in 1u64..10_000, b in 1u64..10_000) {
+        let base = Point::basepoint();
+        let lhs = base.mul_scalar(&Scalar::from_u64(a).add(Scalar::from_u64(b)));
+        let rhs = base.mul_scalar(&Scalar::from_u64(a)).add(&base.mul_scalar(&Scalar::from_u64(b)));
+        prop_assert!(lhs.eq_point(&rhs));
+    }
+
+    #[test]
+    fn signatures_verify_and_bind_message(seed in any::<[u8; 32]>(),
+                                          msg in proptest::collection::vec(any::<u8>(), 0..64),
+                                          other in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let sk = SigningKey::from_seed(&seed);
+        let sig = sk.sign(&msg);
+        prop_assert!(sk.verifying_key().verify(&msg, &sig).is_ok());
+        if msg != other {
+            prop_assert!(sk.verifying_key().verify(&other, &sig).is_err());
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Error type for the Kerberos-style authentication substrate.
+
+use restricted_proxy::principal::PrincipalId;
+
+/// Errors from KDC exchanges and application-server acceptance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KrbError {
+    /// The named principal is not registered with the KDC.
+    UnknownPrincipal(PrincipalId),
+    /// A sealed blob failed integrity checking (wrong key or tampering).
+    BadSeal,
+    /// A ticket or proxy was used outside its validity window.
+    Expired,
+    /// An authenticator timestamp fell outside the permitted clock skew.
+    SkewExceeded {
+        /// The authenticator's timestamp.
+        timestamp: u64,
+        /// The verifier's current time.
+        now: u64,
+    },
+    /// An authenticator was replayed.
+    ReplayDetected,
+    /// The authenticator's client does not match the ticket's client.
+    WrongClient,
+    /// A reply carried the wrong nonce (substitution attack).
+    NonceMismatch,
+    /// A proxy presentation lacked the subkey its proof requires.
+    NoSubkey,
+    /// A proxy possession proof failed to verify.
+    BadPossession,
+    /// A ticket was presented to a service it was not issued for.
+    WrongService {
+        /// The service named in the ticket.
+        expected: PrincipalId,
+        /// The service that received it.
+        actual: PrincipalId,
+    },
+    /// A wire structure failed to decode.
+    Malformed,
+}
+
+impl std::fmt::Display for KrbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KrbError::UnknownPrincipal(p) => write!(f, "unknown principal {p}"),
+            KrbError::BadSeal => write!(f, "seal verification failed"),
+            KrbError::Expired => write!(f, "credential outside validity window"),
+            KrbError::SkewExceeded { timestamp, now } => {
+                write!(
+                    f,
+                    "authenticator timestamp {timestamp} outside skew at {now}"
+                )
+            }
+            KrbError::ReplayDetected => write!(f, "authenticator replay detected"),
+            KrbError::WrongClient => write!(f, "authenticator client mismatch"),
+            KrbError::NonceMismatch => write!(f, "reply nonce mismatch"),
+            KrbError::NoSubkey => write!(f, "proxy presentation lacks a subkey"),
+            KrbError::BadPossession => write!(f, "proxy key possession proof failed"),
+            KrbError::WrongService { expected, actual } => {
+                write!(f, "ticket for {expected} presented to {actual}")
+            }
+            KrbError::Malformed => write!(f, "malformed kerberos message"),
+        }
+    }
+}
+
+impl std::error::Error for KrbError {}

@@ -1,0 +1,96 @@
+//! The request context a proxy is evaluated against.
+
+use crate::principal::{GroupName, PrincipalId};
+use crate::restriction::{Currency, ObjectName, Operation};
+use crate::time::Timestamp;
+
+/// Everything an end-server knows about a request when deciding whether a
+/// presented proxy authorizes it.
+#[derive(Clone, Debug)]
+pub struct RequestContext {
+    /// The end-server receiving the request (checked by `issued-for` and
+    /// `limit-restriction`).
+    pub server: PrincipalId,
+    /// The requested operation.
+    pub operation: Operation,
+    /// The object the operation targets.
+    pub object: ObjectName,
+    /// Current logical time (expiry checking).
+    pub now: Timestamp,
+    /// Principals whose own credentials were verified alongside the proxy
+    /// presentation (satisfies `grantee` restrictions).
+    pub authenticated: Vec<PrincipalId>,
+    /// Group memberships proven by accompanying group proxies (satisfies
+    /// `for-use-by-group`; checked against `group-membership`).
+    pub asserted_groups: Vec<GroupName>,
+    /// Resources this operation would consume, per currency (checked by
+    /// `quota`).
+    pub amounts: Vec<(Currency, u64)>,
+}
+
+impl RequestContext {
+    /// Creates a minimal context for `operation` on `object` at `server`,
+    /// at time zero with no authenticated parties, groups, or amounts.
+    #[must_use]
+    pub fn new(server: PrincipalId, operation: Operation, object: ObjectName) -> Self {
+        Self {
+            server,
+            operation,
+            object,
+            now: Timestamp::ZERO,
+            authenticated: Vec::new(),
+            asserted_groups: Vec::new(),
+            amounts: Vec::new(),
+        }
+    }
+
+    /// Sets the evaluation time.
+    #[must_use]
+    pub fn at(mut self, now: Timestamp) -> Self {
+        self.now = now;
+        self
+    }
+
+    /// Records an authenticated principal.
+    #[must_use]
+    pub fn authenticated_as(mut self, principal: PrincipalId) -> Self {
+        self.authenticated.push(principal);
+        self
+    }
+
+    /// Records a proven group membership.
+    #[must_use]
+    pub fn with_group(mut self, group: GroupName) -> Self {
+        self.asserted_groups.push(group);
+        self
+    }
+
+    /// Records a resource demand.
+    #[must_use]
+    pub fn consuming(mut self, currency: Currency, amount: u64) -> Self {
+        self.amounts.push((currency, amount));
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates() {
+        let ctx = RequestContext::new(
+            PrincipalId::new("s"),
+            Operation::new("read"),
+            ObjectName::new("o"),
+        )
+        .at(Timestamp(5))
+        .authenticated_as(PrincipalId::new("alice"))
+        .with_group(GroupName::new(PrincipalId::new("gs"), "staff"))
+        .consuming(Currency::new("pages"), 3);
+        assert_eq!(ctx.now, Timestamp(5));
+        assert_eq!(ctx.authenticated.len(), 1);
+        assert_eq!(ctx.asserted_groups.len(), 1);
+        assert_eq!(ctx.amounts, vec![(Currency::new("pages"), 3)]);
+    }
+}

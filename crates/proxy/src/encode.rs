@@ -1,0 +1,303 @@
+//! Canonical, deterministic byte encoding.
+//!
+//! Certificates are signed over their byte encoding, so the encoding must
+//! be canonical: one value, one byte string. This module provides a small
+//! length-prefixed binary codec (no external serializers, no ambiguity).
+//! All integers are little-endian; collections are length-prefixed with a
+//! `u32` count; strings are UTF-8 with a `u32` byte length.
+
+use std::fmt;
+
+/// Errors produced when decoding a wire value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Input ended before the value was complete.
+    UnexpectedEnd,
+    /// A length prefix exceeded the remaining input (or a sanity bound).
+    BadLength(u64),
+    /// A string field held invalid UTF-8.
+    BadUtf8,
+    /// An enum tag byte was not recognized.
+    BadTag(u8),
+    /// The input had trailing bytes after the value.
+    TrailingBytes(usize),
+    /// A field decoded structurally but held a semantically invalid value
+    /// (e.g. an empty principal name).
+    InvalidValue(&'static str),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnexpectedEnd => write!(f, "unexpected end of input"),
+            DecodeError::BadLength(n) => write!(f, "implausible length prefix {n}"),
+            DecodeError::BadUtf8 => write!(f, "invalid utf-8 in string field"),
+            DecodeError::BadTag(t) => write!(f, "unrecognized tag byte {t:#04x}"),
+            DecodeError::TrailingBytes(n) => write!(f, "{n} trailing bytes after value"),
+            DecodeError::InvalidValue(what) => write!(f, "invalid value: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Maximum accepted collection length; prevents allocation bombs when
+/// decoding attacker-supplied bytes.
+const MAX_COLLECTION: u32 = 1 << 20;
+
+/// Append-only canonical encoder.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// Creates an empty encoder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Finishes encoding and returns the bytes.
+    #[must_use]
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends a single byte.
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
+    /// Appends a little-endian u32.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a little-endian u64.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends raw bytes with a u32 length prefix.
+    pub fn bytes(&mut self, v: &[u8]) -> &mut Self {
+        self.u32(u32::try_from(v.len()).expect("value too large to encode"));
+        self.buf.extend_from_slice(v);
+        self
+    }
+
+    /// Appends fixed-width raw bytes with no length prefix (for keys,
+    /// tags, and signatures whose width is fixed by context).
+    pub fn raw(&mut self, v: &[u8]) -> &mut Self {
+        self.buf.extend_from_slice(v);
+        self
+    }
+
+    /// Appends a UTF-8 string with a u32 length prefix.
+    pub fn str(&mut self, v: &str) -> &mut Self {
+        self.bytes(v.as_bytes())
+    }
+
+    /// Appends a collection count prefix.
+    pub fn count(&mut self, n: usize) -> &mut Self {
+        self.u32(u32::try_from(n).expect("collection too large to encode"))
+    }
+}
+
+/// Cursor-based canonical decoder.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Creates a decoder over `input`.
+    #[must_use]
+    pub fn new(input: &'a [u8]) -> Self {
+        Self { input, pos: 0 }
+    }
+
+    /// Asserts the input is fully consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::TrailingBytes`] when bytes remain.
+    pub fn finish(self) -> Result<(), DecodeError> {
+        let rest = self.input.len() - self.pos;
+        if rest == 0 {
+            Ok(())
+        } else {
+            Err(DecodeError::TrailingBytes(rest))
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.input.len() - self.pos < n {
+            return Err(DecodeError::UnexpectedEnd);
+        }
+        let out = &self.input[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::UnexpectedEnd`] when the input is exhausted.
+    pub fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian u32.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::UnexpectedEnd`] when the input is exhausted.
+    pub fn u32(&mut self) -> Result<u32, DecodeError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("take(4)")))
+    }
+
+    /// Reads a little-endian u64.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::UnexpectedEnd`] when the input is exhausted.
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("take(8)")))
+    }
+
+    /// Reads a u32-length-prefixed byte string.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::BadLength`] on implausible lengths,
+    /// [`DecodeError::UnexpectedEnd`] when truncated.
+    pub fn bytes(&mut self) -> Result<&'a [u8], DecodeError> {
+        let len = self.u32()?;
+        if len > MAX_COLLECTION {
+            return Err(DecodeError::BadLength(len as u64));
+        }
+        self.take(len as usize)
+    }
+
+    /// Reads fixed-width raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::UnexpectedEnd`] when truncated.
+    pub fn raw(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        self.take(n)
+    }
+
+    /// Reads a UTF-8 string.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::BadUtf8`] on invalid UTF-8, plus the errors of
+    /// [`Decoder::bytes`].
+    pub fn str(&mut self) -> Result<&'a str, DecodeError> {
+        std::str::from_utf8(self.bytes()?).map_err(|_| DecodeError::BadUtf8)
+    }
+
+    /// Reads a principal name, rejecting empty names.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::InvalidValue`] for empty names, plus the errors of
+    /// [`Decoder::str`].
+    pub fn principal(&mut self) -> Result<crate::principal::PrincipalId, DecodeError> {
+        crate::principal::PrincipalId::try_new(self.str()?)
+            .ok_or(DecodeError::InvalidValue("empty principal name"))
+    }
+
+    /// Reads a collection count prefix.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::BadLength`] when the count exceeds the sanity bound.
+    pub fn count(&mut self) -> Result<usize, DecodeError> {
+        let n = self.u32()?;
+        if n > MAX_COLLECTION {
+            return Err(DecodeError::BadLength(n as u64));
+        }
+        Ok(n as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_primitives() {
+        let mut e = Encoder::new();
+        e.u8(7)
+            .u32(0xdead_beef)
+            .u64(u64::MAX)
+            .str("hello")
+            .bytes(b"\x00\x01");
+        let buf = e.finish();
+        let mut d = Decoder::new(&buf);
+        assert_eq!(d.u8().unwrap(), 7);
+        assert_eq!(d.u32().unwrap(), 0xdead_beef);
+        assert_eq!(d.u64().unwrap(), u64::MAX);
+        assert_eq!(d.str().unwrap(), "hello");
+        assert_eq!(d.bytes().unwrap(), b"\x00\x01");
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let mut e = Encoder::new();
+        e.u64(1);
+        let buf = e.finish();
+        let mut d = Decoder::new(&buf[..4]);
+        assert_eq!(d.u64(), Err(DecodeError::UnexpectedEnd));
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut e = Encoder::new();
+        e.u8(1).u8(2);
+        let buf = e.finish();
+        let mut d = Decoder::new(&buf);
+        assert_eq!(d.u8().unwrap(), 1);
+        assert_eq!(d.finish(), Err(DecodeError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn oversized_length_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        let mut d = Decoder::new(&buf);
+        assert_eq!(d.bytes(), Err(DecodeError::BadLength(u32::MAX as u64)));
+        let mut d = Decoder::new(&buf);
+        assert_eq!(d.count(), Err(DecodeError::BadLength(u32::MAX as u64)));
+    }
+
+    #[test]
+    fn bad_utf8_rejected() {
+        let mut e = Encoder::new();
+        e.bytes(&[0xff, 0xfe]);
+        let buf = e.finish();
+        let mut d = Decoder::new(&buf);
+        assert_eq!(d.str(), Err(DecodeError::BadUtf8));
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let encode = || {
+            let mut e = Encoder::new();
+            e.str("abc").u64(42).count(3);
+            e.finish()
+        };
+        assert_eq!(encode(), encode());
+    }
+}

@@ -1,0 +1,98 @@
+//! Principals and global group names.
+//!
+//! A *principal* is any named party: a user, a server, an authorization
+//! server, a group server, or an accounting server. The paper composes
+//! global names from a server's principal name plus a local name — e.g. a
+//! group is named `(group-server, group)` (§3.3) and an account is named
+//! `(accounting-server, account)` (§4).
+
+use std::fmt;
+
+/// The name of a principal.
+///
+/// Names are opaque dot/slash-free labels by convention (`alice`,
+/// `fileserver.isi.edu`); the library imposes no structure beyond
+/// non-emptiness.
+///
+/// ```
+/// use restricted_proxy::principal::PrincipalId;
+/// let alice = PrincipalId::new("alice");
+/// assert_eq!(alice.as_str(), "alice");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PrincipalId(String);
+
+impl PrincipalId {
+    /// Creates a principal name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is empty — an empty principal name is always a
+    /// programming error, never data.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        let name = name.into();
+        assert!(!name.is_empty(), "principal name must be non-empty");
+        Self(name)
+    }
+
+    /// Creates a principal name, returning `None` when `name` is empty
+    /// (the fallible path for decoding untrusted bytes).
+    #[must_use]
+    pub fn try_new(name: impl Into<String>) -> Option<Self> {
+        let name = name.into();
+        (!name.is_empty()).then_some(Self(name))
+    }
+
+    /// The name as a string slice.
+    #[must_use]
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for PrincipalId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl fmt::Debug for PrincipalId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PrincipalId({})", self.0)
+    }
+}
+
+impl From<&str> for PrincipalId {
+    fn from(s: &str) -> Self {
+        Self::new(s)
+    }
+}
+
+/// A globally-named group: the group server's principal name plus the
+/// group's local name (§3.3: "a global name of a group is composed of the
+/// name of the group server, and the name of the group on that server").
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GroupName {
+    /// The group server maintaining the group.
+    pub server: PrincipalId,
+    /// The group's name local to that server.
+    pub name: String,
+}
+
+impl GroupName {
+    /// Creates a global group name.
+    #[must_use]
+    pub fn new(server: PrincipalId, name: impl Into<String>) -> Self {
+        Self {
+            server,
+            name: name.into(),
+        }
+    }
+}
+
+impl fmt::Display for GroupName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.server, self.name)
+    }
+}

@@ -1,0 +1,135 @@
+//! Replay protection for `accept-once` restrictions (§7.7).
+//!
+//! "Once a check is paid, the accounting server keeps track of the check
+//! number until the expiration time on the check. If, within that period,
+//! another check with the same number is seen, it is rejected." (§4)
+
+use std::collections::HashMap;
+
+use crate::principal::PrincipalId;
+use crate::time::Timestamp;
+
+/// End-server-side memory of `accept-once` identifiers.
+pub trait ReplayGuard {
+    /// Records `(grantor, id)` if fresh, remembering it until `expires`.
+    /// Returns `true` when fresh (the proxy may be accepted), `false` when
+    /// the identifier was already used.
+    fn accept_once(&mut self, grantor: &PrincipalId, id: u64, expires: Timestamp) -> bool;
+
+    /// Drops identifiers whose retention window has passed. Identifiers
+    /// need only be remembered until the proxy carrying them expires —
+    /// after that the proxy is unusable anyway.
+    fn expire(&mut self, now: Timestamp);
+}
+
+/// In-memory [`ReplayGuard`].
+#[derive(Debug, Default)]
+pub struct MemoryReplayGuard {
+    seen: HashMap<(PrincipalId, u64), Timestamp>,
+}
+
+impl MemoryReplayGuard {
+    /// Creates an empty guard.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of identifiers currently remembered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// True when no identifiers are remembered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.seen.is_empty()
+    }
+}
+
+impl ReplayGuard for MemoryReplayGuard {
+    fn accept_once(&mut self, grantor: &PrincipalId, id: u64, expires: Timestamp) -> bool {
+        let key = (grantor.clone(), id);
+        if let Some(prior) = self.seen.get(&key) {
+            // Remember the longer of the two retention windows.
+            if expires > *prior {
+                self.seen.insert(key, expires);
+            }
+            return false;
+        }
+        self.seen.insert(key, expires);
+        true
+    }
+
+    fn expire(&mut self, now: Timestamp) {
+        self.seen.retain(|_, expires| *expires > now);
+    }
+}
+
+/// A guard that refuses every `accept-once` proxy — for verifiers that
+/// cannot afford replay state and therefore must not accept such proxies.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RejectAcceptOnce;
+
+impl ReplayGuard for RejectAcceptOnce {
+    fn accept_once(&mut self, _grantor: &PrincipalId, _id: u64, _expires: Timestamp) -> bool {
+        false
+    }
+
+    fn expire(&mut self, _now: Timestamp) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(name: &str) -> PrincipalId {
+        PrincipalId::new(name)
+    }
+
+    #[test]
+    fn fresh_then_replayed() {
+        let mut g = MemoryReplayGuard::new();
+        assert!(g.accept_once(&p("c"), 1, Timestamp(10)));
+        assert!(!g.accept_once(&p("c"), 1, Timestamp(10)));
+        assert!(g.accept_once(&p("c"), 2, Timestamp(10)));
+        assert!(g.accept_once(&p("d"), 1, Timestamp(10)));
+        assert_eq!(g.len(), 3);
+    }
+
+    #[test]
+    fn expiry_frees_identifiers() {
+        let mut g = MemoryReplayGuard::new();
+        assert!(g.accept_once(&p("c"), 1, Timestamp(10)));
+        g.expire(Timestamp(9));
+        assert!(
+            !g.accept_once(&p("c"), 1, Timestamp(10)),
+            "still remembered"
+        );
+        g.expire(Timestamp(10));
+        assert!(g.is_empty());
+        // After the window the id may be seen again (a new check may
+        // legitimately reuse a number after the old one expired).
+        assert!(g.accept_once(&p("c"), 1, Timestamp(20)));
+    }
+
+    #[test]
+    fn replay_extends_retention() {
+        let mut g = MemoryReplayGuard::new();
+        assert!(g.accept_once(&p("c"), 1, Timestamp(10)));
+        // A replay attempt carrying a longer expiry must extend retention.
+        assert!(!g.accept_once(&p("c"), 1, Timestamp(50)));
+        g.expire(Timestamp(10));
+        assert!(
+            !g.accept_once(&p("c"), 1, Timestamp(50)),
+            "retention extended"
+        );
+    }
+
+    #[test]
+    fn rejecting_guard_rejects_everything() {
+        let mut g = RejectAcceptOnce;
+        assert!(!g.accept_once(&p("c"), 1, Timestamp(10)));
+    }
+}

@@ -1,0 +1,128 @@
+//! Logical timestamps.
+//!
+//! Every certificate carries an expiration time (§3.1: "as implemented on
+//! most authentication systems, the resulting capability would have an
+//! expiration time. This is a feature."). The workspace runs on the
+//! deterministic `netsim` clock, so time is a plain logical tick count.
+
+use std::fmt;
+
+/// A logical instant (tick count on the simulation clock).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Timestamp(pub u64);
+
+impl Timestamp {
+    /// The epoch (tick zero).
+    pub const ZERO: Timestamp = Timestamp(0);
+    /// The maximum representable instant, used for "effectively
+    /// non-expiring" proxies (§3.1: "If a nonexpiring capability is
+    /// desired, the expiration time can be set sufficiently far in the
+    /// future").
+    pub const MAX: Timestamp = Timestamp(u64::MAX);
+
+    /// Returns this instant advanced by `ticks`.
+    #[must_use]
+    pub fn plus(self, ticks: u64) -> Timestamp {
+        Timestamp(self.0.saturating_add(ticks))
+    }
+
+    /// The earlier of two instants.
+    #[must_use]
+    pub fn min(self, other: Timestamp) -> Timestamp {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A half-open validity interval `[from, until)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Validity {
+    /// First instant at which the credential is valid.
+    pub from: Timestamp,
+    /// First instant at which the credential is no longer valid.
+    pub until: Timestamp,
+}
+
+impl Validity {
+    /// Creates a validity window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from >= until` (an empty window is a construction bug).
+    #[must_use]
+    pub fn new(from: Timestamp, until: Timestamp) -> Self {
+        assert!(from < until, "validity window must be non-empty");
+        Self { from, until }
+    }
+
+    /// Window starting now and lasting `ticks`.
+    #[must_use]
+    pub fn starting_at(from: Timestamp, ticks: u64) -> Self {
+        Self::new(from, from.plus(ticks))
+    }
+
+    /// True when `now` falls inside the window.
+    #[must_use]
+    pub fn contains(&self, now: Timestamp) -> bool {
+        self.from <= now && now < self.until
+    }
+
+    /// Intersection of two windows — used when cascading proxies, since a
+    /// derived proxy can never outlive its parent.
+    #[must_use]
+    pub fn intersect(&self, other: &Validity) -> Option<Validity> {
+        let from = self.from.max(other.from);
+        let until = self.until.min(other.until);
+        (from < until).then_some(Validity { from, until })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_is_half_open() {
+        let v = Validity::new(Timestamp(10), Timestamp(20));
+        assert!(!v.contains(Timestamp(9)));
+        assert!(v.contains(Timestamp(10)));
+        assert!(v.contains(Timestamp(19)));
+        assert!(!v.contains(Timestamp(20)));
+    }
+
+    #[test]
+    fn intersect_narrows() {
+        let a = Validity::new(Timestamp(0), Timestamp(100));
+        let b = Validity::new(Timestamp(50), Timestamp(200));
+        let i = a.intersect(&b).unwrap();
+        assert_eq!(i, Validity::new(Timestamp(50), Timestamp(100)));
+    }
+
+    #[test]
+    fn disjoint_windows_do_not_intersect() {
+        let a = Validity::new(Timestamp(0), Timestamp(10));
+        let b = Validity::new(Timestamp(10), Timestamp(20));
+        assert!(a.intersect(&b).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_window_panics() {
+        let _ = Validity::new(Timestamp(5), Timestamp(5));
+    }
+
+    #[test]
+    fn plus_saturates() {
+        assert_eq!(Timestamp::MAX.plus(1), Timestamp::MAX);
+        assert_eq!(Timestamp(5).plus(10), Timestamp(15));
+    }
+}

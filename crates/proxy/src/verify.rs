@@ -1,0 +1,845 @@
+//! End-server verification of presented proxies.
+//!
+//! The verifier walks the certificate chain (Fig. 4) entirely offline —
+//! the efficiency difference from Sollins's cascaded authentication, where
+//! the end-server must contact the authentication server (§3.4) — then
+//! evaluates the additive union of restrictions and checks the presenter's
+//! proof (possession for bearer proxies, authenticated identity for
+//! delegate proxies).
+
+use proxy_crypto::hmac::HmacSha256;
+
+use crate::cert::{CertSeal, Certificate, SigningAuthorityKind};
+use crate::context::RequestContext;
+use crate::error::VerifyError;
+use crate::key::{GrantorVerifier, KeyResolver, ProxyKeyVerifier};
+use crate::present::{presentation_binding, Presentation, Proof};
+use crate::principal::PrincipalId;
+use crate::replay::ReplayGuard;
+use crate::restriction::RestrictionSet;
+use crate::time::Timestamp;
+
+/// The outcome of successful verification: what the proxy conveys.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VerifiedProxy {
+    /// The original grantor, whose rights (as limited by the restrictions)
+    /// the request now carries.
+    pub grantor: PrincipalId,
+    /// The additive union of all restrictions along the chain.
+    pub restrictions: RestrictionSet,
+    /// Earliest expiry along the chain.
+    pub expires: Timestamp,
+    /// Chain length (1 = direct proxy, >1 = cascaded).
+    pub chain_len: usize,
+}
+
+/// An end-server's proxy verifier.
+#[derive(Clone, Debug)]
+pub struct Verifier<R> {
+    server: PrincipalId,
+    resolver: R,
+}
+
+impl<R: KeyResolver> Verifier<R> {
+    /// Creates a verifier for the end-server named `server`, resolving
+    /// grantor keys through `resolver`.
+    pub fn new(server: PrincipalId, resolver: R) -> Self {
+        Self { server, resolver }
+    }
+
+    /// The end-server this verifier speaks for.
+    #[must_use]
+    pub fn server(&self) -> &PrincipalId {
+        &self.server
+    }
+
+    /// Verifies a presentation against a request context.
+    ///
+    /// Checks, in order: chain seals (offline), validity windows,
+    /// presenter proof (possession or identity), and the additive
+    /// restriction union.
+    ///
+    /// # Errors
+    ///
+    /// Every failure mode is a distinct [`VerifyError`]; see its docs.
+    pub fn verify(
+        &self,
+        presentation: &Presentation,
+        ctx: &RequestContext,
+        replay: &mut dyn ReplayGuard,
+    ) -> Result<VerifiedProxy, VerifyError> {
+        let certs = &presentation.certs;
+        if certs.is_empty() {
+            return Err(VerifyError::EmptyChain);
+        }
+
+        // Pass 1: verify seals and recover proxy-key verifiers link by link.
+        let mut prev_key: Option<ProxyKeyVerifier> = None;
+        let mut expires = Timestamp::MAX;
+        for (index, cert) in certs.iter().enumerate() {
+            if !cert.validity.contains(ctx.now) {
+                return Err(VerifyError::NotValidAt {
+                    index,
+                    now: ctx.now,
+                });
+            }
+            expires = expires.min(cert.expires());
+            let unseal_key = match cert.authority {
+                SigningAuthorityKind::Grantor => {
+                    let verifier = self
+                        .resolver
+                        .grantor_verifier(&cert.grantor)
+                        .ok_or_else(|| VerifyError::UnknownGrantor(cert.grantor.clone()))?;
+                    check_grantor_seal(cert, &verifier, index)?;
+                    match verifier {
+                        GrantorVerifier::SharedKey(k) => Some(k),
+                        GrantorVerifier::PublicKey(_) => None,
+                    }
+                }
+                SigningAuthorityKind::PriorProxyKey => {
+                    if index == 0 {
+                        return Err(VerifyError::HeadNotGrantorSealed);
+                    }
+                    let prior = prev_key.as_ref().expect("set on every prior iteration");
+                    check_prior_key_seal(cert, prior, index)?;
+                    match prior {
+                        ProxyKeyVerifier::Symmetric(k) => Some(k.clone()),
+                        ProxyKeyVerifier::Ed25519(_) => None,
+                    }
+                }
+            };
+            prev_key = Some(
+                cert.key_material
+                    .unseal(unseal_key.as_ref())
+                    .ok_or(VerifyError::KeyUnrecoverable { index })?,
+            );
+        }
+        let final_key = prev_key.expect("chain non-empty");
+
+        // Pass 2: resolve delegate cascades into an effective identity set.
+        // A subordinate holding a cascade link from a named delegate may act
+        // as that delegate (§2: "or by someone with a suitable additional
+        // proxy issued by a named delegate").
+        let mut effective = ctx.authenticated.clone();
+        for cert in certs.iter().skip(1).rev() {
+            if cert.authority == SigningAuthorityKind::Grantor
+                && grantee_satisfied(&cert.restrictions, &effective)
+                && !effective.contains(&cert.grantor)
+            {
+                effective.push(cert.grantor.clone());
+            }
+        }
+        let mut eval_ctx = ctx.clone();
+        eval_ctx.authenticated = effective;
+
+        // Pass 3: the presenter's proof.
+        let combined = certs
+            .iter()
+            .fold(RestrictionSet::new(), |acc, c| acc.union(&c.restrictions));
+        match &presentation.proof {
+            Proof::Possession {
+                challenge,
+                response,
+            } => {
+                let binding = presentation_binding(&self.server, certs.last().expect("non-empty"));
+                if !final_key.check_possession(challenge, &binding, response) {
+                    return Err(VerifyError::BadPossession);
+                }
+            }
+            Proof::Identity => {
+                // Only delegate proxies may be exercised without possession.
+                if !combined.has_grantee() {
+                    return Err(VerifyError::BearerRequiresPossession);
+                }
+            }
+        }
+
+        // Pass 4: evaluate every certificate's restrictions (additive).
+        for cert in certs {
+            cert.restrictions
+                .evaluate(&eval_ctx, &cert.grantor, cert.expires(), replay)?;
+        }
+
+        Ok(VerifiedProxy {
+            grantor: certs[0].grantor.clone(),
+            restrictions: combined,
+            expires,
+            chain_len: certs.len(),
+        })
+    }
+}
+
+fn check_grantor_seal(
+    cert: &Certificate,
+    verifier: &GrantorVerifier,
+    index: usize,
+) -> Result<(), VerifyError> {
+    let body = cert.body_bytes();
+    let ok = match (verifier, &cert.seal) {
+        (GrantorVerifier::SharedKey(k), CertSeal::Hmac(tag)) => {
+            HmacSha256::verify(k.as_bytes(), &body, tag)
+        }
+        (GrantorVerifier::PublicKey(vk), CertSeal::Ed25519(sig)) => vk.verify(&body, sig).is_ok(),
+        _ => return Err(VerifyError::FlavorMismatch { index }),
+    };
+    if ok {
+        Ok(())
+    } else {
+        Err(VerifyError::BadSeal { index })
+    }
+}
+
+fn check_prior_key_seal(
+    cert: &Certificate,
+    prior: &ProxyKeyVerifier,
+    index: usize,
+) -> Result<(), VerifyError> {
+    let body = cert.body_bytes();
+    let ok = match (prior, &cert.seal) {
+        (ProxyKeyVerifier::Symmetric(k), CertSeal::Hmac(tag)) => {
+            HmacSha256::verify(k.as_bytes(), &body, tag)
+        }
+        (ProxyKeyVerifier::Ed25519(vk), CertSeal::Ed25519(sig)) => vk.verify(&body, sig).is_ok(),
+        _ => return Err(VerifyError::FlavorMismatch { index }),
+    };
+    if ok {
+        Ok(())
+    } else {
+        Err(VerifyError::BadSeal { index })
+    }
+}
+
+fn grantee_satisfied(restrictions: &RestrictionSet, authenticated: &[PrincipalId]) -> bool {
+    restrictions.iter().all(|r| match r {
+        crate::restriction::Restriction::Grantee {
+            delegates,
+            required,
+        } => {
+            delegates
+                .iter()
+                .filter(|d| authenticated.contains(d))
+                .count() as u32
+                >= *required
+        }
+        _ => true,
+    }) && restrictions.has_grantee()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::{GrantAuthority, MapResolver};
+    use crate::proxy::{delegate_cascade, grant};
+    use crate::replay::MemoryReplayGuard;
+    use crate::restriction::{ObjectName, Operation, Restriction};
+    use crate::time::{Timestamp, Validity};
+    use proxy_crypto::ed25519::SigningKey;
+    use proxy_crypto::keys::SymmetricKey;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn p(name: &str) -> PrincipalId {
+        PrincipalId::new(name)
+    }
+
+    fn window() -> Validity {
+        Validity::new(Timestamp(0), Timestamp(1000))
+    }
+
+    fn ctx() -> RequestContext {
+        RequestContext::new(p("fs"), Operation::new("read"), ObjectName::new("file"))
+            .at(Timestamp(10))
+    }
+
+    struct Setup {
+        rng: StdRng,
+        shared: SymmetricKey,
+        verifier: Verifier<MapResolver>,
+    }
+
+    fn symmetric_setup(seed: u64) -> Setup {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let shared = SymmetricKey::generate(&mut rng);
+        let resolver =
+            MapResolver::new().with(p("alice"), GrantorVerifier::SharedKey(shared.clone()));
+        Setup {
+            rng,
+            shared,
+            verifier: Verifier::new(p("fs"), resolver),
+        }
+    }
+
+    #[test]
+    fn bearer_symmetric_round_trip() {
+        let mut s = symmetric_setup(1);
+        let auth = GrantAuthority::SharedKey(s.shared.clone());
+        let proxy = grant(
+            &p("alice"),
+            &auth,
+            RestrictionSet::new(),
+            window(),
+            1,
+            &mut s.rng,
+        );
+        let pres = proxy.present_bearer([7u8; 32], &p("fs"));
+        let mut guard = MemoryReplayGuard::new();
+        let verified = s.verifier.verify(&pres, &ctx(), &mut guard).unwrap();
+        assert_eq!(verified.grantor, p("alice"));
+        assert_eq!(verified.chain_len, 1);
+    }
+
+    #[test]
+    fn bearer_public_key_round_trip() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let sk = SigningKey::generate(&mut rng);
+        let resolver =
+            MapResolver::new().with(p("alice"), GrantorVerifier::PublicKey(sk.verifying_key()));
+        let verifier = Verifier::new(p("fs"), resolver);
+        let auth = GrantAuthority::Keypair(sk);
+        let proxy = grant(
+            &p("alice"),
+            &auth,
+            RestrictionSet::new(),
+            window(),
+            1,
+            &mut rng,
+        );
+        let pres = proxy.present_bearer([7u8; 32], &p("fs"));
+        let mut guard = MemoryReplayGuard::new();
+        assert!(verifier.verify(&pres, &ctx(), &mut guard).is_ok());
+    }
+
+    #[test]
+    fn unknown_grantor_rejected() {
+        let mut s = symmetric_setup(3);
+        let other_key = SymmetricKey::generate(&mut s.rng);
+        let auth = GrantAuthority::SharedKey(other_key);
+        let proxy = grant(
+            &p("mallory"),
+            &auth,
+            RestrictionSet::new(),
+            window(),
+            1,
+            &mut s.rng,
+        );
+        let pres = proxy.present_bearer([0u8; 32], &p("fs"));
+        let mut guard = MemoryReplayGuard::new();
+        assert_eq!(
+            s.verifier.verify(&pres, &ctx(), &mut guard),
+            Err(VerifyError::UnknownGrantor(p("mallory")))
+        );
+    }
+
+    #[test]
+    fn forged_seal_rejected() {
+        let mut s = symmetric_setup(4);
+        // Mallory knows alice's name but not the shared key.
+        let mallory_key = SymmetricKey::generate(&mut s.rng);
+        let auth = GrantAuthority::SharedKey(mallory_key);
+        let proxy = grant(
+            &p("alice"),
+            &auth,
+            RestrictionSet::new(),
+            window(),
+            1,
+            &mut s.rng,
+        );
+        let pres = proxy.present_bearer([0u8; 32], &p("fs"));
+        let mut guard = MemoryReplayGuard::new();
+        assert_eq!(
+            s.verifier.verify(&pres, &ctx(), &mut guard),
+            Err(VerifyError::BadSeal { index: 0 })
+        );
+    }
+
+    #[test]
+    fn restriction_stripping_detected() {
+        let mut s = symmetric_setup(5);
+        let auth = GrantAuthority::SharedKey(s.shared.clone());
+        let restricted = RestrictionSet::new().with(Restriction::authorize_op(
+            ObjectName::new("only-this"),
+            Operation::new("read"),
+        ));
+        let proxy = grant(&p("alice"), &auth, restricted, window(), 1, &mut s.rng);
+        let mut pres = proxy.present_bearer([0u8; 32], &p("fs"));
+        // Attacker strips the restrictions from the certificate.
+        pres.certs[0].restrictions = RestrictionSet::new();
+        let mut guard = MemoryReplayGuard::new();
+        assert_eq!(
+            s.verifier.verify(&pres, &ctx(), &mut guard),
+            Err(VerifyError::BadSeal { index: 0 })
+        );
+    }
+
+    #[test]
+    fn expired_proxy_rejected() {
+        let mut s = symmetric_setup(6);
+        let auth = GrantAuthority::SharedKey(s.shared.clone());
+        let proxy = grant(
+            &p("alice"),
+            &auth,
+            RestrictionSet::new(),
+            Validity::new(Timestamp(0), Timestamp(5)),
+            1,
+            &mut s.rng,
+        );
+        let pres = proxy.present_bearer([0u8; 32], &p("fs"));
+        let mut guard = MemoryReplayGuard::new();
+        assert_eq!(
+            s.verifier.verify(&pres, &ctx(), &mut guard), // ctx.now = 10
+            Err(VerifyError::NotValidAt {
+                index: 0,
+                now: Timestamp(10)
+            })
+        );
+    }
+
+    #[test]
+    fn wrong_challenge_response_rejected() {
+        let mut s = symmetric_setup(7);
+        let auth = GrantAuthority::SharedKey(s.shared.clone());
+        let proxy = grant(
+            &p("alice"),
+            &auth,
+            RestrictionSet::new(),
+            window(),
+            1,
+            &mut s.rng,
+        );
+        let mut pres = proxy.present_bearer([1u8; 32], &p("fs"));
+        // Server actually issued a different challenge: simulate by
+        // swapping the challenge after the response was computed.
+        if let Proof::Possession { challenge, .. } = &mut pres.proof {
+            *challenge = [2u8; 32];
+        }
+        let mut guard = MemoryReplayGuard::new();
+        assert_eq!(
+            s.verifier.verify(&pres, &ctx(), &mut guard),
+            Err(VerifyError::BadPossession)
+        );
+    }
+
+    #[test]
+    fn presentation_bound_to_server() {
+        // A response computed for server A must not verify at server B.
+        let mut s = symmetric_setup(8);
+        let auth = GrantAuthority::SharedKey(s.shared.clone());
+        let proxy = grant(
+            &p("alice"),
+            &auth,
+            RestrictionSet::new(),
+            window(),
+            1,
+            &mut s.rng,
+        );
+        let pres_for_other = proxy.present_bearer([1u8; 32], &p("other-server"));
+        let mut guard = MemoryReplayGuard::new();
+        assert_eq!(
+            s.verifier.verify(&pres_for_other, &ctx(), &mut guard),
+            Err(VerifyError::BadPossession)
+        );
+    }
+
+    #[test]
+    fn bearer_without_possession_rejected() {
+        let mut s = symmetric_setup(9);
+        let auth = GrantAuthority::SharedKey(s.shared.clone());
+        let proxy = grant(
+            &p("alice"),
+            &auth,
+            RestrictionSet::new(),
+            window(),
+            1,
+            &mut s.rng,
+        );
+        let pres = proxy.present_delegate(); // wrong: bearer needs PoP
+        let mut guard = MemoryReplayGuard::new();
+        assert_eq!(
+            s.verifier.verify(&pres, &ctx(), &mut guard),
+            Err(VerifyError::BearerRequiresPossession)
+        );
+    }
+
+    #[test]
+    fn delegate_requires_named_identity() {
+        let mut s = symmetric_setup(10);
+        let auth = GrantAuthority::SharedKey(s.shared.clone());
+        let proxy = grant(
+            &p("alice"),
+            &auth,
+            RestrictionSet::new().with(Restriction::grantee_one(p("bob"))),
+            window(),
+            1,
+            &mut s.rng,
+        );
+        let pres = proxy.present_delegate();
+        let mut guard = MemoryReplayGuard::new();
+        // Unauthenticated: denied.
+        assert!(matches!(
+            s.verifier.verify(&pres, &ctx(), &mut guard),
+            Err(VerifyError::Denied(_))
+        ));
+        // Authenticated as carol: still denied.
+        let carol_ctx = ctx().authenticated_as(p("carol"));
+        assert!(matches!(
+            s.verifier.verify(&pres, &carol_ctx, &mut guard),
+            Err(VerifyError::Denied(_))
+        ));
+        // Authenticated as bob: accepted.
+        let bob_ctx = ctx().authenticated_as(p("bob"));
+        assert!(s.verifier.verify(&pres, &bob_ctx, &mut guard).is_ok());
+    }
+
+    #[test]
+    fn bearer_cascade_verifies_and_restricts() {
+        let mut s = symmetric_setup(11);
+        let auth = GrantAuthority::SharedKey(s.shared.clone());
+        let parent = grant(
+            &p("alice"),
+            &auth,
+            RestrictionSet::new(),
+            window(),
+            1,
+            &mut s.rng,
+        );
+        let child = parent
+            .derive(
+                RestrictionSet::new().with(Restriction::authorize_op(
+                    ObjectName::new("file"),
+                    Operation::new("read"),
+                )),
+                window(),
+                2,
+                &mut s.rng,
+            )
+            .unwrap();
+        let mut guard = MemoryReplayGuard::new();
+        // Allowed: matches the added restriction.
+        let pres = child.present_bearer([3u8; 32], &p("fs"));
+        let verified = s.verifier.verify(&pres, &ctx(), &mut guard).unwrap();
+        assert_eq!(verified.chain_len, 2);
+        // Denied: outside the added restriction.
+        let mut write_ctx = ctx();
+        write_ctx.operation = Operation::new("write");
+        assert!(matches!(
+            s.verifier.verify(&pres, &write_ctx, &mut guard),
+            Err(VerifyError::Denied(_))
+        ));
+        // Crucially, the *parent* proxy still allows writes (restrictions
+        // were added, not transformed).
+        let parent_pres = parent.present_bearer([4u8; 32], &p("fs"));
+        assert!(s
+            .verifier
+            .verify(&parent_pres, &write_ctx, &mut guard)
+            .is_ok());
+    }
+
+    #[test]
+    fn delegate_cascade_grants_subordinate_access() {
+        let mut s = symmetric_setup(12);
+        let alice_auth = GrantAuthority::SharedKey(s.shared.clone());
+        // Alice grants a delegate proxy to the print server.
+        let parent = grant(
+            &p("alice"),
+            &alice_auth,
+            RestrictionSet::new().with(Restriction::grantee_one(p("print"))),
+            window(),
+            1,
+            &mut s.rng,
+        );
+        // The print server passes it to the file server with its own
+        // signature (audit trail).
+        let print_shared = SymmetricKey::generate(&mut s.rng);
+        let print_auth = GrantAuthority::SharedKey(print_shared.clone());
+        let child = delegate_cascade(
+            &parent.certs,
+            &p("print"),
+            &print_auth,
+            p("fsworker"),
+            RestrictionSet::new(),
+            window(),
+            2,
+            &mut s.rng,
+        )
+        .unwrap();
+        // End-server knows both alice's and print's keys.
+        let resolver = MapResolver::new()
+            .with(p("alice"), GrantorVerifier::SharedKey(s.shared.clone()))
+            .with(p("print"), GrantorVerifier::SharedKey(print_shared));
+        let verifier = Verifier::new(p("fs"), resolver);
+        let pres = child.present_delegate();
+        let mut guard = MemoryReplayGuard::new();
+        // The subordinate authenticates as itself; the cascade makes it an
+        // effective delegate of alice's proxy.
+        let sub_ctx = ctx().authenticated_as(p("fsworker"));
+        let verified = verifier.verify(&pres, &sub_ctx, &mut guard).unwrap();
+        assert_eq!(verified.grantor, p("alice"));
+        assert_eq!(verified.chain_len, 2);
+        // Someone else authenticating cannot use the chain.
+        let other_ctx = ctx().authenticated_as(p("intruder"));
+        assert!(matches!(
+            verifier.verify(&pres, &other_ctx, &mut guard),
+            Err(VerifyError::Denied(_))
+        ));
+    }
+
+    #[test]
+    fn head_sealed_by_prior_key_rejected() {
+        let mut s = symmetric_setup(13);
+        let auth = GrantAuthority::SharedKey(s.shared.clone());
+        let parent = grant(
+            &p("alice"),
+            &auth,
+            RestrictionSet::new(),
+            window(),
+            1,
+            &mut s.rng,
+        );
+        let child = parent
+            .derive(RestrictionSet::new(), window(), 2, &mut s.rng)
+            .unwrap();
+        // Present only the tail link, pretending it is a whole chain.
+        let mut pres = child.present_bearer([0u8; 32], &p("fs"));
+        pres.certs.remove(0);
+        let mut guard = MemoryReplayGuard::new();
+        assert_eq!(
+            s.verifier.verify(&pres, &ctx(), &mut guard),
+            Err(VerifyError::HeadNotGrantorSealed)
+        );
+    }
+
+    #[test]
+    fn empty_chain_rejected() {
+        let s = symmetric_setup(14);
+        let pres = Presentation {
+            certs: vec![],
+            proof: Proof::Identity,
+        };
+        let mut guard = MemoryReplayGuard::new();
+        assert_eq!(
+            s.verifier.verify(&pres, &ctx(), &mut guard),
+            Err(VerifyError::EmptyChain)
+        );
+    }
+
+    #[test]
+    fn eavesdropper_cannot_reuse_presentation() {
+        // The attacker records a full presentation off the wire, then tries
+        // to use the proxy with a *new* challenge from the server. Without
+        // the proxy key it can only replay the old response, which fails.
+        let mut s = symmetric_setup(15);
+        let auth = GrantAuthority::SharedKey(s.shared.clone());
+        let proxy = grant(
+            &p("alice"),
+            &auth,
+            RestrictionSet::new(),
+            window(),
+            1,
+            &mut s.rng,
+        );
+        let recorded = proxy.present_bearer([10u8; 32], &p("fs"));
+        let mut guard = MemoryReplayGuard::new();
+        assert!(s.verifier.verify(&recorded, &ctx(), &mut guard).is_ok());
+        // Fresh challenge from the server; attacker replays the old response.
+        let Proof::Possession { response, .. } = &recorded.proof else {
+            unreachable!()
+        };
+        let replayed = Presentation {
+            certs: recorded.certs.clone(),
+            proof: Proof::Possession {
+                challenge: [11u8; 32],
+                response: response.clone(),
+            },
+        };
+        assert_eq!(
+            s.verifier.verify(&replayed, &ctx(), &mut guard),
+            Err(VerifyError::BadPossession)
+        );
+    }
+
+    #[test]
+    fn accept_once_enforced_through_verifier() {
+        let mut s = symmetric_setup(16);
+        let auth = GrantAuthority::SharedKey(s.shared.clone());
+        let proxy = grant(
+            &p("alice"),
+            &auth,
+            RestrictionSet::new().with(Restriction::AcceptOnce { id: 99 }),
+            window(),
+            1,
+            &mut s.rng,
+        );
+        let mut guard = MemoryReplayGuard::new();
+        let pres = proxy.present_bearer([1u8; 32], &p("fs"));
+        assert!(s.verifier.verify(&pres, &ctx(), &mut guard).is_ok());
+        // Second acceptance (even via a fresh presentation) is rejected.
+        let pres2 = proxy.present_bearer([2u8; 32], &p("fs"));
+        assert!(matches!(
+            s.verifier.verify(&pres2, &ctx(), &mut guard),
+            Err(VerifyError::Denied(
+                crate::restriction::Denial::AlreadyAccepted { id: 99 }
+            ))
+        ));
+    }
+
+    #[test]
+    fn public_key_cascade_round_trip() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let sk = SigningKey::generate(&mut rng);
+        let resolver =
+            MapResolver::new().with(p("alice"), GrantorVerifier::PublicKey(sk.verifying_key()));
+        let verifier = Verifier::new(p("fs"), resolver);
+        let auth = GrantAuthority::Keypair(sk);
+        let parent = grant(
+            &p("alice"),
+            &auth,
+            RestrictionSet::new(),
+            window(),
+            1,
+            &mut rng,
+        );
+        let child = parent
+            .derive(
+                RestrictionSet::new().with(Restriction::issued_for_one(p("fs"))),
+                window(),
+                2,
+                &mut rng,
+            )
+            .unwrap();
+        let grandchild = child
+            .derive(RestrictionSet::new(), window(), 3, &mut rng)
+            .unwrap();
+        let pres = grandchild.present_bearer([5u8; 32], &p("fs"));
+        let mut guard = MemoryReplayGuard::new();
+        let verified = verifier.verify(&pres, &ctx(), &mut guard).unwrap();
+        assert_eq!(verified.chain_len, 3);
+    }
+
+    #[test]
+    fn issued_for_blocks_other_servers() {
+        let mut rng = StdRng::seed_from_u64(18);
+        let sk = SigningKey::generate(&mut rng);
+        let resolver =
+            MapResolver::new().with(p("alice"), GrantorVerifier::PublicKey(sk.verifying_key()));
+        // Same resolver at two servers (public keys are universal — exactly
+        // the §7.3 concern).
+        let fs = Verifier::new(p("fs"), resolver.clone());
+        let mail = Verifier::new(p("mail"), resolver);
+        let auth = GrantAuthority::Keypair(sk);
+        let proxy = grant(
+            &p("alice"),
+            &auth,
+            RestrictionSet::new().with(Restriction::issued_for_one(p("fs"))),
+            window(),
+            1,
+            &mut rng,
+        );
+        let mut guard = MemoryReplayGuard::new();
+        let pres_fs = proxy.present_bearer([1u8; 32], &p("fs"));
+        assert!(fs.verify(&pres_fs, &ctx(), &mut guard).is_ok());
+        let pres_mail = proxy.present_bearer([1u8; 32], &p("mail"));
+        let mut mail_ctx = ctx();
+        mail_ctx.server = p("mail");
+        assert!(matches!(
+            mail.verify(&pres_mail, &mail_ctx, &mut guard),
+            Err(VerifyError::Denied(_))
+        ));
+    }
+
+    #[test]
+    fn mismatched_seal_flavor_rejected() {
+        let mut s = symmetric_setup(19);
+        let auth = GrantAuthority::SharedKey(s.shared.clone());
+        let proxy = grant(
+            &p("alice"),
+            &auth,
+            RestrictionSet::new(),
+            window(),
+            1,
+            &mut s.rng,
+        );
+        let mut pres = proxy.present_bearer([1u8; 32], &p("fs"));
+        // Replace the HMAC seal with an Ed25519 signature: the resolver
+        // says alice uses a shared key, so the flavors cannot line up.
+        let sk = SigningKey::generate(&mut s.rng);
+        pres.certs[0].seal = CertSeal::Ed25519(sk.sign(b"x"));
+        let mut guard = MemoryReplayGuard::new();
+        assert_eq!(
+            s.verifier.verify(&pres, &ctx(), &mut guard),
+            Err(VerifyError::FlavorMismatch { index: 0 })
+        );
+    }
+
+    #[test]
+    fn verification_works_on_decoded_wire_presentations() {
+        let mut s = symmetric_setup(20);
+        let auth = GrantAuthority::SharedKey(s.shared.clone());
+        let proxy = grant(
+            &p("alice"),
+            &auth,
+            RestrictionSet::new(),
+            window(),
+            1,
+            &mut s.rng,
+        )
+        .derive(RestrictionSet::new(), window(), 2, &mut s.rng)
+        .unwrap();
+        let wire = proxy.present_bearer([2u8; 32], &p("fs")).encode();
+        let decoded = crate::present::Presentation::decode(&wire).unwrap();
+        let mut guard = MemoryReplayGuard::new();
+        assert!(s.verifier.verify(&decoded, &ctx(), &mut guard).is_ok());
+    }
+
+    #[test]
+    fn grantee_concurrence_required_at_verification() {
+        // required = 2 delegates must be authenticated together.
+        let mut s = symmetric_setup(21);
+        let auth = GrantAuthority::SharedKey(s.shared.clone());
+        let proxy = grant(
+            &p("alice"),
+            &auth,
+            RestrictionSet::new().with(Restriction::Grantee {
+                delegates: vec![p("bob"), p("carol")],
+                required: 2,
+            }),
+            window(),
+            1,
+            &mut s.rng,
+        );
+        let pres = proxy.present_delegate();
+        let mut guard = MemoryReplayGuard::new();
+        let one = ctx().authenticated_as(p("bob"));
+        assert!(matches!(
+            s.verifier.verify(&pres, &one, &mut guard),
+            Err(VerifyError::Denied(_))
+        ));
+        let both = ctx()
+            .authenticated_as(p("bob"))
+            .authenticated_as(p("carol"));
+        assert!(s.verifier.verify(&pres, &both, &mut guard).is_ok());
+    }
+
+    #[test]
+    fn stateless_verifiers_refuse_accept_once_proxies() {
+        // A verifier that cannot keep replay state must reject accept-once
+        // proxies outright rather than accept them unsafely.
+        let mut s = symmetric_setup(22);
+        let auth = GrantAuthority::SharedKey(s.shared.clone());
+        let proxy = grant(
+            &p("alice"),
+            &auth,
+            RestrictionSet::new().with(Restriction::AcceptOnce { id: 1 }),
+            window(),
+            1,
+            &mut s.rng,
+        );
+        let pres = proxy.present_bearer([1u8; 32], &p("fs"));
+        let mut guard = crate::replay::RejectAcceptOnce;
+        assert!(matches!(
+            s.verifier.verify(&pres, &ctx(), &mut guard),
+            Err(VerifyError::Denied(
+                crate::restriction::Denial::AlreadyAccepted { .. }
+            ))
+        ));
+    }
+}

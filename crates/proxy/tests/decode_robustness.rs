@@ -1,0 +1,63 @@
+//! Decoder robustness: arbitrary attacker-supplied bytes must produce
+//! errors, never panics, across every wire structure in the workspace.
+
+use proptest::prelude::*;
+
+use proxy_crypto::keys::SymmetricKey;
+use restricted_proxy::cert::Certificate;
+use restricted_proxy::encode::Decoder;
+use restricted_proxy::nameserver::KeyBinding;
+use restricted_proxy::present::Presentation;
+use restricted_proxy::proxy::Proxy;
+use restricted_proxy::restriction::RestrictionSet;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn certificate_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Certificate::decode(&bytes);
+    }
+
+    #[test]
+    fn presentation_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Presentation::decode(&bytes);
+    }
+
+    #[test]
+    fn restriction_set_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let mut d = Decoder::new(&bytes);
+        let _ = RestrictionSet::decode_from(&mut d);
+    }
+
+    #[test]
+    fn key_binding_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = KeyBinding::decode(&bytes);
+    }
+
+    #[test]
+    fn transfer_unseal_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512),
+                                    key in any::<[u8; 32]>()) {
+        let _ = Proxy::unseal_transfer(&bytes, &SymmetricKey::from_bytes(key));
+    }
+
+    /// Valid prefixes with garbage appended are rejected (trailing bytes).
+    #[test]
+    fn trailing_garbage_rejected(tail in proptest::collection::vec(any::<u8>(), 1..16)) {
+        use rand::SeedableRng;
+        use restricted_proxy::prelude::*;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let shared = SymmetricKey::generate(&mut rng);
+        let proxy = grant(
+            &PrincipalId::new("alice"),
+            &GrantAuthority::SharedKey(shared),
+            RestrictionSet::new(),
+            Validity::new(Timestamp(0), Timestamp(10)),
+            1,
+            &mut rng,
+        );
+        let mut wire = proxy.certs[0].encode();
+        wire.extend_from_slice(&tail);
+        prop_assert!(Certificate::decode(&wire).is_err());
+    }
+}

@@ -1,0 +1,212 @@
+//! §4 / Fig. 5 scenario: electronic commerce with checks.
+//!
+//! Carol buys from a shop. They bank at different accounting servers, so
+//! the shop's deposit triggers the full Fig. 5 clearing flow: carol's
+//! check (a numbered delegate proxy), the shop's deposit-only endorsement
+//! (E1), the shop's bank's endorsement (E2), collection at carol's bank,
+//! and the payment's return. A certified check and a bounced check follow.
+//!
+//! Run with: `cargo run --example commerce`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use proxy_aa::accounting::{write_check, AccountingServer, ClearingHouse};
+use proxy_aa::crypto::ed25519::SigningKey;
+use proxy_aa::netsim::Network;
+use proxy_aa::proxy::prelude::*;
+
+fn p(name: &str) -> PrincipalId {
+    PrincipalId::new(name)
+}
+
+fn usd() -> Currency {
+    Currency::new("USD")
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(21);
+
+    // --- Two banks, as in Fig. 5. ---------------------------------------
+    let carol_key = SigningKey::generate(&mut rng);
+    let shop_key = SigningKey::generate(&mut rng);
+    let bank1_key = SigningKey::generate(&mut rng);
+    let bank2_key = SigningKey::generate(&mut rng);
+
+    let mut bank1 = AccountingServer::new(p("$1"), GrantAuthority::Keypair(bank1_key.clone()));
+    bank1.open_account("shop", vec![p("shop")]);
+
+    let mut bank2 = AccountingServer::new(p("$2"), GrantAuthority::Keypair(bank2_key));
+    bank2.open_account("carol", vec![p("carol")]);
+    bank2.account_mut("carol").unwrap().credit(usd(), 1_000);
+    bank2.register_grantor(
+        p("carol"),
+        GrantorVerifier::PublicKey(carol_key.verifying_key()),
+    );
+    bank2.register_grantor(
+        p("shop"),
+        GrantorVerifier::PublicKey(shop_key.verifying_key()),
+    );
+    bank2.register_grantor(
+        p("$1"),
+        GrantorVerifier::PublicKey(bank1_key.verifying_key()),
+    );
+
+    let mut house = ClearingHouse::new();
+    house.add_server(bank1);
+    house.add_server(bank2);
+    let carol_auth = GrantAuthority::Keypair(carol_key);
+    let shop_auth = GrantAuthority::Keypair(shop_key);
+    println!("carol banks at $2 (balance 1000 USD); the shop banks at $1.\n");
+
+    // --- Purchase 1: an ordinary check. ---------------------------------
+    let check = write_check(
+        &p("carol"),
+        &carol_auth,
+        &p("$2"),
+        "carol",
+        p("shop"),
+        1001,
+        usd(),
+        250,
+        Validity::new(Timestamp(0), Timestamp(100_000)),
+        &mut rng,
+    );
+    println!("carol writes check #1001 for 250 USD to the shop.");
+    let mut net = Network::new(0);
+    let report = house
+        .deposit_and_clear(
+            &check,
+            &p("shop"),
+            &shop_auth,
+            &p("$1"),
+            "shop",
+            Timestamp(1),
+            &mut rng,
+            Some(&mut net),
+        )
+        .expect("clears");
+    println!(
+        "cleared through {} endorsement hop(s), {} messages, {} simulated ticks.",
+        report.hops,
+        report.messages,
+        net.now()
+    );
+    print_balances(&house);
+
+    // --- A double-deposit attempt (same check number). -------------------
+    let replay = house.deposit_and_clear(
+        &check,
+        &p("shop"),
+        &shop_auth,
+        &p("$1"),
+        "shop",
+        Timestamp(2),
+        &mut rng,
+        None,
+    );
+    println!(
+        "the shop tries to deposit check #1001 AGAIN: {}\n",
+        replay.err().map_or("?".into(), |e| e.to_string())
+    );
+
+    // --- Purchase 2: a certified check. ----------------------------------
+    println!("carol certifies check #1002 for 600 USD (funds held at $2).");
+    house
+        .server_mut(&p("$2"))
+        .unwrap()
+        .certify(
+            &p("carol"),
+            "carol",
+            1002,
+            usd(),
+            600,
+            p("shop"),
+            Validity::new(Timestamp(0), Timestamp(100_000)),
+            &mut rng,
+        )
+        .expect("certified");
+    print_balances(&house);
+    // Even if carol spends everything else, the certified check clears.
+    let drain = house
+        .server_mut(&p("$2"))
+        .unwrap()
+        .account_mut("carol")
+        .unwrap()
+        .debit(&usd(), 150);
+    println!("carol spends her remaining balance elsewhere: {drain:?}");
+    let check2 = write_check(
+        &p("carol"),
+        &carol_auth,
+        &p("$2"),
+        "carol",
+        p("shop"),
+        1002,
+        usd(),
+        600,
+        Validity::new(Timestamp(0), Timestamp(100_000)),
+        &mut rng,
+    );
+    let report = house
+        .deposit_and_clear(
+            &check2,
+            &p("shop"),
+            &shop_auth,
+            &p("$1"),
+            "shop",
+            Timestamp(3),
+            &mut rng,
+            None,
+        )
+        .expect("certified check clears from the hold");
+    println!(
+        "certified check #1002 cleared ({} USD).",
+        report.payment.amount
+    );
+    print_balances(&house);
+
+    // --- Purchase 3: insufficient funds. ----------------------------------
+    let bad = write_check(
+        &p("carol"),
+        &carol_auth,
+        &p("$2"),
+        "carol",
+        p("shop"),
+        1003,
+        usd(),
+        500,
+        Validity::new(Timestamp(0), Timestamp(100_000)),
+        &mut rng,
+    );
+    let bounced = house.deposit_and_clear(
+        &bad,
+        &p("shop"),
+        &shop_auth,
+        &p("$1"),
+        "shop",
+        Timestamp(4),
+        &mut rng,
+        None,
+    );
+    println!(
+        "check #1003 for 500 USD: {}",
+        bounced.err().map_or("?".into(), |e| e.to_string())
+    );
+    // The shop's bank reverses the pending credit out of band (§4).
+    let reversed = house
+        .server_mut(&p("$1"))
+        .unwrap()
+        .bounce(&p("carol"), 1003);
+    println!("shop's bank reverses the uncollected deposit: {reversed}");
+}
+
+fn print_balances(house: &ClearingHouse) {
+    let carol = house.server(&p("$2")).unwrap().account("carol").unwrap();
+    let shop = house.server(&p("$1")).unwrap().account("shop").unwrap();
+    println!(
+        "  balances: carol = {} USD (+{} held), shop = {} USD\n",
+        carol.balance(&usd()),
+        carol.held(&usd()),
+        shop.balance(&usd()),
+    );
+}

@@ -1,0 +1,182 @@
+//! §3.5 / §7.2 scenario: compound principals and separation of privilege.
+//!
+//! A vault server requires *two* concurring parties to open the vault
+//! (a compound ACL entry), and a release server requires membership in
+//! two groups with disjoint members (`for-use-by-group` with required=2) —
+//! "one way to implement separation of privilege" (§7.2).
+//!
+//! Run with: `cargo run --example separation_of_privilege`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use proxy_aa::authz::{Acl, AclRights, AclSubject, EndServer, GroupServer, Request};
+use proxy_aa::crypto::keys::SymmetricKey;
+use proxy_aa::proxy::prelude::*;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(41);
+
+    // =====================================================================
+    // Part 1 — compound principal: officer AND auditor must concur.
+    // =====================================================================
+    let officer = PrincipalId::new("officer");
+    let auditor = PrincipalId::new("auditor");
+    let vault = PrincipalId::new("vault");
+
+    let officer_key = SymmetricKey::generate(&mut rng);
+    let auditor_key = SymmetricKey::generate(&mut rng);
+    let mut server = EndServer::new(
+        vault.clone(),
+        MapResolver::new()
+            .with(
+                officer.clone(),
+                GrantorVerifier::SharedKey(officer_key.clone()),
+            )
+            .with(
+                auditor.clone(),
+                GrantorVerifier::SharedKey(auditor_key.clone()),
+            ),
+    );
+    server.acls.set(
+        ObjectName::new("vault-door"),
+        Acl::new().with(
+            AclSubject::Compound(vec![officer.clone(), auditor.clone()]),
+            AclRights::ops(vec![Operation::new("open")]),
+        ),
+    );
+    println!("vault ACL: open requires officer AND auditor.\n");
+
+    // Both grant single-operation proxies to the same courier.
+    let mk = |who: &PrincipalId, key: &SymmetricKey, serial, rng: &mut StdRng| {
+        grant(
+            who,
+            &GrantAuthority::SharedKey(key.clone()),
+            RestrictionSet::new().with(Restriction::authorize_op(
+                ObjectName::new("vault-door"),
+                Operation::new("open"),
+            )),
+            Validity::new(Timestamp(0), Timestamp(100)),
+            serial,
+            rng,
+        )
+    };
+    let officer_proxy = mk(&officer, &officer_key, 1, &mut rng);
+    let auditor_proxy = mk(&auditor, &auditor_key, 2, &mut rng);
+
+    let one = Request::new(
+        Operation::new("open"),
+        ObjectName::new("vault-door"),
+        Timestamp(1),
+    )
+    .with_presentation(officer_proxy.present_bearer([1u8; 32], &vault));
+    println!(
+        "courier presents officer's proxy only:  {}",
+        verdict(&server.authorize(&one))
+    );
+
+    let both = Request::new(
+        Operation::new("open"),
+        ObjectName::new("vault-door"),
+        Timestamp(1),
+    )
+    .with_presentation(officer_proxy.present_bearer([2u8; 32], &vault))
+    .with_presentation(auditor_proxy.present_bearer([3u8; 32], &vault));
+    println!(
+        "courier presents BOTH proxies:          {}\n",
+        verdict(&server.authorize(&both))
+    );
+
+    // =====================================================================
+    // Part 2 — for-use-by-group with two disjoint groups (§7.2).
+    // =====================================================================
+    let gs = PrincipalId::new("group-server");
+    let gs_key = SymmetricKey::generate(&mut rng);
+    let mut groups = GroupServer::new(gs.clone(), GrantAuthority::SharedKey(gs_key.clone()));
+    groups.add_member("operators", PrincipalId::new("dana"));
+    groups.add_member("safety-board", PrincipalId::new("dana"));
+    groups.add_member("operators", PrincipalId::new("erin"));
+
+    let launch = PrincipalId::new("launch-server");
+    let owner = PrincipalId::new("launch-owner");
+    let owner_key = SymmetricKey::generate(&mut rng);
+    let mut launch_server = EndServer::new(
+        launch.clone(),
+        MapResolver::new()
+            .with(owner.clone(), GrantorVerifier::SharedKey(owner_key.clone()))
+            .with(gs.clone(), GrantorVerifier::SharedKey(gs_key)),
+    );
+    launch_server.acls.set(
+        ObjectName::new("launch-button"),
+        Acl::new().with(AclSubject::Principal(owner.clone()), AclRights::all()),
+    );
+
+    // The owner's capability demands membership in BOTH groups.
+    let cap = grant(
+        &owner,
+        &GrantAuthority::SharedKey(owner_key),
+        RestrictionSet::new()
+            .with(Restriction::authorize_op(
+                ObjectName::new("launch-button"),
+                Operation::new("press"),
+            ))
+            .with(Restriction::ForUseByGroup {
+                groups: vec![
+                    GroupName::new(gs.clone(), "operators"),
+                    GroupName::new(gs.clone(), "safety-board"),
+                ],
+                required: 2,
+            }),
+        Validity::new(Timestamp(0), Timestamp(100)),
+        1,
+        &mut rng,
+    );
+    println!("launch capability requires: operators AND safety-board membership.\n");
+
+    let window = Validity::new(Timestamp(0), Timestamp(100));
+    // Dana is in both groups.
+    let dana_proof = groups
+        .membership_proxy(
+            &PrincipalId::new("dana"),
+            &["operators", "safety-board"],
+            window,
+            &mut rng,
+        )
+        .expect("dana is in both");
+    let req = Request::new(
+        Operation::new("press"),
+        ObjectName::new("launch-button"),
+        Timestamp(1),
+    )
+    .authenticated_as(PrincipalId::new("dana"))
+    .with_presentation(dana_proof.present_delegate())
+    .with_presentation(cap.present_bearer([4u8; 32], &launch));
+    println!(
+        "dana (both groups) presses:             {}",
+        verdict(&launch_server.authorize(&req))
+    );
+
+    // Erin is only an operator.
+    let erin_proof = groups
+        .membership_proxy(&PrincipalId::new("erin"), &["operators"], window, &mut rng)
+        .expect("erin is an operator");
+    let req = Request::new(
+        Operation::new("press"),
+        ObjectName::new("launch-button"),
+        Timestamp(1),
+    )
+    .authenticated_as(PrincipalId::new("erin"))
+    .with_presentation(erin_proof.present_delegate())
+    .with_presentation(cap.present_bearer([5u8; 32], &launch));
+    println!(
+        "erin (operators only) presses:          {}",
+        verdict(&launch_server.authorize(&req))
+    );
+}
+
+fn verdict<T, E: std::fmt::Display>(r: &Result<T, E>) -> String {
+    match r {
+        Ok(_) => "ALLOWED".to_string(),
+        Err(e) => format!("DENIED ({e})"),
+    }
+}

@@ -1,0 +1,43 @@
+//! # proxy-aa — Proxy-Based Authorization and Accounting
+//!
+//! Facade crate for the workspace reproducing B. Clifford Neuman,
+//! *Proxy-Based Authorization and Accounting for Distributed Systems*
+//! (ICDCS 1993). Re-exports the member crates so examples and downstream
+//! users can depend on a single crate:
+//!
+//! * [`crypto`] — self-contained cryptographic substrate.
+//! * [`proxy`] — the restricted-proxy model (the paper's contribution).
+//! * [`netsim`] — deterministic simulated network.
+//! * [`kerberos`] — Kerberos V5-style authentication substrate.
+//! * [`authz`] — ACLs, authorization server, group server, capabilities.
+//! * [`accounting`] — accounts, checks, endorsements, clearing.
+//! * [`baselines`] — comparators from the paper's related-work section.
+//!
+//! See `README.md` for a tour and `examples/` for runnable scenarios.
+//!
+//! ```
+//! use proxy_aa::proxy::prelude::*;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let session = proxy_aa::crypto::keys::SymmetricKey::generate(&mut rng);
+//! let proxy = grant(
+//!     &PrincipalId::new("alice"),
+//!     &GrantAuthority::SharedKey(session),
+//!     RestrictionSet::new(),
+//!     Validity::new(Timestamp(0), Timestamp(100)),
+//!     1,
+//!     &mut rng,
+//! );
+//! assert_eq!(proxy.grantor().as_str(), "alice");
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use kerberos_sim as kerberos;
+pub use netsim;
+pub use proxy_accounting as accounting;
+pub use proxy_authz as authz;
+pub use proxy_baselines as baselines;
+pub use proxy_crypto as crypto;
+pub use restricted_proxy as proxy;

@@ -1,0 +1,205 @@
+//! Integration: the distributed authorization stack of §3.
+//!
+//! A group server, an authorization server, and an end-server compose: the
+//! end-server's policy lives on the authorization server, which itself
+//! defers membership decisions to the group server. Clients traverse the
+//! whole chain with proxies; every administrative change (revocation at
+//! any layer) takes effect.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use proxy_aa::authz::{
+    Acl, AclRights, AclSubject, AuthorizationServer, AuthzError, EndServer, GroupServer, Request,
+};
+use proxy_aa::crypto::keys::SymmetricKey;
+use proxy_aa::proxy::prelude::*;
+
+fn p(name: &str) -> PrincipalId {
+    PrincipalId::new(name)
+}
+
+fn window() -> Validity {
+    Validity::new(Timestamp(0), Timestamp(10_000))
+}
+
+struct Stack {
+    rng: StdRng,
+    groups: GroupServer,
+    authz: AuthorizationServer<MapResolver>,
+    end: EndServer<MapResolver>,
+}
+
+fn stack(seed: u64) -> Stack {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let gs_key = SymmetricKey::generate(&mut rng);
+    let r_key = SymmetricKey::generate(&mut rng);
+
+    let mut groups = GroupServer::new(p("GS"), GrantAuthority::SharedKey(gs_key.clone()));
+    groups.add_member("staff", p("bob"));
+
+    let mut authz = AuthorizationServer::new(
+        p("R"),
+        GrantAuthority::SharedKey(r_key.clone()),
+        MapResolver::new().with(p("GS"), GrantorVerifier::SharedKey(gs_key)),
+    );
+    // Policy on the authorization server: staff may read X at S.
+    authz.database_mut(p("S")).set(
+        ObjectName::new("X"),
+        Acl::new().with(
+            AclSubject::Group(GroupName::new(p("GS"), "staff")),
+            AclRights::ops(vec![Operation::new("read")]),
+        ),
+    );
+
+    // The end-server's local ACL delegates to R (§3.5).
+    let mut end = EndServer::new(
+        p("S"),
+        MapResolver::new().with(p("R"), GrantorVerifier::SharedKey(r_key)),
+    );
+    end.acls.set(
+        ObjectName::new("X"),
+        Acl::new().with(AclSubject::Principal(p("R")), AclRights::all()),
+    );
+    Stack {
+        rng,
+        groups,
+        authz,
+        end,
+    }
+}
+
+fn full_path(stack: &mut Stack, client: &str) -> Result<(), AuthzError> {
+    // 1. Membership proxy from the group server.
+    let membership =
+        stack
+            .groups
+            .membership_proxy(&p(client), &["staff"], window(), &mut stack.rng)?;
+    // 2. Authorization proxy from R, justified by the membership proxy.
+    let proxy = stack.authz.request_authorization(
+        &p(client),
+        &[membership.present_delegate()],
+        &p("S"),
+        &Operation::new("read"),
+        &ObjectName::new("X"),
+        window(),
+        Timestamp(1),
+        &mut stack.rng,
+    )?;
+    // 3. Present at the end-server.
+    let req = Request::new(Operation::new("read"), ObjectName::new("X"), Timestamp(2))
+        .authenticated_as(p(client))
+        .with_presentation(proxy.present_bearer([1u8; 32], &p("S")));
+    stack.end.authorize(&req).map(|_| ())
+}
+
+#[test]
+fn member_traverses_the_whole_stack() {
+    let mut s = stack(1);
+    full_path(&mut s, "bob").unwrap();
+}
+
+#[test]
+fn non_member_is_stopped_at_the_group_server() {
+    let mut s = stack(2);
+    let err = full_path(&mut s, "carol").unwrap_err();
+    assert!(matches!(err, AuthzError::NotAMember { .. }), "{err:?}");
+}
+
+#[test]
+fn group_removal_revokes_future_authorizations() {
+    let mut s = stack(3);
+    assert!(full_path(&mut s, "bob").is_ok());
+    s.groups.remove_member("staff", &p("bob"));
+    let err = full_path(&mut s, "bob").unwrap_err();
+    assert!(matches!(err, AuthzError::NotAMember { .. }));
+}
+
+#[test]
+fn db_edit_on_authorization_server_revokes() {
+    let mut s = stack(4);
+    assert!(full_path(&mut s, "bob").is_ok());
+    // Replace the policy: nobody may read X anymore.
+    s.authz
+        .database_mut(p("S"))
+        .set(ObjectName::new("X"), Acl::new());
+    let err = full_path(&mut s, "bob").unwrap_err();
+    assert!(matches!(err, AuthzError::NotAuthorized { .. }));
+}
+
+#[test]
+fn end_server_acl_edit_revokes_the_whole_delegation() {
+    // §3.5 in reverse: removing R from the local ACL cuts off every proxy
+    // R ever issued.
+    let mut s = stack(5);
+    assert!(full_path(&mut s, "bob").is_ok());
+    s.end
+        .acls
+        .acl_mut(ObjectName::new("X"))
+        .remove_principal(&p("R"));
+    let err = full_path(&mut s, "bob").unwrap_err();
+    assert!(matches!(err, AuthzError::NotAuthorized { .. }));
+}
+
+#[test]
+fn authorization_proxy_is_scoped_to_operation_and_server() {
+    let mut s = stack(6);
+    let membership = s
+        .groups
+        .membership_proxy(&p("bob"), &["staff"], window(), &mut s.rng)
+        .unwrap();
+    let proxy = s
+        .authz
+        .request_authorization(
+            &p("bob"),
+            &[membership.present_delegate()],
+            &p("S"),
+            &Operation::new("read"),
+            &ObjectName::new("X"),
+            window(),
+            Timestamp(1),
+            &mut s.rng,
+        )
+        .unwrap();
+    // Write is outside the issued proxy.
+    let req = Request::new(Operation::new("write"), ObjectName::new("X"), Timestamp(2))
+        .authenticated_as(p("bob"))
+        .with_presentation(proxy.present_bearer([2u8; 32], &p("S")));
+    assert!(s.end.authorize(&req).is_err());
+    // And the proxy carries issued-for S: another server must reject it.
+    s.end
+        .authorize(
+            &Request::new(Operation::new("read"), ObjectName::new("X"), Timestamp(2))
+                .authenticated_as(p("bob"))
+                .with_presentation(proxy.present_bearer([3u8; 32], &p("S"))),
+        )
+        .expect("the legitimate path must still work");
+    assert!(proxy
+        .combined_restrictions()
+        .iter()
+        .any(|r| matches!(r, Restriction::IssuedFor { servers } if servers == &vec![p("S")])));
+}
+
+#[test]
+fn membership_proxy_not_transferable() {
+    let mut s = stack(7);
+    let membership = s
+        .groups
+        .membership_proxy(&p("bob"), &["staff"], window(), &mut s.rng)
+        .unwrap();
+    // Carol presents bob's membership proxy under her own identity.
+    let err = s
+        .authz
+        .request_authorization(
+            &p("carol"),
+            &[membership.present_delegate()],
+            &p("S"),
+            &Operation::new("read"),
+            &ObjectName::new("X"),
+            window(),
+            Timestamp(1),
+            &mut s.rng,
+        )
+        .unwrap_err();
+    assert!(matches!(err, AuthzError::Verify(_)), "{err:?}");
+}

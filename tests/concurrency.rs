@@ -1,0 +1,157 @@
+//! Concurrency: servers behind locks stay correct under parallel load.
+//!
+//! The library's server types are single-threaded state machines by
+//! design (deterministic simulation); deployments share them across
+//! threads behind a lock. These tests hammer that pattern: many threads
+//! verifying proxies and clearing checks concurrently, with the same
+//! invariants demanded as in the single-threaded property tests —
+//! at-most-once acceptance and money conservation.
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use proxy_aa::accounting::{write_check, AccountingServer, DepositOutcome};
+use proxy_aa::crypto::ed25519::SigningKey;
+use proxy_aa::crypto::keys::SymmetricKey;
+use proxy_aa::proxy::prelude::*;
+
+fn p(name: &str) -> PrincipalId {
+    PrincipalId::new(name)
+}
+
+fn usd() -> Currency {
+    Currency::new("USD")
+}
+
+fn window() -> Validity {
+    Validity::new(Timestamp(0), Timestamp(1_000_000))
+}
+
+#[test]
+fn public_api_types_are_send_and_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Proxy>();
+    assert_send_sync::<Presentation>();
+    assert_send_sync::<RestrictionSet>();
+    assert_send_sync::<Verifier<MapResolver>>();
+    assert_send_sync::<MemoryReplayGuard>();
+    assert_send_sync::<AccountingServer>();
+    assert_send_sync::<proxy_aa::kerberos::Kdc>();
+    assert_send_sync::<proxy_aa::authz::EndServer<MapResolver>>();
+    assert_send_sync::<proxy_aa::netsim::Network>();
+}
+
+#[test]
+fn parallel_verification_shares_one_verifier() {
+    // Verifier::verify takes &self: many threads can verify concurrently
+    // with per-thread replay guards.
+    let mut rng = StdRng::seed_from_u64(1);
+    let shared = SymmetricKey::generate(&mut rng);
+    let proxy = grant(
+        &p("alice"),
+        &GrantAuthority::SharedKey(shared.clone()),
+        RestrictionSet::new(),
+        window(),
+        1,
+        &mut rng,
+    );
+    let verifier = Verifier::new(
+        p("fs"),
+        MapResolver::new().with(p("alice"), GrantorVerifier::SharedKey(shared)),
+    );
+    let ctx =
+        RequestContext::new(p("fs"), Operation::new("read"), ObjectName::new("x")).at(Timestamp(1));
+    crossbeam::scope(|scope| {
+        for t in 0..8 {
+            let verifier = &verifier;
+            let proxy = &proxy;
+            let ctx = &ctx;
+            scope.spawn(move |_| {
+                let mut guard = MemoryReplayGuard::new();
+                for i in 0..50 {
+                    let challenge = [t as u8 + 1; 32];
+                    let pres = proxy.present_bearer(challenge, &p("fs"));
+                    verifier
+                        .verify(&pres, ctx, &mut guard)
+                        .unwrap_or_else(|e| panic!("thread {t} iter {i}: {e}"));
+                }
+            });
+        }
+    })
+    .expect("threads join");
+}
+
+#[test]
+fn concurrent_deposits_settle_each_check_exactly_once() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let carol_key = SigningKey::generate(&mut rng);
+    let mut bank = AccountingServer::new(
+        p("bank"),
+        GrantAuthority::Keypair(SigningKey::generate(&mut rng)),
+    );
+    bank.register_grantor(
+        p("carol"),
+        GrantorVerifier::PublicKey(carol_key.verifying_key()),
+    );
+    bank.open_account("carol", vec![p("carol")]);
+    bank.open_account("shop", vec![p("shop")]);
+    bank.account_mut("carol").unwrap().credit(usd(), 10_000);
+    let carol_auth = GrantAuthority::Keypair(carol_key);
+
+    // 16 distinct checks, each deposited by 4 racing threads.
+    let checks: Vec<_> = (1..=16u64)
+        .map(|no| {
+            write_check(
+                &p("carol"),
+                &carol_auth,
+                &p("bank"),
+                "carol",
+                p("shop"),
+                no,
+                usd(),
+                10,
+                window(),
+                &mut rng,
+            )
+        })
+        .collect();
+    let bank = Mutex::new(bank);
+    let settled = Mutex::new(Vec::new());
+
+    crossbeam::scope(|scope| {
+        for t in 0..4 {
+            let bank = &bank;
+            let settled = &settled;
+            let checks = &checks;
+            scope.spawn(move |_| {
+                let mut rng = StdRng::seed_from_u64(100 + t);
+                for check in checks {
+                    let result = bank.lock().deposit(
+                        check,
+                        &p("shop"),
+                        "shop",
+                        p("bank"),
+                        Timestamp(1),
+                        &mut rng,
+                    );
+                    if let Ok(DepositOutcome::Settled(payment)) = result {
+                        settled.lock().push(payment.check_no);
+                    }
+                }
+            });
+        }
+    })
+    .expect("threads join");
+
+    let mut settled = settled.into_inner();
+    settled.sort_unstable();
+    assert_eq!(
+        settled,
+        (1..=16u64).collect::<Vec<_>>(),
+        "each check exactly once"
+    );
+    let bank = bank.into_inner();
+    assert_eq!(bank.account("carol").unwrap().balance(&usd()), 10_000 - 160);
+    assert_eq!(bank.account("shop").unwrap().balance(&usd()), 160);
+}

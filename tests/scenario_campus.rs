@@ -1,0 +1,307 @@
+//! A randomized campus-scale scenario: many users, a group server, an
+//! authorization server, a file server, and two accounting servers, driven
+//! by a seeded stream of operations with a policy oracle.
+//!
+//! The oracle independently decides what *should* be allowed; the system
+//! must agree on every operation. Money conservation is asserted after
+//! every payment.
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use proxy_aa::accounting::{write_check, AccountingServer, ClearingHouse};
+use proxy_aa::authz::{Acl, AclRights, AclSubject, AuthorizationServer, EndServer, Request};
+use proxy_aa::crypto::ed25519::SigningKey;
+use proxy_aa::crypto::keys::SymmetricKey;
+use proxy_aa::proxy::prelude::*;
+
+const USERS: [&str; 6] = ["alice", "bob", "carol", "dave", "erin", "frank"];
+const STAFF: [&str; 3] = ["alice", "bob", "carol"];
+
+fn p(name: &str) -> PrincipalId {
+    PrincipalId::new(name)
+}
+
+fn usd() -> Currency {
+    Currency::new("USD")
+}
+
+fn window() -> Validity {
+    Validity::new(Timestamp(0), Timestamp(1_000_000))
+}
+
+struct Campus {
+    rng: StdRng,
+    groups: proxy_aa::authz::GroupServer,
+    authz: AuthorizationServer<MapResolver>,
+    fileserver: EndServer<MapResolver>,
+    house: ClearingHouse,
+    user_auths: Vec<(PrincipalId, GrantAuthority)>,
+}
+
+fn build(seed: u64) -> Campus {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let gs_key = SymmetricKey::generate(&mut rng);
+    let r_key = SymmetricKey::generate(&mut rng);
+
+    let mut groups =
+        proxy_aa::authz::GroupServer::new(p("GS"), GrantAuthority::SharedKey(gs_key.clone()));
+    for member in STAFF {
+        groups.add_member("staff", p(member));
+    }
+
+    let mut authz = AuthorizationServer::new(
+        p("R"),
+        GrantAuthority::SharedKey(r_key.clone()),
+        MapResolver::new().with(p("GS"), GrantorVerifier::SharedKey(gs_key)),
+    );
+    // Policy: staff may read the course notes at the file server.
+    authz.database_mut(p("FS")).set(
+        ObjectName::new("course-notes"),
+        Acl::new().with(
+            AclSubject::Group(GroupName::new(p("GS"), "staff")),
+            AclRights::ops(vec![Operation::new("read")]),
+        ),
+    );
+
+    let mut fileserver = EndServer::new(
+        p("FS"),
+        MapResolver::new().with(p("R"), GrantorVerifier::SharedKey(r_key)),
+    );
+    fileserver.acls.set(
+        ObjectName::new("course-notes"),
+        Acl::new().with(AclSubject::Principal(p("R")), AclRights::all()),
+    );
+
+    // Accounting: campus bank (users) + bookstore bank.
+    let mut user_auths = Vec::new();
+    let mut campus_bank = AccountingServer::new(
+        p("$campus"),
+        GrantAuthority::Keypair(SigningKey::generate(&mut rng)),
+    );
+    let bookstore_bank_key = SigningKey::generate(&mut rng);
+    let mut bookstore_bank = AccountingServer::new(
+        p("$bookstore"),
+        GrantAuthority::Keypair(bookstore_bank_key.clone()),
+    );
+    bookstore_bank.open_account("bookstore", vec![p("bookstore")]);
+    let bookstore_key = SigningKey::generate(&mut rng);
+    for user in USERS {
+        let key = SigningKey::generate(&mut rng);
+        campus_bank.open_account(user, vec![p(user)]);
+        campus_bank.account_mut(user).unwrap().credit(usd(), 1_000);
+        campus_bank.register_grantor(p(user), GrantorVerifier::PublicKey(key.verifying_key()));
+        user_auths.push((p(user), GrantAuthority::Keypair(key)));
+    }
+    // $campus must verify the depositor's (bookstore) and the clearing
+    // bank's ($bookstore) endorsements when checks come home.
+    campus_bank.register_grantor(
+        p("bookstore"),
+        GrantorVerifier::PublicKey(bookstore_key.verifying_key()),
+    );
+    campus_bank.register_grantor(
+        p("$bookstore"),
+        GrantorVerifier::PublicKey(bookstore_bank_key.verifying_key()),
+    );
+    user_auths.push((p("bookstore"), GrantAuthority::Keypair(bookstore_key)));
+    let mut house = ClearingHouse::new();
+    house.add_server(campus_bank);
+    house.add_server(bookstore_bank);
+    Campus {
+        rng,
+        groups,
+        authz,
+        fileserver,
+        house,
+        user_auths,
+    }
+}
+
+fn authority_of<'a>(campus: &'a Campus, who: &PrincipalId) -> &'a GrantAuthority {
+    &campus
+        .user_auths
+        .iter()
+        .find(|(name, _)| name == who)
+        .expect("known principal")
+        .1
+}
+
+/// Drives a read attempt through group server → authz server → file
+/// server; returns whether it was allowed.
+fn attempt_read(campus: &mut Campus, user: &str) -> bool {
+    let Ok(membership) =
+        campus
+            .groups
+            .membership_proxy(&p(user), &["staff"], window(), &mut campus.rng)
+    else {
+        return false;
+    };
+    let Ok(proxy) = campus.authz.request_authorization(
+        &p(user),
+        &[membership.present_delegate()],
+        &p("FS"),
+        &Operation::new("read"),
+        &ObjectName::new("course-notes"),
+        window(),
+        Timestamp(1),
+        &mut campus.rng,
+    ) else {
+        return false;
+    };
+    let req = Request::new(
+        Operation::new("read"),
+        ObjectName::new("course-notes"),
+        Timestamp(2),
+    )
+    .authenticated_as(p(user))
+    .with_presentation(proxy.present_bearer([7u8; 32], &p("FS")));
+    campus.fileserver.authorize(&req).is_ok()
+}
+
+fn total_money(campus: &Campus) -> u64 {
+    let campus_bank = campus.house.server(&p("$campus")).unwrap();
+    let mut total: u64 = USERS
+        .iter()
+        .map(|u| {
+            let a = campus_bank.account(u).unwrap();
+            a.balance(&usd()) + a.held(&usd())
+        })
+        .sum();
+    total += campus
+        .house
+        .server(&p("$bookstore"))
+        .unwrap()
+        .account("bookstore")
+        .unwrap()
+        .balance(&usd());
+    total
+}
+
+#[test]
+fn randomized_campus_scenario_agrees_with_oracle() {
+    for seed in [1u64, 2, 3] {
+        let mut campus = build(seed);
+        let staff: HashSet<&str> = STAFF.into_iter().collect();
+        let start_money = total_money(&campus);
+        let mut spent_per_user = vec![0u64; USERS.len()];
+        let mut check_no = 0u64;
+
+        for step in 0..60 {
+            let user_idx = campus.rng.gen_range(0..USERS.len());
+            let user = USERS[user_idx];
+            match campus.rng.gen_range(0..3) {
+                // Read attempt: oracle = staff membership.
+                0 => {
+                    let allowed = attempt_read(&mut campus, user);
+                    assert_eq!(
+                        allowed,
+                        staff.contains(user),
+                        "seed {seed} step {step}: {user} read oracle mismatch"
+                    );
+                }
+                // Purchase: oracle = balance covers the price.
+                1 => {
+                    check_no += 1;
+                    let price = campus.rng.gen_range(1..400);
+                    let authority = authority_of(&campus, &p(user)).clone();
+                    let check = write_check(
+                        &p(user),
+                        &authority,
+                        &p("$campus"),
+                        user,
+                        p("bookstore"),
+                        check_no,
+                        usd(),
+                        price,
+                        window(),
+                        &mut campus.rng,
+                    );
+                    let bookstore_authority = authority_of(&campus, &p("bookstore")).clone();
+                    let result = campus.house.deposit_and_clear(
+                        &check,
+                        &p("bookstore"),
+                        &bookstore_authority,
+                        &p("$bookstore"),
+                        "bookstore",
+                        Timestamp(step),
+                        &mut campus.rng,
+                        None,
+                    );
+                    let can_afford = 1_000 - spent_per_user[user_idx] >= price;
+                    assert_eq!(
+                        result.is_ok(),
+                        can_afford,
+                        "seed {seed} step {step}: {user} purchase oracle mismatch ({result:?})"
+                    );
+                    if result.is_ok() {
+                        spent_per_user[user_idx] += price;
+                    } else {
+                        // Reverse the pending credit, as the out-of-band
+                        // bounce procedure would.
+                        campus
+                            .house
+                            .server_mut(&p("$bookstore"))
+                            .unwrap()
+                            .bounce(&p(user), check_no);
+                    }
+                    assert_eq!(total_money(&campus), start_money, "conservation");
+                }
+                // Group churn: revoke or restore a user's staff membership
+                // and confirm reads track it instantly.
+                _ => {
+                    if staff.contains(user) {
+                        campus.groups.remove_member("staff", &p(user));
+                        assert!(!attempt_read(&mut campus, user));
+                        campus.groups.add_member("staff", p(user));
+                        assert!(attempt_read(&mut campus, user));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn cross_bank_purchase_settles_end_to_end() {
+    let mut campus = build(9);
+    let authority = authority_of(&campus, &p("alice")).clone();
+    let bookstore_authority = authority_of(&campus, &p("bookstore")).clone();
+    let check = write_check(
+        &p("alice"),
+        &authority,
+        &p("$campus"),
+        "alice",
+        p("bookstore"),
+        500,
+        usd(),
+        10,
+        window(),
+        &mut campus.rng,
+    );
+    let report = campus
+        .house
+        .deposit_and_clear(
+            &check,
+            &p("bookstore"),
+            &bookstore_authority,
+            &p("$bookstore"),
+            "bookstore",
+            Timestamp(1),
+            &mut campus.rng,
+            None,
+        )
+        .expect("clears across banks");
+    assert_eq!(report.payment.amount, 10);
+    assert_eq!(
+        campus
+            .house
+            .server(&p("$bookstore"))
+            .unwrap()
+            .account("bookstore")
+            .unwrap()
+            .balance(&usd()),
+        10
+    );
+}

@@ -1,0 +1,314 @@
+//! Adversarial integration tests: the security claims of §2/§3.1.
+//!
+//! An eavesdropper records whole presentations off the simulated network
+//! and tries to reuse what it saw; forgers strip restrictions, splice
+//! chains, and replay checks. Every attack must fail, and the specific
+//! failure mode is asserted.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use proxy_aa::netsim::{EndpointId, Network};
+use proxy_aa::proxy::prelude::*;
+use proxy_crypto::keys::SymmetricKey;
+
+fn p(name: &str) -> PrincipalId {
+    PrincipalId::new(name)
+}
+
+fn window() -> Validity {
+    Validity::new(Timestamp(0), Timestamp(1_000))
+}
+
+struct World {
+    rng: StdRng,
+    shared: SymmetricKey,
+    verifier: Verifier<MapResolver>,
+}
+
+fn world(seed: u64) -> World {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let shared = SymmetricKey::generate(&mut rng);
+    let resolver = MapResolver::new().with(p("alice"), GrantorVerifier::SharedKey(shared.clone()));
+    World {
+        rng,
+        shared,
+        verifier: Verifier::new(p("fs"), resolver),
+    }
+}
+
+fn ctx() -> RequestContext {
+    RequestContext::new(p("fs"), Operation::new("read"), ObjectName::new("f")).at(Timestamp(5))
+}
+
+/// §3.1: "an attacker can not obtain such a capability by tapping the
+/// network to observe the presentation of capabilities by legitimate
+/// users."
+#[test]
+fn eavesdropped_presentation_is_useless() {
+    let mut w = world(1);
+    let cap = grant(
+        &p("alice"),
+        &GrantAuthority::SharedKey(w.shared.clone()),
+        RestrictionSet::new(),
+        window(),
+        1,
+        &mut w.rng,
+    );
+
+    // The legitimate bearer presents over a tapped network.
+    let mut net = Network::new(0);
+    net.enable_tap();
+    let pres = cap.present_bearer([10u8; 32], &p("fs"));
+    net.transmit(
+        &EndpointId::new("bob"),
+        &EndpointId::new("fs"),
+        &pres.encode(),
+    );
+    let mut guard = MemoryReplayGuard::new();
+    assert!(w.verifier.verify(&pres, &ctx(), &mut guard).is_ok());
+
+    // The attacker reconstructs the presentation from the tap.
+    let captured = Presentation::decode(&net.tapped()[0].payload).expect("tap decodes");
+    assert_eq!(captured, pres, "attacker has a perfect copy");
+
+    // 1. The captured bytes contain no usable proxy key: the sealed key is
+    //    inside the certificate, and only alice's session key opens it.
+    let ProxyKey::Symmetric(real_key) = &cap.key else {
+        unreachable!()
+    };
+    let wire = captured.encode();
+    assert!(
+        !wire.windows(32).any(|w| w == real_key.as_bytes()),
+        "raw proxy key must never appear on the wire"
+    );
+
+    // 2. A fresh server challenge defeats replay of the captured response.
+    let Proof::Possession { response, .. } = &captured.proof else {
+        unreachable!()
+    };
+    let replay = Presentation {
+        certs: captured.certs.clone(),
+        proof: Proof::Possession {
+            challenge: [11u8; 32],
+            response: response.clone(),
+        },
+    };
+    assert_eq!(
+        w.verifier.verify(&replay, &ctx(), &mut guard),
+        Err(VerifyError::BadPossession)
+    );
+}
+
+#[test]
+fn stripping_a_restriction_breaks_the_seal() {
+    let mut w = world(2);
+    let cap = grant(
+        &p("alice"),
+        &GrantAuthority::SharedKey(w.shared.clone()),
+        RestrictionSet::new().with(Restriction::authorize_op(
+            ObjectName::new("only-this"),
+            Operation::new("read"),
+        )),
+        window(),
+        1,
+        &mut w.rng,
+    );
+    let mut pres = cap.present_bearer([1u8; 32], &p("fs"));
+    pres.certs[0].restrictions = RestrictionSet::new();
+    let mut guard = MemoryReplayGuard::new();
+    assert_eq!(
+        w.verifier.verify(&pres, &ctx(), &mut guard),
+        Err(VerifyError::BadSeal { index: 0 })
+    );
+}
+
+#[test]
+fn splicing_certificates_across_chains_fails() {
+    let mut w = world(3);
+    let authority = GrantAuthority::SharedKey(w.shared.clone());
+    // Two independent cascades from alice.
+    let a = grant(
+        &p("alice"),
+        &authority,
+        RestrictionSet::new(),
+        window(),
+        1,
+        &mut w.rng,
+    )
+    .derive(RestrictionSet::new(), window(), 2, &mut w.rng)
+    .unwrap();
+    let b = grant(
+        &p("alice"),
+        &authority,
+        RestrictionSet::new(),
+        window(),
+        3,
+        &mut w.rng,
+    )
+    .derive(RestrictionSet::new(), window(), 4, &mut w.rng)
+    .unwrap();
+    // Attacker splices b's tail onto a's head (the tail is sealed with
+    // b's first proxy key, not a's).
+    let mut spliced = a.present_bearer([1u8; 32], &p("fs"));
+    spliced.certs[1] = b.certs[1].clone();
+    let mut guard = MemoryReplayGuard::new();
+    let result = w.verifier.verify(&spliced, &ctx(), &mut guard);
+    assert!(
+        matches!(
+            result,
+            Err(VerifyError::BadSeal { index: 1 })
+                | Err(VerifyError::KeyUnrecoverable { index: 1 })
+        ),
+        "splice must be detected: {result:?}"
+    );
+}
+
+#[test]
+fn extending_someone_elses_bearer_chain_requires_the_proxy_key() {
+    let mut w = world(4);
+    let authority = GrantAuthority::SharedKey(w.shared.clone());
+    let original = grant(
+        &p("alice"),
+        &authority,
+        RestrictionSet::new(),
+        window(),
+        1,
+        &mut w.rng,
+    );
+    // The attacker has the *certificates* (public) but not the proxy key;
+    // it forges an extension sealed with a key it invents.
+    let fake_key = SymmetricKey::generate(&mut w.rng);
+    let fake_holder = Proxy {
+        certs: original.certs.clone(),
+        key: ProxyKey::Symmetric(fake_key),
+    };
+    let forged = fake_holder
+        .derive(RestrictionSet::new(), window(), 2, &mut w.rng)
+        .expect("construction succeeds locally");
+    let pres = forged.present_bearer([1u8; 32], &p("fs"));
+    let mut guard = MemoryReplayGuard::new();
+    let result = w.verifier.verify(&pres, &ctx(), &mut guard);
+    assert!(
+        matches!(result, Err(VerifyError::BadSeal { index: 1 })),
+        "forged link must fail: {result:?}"
+    );
+}
+
+#[test]
+fn delegate_proxy_cannot_be_used_by_non_delegates_even_with_possession() {
+    // A delegate proxy's key might leak; possession alone must not grant
+    // access without the named delegate's identity.
+    let mut w = world(5);
+    let proxy = grant(
+        &p("alice"),
+        &GrantAuthority::SharedKey(w.shared.clone()),
+        RestrictionSet::new().with(Restriction::grantee_one(p("bob"))),
+        window(),
+        1,
+        &mut w.rng,
+    );
+    // Mallory stole the proxy (certs + key) and proves possession.
+    let pres = proxy.present_bearer([1u8; 32], &p("fs"));
+    let mallory_ctx = ctx().authenticated_as(p("mallory"));
+    let mut guard = MemoryReplayGuard::new();
+    assert!(matches!(
+        w.verifier.verify(&pres, &mallory_ctx, &mut guard),
+        Err(VerifyError::Denied(Denial::GranteeNotPresent { .. }))
+    ));
+}
+
+#[test]
+fn dropped_traffic_fails_closed() {
+    // Fault injection: if the presentation never arrives, nothing is
+    // granted — and the tap shows nothing leaked either.
+    let mut w = world(6);
+    let cap = grant(
+        &p("alice"),
+        &GrantAuthority::SharedKey(w.shared.clone()),
+        RestrictionSet::new(),
+        window(),
+        1,
+        &mut w.rng,
+    );
+    let mut net = Network::new(0);
+    net.enable_tap();
+    net.drop_next(1);
+    let pres = cap.present_bearer([1u8; 32], &p("fs"));
+    let delivery = net.transmit(
+        &EndpointId::new("bob"),
+        &EndpointId::new("fs"),
+        &pres.encode(),
+    );
+    assert!(!delivery.delivered);
+    assert!(net.tapped().is_empty());
+}
+
+#[test]
+fn expired_chain_rejected_even_with_valid_tail() {
+    let mut w = world(7);
+    let authority = GrantAuthority::SharedKey(w.shared.clone());
+    // Head expires at t10; tail claims validity to t1000 — the derive API
+    // clips it, so build the attack manually by decoding and re-deriving.
+    let head = grant(
+        &p("alice"),
+        &authority,
+        RestrictionSet::new(),
+        Validity::new(Timestamp(0), Timestamp(10)),
+        1,
+        &mut w.rng,
+    );
+    let child = head
+        .derive(RestrictionSet::new(), window(), 2, &mut w.rng)
+        .unwrap();
+    assert_eq!(
+        child.effective_validity().unwrap().until,
+        Timestamp(10),
+        "derive clips to parent"
+    );
+    let pres = child.present_bearer([1u8; 32], &p("fs"));
+    let late_ctx = ctx().at(Timestamp(50));
+    let mut guard = MemoryReplayGuard::new();
+    assert_eq!(
+        w.verifier.verify(&pres, &late_ctx, &mut guard),
+        Err(VerifyError::NotValidAt {
+            index: 0,
+            now: Timestamp(50)
+        })
+    );
+}
+
+#[test]
+fn wire_corruption_of_any_presentation_byte_never_authorizes_more() {
+    let mut w = world(8);
+    let cap = grant(
+        &p("alice"),
+        &GrantAuthority::SharedKey(w.shared.clone()),
+        RestrictionSet::new().with(Restriction::authorize_op(
+            ObjectName::new("f"),
+            Operation::new("read"),
+        )),
+        window(),
+        1,
+        &mut w.rng,
+    );
+    let wire = cap.present_bearer([1u8; 32], &p("fs")).encode();
+    let mut guard = MemoryReplayGuard::new();
+    for i in 0..wire.len() {
+        let mut bad = wire.clone();
+        bad[i] ^= 0x01;
+        let Ok(pres) = Presentation::decode(&bad) else {
+            continue; // malformed on arrival: rejected before crypto
+        };
+        // Whatever decoded must not verify as something *different* that
+        // still passes.
+        if let Ok(v) = w.verifier.verify(&pres, &ctx(), &mut guard) {
+            // Only acceptable if the flip was a no-op (identical bytes).
+            assert_eq!(
+                pres.encode(),
+                wire,
+                "byte {i}: altered presentation verified: {v:?}"
+            );
+        }
+    }
+}
