@@ -1,0 +1,8 @@
+#!/bin/sh
+# Local CI gate: formatting, lints (warnings are errors), full test suite.
+# Run from the repository root before pushing.
+set -eu
+
+cargo fmt --all -- --check
+cargo clippy --workspace --all-targets -- -D warnings
+cargo test --workspace -q

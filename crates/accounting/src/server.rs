@@ -4,6 +4,7 @@ use std::collections::HashMap;
 
 use rand::RngCore;
 
+use restricted_proxy::cache::VerifiedCertCache;
 use restricted_proxy::context::RequestContext;
 use restricted_proxy::key::{GrantAuthority, GrantorVerifier, MapResolver};
 use restricted_proxy::principal::PrincipalId;
@@ -63,7 +64,10 @@ struct Uncollected {
 pub struct AccountingServer {
     name: PrincipalId,
     authority: GrantAuthority,
-    directory: MapResolver,
+    /// Persistent verifier: holds the grantor directory, batches each
+    /// chain's Ed25519 seal checks, and caches positive results so a check
+    /// re-presented along a clearing path costs no signature work.
+    verifier: Verifier<MapResolver>,
     accounts: HashMap<String, Account>,
     replay: MemoryReplayGuard,
     uncollected: HashMap<(PrincipalId, u64), Uncollected>,
@@ -71,14 +75,25 @@ pub struct AccountingServer {
 }
 
 impl AccountingServer {
+    /// Capacity of the verified-seal cache.
+    pub const SEAL_CACHE_CAPACITY: usize = 1024;
+
     /// Creates an accounting server signing endorsements and
     /// certifications with `authority`.
     #[must_use]
     pub fn new(name: PrincipalId, authority: GrantAuthority) -> Self {
+        // The server must be able to verify its own seals (cashier's
+        // checks, own endorsements on re-presented chains).
+        let self_verifier = match &authority {
+            GrantAuthority::SharedKey(k) => GrantorVerifier::SharedKey(k.clone()),
+            GrantAuthority::Keypair(sk) => GrantorVerifier::PublicKey(sk.verifying_key()),
+        };
+        let directory = MapResolver::new().with(name.clone(), self_verifier);
         Self {
+            verifier: Verifier::new(name.clone(), directory)
+                .with_seal_cache(Self::SEAL_CACHE_CAPACITY),
             name,
             authority,
-            directory: MapResolver::new(),
             accounts: HashMap::new(),
             replay: MemoryReplayGuard::new(),
             uncollected: HashMap::new(),
@@ -95,7 +110,13 @@ impl AccountingServer {
     /// Registers verification material for a principal whose checks or
     /// endorsements this server must verify (payors and peer servers).
     pub fn register_grantor(&mut self, principal: PrincipalId, verifier: GrantorVerifier) {
-        self.directory.insert(principal, verifier);
+        self.verifier.resolver_mut().insert(principal, verifier);
+    }
+
+    /// The verifier's seal cache, for instrumentation.
+    #[must_use]
+    pub fn seal_cache(&self) -> Option<&VerifiedCertCache> {
+        self.verifier.seal_cache()
     }
 
     /// Opens an account.
@@ -133,7 +154,6 @@ impl AccountingServer {
                 received_by: self.name.clone(),
             });
         }
-        let verifier = Verifier::new(self.name.clone(), self.directory.clone());
         let mut ctx = RequestContext::new(
             self.name.clone(),
             debit_op(),
@@ -148,7 +168,7 @@ impl AccountingServer {
         if *presenter != self.name {
             ctx.authenticated.push(self.name.clone());
         }
-        verifier
+        self.verifier
             .verify(&check.proxy.present_delegate(), &ctx, &mut self.replay)
             .map_err(AcctError::Verify)?;
         Ok(info)
@@ -367,18 +387,12 @@ impl AccountingServer {
             .entry(pool_name.clone())
             .or_insert_with(|| Account::new(pool_name, vec![self.name.clone()]))
             .credit(currency.clone(), amount);
-        // The server must be able to verify its own signature at
-        // collection time.
-        let self_verifier = match &self.authority {
-            GrantAuthority::SharedKey(k) => GrantorVerifier::SharedKey(k.clone()),
-            GrantAuthority::Keypair(sk) => GrantorVerifier::PublicKey(sk.verifying_key()),
-        };
-        self.directory.insert(self.name.clone(), self_verifier);
-        let authority = self.authority.clone();
+        // The server can verify its own signature at collection time: its
+        // verifier registered the self-key at construction.
         Ok(crate::check::write_check(
-            &self.name.clone(),
-            &authority,
-            &self.name.clone(),
+            &self.name,
+            &self.authority,
+            &self.name,
             CASHIER_ACCOUNT,
             payee,
             check_no,
@@ -520,6 +534,40 @@ mod tests {
         assert!(matches!(outcome, DepositOutcome::Settled(_)));
         assert_eq!(f.bank.account("carol-acct").unwrap().balance(&usd()), 400);
         assert_eq!(f.bank.account("shop-acct").unwrap().balance(&usd()), 100);
+    }
+
+    #[test]
+    fn check_verification_goes_through_the_seal_cache() {
+        let mut f = fixture();
+        let check = carol_check(&mut f, 21, 10);
+        f.bank
+            .deposit(
+                &check,
+                &p("shop"),
+                "shop-acct",
+                p("bank"),
+                Timestamp(1),
+                &mut f.rng,
+            )
+            .unwrap();
+        let cache = f.bank.seal_cache().unwrap();
+        let (_, misses) = cache.stats();
+        assert!(misses >= 1, "seal checks routed through the cache");
+        assert!(!cache.is_empty(), "positive results cached");
+        // A second, distinct check re-pays only its own seal, not a
+        // rebuilt verifier (the cache and directory persist).
+        let check2 = carol_check(&mut f, 22, 10);
+        f.bank
+            .deposit(
+                &check2,
+                &p("shop"),
+                "shop-acct",
+                p("bank"),
+                Timestamp(2),
+                &mut f.rng,
+            )
+            .unwrap();
+        assert!(f.bank.seal_cache().unwrap().len() >= 2);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! (§3.5: "application servers can easily combine the benefits of
 //! access-control-lists and capability-based authorization mechanisms").
 
+use restricted_proxy::cache::VerifiedCertCache;
 use restricted_proxy::context::RequestContext;
 use restricted_proxy::key::KeyResolver;
 use restricted_proxy::present::Presentation;
@@ -88,11 +89,18 @@ pub struct EndServer<R> {
 }
 
 impl<R: KeyResolver> EndServer<R> {
+    /// Default capacity of the verified-seal cache: requests re-present the
+    /// same proxy chains, so re-checking their Ed25519 seals is the first
+    /// cost worth memoizing.
+    pub const SEAL_CACHE_CAPACITY: usize = 1024;
+
     /// Creates an end-server named `name` that resolves grantor keys via
-    /// `resolver`.
+    /// `resolver`. Seal checks are cached ([`Self::SEAL_CACHE_CAPACITY`]
+    /// entries); only signature validity is memoized — replay guards,
+    /// validity windows, and possession proofs run on every request.
     pub fn new(name: PrincipalId, resolver: R) -> Self {
         Self {
-            verifier: Verifier::new(name, resolver),
+            verifier: Verifier::new(name, resolver).with_seal_cache(Self::SEAL_CACHE_CAPACITY),
             acls: AclStore::new(),
             replay: MemoryReplayGuard::new(),
         }
@@ -102,6 +110,12 @@ impl<R: KeyResolver> EndServer<R> {
     #[must_use]
     pub fn name(&self) -> &PrincipalId {
         self.verifier.server()
+    }
+
+    /// The verifier's seal cache, for instrumentation.
+    #[must_use]
+    pub fn seal_cache(&self) -> Option<&VerifiedCertCache> {
+        self.verifier.seal_cache()
     }
 
     /// Decides a request.
@@ -406,6 +420,39 @@ mod tests {
             .with_presentation(pa.present_bearer([2u8; 32], &p("vault")))
             .with_presentation(pb.present_bearer([3u8; 32], &p("vault")));
         assert!(server.authorize(&req).is_ok());
+    }
+
+    #[test]
+    fn repeated_requests_hit_the_seal_cache() {
+        use proxy_crypto::ed25519::SigningKey;
+        let mut rng = StdRng::seed_from_u64(6);
+        let sk = SigningKey::generate(&mut rng);
+        let resolver = MapResolver::new().with(
+            p("alice"),
+            restricted_proxy::key::GrantorVerifier::PublicKey(sk.verifying_key()),
+        );
+        let mut server = EndServer::new(p("fs"), resolver);
+        server.acls.set(
+            obj("file1"),
+            Acl::new().with(AclSubject::Principal(p("alice")), AclRights::all()),
+        );
+        let cap = grant(
+            &p("alice"),
+            &GrantAuthority::Keypair(sk),
+            RestrictionSet::new().with(Restriction::authorize_op(obj("file1"), op("read"))),
+            Validity::new(Timestamp(0), Timestamp(100)),
+            1,
+            &mut rng,
+        );
+        // First presentation pays for the signature check; later requests
+        // re-presenting the same chain (fresh challenges) hit the cache.
+        for i in 0..3u8 {
+            let req = Request::new(op("read"), obj("file1"), Timestamp(1))
+                .with_presentation(cap.present_bearer([i + 1; 32], &p("fs")));
+            assert!(server.authorize(&req).is_ok());
+        }
+        let (hits, misses) = server.seal_cache().unwrap().stats();
+        assert_eq!((hits, misses), (2, 1));
     }
 
     #[test]

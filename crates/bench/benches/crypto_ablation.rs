@@ -1,0 +1,176 @@
+//! Crypto-engine ablation: each layer of the Ed25519 fast path, isolated.
+//!
+//! * C1 — scalar·point kernels: the frozen seed double-and-add (seed
+//!   field arithmetic, see `proxy_bench::seed_ed25519`) vs the live naive
+//!   ladder vs wNAF vs the precomputed fixed-base table.
+//! * C2 — the verify equation `s·B − h·A`: the frozen seed Straus (the
+//!   seed's actual verify kernel — the "windowed vs. seed" comparator) vs
+//!   two naive ladders vs Straus (two dynamic wNAF tables) vs Straus with
+//!   the static basepoint table, plus the full API verify (decompression
+//!   + hashing included).
+//! * C3 — batch verification: sequential `verify` loop vs the
+//!   random-coefficient batched equation, per batch size.
+//! * C4 — an 8-link public-key cascade at the `Verifier` level: the
+//!   batched chain check, cold vs a warm seal cache (re-presentation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::RngCore;
+
+use proxy_bench::seed_ed25519::{seed_verify, SeedPoint};
+use proxy_bench::{matching_ctx, public_key_world, report_row, window};
+use proxy_crypto::ed25519::edwards::Point;
+use proxy_crypto::ed25519::scalar::Scalar;
+use proxy_crypto::ed25519::{verify_batch, Signature, SigningKey, VerifyingKey};
+use restricted_proxy::prelude::*;
+
+fn random_scalar(rng: &mut impl RngCore) -> Scalar {
+    let mut bytes = [0u8; 32];
+    rng.fill_bytes(&mut bytes);
+    Scalar::from_bytes_mod_order(&bytes)
+}
+
+fn c1_scalar_mul(c: &mut Criterion) {
+    let mut rng = proxy_bench::rng(1);
+    let k = random_scalar(&mut rng);
+    let b = Point::basepoint();
+    let seed_b = SeedPoint::basepoint();
+    let mut group = c.benchmark_group("c1_scalar_mul");
+    group.bench_function("seed_double_and_add", |bch| {
+        bch.iter(|| seed_b.mul_scalar(&k))
+    });
+    group.bench_function("naive_double_and_add", |bch| bch.iter(|| b.mul_scalar(&k)));
+    group.bench_function("wnaf5", |bch| bch.iter(|| b.mul_wnaf(&k)));
+    group.bench_function("fixed_base_table", |bch| {
+        bch.iter(|| Point::mul_basepoint(&k))
+    });
+    group.finish();
+}
+
+fn c2_verify_equation(c: &mut Criterion) {
+    let mut rng = proxy_bench::rng(2);
+    let (s, k) = (random_scalar(&mut rng), random_scalar(&mut rng));
+    let ka = random_scalar(&mut rng);
+    let b = Point::basepoint();
+    let a = b.mul_scalar(&ka).neg();
+    let seed_b = SeedPoint::basepoint();
+    let seed_a = seed_b.mul_scalar(&ka).neg();
+    let sk = SigningKey::generate(&mut rng);
+    let vk = sk.verifying_key();
+    let msg = b"ablation message";
+    let sig = sk.sign(msg);
+
+    let mut group = c.benchmark_group("c2_verify_equation");
+    group.bench_function("seed_straus", |bch| {
+        bch.iter(|| SeedPoint::double_scalar_mul(&s, &seed_b, &k, &seed_a))
+    });
+    group.bench_function("two_naive_ladders", |bch| {
+        bch.iter(|| b.mul_scalar(&s).add(&a.mul_scalar(&k)))
+    });
+    group.bench_function("straus_wnaf", |bch| {
+        bch.iter(|| Point::double_scalar_mul(&s, &b, &k, &a))
+    });
+    group.bench_function("straus_basepoint_table", |bch| {
+        bch.iter(|| Point::double_scalar_mul_basepoint(&s, &k, &a))
+    });
+    group.bench_function("seed_api_verify", |bch| {
+        bch.iter(|| assert!(seed_verify(vk.as_bytes(), msg, sig.as_bytes())))
+    });
+    group.bench_function("api_verify", |bch| {
+        bch.iter(|| vk.verify(msg, &sig).expect("valid"))
+    });
+    group.finish();
+}
+
+fn batch_fixture(n: usize, seed: u64) -> (Vec<Vec<u8>>, Vec<Signature>, Vec<VerifyingKey>) {
+    let mut rng = proxy_bench::rng(seed);
+    let keys: Vec<SigningKey> = (0..n).map(|_| SigningKey::generate(&mut rng)).collect();
+    let messages: Vec<Vec<u8>> = (0..n)
+        .map(|i| format!("message {i}").into_bytes())
+        .collect();
+    let sigs = keys.iter().zip(&messages).map(|(k, m)| k.sign(m)).collect();
+    let vks = keys.iter().map(SigningKey::verifying_key).collect();
+    (messages, sigs, vks)
+}
+
+fn c3_batch_verify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("c3_batch_verify");
+    for n in [2usize, 4, 8, 16, 32] {
+        let (messages, sigs, vks) = batch_fixture(n, 3);
+        let items: Vec<(&[u8], &Signature, &VerifyingKey)> = messages
+            .iter()
+            .zip(&sigs)
+            .zip(&vks)
+            .map(|((m, s), k)| (m.as_slice(), s, k))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("sequential", n), &items, |bch, items| {
+            bch.iter(|| {
+                for (m, s, k) in items {
+                    k.verify(m, s).expect("valid");
+                }
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("batched", n), &items, |bch, items| {
+            bch.iter(|| verify_batch(items).expect("valid"));
+        });
+    }
+    group.finish();
+}
+
+fn c4_cascade_cache(c: &mut Criterion) {
+    const DEPTH: usize = 8;
+    let world = public_key_world(4);
+    let mut rng = proxy_bench::rng(5);
+    let mut proxy = grant(
+        &world.grantor,
+        &world.authority,
+        RestrictionSet::new(),
+        window(),
+        0,
+        &mut rng,
+    );
+    for i in 1..DEPTH {
+        proxy = proxy
+            .derive(RestrictionSet::new(), window(), i as u64, &mut rng)
+            .expect("window fixed");
+    }
+    let pres = proxy.present_bearer([1u8; 32], &world.server);
+    let ctx = matching_ctx(&world.server);
+
+    let mut group = c.benchmark_group("c4_cascade8");
+    group.sample_size(20);
+    group.bench_function("batched_no_cache", |bch| {
+        bch.iter(|| {
+            let mut guard = MemoryReplayGuard::new();
+            world.verifier.verify(&pres, &ctx, &mut guard).expect("ok")
+        });
+    });
+    let cached = world.verifier.clone().with_seal_cache(64);
+    {
+        // Warm the cache once, outside measurement.
+        let mut guard = MemoryReplayGuard::new();
+        cached.verify(&pres, &ctx, &mut guard).expect("ok");
+    }
+    group.bench_function("warm_seal_cache", |bch| {
+        bch.iter(|| {
+            let mut guard = MemoryReplayGuard::new();
+            cached.verify(&pres, &ctx, &mut guard).expect("ok")
+        });
+    });
+    group.finish();
+    let (hits, misses) = cached.seal_cache().expect("attached").stats();
+    // Only the first presentation pays for signatures: every subsequent
+    // one hits all DEPTH cached seals.
+    assert_eq!(misses as usize, DEPTH, "exactly one cold chain walk");
+    assert_eq!(hits as usize % DEPTH, 0, "re-presentations hit every link");
+    report_row("C4", "cold-seal-checks", DEPTH, misses, "signatures");
+    report_row("C4", "warm-seal-checks", DEPTH, 0, "signatures");
+}
+
+criterion_group!(
+    benches,
+    c1_scalar_mul,
+    c2_verify_equation,
+    c3_batch_verify,
+    c4_cascade_cache
+);
+criterion_main!(benches);

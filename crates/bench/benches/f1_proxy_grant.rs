@@ -43,6 +43,9 @@ fn bench_grant(c: &mut Criterion) {
     report_sizes();
     let world = symmetric_world(1);
     let mut group = c.benchmark_group("f1_grant");
+    // HMAC grant/verify run in single-digit µs; pin a high sample count so
+    // scheduler jitter can't fake a trend across restriction counts.
+    group.sample_size(100);
     for n in COUNTS {
         let set = restrictions(n);
         group.bench_with_input(BenchmarkId::from_parameter(n), &set, |b, set| {
@@ -66,6 +69,8 @@ fn bench_verify(c: &mut Criterion) {
     let world = symmetric_world(1);
     let mut rng = proxy_bench::rng(4);
     let mut group = c.benchmark_group("f1_verify");
+    // Same rationale as f1_grant: µs-scale samples need the larger pool.
+    group.sample_size(100);
     for n in COUNTS {
         let proxy = grant(
             &world.grantor,

@@ -2,6 +2,11 @@
 //! few seconds, without Criterion. Useful for refreshing EXPERIMENTS.md.
 //!
 //! Run with: `cargo run -p proxy-bench --bin figures --release`
+//!
+//! With `--ablate-crypto`, instead emits the signature-engine ablation
+//! (frozen seed kernels vs. the windowed/batched engine) as `report_row`
+//! series, timed by interleaved min-of-rounds — robust to the load
+//! spikes Criterion's mean-based quick mode folds in.
 
 use netsim::{EndpointId, Network};
 use proxy_accounting::{write_check, AccountingServer, ClearingHouse};
@@ -178,7 +183,176 @@ fn a5_tgs_proxy() {
     }
 }
 
+fn ablate_crypto() {
+    use proxy_bench::seed_ed25519::{seed_verify, SeedPoint};
+    use proxy_crypto::ed25519::edwards::Point;
+    use proxy_crypto::ed25519::scalar::Scalar;
+    use proxy_crypto::ed25519::{verify_batch, Signature};
+    use rand::RngCore;
+    use std::hint::black_box;
+    use std::time::Instant;
+
+    fn scalar(rng: &mut impl RngCore) -> Scalar {
+        let mut b = [0u8; 32];
+        rng.fill_bytes(&mut b);
+        Scalar::from_bytes_mod_order(&b)
+    }
+
+    /// A named timing variant: label plus the closure to measure.
+    type Variant<'a> = (&'a str, Box<dyn FnMut() + 'a>);
+
+    /// Times every variant by round-robin interleaving and keeps each
+    /// variant's fastest round. Minima from interleaved rounds see the
+    /// same machine conditions, so the *ratios* between variants are
+    /// stable even when a shared host is noisy.
+    fn time_all<'a>(variants: &mut [Variant<'a>]) -> Vec<(&'a str, f64)> {
+        const ROUNDS: usize = 15;
+        const ITERS: u32 = 8;
+        let mut best = vec![f64::INFINITY; variants.len()];
+        for _ in 0..ROUNDS {
+            for (i, (_, f)) in variants.iter_mut().enumerate() {
+                let t = Instant::now();
+                for _ in 0..ITERS {
+                    f();
+                }
+                best[i] = best[i].min(t.elapsed().as_secs_f64() * 1e6 / f64::from(ITERS));
+            }
+        }
+        variants
+            .iter()
+            .zip(&best)
+            .map(|((n, _), b)| (*n, *b))
+            .collect()
+    }
+
+    let mut rng = proxy_bench::rng(7);
+    let (s, k, ka) = (scalar(&mut rng), scalar(&mut rng), scalar(&mut rng));
+    let b = Point::basepoint();
+    let a = b.mul_scalar(&ka).neg();
+    let seed_b = SeedPoint::basepoint();
+    let seed_a = seed_b.mul_scalar(&ka).neg();
+    let sk = SigningKey::generate(&mut rng);
+    let vk = sk.verifying_key();
+    let msg: &[u8] = b"ablation message";
+    let sig = sk.sign(msg);
+
+    const BATCH: usize = 8;
+    let keys: Vec<SigningKey> = (0..BATCH).map(|_| SigningKey::generate(&mut rng)).collect();
+    let messages: Vec<Vec<u8>> = (0..BATCH)
+        .map(|i| format!("message {i}").into_bytes())
+        .collect();
+    let sigs: Vec<Signature> = keys
+        .iter()
+        .zip(&messages)
+        .map(|(key, m)| key.sign(m))
+        .collect();
+    let vks: Vec<_> = keys.iter().map(SigningKey::verifying_key).collect();
+    let items: Vec<_> = messages
+        .iter()
+        .zip(&sigs)
+        .zip(&vks)
+        .map(|((m, sg), key)| (m.as_slice(), sg, key))
+        .collect();
+
+    let mut variants: Vec<Variant> = vec![
+        (
+            "seed-double-and-add",
+            Box::new(|| {
+                black_box(seed_b.mul_scalar(&k));
+            }),
+        ),
+        (
+            "fixed-base-table",
+            Box::new(|| {
+                black_box(Point::mul_basepoint(&k));
+            }),
+        ),
+        (
+            "seed-straus",
+            Box::new(|| {
+                black_box(SeedPoint::double_scalar_mul(&s, &seed_b, &k, &seed_a));
+            }),
+        ),
+        (
+            "straus-basepoint-table",
+            Box::new(|| {
+                black_box(Point::double_scalar_mul_basepoint(&s, &k, &a));
+            }),
+        ),
+        (
+            "seed-verify",
+            Box::new(|| {
+                assert!(seed_verify(vk.as_bytes(), msg, sig.as_bytes()));
+            }),
+        ),
+        (
+            "verify",
+            Box::new(|| {
+                vk.verify(msg, &sig).expect("valid");
+            }),
+        ),
+        (
+            "sequential-verify-8",
+            Box::new(|| {
+                for (m, sg, key) in &items {
+                    key.verify(m, sg).expect("valid");
+                }
+            }),
+        ),
+        (
+            "batched-verify-8",
+            Box::new(|| {
+                verify_batch(&items).expect("valid");
+            }),
+        ),
+    ];
+    let timed = time_all(&mut variants);
+    let us = |name: &str| {
+        timed
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+            .expect("variant timed")
+    };
+    for (name, value) in &timed {
+        report_row("C", name, 1, format!("{value:.1}"), "µs");
+    }
+    let ratio = |num: &str, den: &str| format!("{:.2}", us(num) / us(den));
+    report_row(
+        "C",
+        "fixed-base-speedup-vs-seed",
+        1,
+        ratio("seed-double-and-add", "fixed-base-table"),
+        "x",
+    );
+    report_row(
+        "C",
+        "straus-speedup-vs-seed",
+        1,
+        ratio("seed-straus", "straus-basepoint-table"),
+        "x",
+    );
+    report_row(
+        "C",
+        "verify-speedup-vs-seed",
+        1,
+        ratio("seed-verify", "verify"),
+        "x",
+    );
+    report_row(
+        "C",
+        "batch8-speedup-vs-sequential",
+        1,
+        ratio("sequential-verify-8", "batched-verify-8"),
+        "x",
+    );
+}
+
 fn main() {
+    if std::env::args().any(|arg| arg == "--ablate-crypto") {
+        ablate_crypto();
+        return;
+    }
     f1_sizes();
     f3_amortization();
     f4_chain_depth();

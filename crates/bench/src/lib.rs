@@ -14,6 +14,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod seed_ed25519;
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

@@ -108,17 +108,46 @@ impl Point {
         bytes
     }
 
+    /// Addition against a precomputed [`CachedPoint`]: the same unified
+    /// formula as [`Point::add`] with `other`'s reusable subexpressions
+    /// already evaluated, saving two field multiplications per addition.
+    /// All table-driven scalar multiplication goes through this.
+    #[must_use]
+    #[inline]
+    fn add_cached(&self, other: &CachedPoint) -> Point {
+        // Lazy add/sub throughout: all inputs are weakly reduced (point
+        // coordinates and cached table entries are multiplication
+        // outputs), so intermediate limbs stay below 2^55 and the final
+        // multiplications absorb the slack (see field.rs bound notes).
+        let a = self.y.sub_lazy(self.x).mul(other.y_minus_x);
+        let b = self.y.add_lazy(self.x).mul(other.y_plus_x);
+        let c = self.t.mul(other.t2d);
+        let dd = self.z.mul(other.z2);
+        let e = b.sub_lazy(a);
+        let f = dd.sub_lazy(c);
+        let g = dd.add_lazy(c);
+        let h = b.add_lazy(a);
+        Point {
+            x: e.mul(f),
+            y: g.mul(h),
+            z: f.mul(g),
+            t: e.mul(h),
+        }
+    }
+
     /// Point addition (unified formulas, a = −1).
     #[must_use]
+    #[inline]
     pub fn add(&self, other: &Point) -> Point {
-        let a = self.y.sub(self.x).mul(other.y.sub(other.x));
-        let b = self.y.add(self.x).mul(other.y.add(other.x));
+        let a = self.y.sub_lazy(self.x).mul(other.y.sub_lazy(other.x));
+        let b = self.y.add_lazy(self.x).mul(other.y.add_lazy(other.x));
         let c = self.t.mul(d2()).mul(other.t);
-        let dd = self.z.mul(other.z).mul_small(2);
-        let e = b.sub(a);
-        let f = dd.sub(c);
-        let g = dd.add(c);
-        let h = b.add(a);
+        let zz = self.z.mul(other.z);
+        let dd = zz.add_lazy(zz);
+        let e = b.sub_lazy(a);
+        let f = dd.sub_lazy(c);
+        let g = dd.add_lazy(c);
+        let h = b.add_lazy(a);
         Point {
             x: e.mul(f),
             y: g.mul(h),
@@ -129,24 +158,24 @@ impl Point {
 
     /// Point doubling.
     #[must_use]
+    #[inline]
     pub fn double(&self) -> Point {
-        let a = self.x.square();
-        let b = self.y.square();
-        let c = self.z.square().mul_small(2);
-        let h = a.add(b);
-        let e = h.sub(self.x.add(self.y).square());
-        let g = a.sub(b);
-        let f = c.add(g);
-        Point {
-            x: e.mul(f),
-            y: g.mul(h),
-            z: f.mul(g),
-            t: e.mul(h),
+        self.as_projective().double().to_extended()
+    }
+
+    /// Drops the extended coordinate, keeping (X : Y : Z).
+    #[inline]
+    fn as_projective(&self) -> Projective {
+        Projective {
+            x: self.x,
+            y: self.y,
+            z: self.z,
         }
     }
 
     /// Point negation.
     #[must_use]
+    #[inline]
     pub fn neg(&self) -> Point {
         Point {
             x: self.x.neg(),
@@ -156,7 +185,13 @@ impl Point {
         }
     }
 
-    /// Scalar multiplication `[k]self` by double-and-add.
+    /// Scalar multiplication `[k]self` by plain double-and-add.
+    ///
+    /// This is the *reference* ladder: one doubling per bit and one
+    /// addition per set bit, with no tables and no signed encodings.
+    /// The windowed paths ([`Point::mul_wnaf`], [`Point::mul_basepoint`],
+    /// [`Point::double_scalar_mul`]) are property-tested against it, and
+    /// the benchmark ablation uses it as the naive baseline.
     #[must_use]
     pub fn mul_scalar(&self, k: &Scalar) -> Point {
         let mut acc = Point::identity();
@@ -169,25 +204,126 @@ impl Point {
         acc
     }
 
-    /// Simultaneous double-scalar multiplication `[a]P + [b]Q` using the
-    /// Straus–Shamir trick: one shared doubling chain with a 4-entry
-    /// table, roughly halving the doublings of two separate ladders. Used
-    /// by signature verification (`[s]B + [k](−A)`).
+    /// Scalar multiplication `[k]self` with a width-5 sliding window
+    /// (wNAF): an 8-entry odd-multiple table, ~256 doublings and ~42
+    /// additions instead of double-and-add's ~128 additions.
+    #[must_use]
+    pub fn mul_wnaf(&self, k: &Scalar) -> Point {
+        let naf = k.non_adjacent_form(5);
+        let table = NafLookupTable::<8>::from_point(self);
+        straus_chain(
+            highest_nonzero(&[&naf]),
+            |i| naf[i] != 0,
+            |i, p| p.add_cached(&table.select(naf[i])),
+        )
+    }
+
+    /// Simultaneous double-scalar multiplication `[a]P + [b]Q` (Straus):
+    /// one shared doubling chain over both scalars' width-5 wNAF digits,
+    /// with an odd-multiple table per point.
     #[must_use]
     pub fn double_scalar_mul(a: &Scalar, p: &Point, b: &Scalar, q: &Point) -> Point {
-        let pq = p.add(q);
+        let a_naf = a.non_adjacent_form(5);
+        let b_naf = b.non_adjacent_form(5);
+        let p_table = NafLookupTable::<8>::from_point(p);
+        let q_table = NafLookupTable::<8>::from_point(q);
+        straus_chain(
+            highest_nonzero(&[&a_naf, &b_naf]),
+            |i| a_naf[i] != 0 || b_naf[i] != 0,
+            |i, mut acc| {
+                if a_naf[i] != 0 {
+                    acc = acc.add_cached(&p_table.select(a_naf[i]));
+                }
+                if b_naf[i] != 0 {
+                    acc = acc.add_cached(&q_table.select(b_naf[i]));
+                }
+                acc
+            },
+        )
+    }
+
+    /// `[a]B + [b]Q` for the fixed basepoint B: the hot path of signature
+    /// verification (`[s]B + [k](−A)`).
+    ///
+    /// B's digits use width-8 wNAF against a precomputed 64-entry static
+    /// table (built once per process), so only the dynamic point Q pays
+    /// for table construction.
+    #[must_use]
+    pub fn double_scalar_mul_basepoint(a: &Scalar, b: &Scalar, q: &Point) -> Point {
+        let a_naf = a.non_adjacent_form(8);
+        let b_naf = b.non_adjacent_form(5);
+        let b_table = basepoint_naf_table();
+        let q_table = NafLookupTable::<8>::from_point(q);
+        straus_chain(
+            highest_nonzero(&[&a_naf, &b_naf]),
+            |i| a_naf[i] != 0 || b_naf[i] != 0,
+            |i, mut acc| {
+                if a_naf[i] != 0 {
+                    acc = acc.add_cached(&b_table.select(a_naf[i]));
+                }
+                if b_naf[i] != 0 {
+                    acc = acc.add_cached(&q_table.select(b_naf[i]));
+                }
+                acc
+            },
+        )
+    }
+
+    /// Fixed-base multiplication `[k]B` from the precomputed radix-16
+    /// basepoint table: 64 table additions plus 4 doublings, replacing the
+    /// 256-doubling ladder. Used by signing (`[r]B`) and key derivation.
+    #[must_use]
+    pub fn mul_basepoint(k: &Scalar) -> Point {
+        let digits = k.to_radix16();
+        let table = basepoint_table();
+        // ∑ d_i·16^i B = ∑_{i odd} d_i·16^i B + ∑_{i even} d_i·16^i B, and
+        // the odd-index sum is 16 × ∑ d_{2j+1}·16^{2j} B — four doublings
+        // applied once, so every digit reads a 16^{2j}-stride table.
         let mut acc = Point::identity();
-        for i in (0..256).rev() {
-            acc = acc.double();
-            match (a.bit(i), b.bit(i)) {
-                (0, 0) => {}
-                (1, 0) => acc = acc.add(p),
-                (0, 1) => acc = acc.add(q),
-                (1, 1) => acc = acc.add(&pq),
-                _ => unreachable!("bits are 0 or 1"),
+        for i in (1..64).step_by(2) {
+            if let Some(entry) = table.select(i / 2, digits[i]) {
+                acc = acc.add_cached(&entry);
+            }
+        }
+        acc = acc.double().double().double().double();
+        for i in (0..64).step_by(2) {
+            if let Some(entry) = table.select(i / 2, digits[i]) {
+                acc = acc.add_cached(&entry);
             }
         }
         acc
+    }
+
+    /// Variable-length Straus multiscalar multiplication
+    /// `∑ [scalars[i]] points[i]`: one shared doubling chain across all
+    /// terms, width-5 wNAF per point. Batch signature verification reduces
+    /// to a single call.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the slices differ in length.
+    #[must_use]
+    pub fn multiscalar_mul(scalars: &[Scalar], points: &[Point]) -> Point {
+        assert_eq!(scalars.len(), points.len(), "mismatched multiscalar input");
+        if scalars.is_empty() {
+            return Point::identity();
+        }
+        let nafs: Vec<[i8; 256]> = scalars.iter().map(|s| s.non_adjacent_form(5)).collect();
+        let tables: Vec<NafLookupTable<8>> =
+            points.iter().map(NafLookupTable::<8>::from_point).collect();
+        let naf_refs: Vec<&[i8; 256]> = nafs.iter().collect();
+        straus_chain(
+            highest_nonzero(&naf_refs),
+            |i| nafs.iter().any(|naf| naf[i] != 0),
+            |i, mut acc| {
+                for (naf, table) in nafs.iter().zip(&tables) {
+                    if naf[i] != 0 {
+                        acc = acc.add_cached(&table.select(naf[i]));
+                    }
+                }
+                acc
+            },
+        )
     }
 
     /// Projective equality: X1·Z2 = X2·Z1 and Y1·Z2 = Y2·Z1.
@@ -215,6 +351,229 @@ impl Point {
         // −x² + y² = 1 + d x² y²
         yy.sub(xx).ct_eq(Fe::ONE.add(d().mul(xx).mul(yy)))
     }
+}
+
+/// A point with the reusable inputs of the unified addition formula
+/// precomputed: (Y+X, Y−X, 2d·T, 2Z). Tables store these so each
+/// table-driven addition costs 7 field multiplications instead of 9, and
+/// negation is free (swap the sums, flip `t2d`).
+#[derive(Clone, Copy, Debug)]
+struct CachedPoint {
+    y_plus_x: Fe,
+    y_minus_x: Fe,
+    t2d: Fe,
+    z2: Fe,
+}
+
+impl CachedPoint {
+    #[inline]
+    fn from_point(p: &Point) -> CachedPoint {
+        CachedPoint {
+            y_plus_x: p.y.add(p.x),
+            y_minus_x: p.y.sub(p.x),
+            t2d: p.t.mul(d2()),
+            z2: p.z.mul_small(2),
+        }
+    }
+
+    #[inline]
+    fn neg(&self) -> CachedPoint {
+        CachedPoint {
+            y_plus_x: self.y_minus_x,
+            y_minus_x: self.y_plus_x,
+            t2d: self.t2d.neg(),
+            z2: self.z2,
+        }
+    }
+}
+
+/// A point in plain projective coordinates (X : Y : Z), without the
+/// extended coordinate T = XY/Z. Doubling never reads T, so the shared
+/// doubling chains of the Straus loops carry this form between
+/// iterations and only pay for T on the iterations that actually add.
+#[derive(Clone, Copy, Debug)]
+struct Projective {
+    x: Fe,
+    y: Fe,
+    z: Fe,
+}
+
+/// The (E, F, G, H) output of the doubling formula before the final
+/// multiplications: the doubled point is (E·F : G·H : F·G) with
+/// T = E·H. Materializing only what the next step needs saves one field
+/// multiplication per doubling-only iteration.
+#[derive(Clone, Copy, Debug)]
+struct Completed {
+    e: Fe,
+    f: Fe,
+    g: Fe,
+    h: Fe,
+}
+
+impl Projective {
+    fn identity() -> Projective {
+        Projective {
+            x: Fe::ZERO,
+            y: Fe::ONE,
+            z: Fe::ONE,
+        }
+    }
+
+    /// Doubling: 4 squarings and no full multiplications; products are
+    /// deferred to [`Completed::to_projective`] / [`Completed::to_extended`].
+    #[inline]
+    fn double(&self) -> Completed {
+        let a = self.x.square();
+        let b = self.y.square();
+        let zz = self.z.square();
+        let c = zz.add_lazy(zz);
+        let h = a.add_lazy(b);
+        let e = h.sub_lazy(self.x.add_lazy(self.y).square());
+        let g = a.sub_lazy(b);
+        let f = c.add_lazy(g);
+        Completed { e, f, g, h }
+    }
+}
+
+impl Completed {
+    /// Three multiplications: enough to keep doubling.
+    #[inline]
+    fn to_projective(self) -> Projective {
+        Projective {
+            x: self.e.mul(self.f),
+            y: self.g.mul(self.h),
+            z: self.f.mul(self.g),
+        }
+    }
+
+    /// Four multiplications: the full extended point, required before an
+    /// addition (which reads T).
+    #[inline]
+    fn to_extended(self) -> Point {
+        Point {
+            x: self.e.mul(self.f),
+            y: self.g.mul(self.h),
+            z: self.f.mul(self.g),
+            t: self.e.mul(self.h),
+        }
+    }
+}
+
+/// Odd multiples [P, 3P, 5P, …, (2N−1)P] in cached form, indexed by wNAF
+/// digit. N = 8 serves width-5 digits (|d| ≤ 15), N = 64 width-8
+/// (|d| ≤ 127).
+struct NafLookupTable<const N: usize>([CachedPoint; N]);
+
+impl<const N: usize> NafLookupTable<N> {
+    fn from_point(p: &Point) -> Self {
+        let p2 = p.double();
+        let mut entries = [CachedPoint::from_point(p); N];
+        let mut current = *p;
+        for entry in entries.iter_mut().skip(1) {
+            current = p2.add_cached(&CachedPoint::from_point(&current));
+            *entry = CachedPoint::from_point(&current);
+        }
+        Self(entries)
+    }
+
+    /// The table entry for an odd signed digit: `[digit]P`.
+    #[inline]
+    fn select(&self, digit: i8) -> CachedPoint {
+        debug_assert_eq!(digit & 1, 1, "wNAF digits are odd");
+        if digit > 0 {
+            self.0[(digit as usize - 1) / 2]
+        } else {
+            self.0[(digit.unsigned_abs() as usize - 1) / 2].neg()
+        }
+    }
+}
+
+/// The static width-8 wNAF table for the basepoint, built on first use.
+fn basepoint_naf_table() -> &'static NafLookupTable<64> {
+    static CELL: OnceLock<NafLookupTable<64>> = OnceLock::new();
+    CELL.get_or_init(|| NafLookupTable::<64>::from_point(&Point::basepoint()))
+}
+
+/// The radix-16 fixed-base table: `entry(i, j) = [j·16^(2i)]B` for
+/// `j ∈ 1..=8`, `i ∈ 0..32`. 256 cached points (~40 KiB), built once.
+struct BasepointTable(Vec<[CachedPoint; 8]>);
+
+impl BasepointTable {
+    /// `[digit · 16^(2i)]B` for a signed radix-16 digit, or `None` for 0.
+    fn select(&self, i: usize, digit: i8) -> Option<CachedPoint> {
+        match digit.cmp(&0) {
+            std::cmp::Ordering::Equal => None,
+            std::cmp::Ordering::Greater => Some(self.0[i][digit as usize - 1]),
+            std::cmp::Ordering::Less => Some(self.0[i][digit.unsigned_abs() as usize - 1].neg()),
+        }
+    }
+}
+
+/// The static radix-16 basepoint table, built on first use (mirrors
+/// [`Point::basepoint`]'s `OnceLock` idiom).
+fn basepoint_table() -> &'static BasepointTable {
+    static CELL: OnceLock<BasepointTable> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let mut rows = Vec::with_capacity(32);
+        let mut base = Point::basepoint();
+        for _ in 0..32 {
+            let mut row = [CachedPoint::from_point(&base); 8];
+            let mut current = base;
+            for entry in row.iter_mut().skip(1) {
+                current = current.add(&base);
+                *entry = CachedPoint::from_point(&current);
+            }
+            rows.push(row);
+            // Advance base from [16^(2i)]B to [16^(2i+2)]B.
+            for _ in 0..8 {
+                base = base.double();
+            }
+        }
+        BasepointTable(rows)
+    })
+}
+
+/// The shared-doubling chain behind every windowed scalar multiplication:
+/// walks digit positions from `start` down to 0, doubling once per
+/// position and calling `add_digits` wherever `any_digit` reports work.
+/// Doubling-only steps stay in projective form (no extended coordinate),
+/// so they cost 4 squarings + 3 multiplications; the extended T is
+/// materialized only on the steps an addition actually consumes it.
+fn straus_chain(
+    start: usize,
+    any_digit: impl Fn(usize) -> bool,
+    add_digits: impl Fn(usize, Point) -> Point,
+) -> Point {
+    let mut acc = Projective::identity();
+    let mut i = start;
+    loop {
+        let doubled = acc.double();
+        if any_digit(i) {
+            let ext = add_digits(i, doubled.to_extended());
+            if i == 0 {
+                return ext;
+            }
+            acc = ext.as_projective();
+        } else {
+            if i == 0 {
+                return doubled.to_extended();
+            }
+            acc = doubled.to_projective();
+        }
+        i -= 1;
+    }
+}
+
+/// The highest index at which any of the digit strings is nonzero (0 when
+/// all are zero); scalar-mul loops start here instead of doubling the
+/// identity 256 times.
+fn highest_nonzero(nafs: &[&[i8; 256]]) -> usize {
+    for i in (0..256).rev() {
+        if nafs.iter().any(|naf| naf[i] != 0) {
+            return i;
+        }
+    }
+    0
 }
 
 #[cfg(test)]
@@ -330,6 +689,60 @@ mod tests {
             let fused = Point::double_scalar_mul(&sa, &b, &sb, &q);
             let separate = b.mul_scalar(&sa).add(&q.mul_scalar(&sb));
             assert!(fused.eq_point(&separate), "ka={ka} kb={kb}");
+            let via_basepoint = Point::double_scalar_mul_basepoint(&sa, &sb, &q);
+            assert!(via_basepoint.eq_point(&separate), "ka={ka} kb={kb}");
         }
+    }
+
+    #[test]
+    fn cached_addition_matches_plain_addition() {
+        let b = Point::basepoint();
+        let p = b.mul_scalar(&Scalar::from_u64(31));
+        let q = b.mul_scalar(&Scalar::from_u64(47));
+        let cached = p.add_cached(&CachedPoint::from_point(&q));
+        assert!(cached.eq_point(&p.add(&q)));
+        let neg = p.add_cached(&CachedPoint::from_point(&q).neg());
+        assert!(neg.eq_point(&p.add(&q.neg())));
+    }
+
+    #[test]
+    fn wnaf_mul_matches_double_and_add() {
+        let b = Point::basepoint();
+        let p = b.mul_scalar(&Scalar::from_u64(3));
+        for fill in [0u8, 1, 0x5a, 0xc3, 0xff] {
+            let k = Scalar::from_bytes_mod_order(&[fill; 32]);
+            assert!(p.mul_wnaf(&k).eq_point(&p.mul_scalar(&k)), "fill {fill:#x}");
+        }
+    }
+
+    #[test]
+    fn basepoint_table_mul_matches_double_and_add() {
+        let b = Point::basepoint();
+        for fill in [0u8, 1, 0x42, 0x9d, 0xff] {
+            let k = Scalar::from_bytes_mod_order(&[fill; 32]);
+            assert!(
+                Point::mul_basepoint(&k).eq_point(&b.mul_scalar(&k)),
+                "fill {fill:#x}"
+            );
+        }
+        assert!(Point::mul_basepoint(&Scalar::ZERO).is_identity());
+    }
+
+    #[test]
+    fn multiscalar_mul_matches_sum_of_ladders() {
+        let b = Point::basepoint();
+        let points: Vec<Point> = (1u64..6)
+            .map(|i| b.mul_scalar(&Scalar::from_u64(i * 17)))
+            .collect();
+        let scalars: Vec<Scalar> = (0u8..5)
+            .map(|i| Scalar::from_bytes_mod_order(&[i.wrapping_mul(53); 32]))
+            .collect();
+        let fused = Point::multiscalar_mul(&scalars, &points);
+        let mut expect = Point::identity();
+        for (s, p) in scalars.iter().zip(&points) {
+            expect = expect.add(&p.mul_scalar(s));
+        }
+        assert!(fused.eq_point(&expect));
+        assert!(Point::multiscalar_mul(&[], &[]).is_identity());
     }
 }

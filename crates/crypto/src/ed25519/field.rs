@@ -1,10 +1,17 @@
 //! Arithmetic in GF(2^255 − 19) with 51-bit limbs.
 //!
-//! Representation: five `u64` limbs, value = Σ limb\[i\]·2^(51·i). Functions
-//! accept inputs with limbs < 2^54 and return outputs with limbs < 2^52
-//! ("weakly reduced"); [`Fe::to_bytes`] performs the canonical strong
-//! reduction. This is the classic donna-style representation; multiplication
-//! folds the 2^255 overflow back with the factor 19.
+//! Representation: five `u64` limbs, value = Σ limb\[i\]·2^(51·i). The
+//! public operations accept inputs with limbs < 2^57 and return outputs
+//! with limbs < 2^52 ("weakly reduced"); [`Fe::to_bytes`] performs the
+//! canonical strong reduction. This is the classic donna-style
+//! representation; multiplication folds the 2^255 overflow back with the
+//! factor 19.
+//!
+//! The crate-internal `add_lazy`/`sub_lazy` variants skip the carry pass
+//! entirely and may return limbs up to 2^55; the point formulas in
+//! `edwards.rs` chain at most two of them between multiplications, which
+//! the 2^57 input bound absorbs (worst-case u128 accumulators stay below
+//! 2^121 — see the bound notes on [`Fe::mul`] and [`Fe::square`]).
 
 // The arithmetic methods deliberately mirror mathematical notation
 // (`add`, `mul`, …) rather than the operator traits, keeping reduction
@@ -37,6 +44,7 @@ impl Fe {
     pub const ONE: Fe = Fe([1, 0, 0, 0, 0]);
 
     /// Constructs the field element for a small integer.
+    #[inline]
     pub fn from_u64(x: u64) -> Fe {
         let mut out = Fe::ZERO;
         out.0[0] = x & MASK;
@@ -46,6 +54,7 @@ impl Fe {
 
     /// Parses 32 little-endian bytes, ignoring the top (sign) bit as RFC
     /// 8032 prescribes.
+    #[inline]
     pub fn from_bytes(bytes: &[u8; 32]) -> Fe {
         let load = |b: &[u8]| -> u64 {
             let mut le = [0u8; 8];
@@ -106,6 +115,7 @@ impl Fe {
         out
     }
 
+    #[inline]
     fn weak_reduce(self) -> Fe {
         let mut t = self.0;
         let c = t[4] >> 51;
@@ -132,6 +142,7 @@ impl Fe {
     }
 
     /// Field addition.
+    #[inline]
     pub fn add(self, other: Fe) -> Fe {
         let mut t = self.0;
         for i in 0..5 {
@@ -141,6 +152,7 @@ impl Fe {
     }
 
     /// Field subtraction (adds 4p before subtracting to avoid underflow).
+    #[inline]
     pub fn sub(self, other: Fe) -> Fe {
         let mut t = self.0;
         for i in 0..5 {
@@ -150,32 +162,85 @@ impl Fe {
     }
 
     /// Field negation.
+    #[inline]
     pub fn neg(self) -> Fe {
         Fe::ZERO.sub(self)
     }
 
-    /// Field multiplication.
+    /// Addition without the carry pass: a plain limb-wise sum.
+    ///
+    /// Contract: callers must keep the *sum* of the two inputs' limb
+    /// bounds below 2^57 (in practice, at most two lazy ops are chained
+    /// on weakly-reduced values before a `mul`/`square` absorbs them).
+    #[inline]
+    pub(crate) fn add_lazy(self, other: Fe) -> Fe {
+        let mut t = self.0;
+        for i in 0..5 {
+            t[i] += other.0[i];
+        }
+        Fe(t)
+    }
+
+    /// Subtraction without the carry pass: `self + 4p − other`, limb-wise.
+    ///
+    /// Contract: `other` must be weakly reduced (limbs < 2^52 < the 4p
+    /// limbs, so no underflow); `self` may carry up to 2^55 of lazy slack.
+    /// The result's limbs are below `self`'s bound + 2^53.
+    #[inline]
+    pub(crate) fn sub_lazy(self, other: Fe) -> Fe {
+        let mut t = self.0;
+        for i in 0..5 {
+            t[i] = t[i] + FOUR_P[i] - other.0[i];
+        }
+        Fe(t)
+    }
+
+    /// Field multiplication. Accepts limbs < 2^57 (covering lazy inputs):
+    /// the 19-folded operand limbs stay below 19·2^57 < 2^62, each widening
+    /// product below 2^119, and the five-term accumulators below 2^121.
+    #[inline]
     pub fn mul(self, other: Fe) -> Fe {
         let a = self.0;
         let b = other.0;
+        // Pre-fold 19·b into u64 so no u128 product needs scaling.
+        let b1_19 = 19 * b[1];
+        let b2_19 = 19 * b[2];
+        let b3_19 = 19 * b[3];
+        let b4_19 = 19 * b[4];
         let m = |x: u64, y: u64| -> u128 { (x as u128) * (y as u128) };
-        let r0 =
-            m(a[0], b[0]) + 19 * (m(a[1], b[4]) + m(a[2], b[3]) + m(a[3], b[2]) + m(a[4], b[1]));
-        let r1 =
-            m(a[0], b[1]) + m(a[1], b[0]) + 19 * (m(a[2], b[4]) + m(a[3], b[3]) + m(a[4], b[2]));
-        let r2 =
-            m(a[0], b[2]) + m(a[1], b[1]) + m(a[2], b[0]) + 19 * (m(a[3], b[4]) + m(a[4], b[3]));
-        let r3 = m(a[0], b[3]) + m(a[1], b[2]) + m(a[2], b[1]) + m(a[3], b[0]) + 19 * m(a[4], b[4]);
+        let r0 = m(a[0], b[0]) + m(a[1], b4_19) + m(a[2], b3_19) + m(a[3], b2_19) + m(a[4], b1_19);
+        let r1 = m(a[0], b[1]) + m(a[1], b[0]) + m(a[2], b4_19) + m(a[3], b3_19) + m(a[4], b2_19);
+        let r2 = m(a[0], b[2]) + m(a[1], b[1]) + m(a[2], b[0]) + m(a[3], b4_19) + m(a[4], b3_19);
+        let r3 = m(a[0], b[3]) + m(a[1], b[2]) + m(a[2], b[1]) + m(a[3], b[0]) + m(a[4], b4_19);
         let r4 = m(a[0], b[4]) + m(a[1], b[3]) + m(a[2], b[2]) + m(a[3], b[1]) + m(a[4], b[0]);
         Fe::carry_wide([r0, r1, r2, r3, r4])
     }
 
-    /// Field squaring.
+    /// Field squaring. Exploits symmetry of the schoolbook product: the 10
+    /// cross terms `a_i·a_j` (i≠j) each appear twice, so 15 widening
+    /// multiplies suffice where `mul` needs 25. The doubled (< 2^58) and
+    /// 19-folded (< 2^62) limbs are precomputed in u64; with inputs below
+    /// 2^57 every three-term accumulator stays below 2^121.
+    #[inline]
     pub fn square(self) -> Fe {
-        self.mul(self)
+        let a = self.0;
+        let d0 = 2 * a[0];
+        let d1 = 2 * a[1];
+        let d2 = 2 * a[2];
+        let d3 = 2 * a[3];
+        let a3_19 = 19 * a[3];
+        let a4_19 = 19 * a[4];
+        let m = |x: u64, y: u64| -> u128 { (x as u128) * (y as u128) };
+        let r0 = m(a[0], a[0]) + m(d1, a4_19) + m(d2, a3_19);
+        let r1 = m(d0, a[1]) + m(d2, a4_19) + m(a[3], a3_19);
+        let r2 = m(d0, a[2]) + m(a[1], a[1]) + m(d3, a4_19);
+        let r3 = m(d0, a[3]) + m(d1, a[2]) + m(a[4], a4_19);
+        let r4 = m(d0, a[4]) + m(d1, a[3]) + m(a[2], a[2]);
+        Fe::carry_wide([r0, r1, r2, r3, r4])
     }
 
     /// Squares `self` `k` times.
+    #[inline]
     pub fn pow2k(self, k: u32) -> Fe {
         let mut x = self;
         for _ in 0..k {
@@ -184,6 +249,7 @@ impl Fe {
         x
     }
 
+    #[inline]
     fn carry_wide(mut t: [u128; 5]) -> Fe {
         let mask = MASK as u128;
         t[1] += t[0] >> 51;
@@ -208,6 +274,7 @@ impl Fe {
     }
 
     /// Multiplies by a small constant.
+    #[inline]
     pub fn mul_small(self, c: u64) -> Fe {
         let mut t = [0u128; 5];
         for i in 0..5 {

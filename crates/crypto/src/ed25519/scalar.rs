@@ -169,6 +169,39 @@ impl Scalar {
         self.mul(b).add(c)
     }
 
+    /// Additive inverse mod ℓ.
+    #[must_use]
+    pub fn neg(self) -> Scalar {
+        if self.is_zero() {
+            return self;
+        }
+        let mut out = [0u64; 4];
+        let mut borrow = 0u64;
+        for i in 0..4 {
+            let (d, b1) = L[i].overflowing_sub(self.0[i]);
+            let (d, b2) = d.overflowing_sub(borrow);
+            out[i] = d;
+            borrow = u64::from(b1) + u64::from(b2);
+        }
+        debug_assert_eq!(borrow, 0, "scalar is < ℓ, so ℓ − scalar cannot borrow");
+        Scalar(out)
+    }
+
+    /// Scalar subtraction mod ℓ.
+    #[must_use]
+    pub fn sub(self, other: Scalar) -> Scalar {
+        self.add(other.neg())
+    }
+
+    /// Builds a scalar from a 128-bit integer (always canonical: 2¹²⁸ < ℓ).
+    ///
+    /// Batch signature verification draws its random coefficients from this
+    /// range.
+    #[must_use]
+    pub fn from_u128(x: u128) -> Scalar {
+        Scalar([x as u64, (x >> 64) as u64, 0, 0])
+    }
+
     /// True when the scalar is zero.
     #[must_use]
     pub fn is_zero(self) -> bool {
@@ -179,6 +212,76 @@ impl Scalar {
     #[must_use]
     pub fn bit(&self, i: usize) -> u8 {
         ((self.0[i / 64] >> (i % 64)) & 1) as u8
+    }
+
+    /// Width-`w` non-adjacent form: signed digits `d[i]` with
+    /// `∑ d[i]·2^i = self`, each nonzero digit odd with |d[i]| < 2^(w−1),
+    /// and any two nonzero digits at least `w` positions apart.
+    ///
+    /// The sparse signed representation is what makes windowed scalar
+    /// multiplication fast: ~256/(w+1) point additions instead of ~128,
+    /// with negative digits served by (free) point negation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `w` is outside `2..=8` (digits must fit an `i8`).
+    #[must_use]
+    pub fn non_adjacent_form(&self, w: usize) -> [i8; 256] {
+        assert!((2..=8).contains(&w), "wNAF width must be in 2..=8");
+        let mut naf = [0i8; 256];
+        let x = [self.0[0], self.0[1], self.0[2], self.0[3], 0u64];
+        let width = 1u64 << w;
+        let mask = width - 1;
+        let mut pos = 0usize;
+        let mut carry = 0u64;
+        while pos < 256 {
+            let idx = pos / 64;
+            let shift = pos % 64;
+            // The w-bit window starting at `pos`, possibly spanning limbs.
+            let bits = if shift < 64 - w {
+                x[idx] >> shift
+            } else {
+                (x[idx] >> shift) | (x[idx + 1] << (64 - shift))
+            };
+            let window = carry + (bits & mask);
+            if window & 1 == 0 {
+                pos += 1;
+                continue;
+            }
+            if window < width / 2 {
+                carry = 0;
+                naf[pos] = window as i8;
+            } else {
+                // Subtract 2^w here and carry it into the next window.
+                carry = 1;
+                naf[pos] = (window as i8).wrapping_sub(width as i8);
+            }
+            pos += w;
+        }
+        debug_assert_eq!(carry, 0, "scalars < 2^253 leave no final carry");
+        naf
+    }
+
+    /// Signed radix-16 digits `d[i] ∈ [−8, 8]` with `∑ d[i]·16^i = self`.
+    ///
+    /// Feeds fixed-base multiplication from the precomputed basepoint
+    /// table: 64 table additions replace a 256-step doubling ladder.
+    #[must_use]
+    pub fn to_radix16(&self) -> [i8; 64] {
+        let bytes = self.to_bytes();
+        let mut digits = [0i8; 64];
+        for i in 0..32 {
+            digits[2 * i] = (bytes[i] & 15) as i8;
+            digits[2 * i + 1] = (bytes[i] >> 4) as i8;
+        }
+        // Recenter each digit into [−8, 8], carrying upward. The top digit
+        // absorbs at most a single carry: scalars are < 2^253.
+        for i in 0..63 {
+            let carry = (digits[i] + 8) >> 4;
+            digits[i] -= carry << 4;
+            digits[i + 1] += carry;
+        }
+        digits
     }
 }
 
@@ -261,6 +364,74 @@ mod tests {
         assert_eq!(s.bit(2), 0);
         assert_eq!(s.bit(3), 1);
         assert_eq!(s.bit(200), 0);
+    }
+
+    #[test]
+    fn neg_and_sub_are_inverse_operations() {
+        let a = Scalar::from_bytes_mod_order(&[0x5a; 32]);
+        let b = Scalar::from_bytes_mod_order(&[0x29; 32]);
+        assert_eq!(a.add(a.neg()), Scalar::ZERO);
+        assert_eq!(Scalar::ZERO.neg(), Scalar::ZERO);
+        assert_eq!(a.sub(b).add(b), a);
+        assert_eq!(a.sub(a), Scalar::ZERO);
+    }
+
+    #[test]
+    fn from_u128_is_canonical() {
+        let s = Scalar::from_u128(u128::MAX);
+        assert!(Scalar::from_canonical_bytes(&s.to_bytes()).is_some());
+        assert_eq!(
+            Scalar::from_u128(u128::from(u64::MAX)),
+            Scalar::from_u64(u64::MAX)
+        );
+    }
+
+    /// Reconstructs a scalar from signed digit representations by plain
+    /// mod-ℓ arithmetic.
+    fn from_signed_digits(digits: &[i8], radix_log2: usize) -> Scalar {
+        let mut acc = Scalar::ZERO;
+        for &d in digits.iter().rev() {
+            for _ in 0..radix_log2 {
+                acc = acc.add(acc);
+            }
+            let mag = Scalar::from_u64(u64::from(d.unsigned_abs()));
+            acc = if d >= 0 { acc.add(mag) } else { acc.sub(mag) };
+        }
+        acc
+    }
+
+    #[test]
+    fn wnaf_reconstructs_and_respects_invariants() {
+        for (fill, w) in [(0x11u8, 5), (0xf3, 5), (0x77, 8), (0xe9, 6)] {
+            let s = Scalar::from_bytes_mod_order(&[fill; 32]);
+            let naf = s.non_adjacent_form(w);
+            assert_eq!(from_signed_digits(&naf, 1), s, "fill {fill:#x} w {w}");
+            let bound = 1i16 << (w - 1);
+            let mut last_nonzero: Option<usize> = None;
+            for (i, &d) in naf.iter().enumerate() {
+                if d == 0 {
+                    continue;
+                }
+                assert_eq!(d & 1, 1, "digit at {i} must be odd");
+                assert!(i16::from(d).abs() < bound, "digit at {i} out of range");
+                if let Some(j) = last_nonzero {
+                    assert!(i - j >= w, "digits at {j} and {i} closer than {w}");
+                }
+                last_nonzero = Some(i);
+            }
+        }
+    }
+
+    #[test]
+    fn radix16_reconstructs_with_bounded_digits() {
+        for fill in [0x00u8, 0x01, 0x42, 0x9d, 0xff] {
+            let s = Scalar::from_bytes_mod_order(&[fill; 32]);
+            let digits = s.to_radix16();
+            assert_eq!(from_signed_digits(&digits, 4), s, "fill {fill:#x}");
+            for (i, &d) in digits.iter().enumerate() {
+                assert!((-8..=8).contains(&d), "digit {d} at {i} out of [−8, 8]");
+            }
+        }
     }
 
     #[test]

@@ -365,8 +365,8 @@ fn field_arithmetic_matches_reference_bigints() {
         // And the encodings are canonical round-trips.
         assert_eq!(fe(case.prod).to_bytes().to_vec(), {
             let mut bytes = [0u8; 32];
-            for j in 0..32 {
-                bytes[j] = u8::from_str_radix(&case.prod[2 * j..2 * j + 2], 16).unwrap();
+            for (j, byte) in bytes.iter_mut().enumerate() {
+                *byte = u8::from_str_radix(&case.prod[2 * j..2 * j + 2], 16).unwrap();
             }
             bytes.to_vec()
         });
@@ -385,4 +385,3 @@ fn scalar_arithmetic_matches_reference_bigints() {
 // Generator (Python 3, seed 20260704):
 //   p = 2**255 - 19; L = 2**252 + 27742317777372353535851937790883648493
 //   sum/prod/inv computed with native bigints and serialized little-endian.
-

@@ -125,4 +125,75 @@ proptest! {
             prop_assert!(sk.verifying_key().verify(&other, &sig).is_err());
         }
     }
+
+    /// The windowed paths are exactly the double-and-add reference: wNAF
+    /// single-scalar, the fixed-base table, and both Straus variants all
+    /// agree with `mul_scalar` on arbitrary scalars.
+    #[test]
+    fn windowed_scalar_mul_matches_double_and_add(ka in any::<[u8; 32]>(),
+                                                  kb in any::<[u8; 32]>(),
+                                                  point_seed in 1u64..1_000_000) {
+        let sa = Scalar::from_bytes_mod_order(&ka);
+        let sb = Scalar::from_bytes_mod_order(&kb);
+        let b = Point::basepoint();
+        let p = b.mul_scalar(&Scalar::from_u64(point_seed));
+
+        prop_assert!(p.mul_wnaf(&sa).eq_point(&p.mul_scalar(&sa)));
+        prop_assert!(Point::mul_basepoint(&sa).eq_point(&b.mul_scalar(&sa)));
+
+        let separate = b.mul_scalar(&sa).add(&p.mul_scalar(&sb));
+        prop_assert!(Point::double_scalar_mul(&sa, &b, &sb, &p).eq_point(&separate));
+        prop_assert!(Point::double_scalar_mul_basepoint(&sa, &sb, &p).eq_point(&separate));
+    }
+
+    /// wNAF and radix-16 digit decompositions reconstruct the scalar.
+    #[test]
+    fn scalar_decompositions_reconstruct(bytes in any::<[u8; 32]>(), w in 2usize..9) {
+        let s = Scalar::from_bytes_mod_order(&bytes);
+        let naf = s.non_adjacent_form(w);
+        let mut acc = Scalar::ZERO;
+        for &d in naf.iter().rev() {
+            acc = acc.add(acc);
+            let mag = Scalar::from_u64(u64::from(d.unsigned_abs()));
+            acc = if d >= 0 { acc.add(mag) } else { acc.sub(mag) };
+        }
+        prop_assert_eq!(acc, s);
+
+        let digits = s.to_radix16();
+        let mut acc = Scalar::ZERO;
+        for &d in digits.iter().rev() {
+            for _ in 0..4 { acc = acc.add(acc); }
+            let mag = Scalar::from_u64(u64::from(d.unsigned_abs()));
+            acc = if d >= 0 { acc.add(mag) } else { acc.sub(mag) };
+        }
+        prop_assert_eq!(acc, s);
+    }
+
+    /// Batch verification agrees with sequential verification: a batch of
+    /// valid signatures passes, and corrupting any single signature,
+    /// message, or key in the batch makes it fail.
+    #[test]
+    fn batch_agrees_with_sequential(seeds in proptest::collection::vec(any::<[u8; 32]>(), 2..6),
+                                    corrupt in any::<(bool, usize, u8)>()) {
+        let keys: Vec<SigningKey> = seeds.iter().map(SigningKey::from_seed).collect();
+        let messages: Vec<Vec<u8>> = seeds.iter().map(|s| s[..8].to_vec()).collect();
+        let mut sigs: Vec<proxy_crypto::ed25519::Signature> =
+            keys.iter().zip(&messages).map(|(k, m)| k.sign(m)).collect();
+        let vks: Vec<proxy_crypto::ed25519::VerifyingKey> =
+            keys.iter().map(SigningKey::verifying_key).collect();
+
+        let (do_corrupt, idx, byte) = corrupt;
+        let idx = idx % sigs.len();
+        if do_corrupt {
+            // Flip one bit somewhere in one signature.
+            sigs[idx].0[usize::from(byte) % 64] ^= 1 << (byte % 8);
+        }
+
+        let items: Vec<(&[u8], &proxy_crypto::ed25519::Signature, &proxy_crypto::ed25519::VerifyingKey)> =
+            messages.iter().zip(&sigs).zip(&vks)
+                .map(|((m, s), k)| (m.as_slice(), s, k))
+                .collect();
+        let sequential_ok = items.iter().all(|(m, s, k)| k.verify(m, s).is_ok());
+        prop_assert_eq!(proxy_crypto::ed25519::verify_batch(&items).is_ok(), sequential_ok);
+    }
 }

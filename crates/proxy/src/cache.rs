@@ -1,0 +1,228 @@
+//! A bounded, expiry-aware cache of certificate seal checks.
+//!
+//! Re-presentation is the common case in the paper's workloads: the same
+//! proxy chain arrives at an end-server once per request, and at an
+//! accounting server once per clearing hop. The expensive part of each
+//! arrival is re-checking the Ed25519 seals; everything else (validity
+//! windows, possession proofs, restriction evaluation, replay guards) is
+//! cheap *and request-dependent*, so it must run every time.
+//!
+//! This cache therefore memoizes exactly one fact per entry: "this
+//! certificate body, under this seal, checked against this verifying key,
+//! carried a valid signature". The key is a SHA-256 digest over all three
+//! inputs, so an entry can never vouch for different bytes or a different
+//! grantor key. What is deliberately **not** cached:
+//!
+//! * validity windows — checked against `ctx.now` on every request;
+//! * accept-once / replay decisions — the replay guard is consulted on
+//!   every request;
+//! * possession proofs — bound to a fresh challenge each time;
+//! * restriction evaluation — context-dependent by definition.
+//!
+//! Entries carry the certificate's expiry so the cache can drop entries
+//! that can no longer gate anything, and the whole structure is bounded:
+//! at capacity, the oldest entry is evicted (insertion order). Negative
+//! results are never stored — a forged seal is re-checked (and re-fails)
+//! on every presentation.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use proxy_crypto::sha256::Sha256;
+
+use crate::cert::{CertSeal, Certificate};
+use crate::time::Timestamp;
+
+/// A digest naming one (certificate body, seal, verifying key) triple.
+pub(crate) type SealDigest = [u8; 32];
+
+/// Computes the cache key for a certificate checked against a particular
+/// verifier, identified by `verifier_id` (the encoded public key).
+pub(crate) fn seal_digest(cert: &Certificate, verifier_id: &[u8]) -> SealDigest {
+    let mut h = Sha256::new();
+    h.update(b"proxy-aa seal-cache v1");
+    h.update(&cert.body_bytes());
+    match &cert.seal {
+        CertSeal::Hmac(tag) => {
+            h.update(&[0]);
+            h.update(tag);
+        }
+        CertSeal::Ed25519(sig) => {
+            h.update(&[1]);
+            h.update(sig.as_bytes());
+        }
+    }
+    h.update(verifier_id);
+    h.finalize()
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    /// digest → certificate expiry.
+    entries: HashMap<SealDigest, Timestamp>,
+    /// Insertion order, for bounded eviction.
+    order: VecDeque<SealDigest>,
+}
+
+/// Cache of positively-verified certificate seals. See the module docs for
+/// the exact contract.
+///
+/// Interior-mutable so a shared [`crate::verify::Verifier`] can record
+/// hits from `&self`; the lock is held only for map operations, never
+/// across any cryptography.
+#[derive(Debug)]
+pub struct VerifiedCertCache {
+    inner: Mutex<CacheInner>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl VerifiedCertCache {
+    /// Creates a cache holding at most `capacity` entries (minimum 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(CacheInner::default()),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of live entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache lock").entries.len()
+    }
+
+    /// True when no entries are cached.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lifetime (hits, misses) counters, for instrumentation and the
+    /// benchmark ablation.
+    #[must_use]
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// True when `digest` holds a cached positive seal check that has not
+    /// expired. Updates the hit/miss counters.
+    pub(crate) fn contains(&self, digest: &SealDigest, now: Timestamp) -> bool {
+        let inner = self.inner.lock().expect("cache lock");
+        let hit = inner.entries.get(digest).is_some_and(|exp| now <= *exp);
+        drop(inner);
+        if hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// Records a positive seal check for a certificate expiring at
+    /// `expires`. Entries already expired at `now` are not stored. At
+    /// capacity, expired entries are purged first; if none, the oldest
+    /// entry is evicted.
+    pub(crate) fn insert(&self, digest: SealDigest, expires: Timestamp, now: Timestamp) {
+        if expires < now {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("cache lock");
+        if inner.entries.contains_key(&digest) {
+            return;
+        }
+        if inner.entries.len() >= self.capacity {
+            Self::purge_expired(&mut inner, now);
+        }
+        while inner.entries.len() >= self.capacity {
+            match inner.order.pop_front() {
+                Some(oldest) => {
+                    inner.entries.remove(&oldest);
+                }
+                None => break,
+            }
+        }
+        inner.entries.insert(digest, expires);
+        inner.order.push_back(digest);
+    }
+
+    fn purge_expired(inner: &mut CacheInner, now: Timestamp) {
+        let entries = &mut inner.entries;
+        entries.retain(|_, exp| now <= *exp);
+        inner.order.retain(|d| entries.contains_key(d));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn digest(tag: u8) -> SealDigest {
+        [tag; 32]
+    }
+
+    #[test]
+    fn hit_then_miss_after_expiry() {
+        let cache = VerifiedCertCache::new(8);
+        cache.insert(digest(1), Timestamp(100), Timestamp(10));
+        assert!(cache.contains(&digest(1), Timestamp(50)));
+        assert!(cache.contains(&digest(1), Timestamp(100)));
+        assert!(!cache.contains(&digest(1), Timestamp(101)));
+        assert_eq!(cache.stats(), (2, 1));
+    }
+
+    #[test]
+    fn never_stores_already_expired() {
+        let cache = VerifiedCertCache::new(8);
+        cache.insert(digest(2), Timestamp(5), Timestamp(10));
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn bounded_eviction_prefers_expired_entries() {
+        let cache = VerifiedCertCache::new(2);
+        cache.insert(digest(1), Timestamp(20), Timestamp(0));
+        cache.insert(digest(2), Timestamp(1000), Timestamp(0));
+        // At capacity and past digest(1)'s expiry: the expired entry goes.
+        cache.insert(digest(3), Timestamp(1000), Timestamp(30));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.contains(&digest(2), Timestamp(40)));
+        assert!(cache.contains(&digest(3), Timestamp(40)));
+
+        // Nothing expired: oldest (insertion order) is evicted.
+        cache.insert(digest(4), Timestamp(1000), Timestamp(40));
+        assert_eq!(cache.len(), 2);
+        assert!(!cache.contains(&digest(2), Timestamp(40)));
+        assert!(cache.contains(&digest(4), Timestamp(40)));
+    }
+
+    #[test]
+    fn duplicate_insert_is_idempotent() {
+        let cache = VerifiedCertCache::new(2);
+        cache.insert(digest(1), Timestamp(100), Timestamp(0));
+        cache.insert(digest(1), Timestamp(100), Timestamp(0));
+        assert_eq!(cache.len(), 1);
+        cache.insert(digest(2), Timestamp(100), Timestamp(0));
+        cache.insert(digest(3), Timestamp(100), Timestamp(0));
+        // digest(1) was evicted exactly once despite the double insert.
+        assert_eq!(cache.len(), 2);
+        assert!(cache.contains(&digest(3), Timestamp(0)));
+    }
+
+    #[test]
+    fn capacity_has_a_floor_of_one() {
+        let cache = VerifiedCertCache::new(0);
+        cache.insert(digest(1), Timestamp(10), Timestamp(0));
+        assert_eq!(cache.len(), 1);
+        cache.insert(digest(2), Timestamp(10), Timestamp(0));
+        assert_eq!(cache.len(), 1);
+    }
+}

@@ -63,6 +63,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod cert;
 pub mod context;
 pub mod encode;
@@ -80,6 +81,7 @@ pub mod verify;
 
 /// Convenient glob import of the commonly-used types.
 pub mod prelude {
+    pub use crate::cache::VerifiedCertCache;
     pub use crate::cert::{CertSeal, Certificate, SigningAuthorityKind};
     pub use crate::context::RequestContext;
     pub use crate::error::{GrantError, VerifyError};

@@ -7,8 +7,12 @@
 //! proof (possession for bearer proxies, authenticated identity for
 //! delegate proxies).
 
+use std::sync::Arc;
+
+use proxy_crypto::ed25519::{self, Signature, VerifyingKey};
 use proxy_crypto::hmac::HmacSha256;
 
+use crate::cache::{seal_digest, SealDigest, VerifiedCertCache};
 use crate::cert::{CertSeal, Certificate, SigningAuthorityKind};
 use crate::context::RequestContext;
 use crate::error::VerifyError;
@@ -18,6 +22,17 @@ use crate::principal::PrincipalId;
 use crate::replay::ReplayGuard;
 use crate::restriction::RestrictionSet;
 use crate::time::Timestamp;
+
+/// An Ed25519 seal check postponed so a whole chain verifies as one batch.
+struct DeferredSeal {
+    index: usize,
+    body: Vec<u8>,
+    sig: Signature,
+    vk: VerifyingKey,
+    /// Cache key, computed only when a cache is attached.
+    digest: Option<SealDigest>,
+    expires: Timestamp,
+}
 
 /// The outcome of successful verification: what the proxy conveys.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -38,19 +53,61 @@ pub struct VerifiedProxy {
 pub struct Verifier<R> {
     server: PrincipalId,
     resolver: R,
+    /// Optional cache of positive Ed25519 seal checks; see
+    /// [`VerifiedCertCache`] for what is (and is deliberately not)
+    /// memoized. Shared across clones so every handle benefits.
+    cache: Option<Arc<VerifiedCertCache>>,
 }
 
 impl<R: KeyResolver> Verifier<R> {
     /// Creates a verifier for the end-server named `server`, resolving
     /// grantor keys through `resolver`.
     pub fn new(server: PrincipalId, resolver: R) -> Self {
-        Self { server, resolver }
+        Self {
+            server,
+            resolver,
+            cache: None,
+        }
+    }
+
+    /// Attaches a bounded seal cache, making repeated presentations of the
+    /// same chain O(1) in signature checks.
+    #[must_use]
+    pub fn with_seal_cache(mut self, capacity: usize) -> Self {
+        self.cache = Some(Arc::new(VerifiedCertCache::new(capacity)));
+        self
+    }
+
+    /// Attaches an existing (possibly shared) seal cache.
+    #[must_use]
+    pub fn with_shared_seal_cache(mut self, cache: Arc<VerifiedCertCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The attached seal cache, if any.
+    #[must_use]
+    pub fn seal_cache(&self) -> Option<&VerifiedCertCache> {
+        self.cache.as_deref()
     }
 
     /// The end-server this verifier speaks for.
     #[must_use]
     pub fn server(&self) -> &PrincipalId {
         &self.server
+    }
+
+    /// The key resolver backing this verifier.
+    #[must_use]
+    pub fn resolver(&self) -> &R {
+        &self.resolver
+    }
+
+    /// Mutable access to the resolver, so a long-lived verifier can learn
+    /// new grantors without being rebuilt (and without discarding its seal
+    /// cache).
+    pub fn resolver_mut(&mut self) -> &mut R {
+        &mut self.resolver
     }
 
     /// Verifies a presentation against a request context.
@@ -73,9 +130,15 @@ impl<R: KeyResolver> Verifier<R> {
             return Err(VerifyError::EmptyChain);
         }
 
-        // Pass 1: verify seals and recover proxy-key verifiers link by link.
+        // Pass 1: verify seals and recover proxy-key verifiers link by
+        // link. Key recovery never depends on a seal being *valid* (only
+        // on the recovered key of the prior link), so Ed25519 seal checks
+        // are deferred and the whole chain is verified as one batch —
+        // unless the seal cache already vouches for a certificate. HMAC
+        // seals are cheaper than the cache digest and are checked inline.
         let mut prev_key: Option<ProxyKeyVerifier> = None;
         let mut expires = Timestamp::MAX;
+        let mut deferred: Vec<DeferredSeal> = Vec::new();
         for (index, cert) in certs.iter().enumerate() {
             if !cert.validity.contains(ctx.now) {
                 return Err(VerifyError::NotValidAt {
@@ -90,10 +153,18 @@ impl<R: KeyResolver> Verifier<R> {
                         .resolver
                         .grantor_verifier(&cert.grantor)
                         .ok_or_else(|| VerifyError::UnknownGrantor(cert.grantor.clone()))?;
-                    check_grantor_seal(cert, &verifier, index)?;
-                    match verifier {
-                        GrantorVerifier::SharedKey(k) => Some(k),
-                        GrantorVerifier::PublicKey(_) => None,
+                    match (&verifier, &cert.seal) {
+                        (GrantorVerifier::SharedKey(k), CertSeal::Hmac(tag)) => {
+                            if !HmacSha256::verify(k.as_bytes(), &cert.body_bytes(), tag) {
+                                return Err(VerifyError::BadSeal { index });
+                            }
+                            Some(k.clone())
+                        }
+                        (GrantorVerifier::PublicKey(vk), CertSeal::Ed25519(sig)) => {
+                            self.queue_ed25519_seal(&mut deferred, cert, index, *vk, *sig, ctx.now);
+                            None
+                        }
+                        _ => return Err(VerifyError::FlavorMismatch { index }),
                     }
                 }
                 SigningAuthorityKind::PriorProxyKey => {
@@ -101,10 +172,18 @@ impl<R: KeyResolver> Verifier<R> {
                         return Err(VerifyError::HeadNotGrantorSealed);
                     }
                     let prior = prev_key.as_ref().expect("set on every prior iteration");
-                    check_prior_key_seal(cert, prior, index)?;
-                    match prior {
-                        ProxyKeyVerifier::Symmetric(k) => Some(k.clone()),
-                        ProxyKeyVerifier::Ed25519(_) => None,
+                    match (prior, &cert.seal) {
+                        (ProxyKeyVerifier::Symmetric(k), CertSeal::Hmac(tag)) => {
+                            if !HmacSha256::verify(k.as_bytes(), &cert.body_bytes(), tag) {
+                                return Err(VerifyError::BadSeal { index });
+                            }
+                            Some(k.clone())
+                        }
+                        (ProxyKeyVerifier::Ed25519(vk), CertSeal::Ed25519(sig)) => {
+                            self.queue_ed25519_seal(&mut deferred, cert, index, *vk, *sig, ctx.now);
+                            None
+                        }
+                        _ => return Err(VerifyError::FlavorMismatch { index }),
                     }
                 }
             };
@@ -114,6 +193,7 @@ impl<R: KeyResolver> Verifier<R> {
                     .ok_or(VerifyError::KeyUnrecoverable { index })?,
             );
         }
+        self.flush_deferred_seals(deferred, ctx.now)?;
         let final_key = prev_key.expect("chain non-empty");
 
         // Pass 2: resolve delegate cascades into an effective identity set.
@@ -167,45 +247,73 @@ impl<R: KeyResolver> Verifier<R> {
             chain_len: certs.len(),
         })
     }
-}
 
-fn check_grantor_seal(
-    cert: &Certificate,
-    verifier: &GrantorVerifier,
-    index: usize,
-) -> Result<(), VerifyError> {
-    let body = cert.body_bytes();
-    let ok = match (verifier, &cert.seal) {
-        (GrantorVerifier::SharedKey(k), CertSeal::Hmac(tag)) => {
-            HmacSha256::verify(k.as_bytes(), &body, tag)
+    /// Queues an Ed25519 seal check for the end-of-pass batch, unless the
+    /// cache already vouches for this exact (body, seal, key) triple.
+    fn queue_ed25519_seal(
+        &self,
+        deferred: &mut Vec<DeferredSeal>,
+        cert: &Certificate,
+        index: usize,
+        vk: VerifyingKey,
+        sig: Signature,
+        now: Timestamp,
+    ) {
+        let digest = self
+            .cache
+            .as_ref()
+            .map(|_| seal_digest(cert, vk.as_bytes()));
+        if let (Some(cache), Some(d)) = (&self.cache, &digest) {
+            if cache.contains(d, now) {
+                return;
+            }
         }
-        (GrantorVerifier::PublicKey(vk), CertSeal::Ed25519(sig)) => vk.verify(&body, sig).is_ok(),
-        _ => return Err(VerifyError::FlavorMismatch { index }),
-    };
-    if ok {
-        Ok(())
-    } else {
-        Err(VerifyError::BadSeal { index })
+        deferred.push(DeferredSeal {
+            index,
+            body: cert.body_bytes(),
+            sig,
+            vk,
+            digest,
+            expires: cert.expires(),
+        });
     }
-}
 
-fn check_prior_key_seal(
-    cert: &Certificate,
-    prior: &ProxyKeyVerifier,
-    index: usize,
-) -> Result<(), VerifyError> {
-    let body = cert.body_bytes();
-    let ok = match (prior, &cert.seal) {
-        (ProxyKeyVerifier::Symmetric(k), CertSeal::Hmac(tag)) => {
-            HmacSha256::verify(k.as_bytes(), &body, tag)
+    /// Verifies all queued seals in one batched equation; on success the
+    /// positive results enter the cache. On failure, re-checks each seal
+    /// to attribute the error to a chain index. Only seal validity is ever
+    /// cached — never a request-dependent decision.
+    fn flush_deferred_seals(
+        &self,
+        deferred: Vec<DeferredSeal>,
+        now: Timestamp,
+    ) -> Result<(), VerifyError> {
+        if deferred.is_empty() {
+            return Ok(());
         }
-        (ProxyKeyVerifier::Ed25519(vk), CertSeal::Ed25519(sig)) => vk.verify(&body, sig).is_ok(),
-        _ => return Err(VerifyError::FlavorMismatch { index }),
-    };
-    if ok {
+        let items: Vec<(&[u8], &Signature, &VerifyingKey)> = deferred
+            .iter()
+            .map(|d| (d.body.as_slice(), &d.sig, &d.vk))
+            .collect();
+        if ed25519::verify_batch(&items).is_err() {
+            for d in &deferred {
+                if d.vk.verify(&d.body, &d.sig).is_err() {
+                    return Err(VerifyError::BadSeal { index: d.index });
+                }
+            }
+            // Unreachable in practice: the batch only fails when some
+            // individual equation fails. Blame the head conservatively.
+            return Err(VerifyError::BadSeal {
+                index: deferred[0].index,
+            });
+        }
+        if let Some(cache) = &self.cache {
+            for d in deferred {
+                if let Some(digest) = d.digest {
+                    cache.insert(digest, d.expires, now);
+                }
+            }
+        }
         Ok(())
-    } else {
-        Err(VerifyError::BadSeal { index })
     }
 }
 
@@ -817,6 +925,101 @@ mod tests {
             .authenticated_as(p("bob"))
             .authenticated_as(p("carol"));
         assert!(s.verifier.verify(&pres, &both, &mut guard).is_ok());
+    }
+
+    #[test]
+    fn cached_verifier_round_trips_and_records_hits() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let sk = SigningKey::generate(&mut rng);
+        let resolver =
+            MapResolver::new().with(p("alice"), GrantorVerifier::PublicKey(sk.verifying_key()));
+        let verifier = Verifier::new(p("fs"), resolver).with_seal_cache(64);
+        let auth = GrantAuthority::Keypair(sk);
+        let proxy = grant(
+            &p("alice"),
+            &auth,
+            RestrictionSet::new(),
+            window(),
+            1,
+            &mut rng,
+        )
+        .derive(RestrictionSet::new(), window(), 2, &mut rng)
+        .unwrap();
+        let mut guard = MemoryReplayGuard::new();
+        let pres = proxy.present_bearer([1u8; 32], &p("fs"));
+        assert!(verifier.verify(&pres, &ctx(), &mut guard).is_ok());
+        let cache = verifier.seal_cache().unwrap();
+        assert_eq!(cache.len(), 2, "both chain links cached");
+        let (hits, misses) = cache.stats();
+        assert_eq!((hits, misses), (0, 2));
+        // Re-presentation with a fresh challenge: both seals hit.
+        let pres2 = proxy.present_bearer([2u8; 32], &p("fs"));
+        assert!(verifier.verify(&pres2, &ctx(), &mut guard).is_ok());
+        assert_eq!(cache.stats(), (2, 2));
+    }
+
+    #[test]
+    fn cached_verifier_still_rejects_tampering() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let sk = SigningKey::generate(&mut rng);
+        let resolver =
+            MapResolver::new().with(p("alice"), GrantorVerifier::PublicKey(sk.verifying_key()));
+        let verifier = Verifier::new(p("fs"), resolver).with_seal_cache(64);
+        let auth = GrantAuthority::Keypair(sk);
+        let proxy = grant(
+            &p("alice"),
+            &auth,
+            RestrictionSet::new().with(Restriction::authorize_op(
+                ObjectName::new("file"),
+                Operation::new("read"),
+            )),
+            window(),
+            1,
+            &mut rng,
+        );
+        let mut guard = MemoryReplayGuard::new();
+        // Warm the cache with the honest certificate.
+        let pres = proxy.present_bearer([1u8; 32], &p("fs"));
+        assert!(verifier.verify(&pres, &ctx(), &mut guard).is_ok());
+        // A stripped variant is a different body, so a different digest:
+        // the cache cannot vouch for it and the seal check fails.
+        let mut stripped = proxy.present_bearer([2u8; 32], &p("fs"));
+        stripped.certs[0].restrictions = RestrictionSet::new();
+        assert_eq!(
+            verifier.verify(&stripped, &ctx(), &mut guard),
+            Err(VerifyError::BadSeal { index: 0 })
+        );
+    }
+
+    #[test]
+    fn bad_link_in_batched_chain_blames_its_index() {
+        let mut rng = StdRng::seed_from_u64(25);
+        let sk = SigningKey::generate(&mut rng);
+        let resolver =
+            MapResolver::new().with(p("alice"), GrantorVerifier::PublicKey(sk.verifying_key()));
+        let verifier = Verifier::new(p("fs"), resolver);
+        let auth = GrantAuthority::Keypair(sk);
+        let proxy = grant(
+            &p("alice"),
+            &auth,
+            RestrictionSet::new(),
+            window(),
+            1,
+            &mut rng,
+        )
+        .derive(RestrictionSet::new(), window(), 2, &mut rng)
+        .unwrap()
+        .derive(RestrictionSet::new(), window(), 3, &mut rng)
+        .unwrap();
+        let mut pres = proxy.present_bearer([3u8; 32], &p("fs"));
+        // Corrupt the middle link's serial: the batched seal check must
+        // fail and attribute the failure to index 1.
+        pres.certs[1].serial ^= 1;
+        let mut guard = MemoryReplayGuard::new();
+        assert_eq!(
+            verifier.verify(&pres, &ctx(), &mut guard),
+            Err(VerifyError::BadSeal { index: 1 })
+        );
     }
 
     #[test]

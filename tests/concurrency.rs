@@ -7,7 +7,8 @@
 //! invariants demanded as in the single-threaded property tests —
 //! at-most-once acceptance and money conservation.
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -62,12 +63,12 @@ fn parallel_verification_shares_one_verifier() {
     );
     let ctx =
         RequestContext::new(p("fs"), Operation::new("read"), ObjectName::new("x")).at(Timestamp(1));
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for t in 0..8 {
             let verifier = &verifier;
             let proxy = &proxy;
             let ctx = &ctx;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let mut guard = MemoryReplayGuard::new();
                 for i in 0..50 {
                     let challenge = [t as u8 + 1; 32];
@@ -78,8 +79,7 @@ fn parallel_verification_shares_one_verifier() {
                 }
             });
         }
-    })
-    .expect("threads join");
+    });
 }
 
 #[test]
@@ -119,15 +119,15 @@ fn concurrent_deposits_settle_each_check_exactly_once() {
     let bank = Mutex::new(bank);
     let settled = Mutex::new(Vec::new());
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for t in 0..4 {
             let bank = &bank;
             let settled = &settled;
             let checks = &checks;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let mut rng = StdRng::seed_from_u64(100 + t);
                 for check in checks {
-                    let result = bank.lock().deposit(
+                    let result = bank.lock().expect("bank lock").deposit(
                         check,
                         &p("shop"),
                         "shop",
@@ -136,22 +136,21 @@ fn concurrent_deposits_settle_each_check_exactly_once() {
                         &mut rng,
                     );
                     if let Ok(DepositOutcome::Settled(payment)) = result {
-                        settled.lock().push(payment.check_no);
+                        settled.lock().expect("settled lock").push(payment.check_no);
                     }
                 }
             });
         }
-    })
-    .expect("threads join");
+    });
 
-    let mut settled = settled.into_inner();
+    let mut settled = settled.into_inner().expect("settled poisoned");
     settled.sort_unstable();
     assert_eq!(
         settled,
         (1..=16u64).collect::<Vec<_>>(),
         "each check exactly once"
     );
-    let bank = bank.into_inner();
+    let bank = bank.into_inner().expect("bank poisoned");
     assert_eq!(bank.account("carol").unwrap().balance(&usd()), 10_000 - 160);
     assert_eq!(bank.account("shop").unwrap().balance(&usd()), 160);
 }

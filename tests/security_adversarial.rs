@@ -312,3 +312,113 @@ fn wire_corruption_of_any_presentation_byte_never_authorizes_more() {
         }
     }
 }
+
+/// Builds a public-key world with a seal cache attached, so the tests
+/// below can prove the cache never stands in for request-dependent
+/// checks.
+fn cached_world(seed: u64) -> (StdRng, GrantAuthority, Verifier<MapResolver>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sk = proxy_aa::crypto::ed25519::SigningKey::generate(&mut rng);
+    let resolver =
+        MapResolver::new().with(p("alice"), GrantorVerifier::PublicKey(sk.verifying_key()));
+    let verifier = Verifier::new(p("fs"), resolver).with_seal_cache(128);
+    (rng, GrantAuthority::Keypair(sk), verifier)
+}
+
+/// The seal cache memoizes signature checks only. An accept-once proxy
+/// whose seal is already cached must still be refused on second use: the
+/// replay guard runs on every presentation, cache hit or not.
+#[test]
+fn seal_cache_never_bypasses_accept_once() {
+    let (mut rng, auth, verifier) = cached_world(100);
+    let cap = grant(
+        &p("alice"),
+        &auth,
+        RestrictionSet::new().with(Restriction::AcceptOnce { id: 7 }),
+        window(),
+        1,
+        &mut rng,
+    );
+    let mut guard = MemoryReplayGuard::new();
+    let first = cap.present_bearer([1u8; 32], &p("fs"));
+    assert!(verifier.verify(&first, &ctx(), &mut guard).is_ok());
+    // Second presentation: the seal check is a cache hit, yet acceptance
+    // is still refused by the replay guard.
+    let second = cap.present_bearer([2u8; 32], &p("fs"));
+    assert!(matches!(
+        verifier.verify(&second, &ctx(), &mut guard),
+        Err(VerifyError::Denied(Denial::AlreadyAccepted { id: 7 }))
+    ));
+    let (hits, _) = verifier.seal_cache().unwrap().stats();
+    assert!(hits >= 1, "the rejection happened despite a warm cache");
+}
+
+/// A cached seal must not resurrect an expired certificate: validity is
+/// checked against the request clock before the cache is ever consulted.
+#[test]
+fn seal_cache_never_bypasses_expiry() {
+    let (mut rng, auth, verifier) = cached_world(101);
+    let cap = grant(
+        &p("alice"),
+        &auth,
+        RestrictionSet::new(),
+        Validity::new(Timestamp(0), Timestamp(100)),
+        1,
+        &mut rng,
+    );
+    let mut guard = MemoryReplayGuard::new();
+    let pres = cap.present_bearer([1u8; 32], &p("fs"));
+    assert!(verifier.verify(&pres, &ctx(), &mut guard).is_ok());
+    assert_eq!(verifier.seal_cache().unwrap().len(), 1, "seal was cached");
+    // Same presentation after expiry: rejected on the validity window.
+    let late = RequestContext::new(p("fs"), Operation::new("read"), ObjectName::new("f"))
+        .at(Timestamp(200));
+    let pres2 = cap.present_bearer([2u8; 32], &p("fs"));
+    assert_eq!(
+        verifier.verify(&pres2, &late, &mut guard),
+        Err(VerifyError::NotValidAt {
+            index: 0,
+            now: Timestamp(200)
+        })
+    );
+}
+
+/// Warm cache or not, every presentation must prove possession against
+/// its own fresh challenge: an eavesdropper replaying a recorded response
+/// fails even when the seal check itself is skipped via the cache.
+#[test]
+fn seal_cache_never_bypasses_possession_proof() {
+    let (mut rng, auth, verifier) = cached_world(102);
+    let cap = grant(
+        &p("alice"),
+        &auth,
+        RestrictionSet::new(),
+        window(),
+        1,
+        &mut rng,
+    );
+    let mut guard = MemoryReplayGuard::new();
+    let recorded = cap.present_bearer([1u8; 32], &p("fs"));
+    assert!(verifier.verify(&recorded, &ctx(), &mut guard).is_ok());
+    let Proof::Possession { response, .. } = &recorded.proof else {
+        unreachable!()
+    };
+    // Replay the recorded response against a fresh challenge.
+    let replayed = Presentation {
+        certs: recorded.certs.clone(),
+        proof: Proof::Possession {
+            challenge: [9u8; 32],
+            response: response.clone(),
+        },
+    };
+    let (hits_before, _) = verifier.seal_cache().unwrap().stats();
+    assert_eq!(
+        verifier.verify(&replayed, &ctx(), &mut guard),
+        Err(VerifyError::BadPossession)
+    );
+    let (hits_after, _) = verifier.seal_cache().unwrap().stats();
+    assert!(
+        hits_after > hits_before,
+        "the seal was served from cache, and possession still failed"
+    );
+}

@@ -1,0 +1,357 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! A real measuring harness with Criterion's API shape (the subset the
+//! workspace's benches use): `criterion_group!`/`criterion_main!`,
+//! [`Criterion::benchmark_group`], `bench_function`, `bench_with_input`,
+//! [`Bencher::iter`] and [`Bencher::iter_batched`], [`BenchmarkId`], and
+//! [`black_box`].
+//!
+//! Measurement model: each benchmark warms up briefly, auto-calibrates an
+//! iteration batch so one sample costs ≳250 µs of timer resolution (so
+//! µs-scale routines are averaged over many iterations per sample), then
+//! collects `sample_size` samples and reports the median with a
+//! 10th–90th-percentile spread — scheduler outliers land outside the
+//! reported interval instead of defining it — in Criterion's familiar
+//! one-line format:
+//!
+//! ```text
+//! f4_verify_chain/8       time:   [52.1 µs 54.0 µs 57.9 µs]
+//! ```
+//!
+//! `--quick` (or `CRITERION_QUICK=1`) cuts warm-up and sample counts for
+//! smoke runs. Unrecognized CLI flags (e.g. the `--bench` cargo passes)
+//! are ignored.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// An opaque identity function the optimizer must assume reads and writes
+/// its argument; mirrors `criterion::black_box` (via `std::hint`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How batched inputs are grouped; only the variants the workspace uses.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs: large batches.
+    SmallInput,
+    /// Large per-iteration inputs: batch of one.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// A benchmark identifier: function name plus optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a name and a parameter.
+    #[must_use]
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter (grouped benches).
+    #[must_use]
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything `bench_function` accepts as an id.
+pub trait IntoBenchmarkId {
+    /// The final display id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Settings {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement_time: Duration,
+}
+
+fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+        || std::env::var("CRITERION_QUICK").is_ok_and(|v| v != "0")
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        if quick_mode() {
+            Settings {
+                sample_size: 50,
+                warm_up: Duration::from_millis(60),
+                measurement_time: Duration::from_millis(500),
+            }
+        } else {
+            Settings {
+                sample_size: 100,
+                warm_up: Duration::from_millis(300),
+                measurement_time: Duration::from_millis(2500),
+            }
+        }
+    }
+}
+
+/// The harness entry point, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            settings: self.settings,
+            _parent: std::marker::PhantomData,
+        }
+    }
+
+    /// Benchmarks a standalone closure.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, f: F) {
+        run_bench(&id.into_id(), self.settings, f);
+    }
+
+    /// Benchmarks a closure against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        run_bench(&id.id, self.settings, |b| f(b, input));
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    settings: Settings,
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(5);
+        self
+    }
+
+    /// Overrides the measurement budget for this group.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.settings.measurement_time = t;
+        self
+    }
+
+    /// Benchmarks a closure under this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, f: F) {
+        let id = format!("{}/{}", self.name, id.into_id());
+        run_bench(&id, self.settings, f);
+    }
+
+    /// Benchmarks a closure against a borrowed input under this group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let id = format!("{}/{}", self.name, id.id);
+        run_bench(&id, self.settings, |b| f(b, input));
+    }
+
+    /// Ends the group (report lines were already emitted).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; runs the timed routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the calibrated iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` over fresh inputs from `setup`, excluding setup
+    /// cost from the measurement.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let inputs: Vec<I> = (0..self.iters).map(|_| setup()).collect();
+        let start = Instant::now();
+        for input in inputs {
+            black_box(routine(input));
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(id: &str, settings: Settings, mut f: F) {
+    // Warm-up and calibration: find an iteration count whose sample takes
+    // long enough to average out timer granularity and scheduler jitter —
+    // µs-scale routines get hundreds of iterations per sample.
+    let mut iters = 1u64;
+    let warm_up_start = Instant::now();
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if warm_up_start.elapsed() >= settings.warm_up {
+            break;
+        }
+        if b.elapsed < Duration::from_micros(250) {
+            iters = iters.saturating_mul(2);
+        }
+    }
+
+    // Collect samples within the measurement budget.
+    let mut samples: Vec<f64> = Vec::with_capacity(settings.sample_size);
+    let measure_start = Instant::now();
+    for i in 0..settings.sample_size {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        samples.push(b.elapsed.as_secs_f64() / iters.max(1) as f64);
+        // Keep at least 20 samples even when over budget.
+        if i >= 19 && measure_start.elapsed() > settings.measurement_time {
+            break;
+        }
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+    let median = samples[samples.len() / 2];
+    // 10th–90th percentile spread: a preempted sample or two shows up as
+    // an outlier beyond the interval rather than stretching it.
+    let lo = samples[samples.len() / 10];
+    let hi = samples[samples.len() - 1 - samples.len() / 10];
+    println!(
+        "{id:<40} time:   [{} {} {}]",
+        format_time(lo),
+        format_time(median),
+        format_time(hi)
+    );
+}
+
+fn format_time(seconds: f64) -> String {
+    let (value, unit) = if seconds < 1e-6 {
+        (seconds * 1e9, "ns")
+    } else if seconds < 1e-3 {
+        (seconds * 1e6, "µs")
+    } else if seconds < 1.0 {
+        (seconds * 1e3, "ms")
+    } else {
+        (seconds, "s")
+    };
+    let mut out = String::new();
+    if value < 10.0 {
+        write!(out, "{value:.4} {unit}").expect("fmt");
+    } else if value < 100.0 {
+        write!(out, "{value:.3} {unit}").expect("fmt");
+    } else {
+        write!(out, "{value:.2} {unit}").expect("fmt");
+    }
+    out
+}
+
+/// Declares a group of benchmark functions; mirrors
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`; mirrors
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports_and_terminates() {
+        std::env::set_var("CRITERION_QUICK", "1");
+        let mut c = Criterion::default();
+        c.bench_function("smoke", |b| b.iter(|| black_box(1u64 + 1)));
+        let mut group = c.benchmark_group("grp");
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::from_parameter(3), &3u64, |b, &n| {
+            b.iter(|| black_box(n * n))
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        std::env::set_var("CRITERION_QUICK", "1");
+        let mut c = Criterion::default();
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+
+    #[test]
+    fn format_time_picks_units() {
+        assert!(format_time(2.5e-9).ends_with("ns"));
+        assert!(format_time(2.5e-6).ends_with("µs"));
+        assert!(format_time(2.5e-3).ends_with("ms"));
+        assert!(format_time(2.5).ends_with('s'));
+    }
+}
