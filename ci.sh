@@ -6,3 +6,12 @@ set -eu
 cargo fmt --all -- --check
 cargo clippy --workspace --all-targets -- -D warnings
 cargo test --workspace -q
+
+# Concurrency stress: run the shared-&self server tests with real
+# parallelism (8 test threads, release mode so races aren't serialized
+# by debug-build slowness).
+RUST_TEST_THREADS=8 cargo test --release -q --test concurrency
+
+# Documentation gate: rustdoc warnings (broken intra-doc links, bad
+# HTML) are errors.
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q

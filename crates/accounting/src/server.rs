@@ -1,6 +1,6 @@
 //! The accounting server (§4): accounts, check collection, certification.
 
-use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use rand::RngCore;
 
@@ -9,10 +9,11 @@ use restricted_proxy::context::RequestContext;
 use restricted_proxy::key::{GrantAuthority, GrantorVerifier, MapResolver};
 use restricted_proxy::principal::PrincipalId;
 use restricted_proxy::proxy::{grant, Proxy};
-use restricted_proxy::replay::MemoryReplayGuard;
+use restricted_proxy::replay::ReplayCache;
 use restricted_proxy::restriction::{
     AuthorizedEntry, Currency, ObjectName, Operation, Restriction, RestrictionSet,
 };
+use restricted_proxy::shard::ShardMap;
 use restricted_proxy::time::{Timestamp, Validity};
 use restricted_proxy::verify::Verifier;
 
@@ -60,6 +61,18 @@ struct Uncollected {
 
 /// An accounting server: accounts plus the check-clearing machinery of
 /// Fig. 5.
+///
+/// The money-moving paths ([`Self::collect`], [`Self::deposit`],
+/// [`Self::forward`], [`Self::certify`], …) take `&self`: accounts and
+/// uncollected records live in lock-striped [`ShardMap`]s and the replay
+/// guard is a lock-striped [`ReplayCache`], so one server instance is
+/// shared across worker threads. Per-account steps (ownership check +
+/// hold-taking + debit; crediting) each run atomically under the owning
+/// shard's lock — no double-spend is admitted under contention — and
+/// multi-account flows acquire locks strictly one at a time (DESIGN.md
+/// §9). Administrative setup ([`Self::open_account`],
+/// [`Self::register_grantor`], [`Self::account_mut`]) remains `&mut
+/// self`.
 #[derive(Debug)]
 pub struct AccountingServer {
     name: PrincipalId,
@@ -68,10 +81,10 @@ pub struct AccountingServer {
     /// chain's Ed25519 seal checks, and caches positive results so a check
     /// re-presented along a clearing path costs no signature work.
     verifier: Verifier<MapResolver>,
-    accounts: HashMap<String, Account>,
-    replay: MemoryReplayGuard,
-    uncollected: HashMap<(PrincipalId, u64), Uncollected>,
-    next_serial: u64,
+    accounts: ShardMap<String, Account>,
+    replay: ReplayCache,
+    uncollected: ShardMap<(PrincipalId, u64), Uncollected>,
+    next_serial: AtomicU64,
 }
 
 impl AccountingServer {
@@ -94,11 +107,15 @@ impl AccountingServer {
                 .with_seal_cache(Self::SEAL_CACHE_CAPACITY),
             name,
             authority,
-            accounts: HashMap::new(),
-            replay: MemoryReplayGuard::new(),
-            uncollected: HashMap::new(),
-            next_serial: 1,
+            accounts: ShardMap::new(),
+            replay: ReplayCache::new(),
+            uncollected: ShardMap::new(),
+            next_serial: AtomicU64::new(1),
         }
+    }
+
+    fn take_serial(&self) -> u64 {
+        self.next_serial.fetch_add(1, Ordering::Relaxed)
     }
 
     /// The server's principal name.
@@ -126,23 +143,25 @@ impl AccountingServer {
             .insert(name.clone(), Account::new(name, owners));
     }
 
-    /// Read access to an account.
+    /// A snapshot of an account's current state. (Accounts live behind
+    /// shard locks, so reads return a clone rather than a reference.)
     #[must_use]
-    pub fn account(&self, name: &str) -> Option<&Account> {
-        self.accounts.get(name)
+    pub fn account(&self, name: &str) -> Option<Account> {
+        self.accounts.get_cloned(&name.to_string())
     }
 
     /// Mutable access to an account (administrative credit, quota ops).
+    /// `&mut self` guarantees exclusivity, so no shard lock is held.
     pub fn account_mut(&mut self, name: &str) -> Result<&mut Account, AcctError> {
         self.accounts
-            .get_mut(name)
+            .get_mut(&name.to_string())
             .ok_or_else(|| AcctError::UnknownAccount(name.to_string()))
     }
 
     /// Verifies a check's chain and restrictions as presented by
     /// `presenter`, consuming the check number on success.
     fn verify_check(
-        &mut self,
+        &self,
         check: &Check,
         presenter: &PrincipalId,
         now: Timestamp,
@@ -168,8 +187,9 @@ impl AccountingServer {
         if *presenter != self.name {
             ctx.authenticated.push(self.name.clone());
         }
+        let mut replay = &self.replay;
         self.verifier
-            .verify(&check.proxy.present_delegate(), &ctx, &mut self.replay)
+            .verify(&check.proxy.present_delegate(), &ctx, &mut replay)
             .map_err(AcctError::Verify)?;
         Ok(info)
     }
@@ -186,26 +206,30 @@ impl AccountingServer {
     /// account, and [`AcctError::InsufficientFunds`] for uncovered,
     /// uncertified checks.
     pub fn collect(
-        &mut self,
+        &self,
         check: &Check,
         presenter: &PrincipalId,
         now: Timestamp,
     ) -> Result<Payment, AcctError> {
         let info = self.verify_check(check, presenter, now)?;
-        let account = self
-            .accounts
-            .get_mut(&info.payor_account)
-            .ok_or_else(|| AcctError::UnknownAccount(info.payor_account.clone()))?;
-        if !account.is_owner(&info.payor) {
-            return Err(AcctError::NotAuthorized(info.payor.clone()));
-        }
-        match account.take_hold(info.check_no) {
-            Some(hold) => {
-                // Certified check: settle from the hold.
-                debug_assert_eq!(hold.amount, info.amount);
+        // Ownership check, hold-taking, and debit are one atomic step
+        // under the payor account's shard lock: racing presenters cannot
+        // interleave between the balance check and the debit.
+        self.accounts.update(&info.payor_account, |account| {
+            let account =
+                account.ok_or_else(|| AcctError::UnknownAccount(info.payor_account.clone()))?;
+            if !account.is_owner(&info.payor) {
+                return Err(AcctError::NotAuthorized(info.payor.clone()));
             }
-            None => account.debit(&info.currency, info.amount)?,
-        }
+            match account.take_hold(info.check_no) {
+                Some(hold) => {
+                    // Certified check: settle from the hold.
+                    debug_assert_eq!(hold.amount, info.amount);
+                }
+                None => account.debit(&info.currency, info.amount)?,
+            }
+            Ok(())
+        })?;
         Ok(Payment {
             payor: info.payor,
             check_no: info.check_no,
@@ -224,7 +248,7 @@ impl AccountingServer {
     /// [`AcctError::UnknownAccount`] and, for same-server settlement, the
     /// errors of [`collect`](Self::collect).
     pub fn deposit<R: RngCore>(
-        &mut self,
+        &self,
         check: &Check,
         depositor: &PrincipalId,
         to_account: &str,
@@ -232,7 +256,7 @@ impl AccountingServer {
         now: Timestamp,
         rng: &mut R,
     ) -> Result<DepositOutcome, AcctError> {
-        if !self.accounts.contains_key(to_account) {
+        if !self.accounts.contains_key(&to_account.to_string()) {
             return Err(AcctError::UnknownAccount(to_account.to_string()));
         }
         let info = check.info()?;
@@ -244,9 +268,14 @@ impl AccountingServer {
             return Err(AcctError::NotAuthorized(depositor.clone()));
         }
         if info.drawn_on == self.name {
+            // `collect` debits the payor under that account's shard lock
+            // and releases it before we credit the payee here — locks are
+            // acquired strictly one at a time (DESIGN.md §9).
             let payment = self.collect(check, depositor, now)?;
-            self.account_mut(to_account)?
-                .credit(payment.currency.clone(), payment.amount);
+            self.accounts.update(&to_account.to_string(), |acct| {
+                acct.ok_or_else(|| AcctError::UnknownAccount(to_account.to_string()))
+                    .map(|a| a.credit(payment.currency.clone(), payment.amount))
+            })?;
             return Ok(DepositOutcome::Settled(payment));
         }
         // Credit as uncollected and endorse toward the drawee.
@@ -258,8 +287,7 @@ impl AccountingServer {
                 amount: info.amount,
             },
         );
-        let serial = self.next_serial;
-        self.next_serial += 1;
+        let serial = self.take_serial();
         let window = check
             .proxy
             .effective_validity()
@@ -286,13 +314,12 @@ impl AccountingServer {
     ///
     /// [`AcctError::MalformedCheck`] for degenerate validity windows.
     pub fn forward<R: RngCore>(
-        &mut self,
+        &self,
         check: &Check,
         next_hop: PrincipalId,
         rng: &mut R,
     ) -> Result<Check, AcctError> {
-        let serial = self.next_serial;
-        self.next_serial += 1;
+        let serial = self.take_serial();
         let window = check
             .proxy
             .effective_validity()
@@ -312,7 +339,7 @@ impl AccountingServer {
     /// as collected (the funds are final).
     ///
     /// Returns `true` when a matching uncollected record existed.
-    pub fn apply_payment(&mut self, payment: &Payment) -> bool {
+    pub fn apply_payment(&self, payment: &Payment) -> bool {
         match self
             .uncollected
             .remove(&(payment.payor.clone(), payment.check_no))
@@ -320,11 +347,20 @@ impl AccountingServer {
             Some(u) => {
                 // The deposit was credited as uncollected at deposit time;
                 // finality means it stays. (A bounced check would instead
-                // reverse it — see `bounce`.)
+                // reverse it — see `bounce`.) The atomic `remove` is the
+                // linearization point: a racing duplicate payment finds
+                // nothing and credits nothing.
                 debug_assert_eq!(u.amount, payment.amount);
-                if let Some(acct) = self.accounts.get_mut(&u.account) {
-                    acct.credit(u.currency, u.amount);
-                }
+                let Uncollected {
+                    account,
+                    currency,
+                    amount,
+                } = u;
+                self.accounts.update(&account, |acct| {
+                    if let Some(acct) = acct {
+                        acct.credit(currency, amount);
+                    }
+                });
                 true
             }
             None => false,
@@ -335,20 +371,23 @@ impl AccountingServer {
     /// funds at the drawee — the out-of-band path §4 mentions).
     ///
     /// Returns `true` when a matching uncollected record existed.
-    pub fn bounce(&mut self, payor: &PrincipalId, check_no: u64) -> bool {
+    pub fn bounce(&self, payor: &PrincipalId, check_no: u64) -> bool {
         self.uncollected
             .remove(&(payor.clone(), check_no))
             .is_some()
     }
 
-    /// Amount of `currency` pending collection into `account`.
+    /// Amount of `currency` pending collection into `account`
+    /// (quiescently consistent across shards).
     #[must_use]
     pub fn uncollected_total(&self, account: &str, currency: &Currency) -> u64 {
-        self.uncollected
-            .values()
-            .filter(|u| u.account == account && u.currency == *currency)
-            .map(|u| u.amount)
-            .sum()
+        self.uncollected.fold(0u64, |acc, _, u| {
+            if u.account == account && u.currency == *currency {
+                acc + u.amount
+            } else {
+                acc
+            }
+        })
     }
 
     /// Issues a cashier's check (§4 leaves these "as an exercise"): the
@@ -363,7 +402,7 @@ impl AccountingServer {
     /// cannot be covered.
     #[allow(clippy::too_many_arguments)]
     pub fn cashiers_check<R: RngCore>(
-        &mut self,
+        &self,
         purchaser: &PrincipalId,
         from_account: &str,
         payee: PrincipalId,
@@ -373,20 +412,22 @@ impl AccountingServer {
         validity: Validity,
         rng: &mut R,
     ) -> Result<Check, AcctError> {
-        let acct = self
-            .accounts
-            .get_mut(from_account)
-            .ok_or_else(|| AcctError::UnknownAccount(from_account.to_string()))?;
-        if !acct.is_owner(purchaser) {
-            return Err(AcctError::NotAuthorized(purchaser.clone()));
-        }
-        acct.debit(&currency, amount)?;
+        // Ownership check + debit: atomic under the purchaser's shard
+        // lock, released before the cashier pool is touched.
+        self.accounts.update(&from_account.to_string(), |acct| {
+            let acct = acct.ok_or_else(|| AcctError::UnknownAccount(from_account.to_string()))?;
+            if !acct.is_owner(purchaser) {
+                return Err(AcctError::NotAuthorized(purchaser.clone()));
+            }
+            acct.debit(&currency, amount)
+        })?;
         // Funds wait in the cashier pool until the check is collected.
         let pool_name = CASHIER_ACCOUNT.to_string();
-        self.accounts
-            .entry(pool_name.clone())
-            .or_insert_with(|| Account::new(pool_name, vec![self.name.clone()]))
-            .credit(currency.clone(), amount);
+        self.accounts.upsert(
+            pool_name.clone(),
+            || Account::new(pool_name, vec![self.name.clone()]),
+            |pool| pool.credit(currency.clone(), amount),
+        );
         // The server can verify its own signature at collection time: its
         // verifier registered the self-key at construction.
         Ok(crate::check::write_check(
@@ -413,7 +454,7 @@ impl AccountingServer {
     /// [`AcctError::InsufficientFunds`] when the hold cannot be covered.
     #[allow(clippy::too_many_arguments)]
     pub fn certify<R: RngCore>(
-        &mut self,
+        &self,
         requester: &PrincipalId,
         account: &str,
         check_no: u64,
@@ -423,16 +464,17 @@ impl AccountingServer {
         validity: Validity,
         rng: &mut R,
     ) -> Result<Proxy, AcctError> {
-        let acct = self
-            .accounts
-            .get_mut(account)
-            .ok_or_else(|| AcctError::UnknownAccount(account.to_string()))?;
-        if !acct.is_owner(requester) {
-            return Err(AcctError::NotAuthorized(requester.clone()));
-        }
-        acct.place_hold(check_no, currency.clone(), amount, payee)?;
-        let serial = self.next_serial;
-        self.next_serial += 1;
+        // Ownership check + hold placement: one atomic step under the
+        // account's shard lock, so concurrent certifications cannot
+        // over-commit the balance.
+        self.accounts.update(&account.to_string(), |acct| {
+            let acct = acct.ok_or_else(|| AcctError::UnknownAccount(account.to_string()))?;
+            if !acct.is_owner(requester) {
+                return Err(AcctError::NotAuthorized(requester.clone()));
+            }
+            acct.place_hold(check_no, currency.clone(), amount, payee)
+        })?;
+        let serial = self.take_serial();
         let restrictions = RestrictionSet::new()
             .with(Restriction::Authorized {
                 entries: vec![AuthorizedEntry::ops(

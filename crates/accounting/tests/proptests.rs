@@ -51,8 +51,8 @@ proptest! {
         let carol_auth = GrantAuthority::Keypair(carol_key);
 
         let total = |bank: &AccountingServer| {
-            let c: &Account = bank.account("carol").unwrap();
-            let s: &Account = bank.account("shop").unwrap();
+            let c: Account = bank.account("carol").unwrap();
+            let s: Account = bank.account("shop").unwrap();
             c.balance(&usd()) + c.held(&usd()) + s.balance(&usd())
         };
         let start = total(&bank);

@@ -7,7 +7,7 @@ use restricted_proxy::context::RequestContext;
 use restricted_proxy::key::KeyResolver;
 use restricted_proxy::present::Presentation;
 use restricted_proxy::principal::{GroupName, PrincipalId};
-use restricted_proxy::replay::MemoryReplayGuard;
+use restricted_proxy::replay::ReplayCache;
 use restricted_proxy::restriction::{Currency, ObjectName, Operation, Restriction};
 use restricted_proxy::time::Timestamp;
 use restricted_proxy::verify::Verifier;
@@ -80,12 +80,18 @@ pub struct Authorized {
 }
 
 /// An end-server combining a local ACL store with proxy verification.
+///
+/// The decision path ([`Self::authorize`]) takes `&self`: the verifier,
+/// its lock-striped seal cache, and the lock-striped replay cache are all
+/// shared-reference safe, so one `EndServer` serves every worker thread.
+/// Policy edits go through the public [`Self::acls`] field and therefore
+/// require `&mut self` — exclusive by construction (DESIGN.md §9).
 #[derive(Debug)]
 pub struct EndServer<R> {
     verifier: Verifier<R>,
     /// Per-object ACLs (public so operators can edit policy directly).
     pub acls: AclStore,
-    replay: MemoryReplayGuard,
+    replay: ReplayCache,
 }
 
 impl<R: KeyResolver> EndServer<R> {
@@ -102,7 +108,7 @@ impl<R: KeyResolver> EndServer<R> {
         Self {
             verifier: Verifier::new(name, resolver).with_seal_cache(Self::SEAL_CACHE_CAPACITY),
             acls: AclStore::new(),
-            replay: MemoryReplayGuard::new(),
+            replay: ReplayCache::new(),
         }
     }
 
@@ -130,7 +136,8 @@ impl<R: KeyResolver> EndServer<R> {
     /// [`AuthzError::NotAuthorized`] when no entry matches; verification
     /// failures of *all* presented proxies surface as the last
     /// [`AuthzError::Verify`] only when nothing else matched.
-    pub fn authorize(&mut self, req: &Request) -> Result<Authorized, AuthzError> {
+    pub fn authorize(&self, req: &Request) -> Result<Authorized, AuthzError> {
+        let mut replay = &self.replay;
         let mut ctx = RequestContext::new(
             self.verifier.server().clone(),
             req.operation.clone(),
@@ -152,7 +159,7 @@ impl<R: KeyResolver> EndServer<R> {
             .iter()
             .partition(|p| is_group_presentation(p));
         for pres in group_proxies {
-            match self.verifier.verify(pres, &ctx, &mut self.replay) {
+            match self.verifier.verify(pres, &ctx, &mut replay) {
                 Ok(verified) => {
                     for g in asserted_groups(&verified.restrictions, &verified.grantor) {
                         if !claims.groups.contains(&g) {
@@ -167,7 +174,7 @@ impl<R: KeyResolver> EndServer<R> {
 
         // Pass 2: remaining proxies confer their grantors' identities.
         for pres in other_proxies {
-            match self.verifier.verify(pres, &ctx, &mut self.replay) {
+            match self.verifier.verify(pres, &ctx, &mut replay) {
                 Ok(verified) => {
                     if !claims.principals.contains(&verified.grantor) {
                         claims.principals.push(verified.grantor);
@@ -185,12 +192,7 @@ impl<R: KeyResolver> EndServer<R> {
                 entry
                     .rights
                     .restrictions
-                    .evaluate(
-                        &ctx,
-                        self.verifier.server(),
-                        Timestamp::MAX,
-                        &mut self.replay,
-                    )
+                    .evaluate(&ctx, self.verifier.server(), Timestamp::MAX, &mut replay)
                     .map_err(restricted_proxy::error::VerifyError::Denied)?;
                 Ok(Authorized {
                     claims,
@@ -205,9 +207,8 @@ impl<R: KeyResolver> EndServer<R> {
     }
 
     /// Evicts expired replay-guard entries.
-    pub fn expire_replay(&mut self, now: Timestamp) {
-        use restricted_proxy::replay::ReplayGuard;
-        self.replay.expire(now);
+    pub fn expire_replay(&self, now: Timestamp) {
+        self.replay.sweep(now);
     }
 }
 

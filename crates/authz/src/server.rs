@@ -9,6 +9,7 @@
 //! their local ACL (§3.5).
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use rand::RngCore;
 
@@ -17,7 +18,7 @@ use restricted_proxy::key::{GrantAuthority, KeyResolver};
 use restricted_proxy::present::Presentation;
 use restricted_proxy::principal::PrincipalId;
 use restricted_proxy::proxy::{grant, Proxy};
-use restricted_proxy::replay::MemoryReplayGuard;
+use restricted_proxy::replay::ReplayCache;
 use restricted_proxy::restriction::{
     AuthorizedEntry, ObjectName, Operation, Restriction, RestrictionSet,
 };
@@ -28,6 +29,12 @@ use crate::acl::{AclStore, ClaimSet};
 use crate::error::AuthzError;
 
 /// An authorization server holding per-end-server authorization databases.
+///
+/// The request path ([`Self::request_authorization`]) takes `&self`, so
+/// one server instance can be shared across worker threads. Database
+/// edits go through [`Self::database_mut`] (`&mut self`): admin
+/// reconfiguration is exclusive, which lets the hot path read the
+/// databases without any lock (see DESIGN.md §9).
 #[derive(Debug)]
 pub struct AuthorizationServer<R> {
     name: PrincipalId,
@@ -35,8 +42,8 @@ pub struct AuthorizationServer<R> {
     /// Authorization database: for each end-server, per-object ACLs.
     databases: HashMap<PrincipalId, AclStore>,
     verifier: Verifier<R>,
-    replay: MemoryReplayGuard,
-    next_serial: u64,
+    replay: ReplayCache,
+    next_serial: AtomicU64,
 }
 
 impl<R: KeyResolver> AuthorizationServer<R> {
@@ -51,8 +58,8 @@ impl<R: KeyResolver> AuthorizationServer<R> {
             authority,
             databases: HashMap::new(),
             verifier: Verifier::new(name, resolver),
-            replay: MemoryReplayGuard::new(),
-            next_serial: 1,
+            replay: ReplayCache::new(),
+            next_serial: AtomicU64::new(1),
         }
     }
 
@@ -81,7 +88,7 @@ impl<R: KeyResolver> AuthorizationServer<R> {
     /// [`AuthzError::NotAuthorized`] when no database entry matches.
     #[allow(clippy::too_many_arguments)]
     pub fn request_authorization<G: RngCore>(
-        &mut self,
+        &self,
         client: &PrincipalId,
         presentations: &[Presentation],
         end_server: &PrincipalId,
@@ -103,10 +110,11 @@ impl<R: KeyResolver> AuthorizationServer<R> {
             .authenticated_as(client.clone());
         let mut claims = ClaimSet::principal(client.clone());
         let mut propagated = RestrictionSet::new();
+        let mut replay = &self.replay;
         for pres in presentations {
             let verified = self
                 .verifier
-                .verify(pres, &ctx, &mut self.replay)
+                .verify(pres, &ctx, &mut replay)
                 .map_err(AuthzError::Verify)?;
             for r in verified.restrictions.iter() {
                 if let Restriction::GroupMembership { groups } = r {
@@ -165,8 +173,7 @@ impl<R: KeyResolver> AuthorizationServer<R> {
             .union(&entry.rights.restrictions)
             // …as are propagated restrictions from presented proxies (§7.9).
             .union(&propagated);
-        let serial = self.next_serial;
-        self.next_serial += 1;
+        let serial = self.next_serial.fetch_add(1, Ordering::Relaxed);
         Ok(grant(
             &self.name,
             &self.authority,
@@ -290,7 +297,7 @@ mod tests {
     #[test]
     fn unknown_end_server_denied() {
         let mut rng = StdRng::seed_from_u64(3);
-        let mut authz = AuthorizationServer::new(
+        let authz = AuthorizationServer::new(
             p("R"),
             GrantAuthority::SharedKey(SymmetricKey::generate(&mut rng)),
             MapResolver::new(),

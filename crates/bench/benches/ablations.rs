@@ -154,7 +154,7 @@ fn a4_replay_cache(c: &mut Criterion) {
         let mut guard = MemoryReplayGuard::new();
         let grantor = PrincipalId::new("g");
         for id in 0..n {
-            assert!(guard.accept_once(&grantor, id, Timestamp(id + 1)));
+            assert!(guard.accept_once(&grantor, id, Timestamp(0), Timestamp(id + 1)));
         }
         report_row("A4", "cache-entries-after-flood", n, guard.len(), "entries");
         guard.expire(Timestamp(n / 2));
@@ -173,14 +173,14 @@ fn a4_replay_cache(c: &mut Criterion) {
         let mut id = 0u64;
         b.iter(|| {
             id += 1;
-            guard.accept_once(&grantor, id, Timestamp(id + 1))
+            guard.accept_once(&grantor, id, Timestamp(0), Timestamp(id + 1))
         });
     });
     group.bench_function("accept_once_duplicate", |b| {
         let grantor = PrincipalId::new("g");
         let mut guard = MemoryReplayGuard::new();
-        guard.accept_once(&grantor, 1, Timestamp::MAX);
-        b.iter(|| guard.accept_once(&grantor, 1, Timestamp::MAX));
+        guard.accept_once(&grantor, 1, Timestamp(0), Timestamp::MAX);
+        b.iter(|| guard.accept_once(&grantor, 1, Timestamp(0), Timestamp::MAX));
     });
     group.finish();
 }

@@ -1,0 +1,52 @@
+//! Experiment T — multi-threaded service throughput.
+//!
+//! Criterion shell around the closed-loop harness in
+//! `proxy_bench::throughput`: each benchmark runs one full sweep point
+//! (all client threads start behind a barrier, run their ops, join) so
+//! Criterion's timing covers the whole closed loop. The deterministic
+//! scaling series (1→8 threads, simulated-RTT and cpu-bound modes) is
+//! printed once via `report_row`; `figures --throughput` emits the same
+//! sweep as machine-readable `BENCH_throughput.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use proxy_bench::report_row;
+use proxy_bench::throughput::{run, Options};
+
+fn report_scaling() {
+    let report = run(&Options::quick());
+    for series in &report.series {
+        let label = format!("{}/{}", series.path, series.mode);
+        for point in &series.points {
+            report_row(
+                "T",
+                &label,
+                point.threads,
+                format!("{:.0}", point.ops_per_sec),
+                "ops/s",
+            );
+        }
+    }
+    report_row("T", "host-parallelism", 1, report.host_parallelism, "cpus");
+}
+
+fn bench_throughput(c: &mut Criterion) {
+    report_scaling();
+    let mut group = c.benchmark_group("t_closed_loop");
+    for threads in [1usize, 8] {
+        let opts = Options {
+            thread_counts: vec![threads],
+            ops_per_thread: 10,
+            cpu_ops_per_thread: 10,
+            cascade_depth: 4,
+            net_rtt: std::time::Duration::from_millis(1),
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &opts, |b, opts| {
+            b.iter(|| run(opts))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_throughput);
+criterion_main!(benches);

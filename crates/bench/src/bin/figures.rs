@@ -162,7 +162,7 @@ fn a4_replay_cache() {
         let mut guard = MemoryReplayGuard::new();
         let grantor = p("g");
         for id in 0..n {
-            assert!(guard.accept_once(&grantor, id, Timestamp(id + 1)));
+            assert!(guard.accept_once(&grantor, id, Timestamp(0), Timestamp(id + 1)));
         }
         report_row("A4", "cache-entries-after-flood", n, guard.len(), "entries");
         guard.expire(Timestamp(n / 2));
@@ -348,9 +348,47 @@ fn ablate_crypto() {
     );
 }
 
+/// Runs the multi-threaded throughput sweep (see `proxy_bench::throughput`)
+/// and persists the machine-readable results to `BENCH_throughput.json`.
+fn throughput() {
+    use proxy_bench::throughput::{run, Options};
+
+    let opts = Options::default();
+    let report = run(&opts);
+    for series in &report.series {
+        let label = format!("{}/{}", series.path, series.mode);
+        for point in &series.points {
+            report_row(
+                "T",
+                &label,
+                point.threads,
+                format!("{:.0}", point.ops_per_sec),
+                "ops/s",
+            );
+        }
+        report_row("T", &label, "1->8", format!("{:.2}", series.speedup()), "x");
+    }
+    report_row("T", "host-parallelism", 1, report.host_parallelism, "cpus");
+    report_row("T", "net-messages", 1, report.net_messages, "messages");
+    std::fs::write("BENCH_throughput.json", report.to_json()).expect("write BENCH_throughput.json");
+    let gate = report
+        .series_for("cascade-verify-warm", "simulated-rtt")
+        .expect("cascade series measured")
+        .speedup();
+    println!("cascade-verify 1->8 closed-loop speedup: {gate:.2}x (target >= 4x)");
+    assert!(
+        gate >= 4.0,
+        "cascade-verify closed-loop scaling regressed below 4x"
+    );
+}
+
 fn main() {
     if std::env::args().any(|arg| arg == "--ablate-crypto") {
         ablate_crypto();
+        return;
+    }
+    if std::env::args().any(|arg| arg == "--throughput") {
+        throughput();
         return;
     }
     f1_sizes();

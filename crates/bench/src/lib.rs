@@ -15,6 +15,7 @@
 #![warn(missing_docs)]
 
 pub mod seed_ed25519;
+pub mod throughput;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;

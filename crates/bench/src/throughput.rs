@@ -1,0 +1,483 @@
+//! Multi-threaded throughput harness for the concurrent service cores.
+//!
+//! Measures ops/sec for three request paths at 1, 2, 4, 8 closed-loop
+//! client threads against ONE shared server instance (`&self` APIs from
+//! this PR):
+//!
+//! * **authz-query** — the Fig. 3 authorization-query path: a client asks
+//!   the authorization server for a restricted proxy.
+//! * **cascade-verify** (warm and cold seal cache) — the Fig. 4 path: an
+//!   end-server verifier checks a depth-4 bearer cascade offline.
+//! * **check-deposit** — the Fig. 5 path: write a check, deposit it, and
+//!   settle it against the payor's account.
+//!
+//! Each path runs in two modes:
+//!
+//! * `simulated-rtt` — every operation also waits one simulated network
+//!   round-trip ([`Options::net_rtt`]) before hitting the server, the
+//!   closed-loop client model for a *networked* service (the paper's
+//!   setting): while one client waits on the wire, others' requests are
+//!   served, so throughput scales with threads until the server's CPU or
+//!   its locks saturate.
+//! * `cpu-bound` — no simulated wire at all; this reports raw compute
+//!   scaling and is honest about the host: on a single-core container
+//!   (`host_parallelism: 1` in the JSON) it cannot exceed ~1×.
+//!
+//! Traffic is tallied through a shared [`netsim::Network`] via its
+//! concurrent [`Network::record`] API. Invariants are asserted inline:
+//! every authorization query must succeed, every deposit must settle
+//! exactly once, and the deposit run must conserve currency.
+
+use std::time::Duration;
+
+use netsim::{EndpointId, Network};
+use proxy_accounting::{write_check, AccountingServer, DepositOutcome};
+use proxy_authz::{Acl, AclRights, AclSubject, AuthorizationServer};
+use proxy_crypto::ed25519::SigningKey;
+use proxy_runtime::closed_loop;
+use restricted_proxy::prelude::*;
+
+use crate::{rng, window};
+
+/// Harness configuration.
+#[derive(Clone, Debug)]
+pub struct Options {
+    /// Thread counts to sweep (the scaling axis).
+    pub thread_counts: Vec<usize>,
+    /// Closed-loop operations per client thread in `simulated-rtt` mode.
+    pub ops_per_thread: u64,
+    /// Operations per thread in `cpu-bound` mode (smaller: no idle time).
+    pub cpu_ops_per_thread: u64,
+    /// Certificate-chain depth for the cascade-verify path (Fig. 4).
+    pub cascade_depth: usize,
+    /// Simulated per-request network round-trip.
+    pub net_rtt: Duration,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            thread_counts: vec![1, 2, 4, 8],
+            ops_per_thread: 150,
+            cpu_ops_per_thread: 150,
+            cascade_depth: 4,
+            net_rtt: Duration::from_millis(4),
+        }
+    }
+}
+
+impl Options {
+    /// A fast configuration for smoke tests and the Criterion shell.
+    #[must_use]
+    pub fn quick() -> Self {
+        Self {
+            thread_counts: vec![1, 8],
+            ops_per_thread: 20,
+            cpu_ops_per_thread: 20,
+            cascade_depth: 4,
+            net_rtt: Duration::from_millis(2),
+        }
+    }
+}
+
+/// One measured (thread count → throughput) sample.
+#[derive(Clone, Copy, Debug)]
+pub struct Point {
+    /// Concurrent closed-loop client threads.
+    pub threads: usize,
+    /// Operations completed across all threads.
+    pub total_ops: u64,
+    /// Wall-clock seconds for the whole run.
+    pub elapsed_secs: f64,
+    /// Throughput.
+    pub ops_per_sec: f64,
+}
+
+/// A path × mode scaling series.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Request path name (`authz-query`, `cascade-verify-warm`, …).
+    pub path: &'static str,
+    /// `simulated-rtt` or `cpu-bound`.
+    pub mode: &'static str,
+    /// One point per thread count, in sweep order.
+    pub points: Vec<Point>,
+}
+
+impl Series {
+    /// Throughput ratio between the largest and the 1-thread sample.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        let one = self
+            .points
+            .iter()
+            .find(|p| p.threads == 1)
+            .map_or(0.0, |p| p.ops_per_sec);
+        let max = self
+            .points
+            .iter()
+            .max_by_key(|p| p.threads)
+            .map_or(0.0, |p| p.ops_per_sec);
+        if one > 0.0 {
+            max / one
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The full harness output.
+#[derive(Clone, Debug)]
+pub struct ThroughputReport {
+    /// Hardware threads the host exposes (scaling context for readers).
+    pub host_parallelism: usize,
+    /// Simulated round-trip, in microseconds.
+    pub net_rtt_us: u64,
+    /// All measured series.
+    pub series: Vec<Series>,
+    /// Messages tallied through the shared [`Network`].
+    pub net_messages: u64,
+    /// Bytes tallied through the shared [`Network`].
+    pub net_bytes: u64,
+}
+
+impl ThroughputReport {
+    /// The series for `path` in `mode`, if measured.
+    #[must_use]
+    pub fn series_for(&self, path: &str, mode: &str) -> Option<&Series> {
+        self.series
+            .iter()
+            .find(|s| s.path == path && s.mode == mode)
+    }
+
+    /// Renders the report as pretty-printed JSON (hand-rolled: every
+    /// value is a number or a known-safe identifier, so no escaping is
+    /// needed).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "  \"host_parallelism\": {},\n  \"net_rtt_us\": {},\n",
+            self.host_parallelism, self.net_rtt_us
+        ));
+        out.push_str(&format!(
+            "  \"net_messages\": {},\n  \"net_bytes\": {},\n",
+            self.net_messages, self.net_bytes
+        ));
+        out.push_str("  \"series\": [\n");
+        for (i, s) in self.series.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"path\": \"{}\", \"mode\": \"{}\", \"speedup_1_to_max\": {:.2}, \"points\": [",
+                s.path,
+                s.mode,
+                s.speedup()
+            ));
+            for (j, p) in s.points.iter().enumerate() {
+                out.push_str(&format!(
+                    "{{\"threads\": {}, \"total_ops\": {}, \"elapsed_secs\": {:.4}, \"ops_per_sec\": {:.1}}}",
+                    p.threads, p.total_ops, p.elapsed_secs, p.ops_per_sec
+                ));
+                if j + 1 < s.points.len() {
+                    out.push_str(", ");
+                }
+            }
+            out.push_str("]}");
+            out.push_str(if i + 1 < self.series.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+fn point(report: proxy_runtime::Report) -> Point {
+    Point {
+        threads: report.threads,
+        total_ops: report.total_ops,
+        elapsed_secs: report.elapsed.as_secs_f64(),
+        ops_per_sec: report.ops_per_sec(),
+    }
+}
+
+fn pause(rtt: Duration) {
+    if !rtt.is_zero() {
+        std::thread::sleep(rtt);
+    }
+}
+
+fn p(name: &str) -> PrincipalId {
+    PrincipalId::new(name)
+}
+
+/// Fig. 3: one shared authorization server, N clients requesting proxies.
+fn authz_query_point(threads: usize, ops: u64, rtt: Duration, net: &Network) -> Point {
+    let mut setup = rng(11);
+    let r_key = proxy_crypto::keys::SymmetricKey::generate(&mut setup);
+    let mut authz =
+        AuthorizationServer::new(p("R"), GrantAuthority::SharedKey(r_key), MapResolver::new());
+    authz.database_mut(p("S")).set(
+        ObjectName::new("X"),
+        Acl::new().with(
+            AclSubject::Principal(p("C")),
+            AclRights::ops(vec![Operation::new("read")]),
+        ),
+    );
+    let authz = &authz; // shared &self from here on
+    let (client_ep, server_ep) = (EndpointId::new("C"), EndpointId::new("R"));
+    let report = closed_loop(threads, ops, |t| {
+        let mut client_rng = rng(1_000 + t as u64);
+        let (client_ep, server_ep) = (client_ep.clone(), server_ep.clone());
+        move |_op| {
+            pause(rtt);
+            net.record(&client_ep, &server_ep, 64);
+            let proxy = authz
+                .request_authorization(
+                    &p("C"),
+                    &[],
+                    &p("S"),
+                    &Operation::new("read"),
+                    &ObjectName::new("X"),
+                    window(),
+                    Timestamp(1),
+                    &mut client_rng,
+                )
+                .expect("authorized");
+            net.record(&server_ep, &client_ep, proxy.encoded_len() as u64);
+        }
+    });
+    point(report)
+}
+
+/// Builds a public-key bearer cascade of `depth` certificates with NO
+/// accept-once restrictions, so the same presentation can be re-verified
+/// indefinitely (the re-presentation workload of Fig. 4).
+fn cascade_fixture(depth: usize) -> (Verifier<MapResolver>, Proxy) {
+    let mut r = rng(12);
+    let sk = SigningKey::generate(&mut r);
+    let grantor = p("alice");
+    let server = p("fs");
+    let resolver = MapResolver::new().with(
+        grantor.clone(),
+        GrantorVerifier::PublicKey(sk.verifying_key()),
+    );
+    let mut proxy = grant(
+        &grantor,
+        &GrantAuthority::Keypair(sk),
+        RestrictionSet::new(),
+        window(),
+        0,
+        &mut r,
+    );
+    for i in 1..depth {
+        proxy = proxy
+            .derive(RestrictionSet::new(), window(), i as u64, &mut r)
+            .expect("window is fixed");
+    }
+    (Verifier::new(server, resolver), proxy)
+}
+
+/// Fig. 4: one shared verifier, N presenters re-presenting a cascade.
+fn cascade_verify_point(
+    threads: usize,
+    ops: u64,
+    rtt: Duration,
+    depth: usize,
+    warm: bool,
+    net: &Network,
+) -> Point {
+    let (verifier, proxy) = cascade_fixture(depth);
+    let verifier = if warm {
+        verifier.with_seal_cache(4096)
+    } else {
+        verifier
+    };
+    let replay = ReplayCache::new();
+    let ctx = RequestContext::new(p("fs"), Operation::new("read"), ObjectName::new("doc"))
+        .at(Timestamp(1));
+    if warm {
+        // Pre-warm: one full verification fills the seal cache.
+        let mut guard = &replay;
+        verifier
+            .verify(
+                &proxy.present_bearer([0xA5; 32], &p("fs")),
+                &ctx,
+                &mut guard,
+            )
+            .expect("valid cascade");
+    }
+    let (verifier, replay, ctx, proxy) = (&verifier, &replay, &ctx, &proxy);
+    let (client_ep, server_ep) = (EndpointId::new("bearer"), EndpointId::new("fs"));
+    let wire_bytes = proxy.encoded_len() as u64;
+    let report = closed_loop(threads, ops, |t| {
+        // Each thread presents with its own challenge; the certificate
+        // chain (and so the seal-cache key) is shared.
+        let pres = proxy.present_bearer([t as u8 + 1; 32], &p("fs"));
+        let (client_ep, server_ep) = (client_ep.clone(), server_ep.clone());
+        move |_op| {
+            pause(rtt);
+            net.record(&client_ep, &server_ep, wire_bytes);
+            let mut guard = replay;
+            verifier.verify(&pres, ctx, &mut guard).expect("valid");
+            net.record(&server_ep, &client_ep, 16);
+        }
+    });
+    point(report)
+}
+
+/// Fig. 5: one shared accounting server, N payors writing checks that the
+/// shop deposits. Asserts exactly-once settlement and conservation.
+fn check_deposit_point(threads: usize, ops: u64, rtt: Duration, net: &Network) -> Point {
+    let mut setup = rng(13);
+    let bank_key = SigningKey::generate(&mut setup);
+    let mut bank = AccountingServer::new(p("bank"), GrantAuthority::Keypair(bank_key));
+    bank.open_account("shop", vec![p("shop")]);
+    let mut authorities = Vec::new();
+    for t in 0..threads {
+        let key = SigningKey::generate(&mut setup);
+        let payor = p(&format!("payor{t}"));
+        bank.register_grantor(
+            payor.clone(),
+            GrantorVerifier::PublicKey(key.verifying_key()),
+        );
+        bank.open_account(format!("acct{t}"), vec![payor]);
+        bank.account_mut(&format!("acct{t}"))
+            .unwrap()
+            .credit(Currency::new("USD"), ops);
+        authorities.push(GrantAuthority::Keypair(key));
+    }
+    let bank = &bank;
+    let (shop_ep, bank_ep) = (EndpointId::new("shop"), EndpointId::new("bank"));
+    let report = closed_loop(threads, ops, |t| {
+        let authority = authorities[t].clone();
+        let payor = p(&format!("payor{t}"));
+        let account = format!("acct{t}");
+        let mut client_rng = rng(2_000 + t as u64);
+        let (shop_ep, bank_ep) = (shop_ep.clone(), bank_ep.clone());
+        move |op| {
+            pause(rtt);
+            let check = write_check(
+                &payor,
+                &authority,
+                &p("bank"),
+                &account,
+                p("shop"),
+                op + 1,
+                Currency::new("USD"),
+                1,
+                window(),
+                &mut client_rng,
+            );
+            net.record(&shop_ep, &bank_ep, check.proxy.encoded_len() as u64);
+            let outcome = bank
+                .deposit(
+                    &check,
+                    &p("shop"),
+                    "shop",
+                    p("bank"),
+                    Timestamp(1),
+                    &mut client_rng,
+                )
+                .expect("settles");
+            assert!(
+                matches!(outcome, DepositOutcome::Settled(_)),
+                "same-bank deposit settles"
+            );
+            net.record(&bank_ep, &shop_ep, 16);
+        }
+    });
+    // Conservation: every unit left a payor account and landed in shop's.
+    let usd = Currency::new("USD");
+    let expected = ops * threads as u64;
+    assert_eq!(
+        bank.account("shop").expect("shop").balance(&usd),
+        expected,
+        "currency conserved across concurrent deposits"
+    );
+    for t in 0..threads {
+        assert_eq!(
+            bank.account(&format!("acct{t}"))
+                .expect("acct")
+                .balance(&usd),
+            0,
+            "payor {t} fully debited"
+        );
+    }
+    point(report)
+}
+
+/// Runs every path × mode sweep and returns the full report.
+#[must_use]
+pub fn run(opts: &Options) -> ThroughputReport {
+    let net = Network::new(0);
+    let mut series = Vec::new();
+    for (mode, rtt, ops) in [
+        ("simulated-rtt", opts.net_rtt, opts.ops_per_thread),
+        ("cpu-bound", Duration::ZERO, opts.cpu_ops_per_thread),
+    ] {
+        let sweep = |f: &dyn Fn(usize) -> Point| -> Vec<Point> {
+            opts.thread_counts.iter().map(|&t| f(t)).collect()
+        };
+        series.push(Series {
+            path: "authz-query",
+            mode,
+            points: sweep(&|t| authz_query_point(t, ops, rtt, &net)),
+        });
+        series.push(Series {
+            path: "cascade-verify-warm",
+            mode,
+            points: sweep(&|t| cascade_verify_point(t, ops, rtt, opts.cascade_depth, true, &net)),
+        });
+        series.push(Series {
+            path: "cascade-verify-cold",
+            mode,
+            points: sweep(&|t| cascade_verify_point(t, ops, rtt, opts.cascade_depth, false, &net)),
+        });
+        series.push(Series {
+            path: "check-deposit",
+            mode,
+            points: sweep(&|t| check_deposit_point(t, ops, rtt, &net)),
+        });
+    }
+    ThroughputReport {
+        host_parallelism: std::thread::available_parallelism().map_or(1, usize::from),
+        net_rtt_us: opts.net_rtt.as_micros() as u64,
+        series,
+        net_messages: net.total_messages(),
+        net_bytes: net.total_bytes(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_all_series_and_valid_json() {
+        let report = run(&Options {
+            thread_counts: vec![1, 2],
+            ops_per_thread: 4,
+            cpu_ops_per_thread: 4,
+            cascade_depth: 2,
+            net_rtt: Duration::from_micros(200),
+        });
+        assert_eq!(report.series.len(), 8);
+        for s in &report.series {
+            assert_eq!(s.points.len(), 2);
+            for p in &s.points {
+                assert!(p.ops_per_sec > 0.0, "{}/{} measured", s.path, s.mode);
+            }
+        }
+        assert!(report.net_messages > 0, "traffic tallied through netsim");
+        let json = report.to_json();
+        assert!(json.contains("\"host_parallelism\""));
+        assert!(json.contains("cascade-verify-warm"));
+        // Balanced braces/brackets — cheap structural sanity for the
+        // hand-rolled emitter.
+        let count = |c: char| json.chars().filter(|&x| x == c).count();
+        assert_eq!(count('{'), count('}'));
+        assert_eq!(count('['), count(']'));
+    }
+}

@@ -215,7 +215,7 @@ impl Scalar {
     }
 
     /// Width-`w` non-adjacent form: signed digits `d[i]` with
-    /// `∑ d[i]·2^i = self`, each nonzero digit odd with |d[i]| < 2^(w−1),
+    /// `∑ d[i]·2^i = self`, each nonzero digit odd with `|d[i]| < 2^(w-1)`,
     /// and any two nonzero digits at least `w` positions apart.
     ///
     /// The sparse signed representation is what makes windowed scalar

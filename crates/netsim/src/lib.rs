@@ -28,6 +28,8 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
 
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
@@ -74,7 +76,7 @@ impl From<&str> for EndpointId {
     }
 }
 
-/// Per-link traffic counters.
+/// Per-link traffic counters (a read-out snapshot).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct LinkStats {
     /// Messages transmitted over the link.
@@ -83,6 +85,26 @@ pub struct LinkStats {
     pub bytes: u64,
     /// Messages lost to fault injection.
     pub dropped: u64,
+}
+
+/// Live per-link tallies: atomics, so concurrent benchmark workers can
+/// account traffic through a shared [`Network`] without a lock on the
+/// hot path.
+#[derive(Debug, Default)]
+struct LinkCounters {
+    messages: AtomicU64,
+    bytes: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl LinkCounters {
+    fn snapshot(&self) -> LinkStats {
+        LinkStats {
+            messages: self.messages.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// One recorded transmission (the eavesdropper's view).
@@ -108,12 +130,18 @@ pub struct Delivery {
 }
 
 /// Deterministic network fabric.
+///
+/// Traffic counters are atomic tallies behind an `RwLock`'d link table,
+/// so concurrent benchmark workers can account traffic via
+/// [`Self::record`] from `&self` while the single-threaded experiment
+/// path ([`Self::transmit`], `&mut self` — clock, tap, fault injection,
+/// seeded RNG) stays exactly as deterministic as before.
 #[derive(Debug)]
 pub struct Network {
     now: u64,
     default_latency: u64,
     link_latency: HashMap<(EndpointId, EndpointId), u64>,
-    stats: HashMap<(EndpointId, EndpointId), LinkStats>,
+    stats: RwLock<HashMap<(EndpointId, EndpointId), Arc<LinkCounters>>>,
     tap: Option<Vec<TapRecord>>,
     drop_probability: f64,
     drop_next: u64,
@@ -130,7 +158,7 @@ impl Network {
             now: 0,
             default_latency: 1,
             link_latency: HashMap::new(),
-            stats: HashMap::new(),
+            stats: RwLock::new(HashMap::new()),
             tap: None,
             drop_probability: 0.0,
             drop_next: 0,
@@ -218,11 +246,13 @@ impl Network {
         } else {
             1
         };
-        let entry = self.stats.entry((from.clone(), to.clone())).or_default();
-        entry.messages += copies;
-        entry.bytes += payload.len() as u64 * copies;
+        let counters = self.counters(from, to);
+        counters.messages.fetch_add(copies, Ordering::Relaxed);
+        counters
+            .bytes
+            .fetch_add(payload.len() as u64 * copies, Ordering::Relaxed);
         if dropped {
-            entry.dropped += 1;
+            counters.dropped.fetch_add(1, Ordering::Relaxed);
         } else if let Some(tap) = &mut self.tap {
             for _ in 0..copies {
                 tap.push(TapRecord {
@@ -240,37 +270,83 @@ impl Network {
         }
     }
 
+    /// The live counter block for a link, creating it on first use. The
+    /// write lock is taken only the first time a link is seen.
+    fn counters(&self, from: &EndpointId, to: &EndpointId) -> Arc<LinkCounters> {
+        let key = (from.clone(), to.clone());
+        if let Some(c) = self.stats.read().expect("stats lock").get(&key) {
+            return Arc::clone(c);
+        }
+        Arc::clone(
+            self.stats
+                .write()
+                .expect("stats lock")
+                .entry(key)
+                .or_default(),
+        )
+    }
+
+    /// Accounts one message of `bytes` payload bytes on the link
+    /// `from → to`, from `&self` — the concurrent-benchmark path.
+    ///
+    /// Unlike [`Self::transmit`], this touches *only* the atomic
+    /// tallies: no clock, no tap, no fault injection, no RNG, so calling
+    /// it from many threads cannot perturb the deterministic
+    /// single-threaded experiments sharing the same `Network`.
+    pub fn record(&self, from: &EndpointId, to: &EndpointId, bytes: u64) {
+        let counters = self.counters(from, to);
+        counters.messages.fetch_add(1, Ordering::Relaxed);
+        counters.bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
     /// Counters for the directed link `from → to`.
     #[must_use]
     pub fn link_stats(&self, from: &EndpointId, to: &EndpointId) -> LinkStats {
         self.stats
+            .read()
+            .expect("stats lock")
             .get(&(from.clone(), to.clone()))
-            .copied()
+            .map(|c| c.snapshot())
             .unwrap_or_default()
     }
 
     /// Total messages across all links.
     #[must_use]
     pub fn total_messages(&self) -> u64 {
-        self.stats.values().map(|s| s.messages).sum()
+        self.stats
+            .read()
+            .expect("stats lock")
+            .values()
+            .map(|s| s.messages.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// Total payload bytes across all links.
     #[must_use]
     pub fn total_bytes(&self) -> u64 {
-        self.stats.values().map(|s| s.bytes).sum()
+        self.stats
+            .read()
+            .expect("stats lock")
+            .values()
+            .map(|s| s.bytes.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// Total dropped messages across all links.
     #[must_use]
     pub fn total_dropped(&self) -> u64 {
-        self.stats.values().map(|s| s.dropped).sum()
+        self.stats
+            .read()
+            .expect("stats lock")
+            .values()
+            .map(|s| s.dropped.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// Resets counters, tap, and clock, keeping topology configuration.
     pub fn reset_measurements(&mut self) {
         self.now = 0;
-        self.stats.clear();
+        self.stats.write().expect("stats lock").clear();
         if let Some(tap) = &mut self.tap {
             tap.clear();
         }
@@ -388,6 +464,44 @@ mod tests {
         let mut a = Network::new(3);
         let mut b = Network::new(3);
         assert_eq!(a.random_bytes::<32>(), b.random_bytes::<32>());
+    }
+
+    #[test]
+    fn concurrent_record_tallies_exactly() {
+        let net = Network::new(0);
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let net = &net;
+                scope.spawn(move || {
+                    for _ in 0..500 {
+                        net.record(&e("client"), &e("server"), 100 + t);
+                    }
+                });
+            }
+        });
+        let link = net.link_stats(&e("client"), &e("server"));
+        assert_eq!(link.messages, 4000);
+        assert_eq!(link.bytes, (0..8u64).map(|t| 500 * (100 + t)).sum::<u64>());
+        // The concurrent path leaves the deterministic machinery alone.
+        assert_eq!(net.now(), 0);
+        assert_eq!(net.total_dropped(), 0);
+    }
+
+    #[test]
+    fn record_does_not_perturb_transmit_determinism() {
+        let run = |with_records: bool| {
+            let mut net = Network::new(7);
+            net.set_drop_probability(0.5);
+            if with_records {
+                for _ in 0..100 {
+                    net.record(&e("x"), &e("y"), 1);
+                }
+            }
+            (0..50)
+                .map(|_| net.transmit(&e("a"), &e("b"), b"m").delivered)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(false), run(true), "record() must not touch the RNG");
     }
 
     #[test]

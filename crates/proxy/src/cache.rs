@@ -65,36 +65,62 @@ struct CacheInner {
     order: VecDeque<SealDigest>,
 }
 
+/// Caches this large or larger are lock-striped across
+/// [`VerifiedCertCache::STRIPES`] shards; smaller caches use one shard so
+/// the capacity bound and FIFO eviction order stay globally exact.
+const STRIPE_THRESHOLD: usize = 256;
+
 /// Cache of positively-verified certificate seals. See the module docs for
 /// the exact contract.
 ///
 /// Interior-mutable so a shared [`crate::verify::Verifier`] can record
-/// hits from `&self`; the lock is held only for map operations, never
-/// across any cryptography.
+/// hits from `&self`; locks are held only for map operations, never
+/// across any cryptography. Large caches are lock-striped: the digest's
+/// first byte picks one of [`Self::STRIPES`] independent shards, so
+/// concurrent verifier threads rarely contend. SHA-256 digests spread
+/// uniformly, so each shard's share of the capacity is enforced locally
+/// (total bound: stripes × ceil(capacity/stripes)).
 #[derive(Debug)]
 pub struct VerifiedCertCache {
-    inner: Mutex<CacheInner>,
+    shards: Box<[Mutex<CacheInner>]>,
+    /// Per-shard entry bound.
     capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
 }
 
 impl VerifiedCertCache {
-    /// Creates a cache holding at most `capacity` entries (minimum 1).
+    /// Lock-stripe count for caches of at least 256 entries.
+    pub const STRIPES: usize = 16;
+
+    /// Creates a cache holding at most ~`capacity` entries (minimum 1).
     #[must_use]
     pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        let stripes = if capacity >= STRIPE_THRESHOLD {
+            Self::STRIPES
+        } else {
+            1
+        };
         Self {
-            inner: Mutex::new(CacheInner::default()),
-            capacity: capacity.max(1),
+            shards: (0..stripes).map(|_| Mutex::default()).collect(),
+            capacity: capacity.div_ceil(stripes),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
     }
 
+    fn shard(&self, digest: &SealDigest) -> &Mutex<CacheInner> {
+        &self.shards[usize::from(digest[0]) % self.shards.len()]
+    }
+
     /// Number of live entries.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("cache lock").entries.len()
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache lock").entries.len())
+            .sum()
     }
 
     /// True when no entries are cached.
@@ -116,7 +142,7 @@ impl VerifiedCertCache {
     /// True when `digest` holds a cached positive seal check that has not
     /// expired. Updates the hit/miss counters.
     pub(crate) fn contains(&self, digest: &SealDigest, now: Timestamp) -> bool {
-        let inner = self.inner.lock().expect("cache lock");
+        let inner = self.shard(digest).lock().expect("cache lock");
         let hit = inner.entries.get(digest).is_some_and(|exp| now <= *exp);
         drop(inner);
         if hit {
@@ -135,7 +161,7 @@ impl VerifiedCertCache {
         if expires < now {
             return;
         }
-        let mut inner = self.inner.lock().expect("cache lock");
+        let mut inner = self.shard(&digest).lock().expect("cache lock");
         if inner.entries.contains_key(&digest) {
             return;
         }
@@ -224,5 +250,38 @@ mod tests {
         assert_eq!(cache.len(), 1);
         cache.insert(digest(2), Timestamp(10), Timestamp(0));
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn striped_cache_spreads_and_stays_bounded() {
+        // ≥ the stripe threshold → 16 shards; digests differing in their
+        // first byte land on different stripes but behave as one cache.
+        let cache = VerifiedCertCache::new(1024);
+        for tag in 0..=255u8 {
+            cache.insert(digest(tag), Timestamp(1000), Timestamp(0));
+        }
+        assert_eq!(cache.len(), 256);
+        for tag in 0..=255u8 {
+            assert!(cache.contains(&digest(tag), Timestamp(500)));
+        }
+        assert_eq!(cache.stats(), (256, 0));
+    }
+
+    #[test]
+    fn striped_cache_is_safe_under_contention() {
+        let cache = VerifiedCertCache::new(512);
+        std::thread::scope(|scope| {
+            for t in 0..4u8 {
+                let cache = &cache;
+                scope.spawn(move || {
+                    for i in 0..64u8 {
+                        let d = digest(t.wrapping_mul(64).wrapping_add(i));
+                        cache.insert(d, Timestamp(1000), Timestamp(0));
+                        assert!(cache.contains(&d, Timestamp(10)));
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 256);
     }
 }

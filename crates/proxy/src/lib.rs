@@ -75,6 +75,7 @@ pub mod principal;
 pub mod proxy;
 pub mod replay;
 pub mod restriction;
+pub mod shard;
 pub mod time;
 pub mod transfer;
 pub mod verify;
@@ -92,10 +93,11 @@ pub mod prelude {
     pub use crate::present::{Presentation, Proof};
     pub use crate::principal::{GroupName, PrincipalId};
     pub use crate::proxy::{delegate_cascade, grant, Proxy};
-    pub use crate::replay::{MemoryReplayGuard, RejectAcceptOnce, ReplayGuard};
+    pub use crate::replay::{MemoryReplayGuard, RejectAcceptOnce, ReplayCache, ReplayGuard};
     pub use crate::restriction::{
         AuthorizedEntry, Currency, Denial, ObjectName, Operation, Restriction, RestrictionSet,
     };
+    pub use crate::shard::ShardMap;
     pub use crate::time::{Timestamp, Validity};
     pub use crate::verify::{VerifiedProxy, Verifier};
 }

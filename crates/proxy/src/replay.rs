@@ -3,8 +3,26 @@
 //! "Once a check is paid, the accounting server keeps track of the check
 //! number until the expiration time on the check. If, within that period,
 //! another check with the same number is seen, it is rejected." (§4)
+//!
+//! Two in-memory implementations exist:
+//!
+//! * [`MemoryReplayGuard`] — a single-owner map, for per-request or
+//!   single-threaded verifiers.
+//! * [`ReplayCache`] — a lock-striped, bounded, expiry-sweeping cache with
+//!   a `&self` marking API, shared by every thread of a concurrent server.
+//!   Per-key decisions are made under one shard lock, so exactly one of
+//!   any number of racing presenters wins a given `(grantor, id)`.
+//!
+//! Both are **bounded fail-closed**: when a capacity is configured and no
+//! expired entry can be evicted, a *fresh* identifier is rejected rather
+//! than admitted untracked — forgetting an identifier could admit a
+//! replay, refusing a fresh proxy merely forces a retry.
 
+use std::collections::hash_map::RandomState;
 use std::collections::HashMap;
+use std::hash::BuildHasher;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use crate::principal::PrincipalId;
 use crate::time::Timestamp;
@@ -12,9 +30,18 @@ use crate::time::Timestamp;
 /// End-server-side memory of `accept-once` identifiers.
 pub trait ReplayGuard {
     /// Records `(grantor, id)` if fresh, remembering it until `expires`.
-    /// Returns `true` when fresh (the proxy may be accepted), `false` when
-    /// the identifier was already used.
-    fn accept_once(&mut self, grantor: &PrincipalId, id: u64, expires: Timestamp) -> bool;
+    /// `now` is the request's timestamp; implementations use it to sweep
+    /// entries whose retention window has passed. Returns `true` when
+    /// fresh (the proxy may be accepted), `false` when the identifier was
+    /// already used — or when the guard is full and cannot safely track a
+    /// new identifier.
+    fn accept_once(
+        &mut self,
+        grantor: &PrincipalId,
+        id: u64,
+        now: Timestamp,
+        expires: Timestamp,
+    ) -> bool;
 
     /// Drops identifiers whose retention window has passed. Identifiers
     /// need only be remembered until the proxy carrying them expires —
@@ -22,17 +49,63 @@ pub trait ReplayGuard {
     fn expire(&mut self, now: Timestamp);
 }
 
-/// In-memory [`ReplayGuard`].
+/// Shared replay logic: the per-key decision on one map, with optional
+/// bounding. Returns `true` when the identifier is fresh and was recorded.
+fn mark_once(
+    seen: &mut HashMap<(PrincipalId, u64), Timestamp>,
+    capacity: Option<usize>,
+    grantor: &PrincipalId,
+    id: u64,
+    now: Timestamp,
+    expires: Timestamp,
+) -> bool {
+    let key = (grantor.clone(), id);
+    if let Some(prior) = seen.get(&key) {
+        // Remember the longer of the two retention windows.
+        if expires > *prior {
+            seen.insert(key, expires);
+        }
+        return false;
+    }
+    if let Some(cap) = capacity {
+        if seen.len() >= cap {
+            // Sweep: entries past their retention window can no longer
+            // gate anything (the proxies carrying them are expired).
+            seen.retain(|_, exp| *exp > now);
+        }
+        if seen.len() >= cap {
+            // Fail closed: full of live entries — refusing a fresh proxy
+            // is safe, silently forgetting a consumed identifier is not.
+            return false;
+        }
+    }
+    seen.insert(key, expires);
+    true
+}
+
+/// In-memory [`ReplayGuard`], optionally bounded.
 #[derive(Debug, Default)]
 pub struct MemoryReplayGuard {
     seen: HashMap<(PrincipalId, u64), Timestamp>,
+    capacity: Option<usize>,
 }
 
 impl MemoryReplayGuard {
-    /// Creates an empty guard.
+    /// Creates an empty, unbounded guard.
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates a guard holding at most `capacity` identifiers (minimum 1).
+    /// At capacity, expired entries are swept first; if every entry is
+    /// still live, fresh identifiers are rejected (fail-closed).
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            seen: HashMap::new(),
+            capacity: Some(capacity.max(1)),
+        }
     }
 
     /// Number of identifiers currently remembered.
@@ -49,17 +122,14 @@ impl MemoryReplayGuard {
 }
 
 impl ReplayGuard for MemoryReplayGuard {
-    fn accept_once(&mut self, grantor: &PrincipalId, id: u64, expires: Timestamp) -> bool {
-        let key = (grantor.clone(), id);
-        if let Some(prior) = self.seen.get(&key) {
-            // Remember the longer of the two retention windows.
-            if expires > *prior {
-                self.seen.insert(key, expires);
-            }
-            return false;
-        }
-        self.seen.insert(key, expires);
-        true
+    fn accept_once(
+        &mut self,
+        grantor: &PrincipalId,
+        id: u64,
+        now: Timestamp,
+        expires: Timestamp,
+    ) -> bool {
+        mark_once(&mut self.seen, self.capacity, grantor, id, now, expires)
     }
 
     fn expire(&mut self, now: Timestamp) {
@@ -73,11 +143,191 @@ impl ReplayGuard for MemoryReplayGuard {
 pub struct RejectAcceptOnce;
 
 impl ReplayGuard for RejectAcceptOnce {
-    fn accept_once(&mut self, _grantor: &PrincipalId, _id: u64, _expires: Timestamp) -> bool {
+    fn accept_once(
+        &mut self,
+        _grantor: &PrincipalId,
+        _id: u64,
+        _now: Timestamp,
+        _expires: Timestamp,
+    ) -> bool {
         false
     }
 
     fn expire(&mut self, _now: Timestamp) {}
+}
+
+/// One lock stripe of a [`ReplayCache`].
+#[derive(Debug, Default)]
+struct ReplayShard {
+    seen: HashMap<(PrincipalId, u64), Timestamp>,
+    /// Marks since the last amortized sweep of this shard.
+    since_sweep: u32,
+}
+
+/// Amortized sweep period per shard: every this many marks, a shard drops
+/// its expired entries even when it is nowhere near capacity, so a
+/// long-lived server's memory tracks the *live* identifier population.
+const SWEEP_PERIOD: u32 = 1024;
+
+/// A concurrent, bounded replay cache: N lock stripes over the
+/// `(grantor, id)` space, shared across server threads via `&self`.
+///
+/// The per-key check-and-mark is atomic under one shard lock, so when K
+/// presenters race the same `accept-once` identifier exactly one is
+/// admitted. The cache is bounded: per shard, at capacity, expired entries
+/// are swept; if all entries are live, *fresh* identifiers are rejected
+/// (fail-closed — see the module docs). Expired entries are additionally
+/// swept every `SWEEP_PERIOD` (1024) marks per shard, keeping a long-lived
+/// server's footprint proportional to its live proxies, not its history.
+#[derive(Debug)]
+pub struct ReplayCache {
+    shards: Box<[Mutex<ReplayShard>]>,
+    per_shard_capacity: usize,
+    hasher: RandomState,
+    /// Fresh identifiers rejected because a shard was full of live
+    /// entries (fail-closed events) — an operational red flag.
+    rejected_full: AtomicU64,
+}
+
+impl ReplayCache {
+    /// Default total identifier capacity.
+    pub const DEFAULT_CAPACITY: usize = 1 << 16;
+    /// Default lock-stripe count.
+    pub const DEFAULT_SHARDS: usize = 16;
+
+    /// Creates a cache with the default capacity and stripe count.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_capacity(Self::DEFAULT_CAPACITY, Self::DEFAULT_SHARDS)
+    }
+
+    /// Creates a cache holding at most ~`capacity` identifiers across
+    /// `shards` stripes (both minimum 1). The bound is enforced per
+    /// stripe, so the effective total is `shards × ceil(capacity/shards)`.
+    #[must_use]
+    pub fn with_capacity(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let per_shard = capacity.max(1).div_ceil(shards);
+        Self {
+            shards: (0..shards).map(|_| Mutex::default()).collect(),
+            per_shard_capacity: per_shard,
+            hasher: RandomState::new(),
+            rejected_full: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, grantor: &PrincipalId, id: u64) -> &Mutex<ReplayShard> {
+        let h = self.hasher.hash_one((grantor, id));
+        &self.shards[(h as usize) % self.shards.len()]
+    }
+
+    /// The concurrent check-and-mark: records `(grantor, id)` if fresh,
+    /// under the owning shard's lock. Semantics match
+    /// [`ReplayGuard::accept_once`], from `&self`.
+    pub fn check_and_mark(
+        &self,
+        grantor: &PrincipalId,
+        id: u64,
+        now: Timestamp,
+        expires: Timestamp,
+    ) -> bool {
+        let mut shard = self.shard(grantor, id).lock().expect("replay shard");
+        shard.since_sweep += 1;
+        if shard.since_sweep >= SWEEP_PERIOD {
+            shard.since_sweep = 0;
+            shard.seen.retain(|_, exp| *exp > now);
+        }
+        let fresh = mark_once(
+            &mut shard.seen,
+            Some(self.per_shard_capacity),
+            grantor,
+            id,
+            now,
+            expires,
+        );
+        if !fresh && !shard.seen.contains_key(&(grantor.clone(), id)) {
+            self.rejected_full.fetch_add(1, Ordering::Relaxed);
+        }
+        fresh
+    }
+
+    /// Sweeps every shard's expired entries.
+    pub fn sweep(&self, now: Timestamp) {
+        for shard in self.shards.iter() {
+            let mut shard = shard.lock().expect("replay shard");
+            shard.since_sweep = 0;
+            shard.seen.retain(|_, exp| *exp > now);
+        }
+    }
+
+    /// Number of identifiers currently remembered, across all shards.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("replay shard").seen.len())
+            .sum()
+    }
+
+    /// True when no identifiers are remembered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total identifier capacity (shards × per-shard bound).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.per_shard_capacity * self.shards.len()
+    }
+
+    /// Fail-closed events: fresh identifiers rejected because their shard
+    /// was full of live entries.
+    #[must_use]
+    pub fn rejected_full(&self) -> u64 {
+        self.rejected_full.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for ReplayCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ReplayGuard for ReplayCache {
+    fn accept_once(
+        &mut self,
+        grantor: &PrincipalId,
+        id: u64,
+        now: Timestamp,
+        expires: Timestamp,
+    ) -> bool {
+        self.check_and_mark(grantor, id, now, expires)
+    }
+
+    fn expire(&mut self, now: Timestamp) {
+        self.sweep(now);
+    }
+}
+
+/// A shared reference is itself a guard: concurrent servers pass
+/// `&mut &cache` where the verifier wants `&mut dyn ReplayGuard`, keeping
+/// the hot path `&self` end to end.
+impl ReplayGuard for &ReplayCache {
+    fn accept_once(
+        &mut self,
+        grantor: &PrincipalId,
+        id: u64,
+        now: Timestamp,
+        expires: Timestamp,
+    ) -> bool {
+        self.check_and_mark(grantor, id, now, expires)
+    }
+
+    fn expire(&mut self, now: Timestamp) {
+        self.sweep(now);
+    }
 }
 
 #[cfg(test)]
@@ -91,38 +341,38 @@ mod tests {
     #[test]
     fn fresh_then_replayed() {
         let mut g = MemoryReplayGuard::new();
-        assert!(g.accept_once(&p("c"), 1, Timestamp(10)));
-        assert!(!g.accept_once(&p("c"), 1, Timestamp(10)));
-        assert!(g.accept_once(&p("c"), 2, Timestamp(10)));
-        assert!(g.accept_once(&p("d"), 1, Timestamp(10)));
+        assert!(g.accept_once(&p("c"), 1, Timestamp(0), Timestamp(10)));
+        assert!(!g.accept_once(&p("c"), 1, Timestamp(0), Timestamp(10)));
+        assert!(g.accept_once(&p("c"), 2, Timestamp(0), Timestamp(10)));
+        assert!(g.accept_once(&p("d"), 1, Timestamp(0), Timestamp(10)));
         assert_eq!(g.len(), 3);
     }
 
     #[test]
     fn expiry_frees_identifiers() {
         let mut g = MemoryReplayGuard::new();
-        assert!(g.accept_once(&p("c"), 1, Timestamp(10)));
+        assert!(g.accept_once(&p("c"), 1, Timestamp(0), Timestamp(10)));
         g.expire(Timestamp(9));
         assert!(
-            !g.accept_once(&p("c"), 1, Timestamp(10)),
+            !g.accept_once(&p("c"), 1, Timestamp(9), Timestamp(10)),
             "still remembered"
         );
         g.expire(Timestamp(10));
         assert!(g.is_empty());
         // After the window the id may be seen again (a new check may
         // legitimately reuse a number after the old one expired).
-        assert!(g.accept_once(&p("c"), 1, Timestamp(20)));
+        assert!(g.accept_once(&p("c"), 1, Timestamp(11), Timestamp(20)));
     }
 
     #[test]
     fn replay_extends_retention() {
         let mut g = MemoryReplayGuard::new();
-        assert!(g.accept_once(&p("c"), 1, Timestamp(10)));
+        assert!(g.accept_once(&p("c"), 1, Timestamp(0), Timestamp(10)));
         // A replay attempt carrying a longer expiry must extend retention.
-        assert!(!g.accept_once(&p("c"), 1, Timestamp(50)));
+        assert!(!g.accept_once(&p("c"), 1, Timestamp(0), Timestamp(50)));
         g.expire(Timestamp(10));
         assert!(
-            !g.accept_once(&p("c"), 1, Timestamp(50)),
+            !g.accept_once(&p("c"), 1, Timestamp(10), Timestamp(50)),
             "retention extended"
         );
     }
@@ -130,6 +380,120 @@ mod tests {
     #[test]
     fn rejecting_guard_rejects_everything() {
         let mut g = RejectAcceptOnce;
-        assert!(!g.accept_once(&p("c"), 1, Timestamp(10)));
+        assert!(!g.accept_once(&p("c"), 1, Timestamp(0), Timestamp(10)));
+    }
+
+    #[test]
+    fn bounded_guard_stays_bounded_over_a_long_life() {
+        // A long-lived server: identifiers arrive forever, each living 32
+        // ticks (live population 32 < cap 64). The guard must not grow
+        // beyond its cap even after 50× the cap's worth of identifiers.
+        let mut g = MemoryReplayGuard::with_capacity(64);
+        for id in 0..(64 * 50) {
+            let now = Timestamp(id);
+            assert!(
+                g.accept_once(&p("c"), id, now, Timestamp(id + 32)),
+                "fresh id {id} admitted (expired entries swept)"
+            );
+            assert!(g.len() <= 64, "bounded at {id}: len {}", g.len());
+        }
+    }
+
+    #[test]
+    fn bounded_guard_fails_closed_when_full_of_live_entries() {
+        let mut g = MemoryReplayGuard::with_capacity(4);
+        for id in 0..4 {
+            assert!(g.accept_once(&p("c"), id, Timestamp(0), Timestamp(1000)));
+        }
+        // All four are live; a fresh fifth must be *rejected*, not
+        // admitted untracked.
+        assert!(!g.accept_once(&p("c"), 99, Timestamp(1), Timestamp(1000)));
+        assert_eq!(g.len(), 4);
+        // Consumed identifiers keep being rejected, of course.
+        assert!(!g.accept_once(&p("c"), 0, Timestamp(1), Timestamp(1000)));
+    }
+
+    #[test]
+    fn replay_cache_basic_round_trip() {
+        let cache = ReplayCache::with_capacity(1024, 4);
+        assert!(cache.check_and_mark(&p("c"), 1, Timestamp(0), Timestamp(10)));
+        assert!(!cache.check_and_mark(&p("c"), 1, Timestamp(0), Timestamp(10)));
+        assert!(cache.check_and_mark(&p("c"), 2, Timestamp(0), Timestamp(10)));
+        assert_eq!(cache.len(), 2);
+        cache.sweep(Timestamp(10));
+        assert!(cache.is_empty());
+        assert!(cache.check_and_mark(&p("c"), 1, Timestamp(11), Timestamp(20)));
+    }
+
+    #[test]
+    fn replay_cache_works_through_the_trait_by_reference() {
+        let cache = ReplayCache::new();
+        let mut guard: &ReplayCache = &cache;
+        let replay: &mut dyn ReplayGuard = &mut guard;
+        assert!(replay.accept_once(&p("c"), 7, Timestamp(0), Timestamp(10)));
+        assert!(!replay.accept_once(&p("c"), 7, Timestamp(0), Timestamp(10)));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn replay_cache_exactly_once_under_contention() {
+        let cache = ReplayCache::with_capacity(1024, 8);
+        let grantor = p("carol");
+        let admitted = std::sync::atomic::AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let cache = &cache;
+                let grantor = &grantor;
+                let admitted = &admitted;
+                scope.spawn(move || {
+                    for id in 0..200 {
+                        if cache.check_and_mark(grantor, id, Timestamp(1), Timestamp(1000)) {
+                            admitted.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        // 8 threads raced every one of 200 identifiers; each id was
+        // admitted exactly once.
+        assert_eq!(admitted.load(Ordering::Relaxed), 200);
+        assert_eq!(cache.len(), 200);
+    }
+
+    #[test]
+    fn replay_cache_bounded_and_fail_closed() {
+        let cache = ReplayCache::with_capacity(64, 4);
+        assert_eq!(cache.capacity(), 64);
+        // Flood with live entries far beyond capacity.
+        for id in 0..10_000 {
+            cache.check_and_mark(&p("c"), id, Timestamp(0), Timestamp(u64::MAX));
+        }
+        assert!(cache.len() <= cache.capacity());
+        assert!(cache.rejected_full() > 0, "fail-closed events recorded");
+        // Expiring everything restores admission.
+        cache.sweep(Timestamp(u64::MAX));
+        assert!(cache.check_and_mark(&p("c"), 1, Timestamp(0), Timestamp(u64::MAX)));
+    }
+
+    #[test]
+    fn replay_cache_long_lived_server_stays_bounded() {
+        // Clock advances; identifiers expire shortly after issue. The
+        // amortized sweep keeps the footprint near the live population
+        // without any explicit expire() calls.
+        let cache = ReplayCache::with_capacity(512, 4);
+        for id in 0..100_000u64 {
+            cache.check_and_mark(&p("c"), id, Timestamp(id), Timestamp(id + 64));
+        }
+        assert!(
+            cache.len() <= cache.capacity(),
+            "len {} exceeds cap {}",
+            cache.len(),
+            cache.capacity()
+        );
+        assert_eq!(
+            cache.rejected_full(),
+            0,
+            "sweeping alone keeps a live-bounded workload under the cap"
+        );
     }
 }

@@ -400,7 +400,7 @@ impl Restriction {
                 Ok(())
             }
             Restriction::AcceptOnce { id } => {
-                if replay.accept_once(grantor, *id, expires) {
+                if replay.accept_once(grantor, *id, ctx.now, expires) {
                     Ok(())
                 } else {
                     Err(Denial::AlreadyAccepted { id: *id })

@@ -1,18 +1,25 @@
-//! Concurrency: servers behind locks stay correct under parallel load.
+//! Concurrency: the service cores stay correct under parallel load.
 //!
-//! The library's server types are single-threaded state machines by
-//! design (deterministic simulation); deployments share them across
-//! threads behind a lock. These tests hammer that pattern: many threads
-//! verifying proxies and clearing checks concurrently, with the same
-//! invariants demanded as in the single-threaded property tests —
-//! at-most-once acceptance and money conservation.
+//! Since the concurrent-runtime rework the servers are internally
+//! synchronized: `AuthorizationServer::request_authorization`,
+//! `AccountingServer::deposit`, and `Verifier::verify` all take `&self`,
+//! backed by lock-striped shards and a sharded replay cache (DESIGN.md
+//! §9). These tests hammer the shared-`&self` pattern directly — no
+//! external `Mutex` around any server — and demand the same invariants
+//! as the single-threaded property tests: at-most-once acceptance and
+//! money conservation, now under contention.
+//!
+//! Run with `RUST_TEST_THREADS=8 cargo test --release --test concurrency`
+//! for the full-contention configuration used by `ci.sh`.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use proxy_aa::accounting::{write_check, AccountingServer, DepositOutcome};
+use proxy_aa::authz::{Acl, AclRights, AclSubject, AuthorizationServer};
 use proxy_aa::crypto::ed25519::SigningKey;
 use proxy_aa::crypto::keys::SymmetricKey;
 use proxy_aa::proxy::prelude::*;
@@ -37,7 +44,11 @@ fn public_api_types_are_send_and_sync() {
     assert_send_sync::<RestrictionSet>();
     assert_send_sync::<Verifier<MapResolver>>();
     assert_send_sync::<MemoryReplayGuard>();
+    assert_send_sync::<ReplayCache>();
+    assert_send_sync::<ShardMap<String, u64>>();
+    assert_send_sync::<VerifiedCertCache>();
     assert_send_sync::<AccountingServer>();
+    assert_send_sync::<AuthorizationServer<MapResolver>>();
     assert_send_sync::<proxy_aa::kerberos::Kdc>();
     assert_send_sync::<proxy_aa::authz::EndServer<MapResolver>>();
     assert_send_sync::<proxy_aa::netsim::Network>();
@@ -83,8 +94,51 @@ fn parallel_verification_shares_one_verifier() {
 }
 
 #[test]
-fn concurrent_deposits_settle_each_check_exactly_once() {
+fn accept_once_proxy_is_accepted_exactly_once_across_racing_presenters() {
+    // §7.7: an accept-once proxy raced by 8 presenters against ONE shared
+    // replay cache must be honored exactly once — the sharded cache's
+    // check-and-mark is the single linearization point.
     let mut rng = StdRng::seed_from_u64(2);
+    let shared = SymmetricKey::generate(&mut rng);
+    let proxy = grant(
+        &p("alice"),
+        &GrantAuthority::SharedKey(shared.clone()),
+        RestrictionSet::new().with(Restriction::AcceptOnce { id: 7 }),
+        window(),
+        1,
+        &mut rng,
+    );
+    let verifier = Verifier::new(
+        p("fs"),
+        MapResolver::new().with(p("alice"), GrantorVerifier::SharedKey(shared)),
+    );
+    let replay = ReplayCache::new();
+    let ctx =
+        RequestContext::new(p("fs"), Operation::new("read"), ObjectName::new("x")).at(Timestamp(1));
+    let accepted = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for t in 0..8 {
+            let (verifier, proxy, ctx, replay, accepted) =
+                (&verifier, &proxy, &ctx, &replay, &accepted);
+            scope.spawn(move || {
+                let pres = proxy.present_bearer([t as u8 + 1; 32], &p("fs"));
+                let mut guard = replay;
+                if verifier.verify(&pres, ctx, &mut guard).is_ok() {
+                    accepted.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    assert_eq!(
+        accepted.load(Ordering::Relaxed),
+        1,
+        "accept-once honored exactly once under a race"
+    );
+}
+
+#[test]
+fn concurrent_deposits_settle_each_check_exactly_once_without_a_server_lock() {
+    let mut rng = StdRng::seed_from_u64(3);
     let carol_key = SigningKey::generate(&mut rng);
     let mut bank = AccountingServer::new(
         p("bank"),
@@ -99,7 +153,9 @@ fn concurrent_deposits_settle_each_check_exactly_once() {
     bank.account_mut("carol").unwrap().credit(usd(), 10_000);
     let carol_auth = GrantAuthority::Keypair(carol_key);
 
-    // 16 distinct checks, each deposited by 4 racing threads.
+    // 16 distinct checks, each deposited by 4 racing threads sharing the
+    // bank as plain &self — double-spend prevention is the replay
+    // cache's check-and-mark under the payor account's shard.
     let checks: Vec<_> = (1..=16u64)
         .map(|no| {
             write_check(
@@ -116,25 +172,17 @@ fn concurrent_deposits_settle_each_check_exactly_once() {
             )
         })
         .collect();
-    let bank = Mutex::new(bank);
+    let bank = bank; // freeze admin state; shared by reference below
     let settled = Mutex::new(Vec::new());
 
     std::thread::scope(|scope| {
         for t in 0..4 {
-            let bank = &bank;
-            let settled = &settled;
-            let checks = &checks;
+            let (bank, settled, checks) = (&bank, &settled, &checks);
             scope.spawn(move || {
                 let mut rng = StdRng::seed_from_u64(100 + t);
                 for check in checks {
-                    let result = bank.lock().expect("bank lock").deposit(
-                        check,
-                        &p("shop"),
-                        "shop",
-                        p("bank"),
-                        Timestamp(1),
-                        &mut rng,
-                    );
+                    let result =
+                        bank.deposit(check, &p("shop"), "shop", p("bank"), Timestamp(1), &mut rng);
                     if let Ok(DepositOutcome::Settled(payment)) = result {
                         settled.lock().expect("settled lock").push(payment.check_no);
                     }
@@ -150,7 +198,144 @@ fn concurrent_deposits_settle_each_check_exactly_once() {
         (1..=16u64).collect::<Vec<_>>(),
         "each check exactly once"
     );
-    let bank = bank.into_inner().expect("bank poisoned");
     assert_eq!(bank.account("carol").unwrap().balance(&usd()), 10_000 - 160);
     assert_eq!(bank.account("shop").unwrap().balance(&usd()), 160);
+}
+
+#[test]
+fn concurrent_check_writing_and_deposits_conserve_currency() {
+    // N payor threads each write and deposit their own stream of checks
+    // against one shared bank; every unit debited must surface in the
+    // shop's account and nowhere else.
+    const THREADS: u64 = 8;
+    const CHECKS_PER_THREAD: u64 = 50;
+    const AMOUNT: u64 = 3;
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut bank = AccountingServer::new(
+        p("bank"),
+        GrantAuthority::Keypair(SigningKey::generate(&mut rng)),
+    );
+    bank.open_account("shop", vec![p("shop")]);
+    let mut authorities = Vec::new();
+    for t in 0..THREADS {
+        let key = SigningKey::generate(&mut rng);
+        let payor = p(&format!("payor{t}"));
+        bank.register_grantor(
+            payor.clone(),
+            GrantorVerifier::PublicKey(key.verifying_key()),
+        );
+        bank.open_account(format!("acct{t}"), vec![payor]);
+        bank.account_mut(&format!("acct{t}"))
+            .unwrap()
+            .credit(usd(), CHECKS_PER_THREAD * AMOUNT);
+        authorities.push(GrantAuthority::Keypair(key));
+    }
+    let bank = bank;
+    let settled = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        for (t, authority) in authorities.iter().enumerate() {
+            let (bank, settled) = (&bank, &settled);
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(200 + t as u64);
+                let payor = p(&format!("payor{t}"));
+                for no in 1..=CHECKS_PER_THREAD {
+                    let check = write_check(
+                        &payor,
+                        authority,
+                        &p("bank"),
+                        &format!("acct{t}"),
+                        p("shop"),
+                        no,
+                        usd(),
+                        AMOUNT,
+                        window(),
+                        &mut rng,
+                    );
+                    let outcome = bank
+                        .deposit(
+                            &check,
+                            &p("shop"),
+                            "shop",
+                            p("bank"),
+                            Timestamp(1),
+                            &mut rng,
+                        )
+                        .unwrap_or_else(|e| panic!("payor {t} check {no}: {e}"));
+                    assert!(matches!(outcome, DepositOutcome::Settled(_)));
+                    settled.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+
+    assert_eq!(settled.load(Ordering::Relaxed), THREADS * CHECKS_PER_THREAD);
+    let total = THREADS * CHECKS_PER_THREAD * AMOUNT;
+    assert_eq!(
+        bank.account("shop").unwrap().balance(&usd()),
+        total,
+        "every debited unit landed in the shop account"
+    );
+    for t in 0..THREADS {
+        assert_eq!(
+            bank.account(&format!("acct{t}")).unwrap().balance(&usd()),
+            0,
+            "payor {t} fully debited"
+        );
+    }
+    assert_eq!(
+        bank.uncollected_total("shop", &usd()),
+        0,
+        "no funds in flight"
+    );
+}
+
+#[test]
+fn concurrent_authorization_queries_share_one_server() {
+    // Fig. 3's query path under contention: one authorization server,
+    // 8 clients requesting proxies with no external lock. Every grant
+    // must verify, and the serial counter must never repeat.
+    let mut rng = StdRng::seed_from_u64(5);
+    let r_key = SymmetricKey::generate(&mut rng);
+    let mut authz = AuthorizationServer::new(
+        p("R"),
+        GrantAuthority::SharedKey(r_key.clone()),
+        MapResolver::new(),
+    );
+    authz.database_mut(p("S")).set(
+        ObjectName::new("X"),
+        Acl::new().with(
+            AclSubject::Principal(p("C")),
+            AclRights::ops(vec![Operation::new("read")]),
+        ),
+    );
+    let authz = authz;
+    let serials = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for t in 0..8u64 {
+            let (authz, serials) = (&authz, &serials);
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(300 + t);
+                for _ in 0..25 {
+                    let proxy = authz
+                        .request_authorization(
+                            &p("C"),
+                            &[],
+                            &p("S"),
+                            &Operation::new("read"),
+                            &ObjectName::new("X"),
+                            window(),
+                            Timestamp(1),
+                            &mut rng,
+                        )
+                        .expect("authorized");
+                    serials.lock().expect("serials").push(proxy.certs[0].serial);
+                }
+            });
+        }
+    });
+    let mut serials = serials.into_inner().expect("serials poisoned");
+    serials.sort_unstable();
+    serials.dedup();
+    assert_eq!(serials.len(), 200, "serials unique under contention");
 }

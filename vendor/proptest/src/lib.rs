@@ -353,7 +353,7 @@ impl_strategy_tuple!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6, H / 7);
 pub mod collection {
     use super::{Strategy, TestRng};
 
-    /// Acceptable size arguments for [`vec`]: a fixed size or a range.
+    /// Acceptable size arguments for [`vec()`]: a fixed size or a range.
     pub trait IntoSizeRange {
         /// Lower bound (inclusive) and upper bound (exclusive).
         fn bounds(&self) -> (usize, usize);
@@ -384,7 +384,7 @@ pub mod collection {
         VecStrategy { element, lo, hi }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         lo: usize,
