@@ -12,6 +12,13 @@ cargo test --workspace -q
 # by debug-build slowness).
 RUST_TEST_THREADS=8 cargo test --release -q --test concurrency
 
+# Networked service layer: the end-to-end TCP protocol flows and the
+# wire-format property suite (round-trips over real crypto payloads,
+# hostile-input rejection), both in release so the Ed25519 paths and
+# the 10k-frame mutation loops run at full speed.
+cargo test --release -q --test net_integration
+cargo test --release -q -p proxy-wire --test proptests --test corpus
+
 # Documentation gate: rustdoc warnings (broken intra-doc links, bad
 # HTML) are errors.
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q

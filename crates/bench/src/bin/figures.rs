@@ -382,6 +382,48 @@ fn throughput() {
     );
 }
 
+/// Runs the Fig. 3/4/5 paths over real TCP loopback sockets (see
+/// `proxy_bench::netbench`) and persists the results to `BENCH_net.json`.
+fn networked() {
+    use proxy_bench::netbench::{run, NetOptions};
+
+    let opts = NetOptions::default();
+    let report = run(&opts);
+    for series in &report.series {
+        for point in &series.points {
+            report_row(
+                "N",
+                series.path,
+                point.threads,
+                format!(
+                    "{:.0} ops/s, p50 {} µs, p99 {} µs",
+                    point.ops_per_sec, point.p50_us, point.p99_us
+                ),
+                "",
+            );
+        }
+    }
+    for w in &report.wire_sizes {
+        report_row(
+            "N",
+            &format!("wire-size/{}", w.message),
+            1,
+            w.frame_bytes,
+            "bytes",
+        );
+    }
+    report_row("N", "host-parallelism", 1, report.host_parallelism, "cpus");
+    std::fs::write("BENCH_net.json", report.to_json()).expect("write BENCH_net.json");
+    let fig3 = report
+        .series_for("fig3-authz-query")
+        .expect("fig3 series measured");
+    assert!(
+        fig3.points.iter().all(|p| p.ops_per_sec > 0.0),
+        "fig3 networked series measured"
+    );
+    println!("wrote BENCH_net.json");
+}
+
 fn main() {
     if std::env::args().any(|arg| arg == "--ablate-crypto") {
         ablate_crypto();
@@ -389,6 +431,10 @@ fn main() {
     }
     if std::env::args().any(|arg| arg == "--throughput") {
         throughput();
+        return;
+    }
+    if std::env::args().any(|arg| arg == "--net") {
+        networked();
         return;
     }
     f1_sizes();

@@ -14,6 +14,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod netbench;
 pub mod seed_ed25519;
 pub mod throughput;
 

@@ -1,0 +1,534 @@
+//! Networked benchmark mode (`figures --net`): the paper's three
+//! protocol paths measured over **real TCP loopback sockets** instead of
+//! in-process calls.
+//!
+//! For each path a [`proxy_net::TcpServer`] is spawned on an ephemeral
+//! port and swept with 1, 2, 4, and 8 closed-loop client threads sharing
+//! one pooled [`proxy_net::TcpClient`]:
+//!
+//! * **fig3-authz-query** — request an authorization proxy (Fig. 3).
+//! * **fig4-cascade-verify** — present a depth-4 bearer cascade to an
+//!   end-server (Fig. 4).
+//! * **fig5-check-deposit** — deposit a per-operation check drawn on the
+//!   receiving server (Fig. 5); settlement and conservation asserted.
+//!
+//! Every request crosses the full stack: message → frame (magic,
+//! version, CRC) → socket → [`proxy_net::ServiceMux`] → service →
+//! reply frame → decode. Alongside throughput the harness records
+//! client-observed latency percentiles and the wire size of each
+//! representative protocol message.
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use proxy_accounting::{write_check, AccountingServer};
+use proxy_authz::{Acl, AclRights, AclSubject, AuthorizationServer, EndServer};
+use proxy_crypto::ed25519::SigningKey;
+use proxy_crypto::keys::SymmetricKey;
+use proxy_net::{api, ClientOptions, Deposit, ServiceMux, TcpClient, TcpServer};
+use proxy_runtime::closed_loop;
+use proxy_wire::Message;
+use restricted_proxy::prelude::*;
+
+use crate::{rng, window};
+
+/// Networked-harness configuration.
+#[derive(Clone, Debug)]
+pub struct NetOptions {
+    /// Thread counts to sweep (the scaling axis).
+    pub thread_counts: Vec<usize>,
+    /// Closed-loop operations per client thread.
+    pub ops_per_thread: u64,
+    /// Server connection-worker threads.
+    pub workers: usize,
+    /// Certificate-chain depth for the cascade path (Fig. 4).
+    pub cascade_depth: usize,
+}
+
+impl Default for NetOptions {
+    fn default() -> Self {
+        Self {
+            thread_counts: vec![1, 2, 4, 8],
+            ops_per_thread: 300,
+            workers: 8,
+            cascade_depth: 4,
+        }
+    }
+}
+
+impl NetOptions {
+    /// A fast configuration for smoke tests.
+    #[must_use]
+    pub fn quick() -> Self {
+        Self {
+            thread_counts: vec![1, 2],
+            ops_per_thread: 20,
+            workers: 4,
+            cascade_depth: 2,
+        }
+    }
+}
+
+/// One measured point: thread count → throughput and latency.
+#[derive(Clone, Copy, Debug)]
+pub struct NetPoint {
+    /// Concurrent closed-loop client threads.
+    pub threads: usize,
+    /// Operations completed across all threads.
+    pub total_ops: u64,
+    /// Wall-clock seconds for the run.
+    pub elapsed_secs: f64,
+    /// Throughput over the socket.
+    pub ops_per_sec: f64,
+    /// Median client-observed round-trip, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile client-observed round-trip, microseconds.
+    pub p99_us: u64,
+}
+
+/// A per-path scaling series.
+#[derive(Clone, Debug)]
+pub struct NetSeries {
+    /// Request path name (`fig3-authz-query`, …).
+    pub path: &'static str,
+    /// One point per thread count, in sweep order.
+    pub points: Vec<NetPoint>,
+}
+
+/// Encoded frame size of one representative protocol message.
+#[derive(Clone, Debug)]
+pub struct WireSize {
+    /// Message kind (wire name).
+    pub message: &'static str,
+    /// Total frame bytes (header + body + CRC).
+    pub frame_bytes: usize,
+}
+
+/// The full networked-harness output.
+#[derive(Clone, Debug)]
+pub struct NetReport {
+    /// Hardware threads the host exposes.
+    pub host_parallelism: usize,
+    /// Server worker threads used.
+    pub workers: usize,
+    /// All measured series.
+    pub series: Vec<NetSeries>,
+    /// Representative per-message wire sizes.
+    pub wire_sizes: Vec<WireSize>,
+}
+
+impl NetReport {
+    /// The series for `path`, if measured.
+    #[must_use]
+    pub fn series_for(&self, path: &str) -> Option<&NetSeries> {
+        self.series.iter().find(|s| s.path == path)
+    }
+
+    /// Renders the report as pretty-printed JSON (hand-rolled: every
+    /// value is a number or a known-safe identifier).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "  \"host_parallelism\": {},\n  \"workers\": {},\n",
+            self.host_parallelism, self.workers
+        ));
+        out.push_str("  \"wire_sizes\": [\n");
+        for (i, w) in self.wire_sizes.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"message\": \"{}\", \"frame_bytes\": {}}}{}",
+                w.message,
+                w.frame_bytes,
+                if i + 1 < self.wire_sizes.len() {
+                    ",\n"
+                } else {
+                    "\n"
+                }
+            ));
+        }
+        out.push_str("  ],\n  \"series\": [\n");
+        for (i, s) in self.series.iter().enumerate() {
+            out.push_str(&format!("    {{\"path\": \"{}\", \"points\": [", s.path));
+            for (j, p) in s.points.iter().enumerate() {
+                out.push_str(&format!(
+                    "{{\"threads\": {}, \"total_ops\": {}, \"elapsed_secs\": {:.4}, \
+                     \"ops_per_sec\": {:.1}, \"p50_us\": {}, \"p99_us\": {}}}",
+                    p.threads, p.total_ops, p.elapsed_secs, p.ops_per_sec, p.p50_us, p.p99_us
+                ));
+                if j + 1 < s.points.len() {
+                    out.push_str(", ");
+                }
+            }
+            out.push_str("]}");
+            out.push_str(if i + 1 < self.series.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+fn p(name: &str) -> PrincipalId {
+    PrincipalId::new(name)
+}
+
+/// Percentile over a sorted latency sample (nearest-rank).
+fn percentile(sorted: &[u64], pct: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((pct / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Runs `threads × ops` closed-loop operations against `client`,
+/// timing each call, and folds the runtime report plus latency
+/// percentiles into a [`NetPoint`].
+fn measure(
+    threads: usize,
+    ops: u64,
+    client: &TcpClient,
+    op: impl Fn(&TcpClient, usize, u64) + Sync,
+) -> NetPoint {
+    let latencies: Mutex<Vec<u64>> = Mutex::new(Vec::with_capacity(threads * ops as usize));
+    let report = closed_loop(threads, ops, |t| {
+        let latencies = &latencies;
+        let op = &op;
+        move |i| {
+            let start = Instant::now();
+            op(client, t, i);
+            let us = start.elapsed().as_micros() as u64;
+            latencies.lock().expect("latency lock").push(us);
+        }
+    });
+    let mut sample = latencies.into_inner().expect("latency lock");
+    sample.sort_unstable();
+    NetPoint {
+        threads: report.threads,
+        total_ops: report.total_ops,
+        elapsed_secs: report.elapsed.as_secs_f64(),
+        ops_per_sec: report.ops_per_sec(),
+        p50_us: percentile(&sample, 50.0),
+        p99_us: percentile(&sample, 99.0),
+    }
+}
+
+fn client_for(server: &TcpServer) -> TcpClient {
+    TcpClient::new(server.addr(), ClientOptions::default())
+}
+
+/// Fig. 3 over TCP: N clients requesting authorization proxies.
+fn fig3_series(opts: &NetOptions) -> NetSeries {
+    let mut setup = rng(31);
+    let r_key = SymmetricKey::generate(&mut setup);
+    let mut authz =
+        AuthorizationServer::new(p("R"), GrantAuthority::SharedKey(r_key), MapResolver::new());
+    authz.database_mut(p("S")).set(
+        ObjectName::new("X"),
+        Acl::new().with(
+            AclSubject::Principal(p("C")),
+            AclRights::ops(vec![Operation::new("read")]),
+        ),
+    );
+    let mux = Arc::new(ServiceMux::new().with_authz(Arc::new(authz)));
+    let server = TcpServer::spawn(mux, opts.workers, 31).expect("spawn authz server");
+    let client = client_for(&server);
+    let points = opts
+        .thread_counts
+        .iter()
+        .map(|&t| {
+            measure(t, opts.ops_per_thread, &client, |c, _t, _i| {
+                api::request_authorization(
+                    c,
+                    &p("C"),
+                    vec![],
+                    &p("S"),
+                    &Operation::new("read"),
+                    &ObjectName::new("X"),
+                    window(),
+                    Timestamp(1),
+                )
+                .expect("authorized over TCP");
+            })
+        })
+        .collect();
+    NetSeries {
+        path: "fig3-authz-query",
+        points,
+    }
+}
+
+/// A re-presentable bearer cascade of `depth` certificates, plus the
+/// end-server that accepts it.
+fn cascade_world(depth: usize) -> (EndServer<MapResolver>, Proxy) {
+    let mut r = rng(32);
+    let shared = SymmetricKey::generate(&mut r);
+    let grantor = p("alice");
+    let mut proxy = grant(
+        &grantor,
+        &GrantAuthority::SharedKey(shared.clone()),
+        RestrictionSet::new(),
+        window(),
+        0,
+        &mut r,
+    );
+    for i in 1..depth {
+        proxy = proxy
+            .derive(RestrictionSet::new(), window(), i as u64, &mut r)
+            .expect("window is fixed");
+    }
+    let mut end = EndServer::new(
+        p("S"),
+        MapResolver::new().with(grantor.clone(), GrantorVerifier::SharedKey(shared)),
+    );
+    end.acls.set(
+        ObjectName::new("doc"),
+        Acl::new().with(AclSubject::Principal(grantor), AclRights::all()),
+    );
+    (end, proxy)
+}
+
+/// Fig. 4 over TCP: N bearers re-presenting a cascade to an end-server.
+fn fig4_series(opts: &NetOptions) -> NetSeries {
+    let (end, proxy) = cascade_world(opts.cascade_depth);
+    let mux = Arc::new(ServiceMux::new().with_end_server(Arc::new(end)));
+    let server = TcpServer::spawn(mux, opts.workers, 32).expect("spawn end-server");
+    let client = client_for(&server);
+    // One presentation per possible thread, built once: the closed loop
+    // measures verification + the wire, not client-side signing.
+    let max_threads = opts.thread_counts.iter().copied().max().unwrap_or(1);
+    let presentations: Vec<_> = (0..max_threads)
+        .map(|t| proxy.present_bearer([t as u8 + 1; 32], &p("S")))
+        .collect();
+    let presentations = &presentations;
+    let points = opts
+        .thread_counts
+        .iter()
+        .map(|&t| {
+            measure(t, opts.ops_per_thread, &client, |c, t, _i| {
+                let (principals, _groups) = api::end_request(
+                    c,
+                    &Operation::new("read"),
+                    &ObjectName::new("doc"),
+                    vec![],
+                    vec![presentations[t].clone()],
+                    Timestamp(1),
+                    vec![],
+                )
+                .expect("cascade accepted over TCP");
+                assert!(principals.contains(&p("alice")));
+            })
+        })
+        .collect();
+    NetSeries {
+        path: "fig4-cascade-verify",
+        points,
+    }
+}
+
+/// Fig. 5 over TCP: N payors' checks deposited to the shop's account on
+/// the drawee server. Conservation asserted after every sweep point.
+fn fig5_series(opts: &NetOptions) -> NetSeries {
+    let mut setup = rng(33);
+    let max_threads = opts.thread_counts.iter().copied().max().unwrap_or(1);
+    let total_ops: u64 = opts.ops_per_thread * opts.thread_counts.iter().sum::<usize>() as u64;
+    let bank_key = SigningKey::generate(&mut setup);
+    let mut bank = AccountingServer::new(p("bank"), GrantAuthority::Keypair(bank_key));
+    bank.open_account("shop", vec![p("shop")]);
+    let mut authorities = Vec::new();
+    for t in 0..max_threads {
+        let key = SigningKey::generate(&mut setup);
+        let payor = p(&format!("payor{t}"));
+        bank.register_grantor(
+            payor.clone(),
+            GrantorVerifier::PublicKey(key.verifying_key()),
+        );
+        bank.open_account(format!("acct{t}"), vec![payor]);
+        // Enough for every sweep point this payor participates in.
+        bank.account_mut(&format!("acct{t}"))
+            .unwrap()
+            .credit(Currency::new("USD"), total_ops);
+        authorities.push(GrantAuthority::Keypair(key));
+    }
+    let bank = Arc::new(bank);
+    let mux = Arc::new(ServiceMux::<MapResolver>::new().with_accounting(Arc::clone(&bank)));
+    let server = TcpServer::spawn(mux, opts.workers, 33).expect("spawn accounting server");
+    let client = client_for(&server);
+    let authorities = &authorities;
+    // Distinct check numbers across threads AND sweep points.
+    let check_seq = std::sync::atomic::AtomicU64::new(1);
+    let check_seq = &check_seq;
+    let mut deposited: u64 = 0;
+    let points = opts
+        .thread_counts
+        .iter()
+        .map(|&t| {
+            let pt = measure(t, opts.ops_per_thread, &client, |c, t, i| {
+                let mut client_rng = rng(5_000 + t as u64 * 10_000 + i);
+                let check_no = check_seq.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let check = write_check(
+                    &p(&format!("payor{t}")),
+                    &authorities[t],
+                    &p("bank"),
+                    &format!("acct{t}"),
+                    p("shop"),
+                    check_no,
+                    Currency::new("USD"),
+                    1,
+                    window(),
+                    &mut client_rng,
+                );
+                let outcome = api::deposit_check(
+                    c,
+                    check.proxy,
+                    &p("shop"),
+                    "shop",
+                    &p("bank"),
+                    Timestamp(1),
+                )
+                .expect("deposit settles over TCP");
+                assert!(
+                    matches!(outcome, Deposit::Settled { .. }),
+                    "same-bank deposit settles"
+                );
+            });
+            deposited += pt.total_ops;
+            // Conservation: every deposited unit is in the shop account.
+            assert_eq!(
+                bank.account("shop")
+                    .expect("shop")
+                    .balance(&Currency::new("USD")),
+                deposited,
+                "currency conserved across networked deposits"
+            );
+            pt
+        })
+        .collect();
+    NetSeries {
+        path: "fig5-check-deposit",
+        points,
+    }
+}
+
+/// Frame sizes for one representative message of each protocol step.
+fn wire_sizes(cascade_depth: usize) -> Vec<WireSize> {
+    let mut r = rng(34);
+    let shared = SymmetricKey::generate(&mut r);
+    let mut proxy = grant(
+        &p("alice"),
+        &GrantAuthority::SharedKey(shared),
+        RestrictionSet::new().with(Restriction::authorize_op(
+            ObjectName::new("X"),
+            Operation::new("read"),
+        )),
+        window(),
+        1,
+        &mut r,
+    );
+    let grant_size = proxy.clone();
+    for i in 1..cascade_depth {
+        proxy = proxy
+            .derive(RestrictionSet::new(), window(), i as u64, &mut r)
+            .expect("window is fixed");
+    }
+    let presentation = proxy.present_bearer([1u8; 32], &p("S"));
+    let samples: Vec<(&'static str, Message)> = vec![
+        (
+            "authz-query",
+            Message::AuthzQuery {
+                client: p("C"),
+                presentations: vec![],
+                end_server: p("S"),
+                operation: Operation::new("read"),
+                object: ObjectName::new("X"),
+                validity: window(),
+                now: Timestamp(1),
+            },
+        ),
+        ("authz-grant", Message::AuthzGrant { proxy: grant_size }),
+        (
+            "end-request-cascade",
+            Message::EndRequest {
+                operation: Operation::new("read"),
+                object: ObjectName::new("doc"),
+                authenticated: vec![],
+                presentations: vec![presentation],
+                now: Timestamp(1),
+                amounts: vec![],
+            },
+        ),
+        (
+            "check-deposit",
+            Message::CheckDeposit {
+                check: proxy,
+                depositor: p("shop"),
+                to_account: "shop".to_string(),
+                next_hop: p("bank"),
+                now: Timestamp(1),
+            },
+        ),
+        (
+            "check-settled",
+            Message::CheckSettled {
+                payor: p("payor0"),
+                check_no: 1,
+                currency: Currency::new("USD"),
+                amount: 1,
+            },
+        ),
+    ];
+    samples
+        .into_iter()
+        .map(|(name, msg)| WireSize {
+            message: name,
+            frame_bytes: msg.to_frame(1).len(),
+        })
+        .collect()
+}
+
+/// Runs the full networked sweep and returns the report.
+#[must_use]
+pub fn run(opts: &NetOptions) -> NetReport {
+    NetReport {
+        host_parallelism: std::thread::available_parallelism().map_or(1, usize::from),
+        workers: opts.workers,
+        series: vec![fig3_series(opts), fig4_series(opts), fig5_series(opts)],
+        wire_sizes: wire_sizes(opts.cascade_depth),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_all_series_and_valid_json() {
+        let report = run(&NetOptions::quick());
+        assert_eq!(report.series.len(), 3);
+        for s in &report.series {
+            assert_eq!(s.points.len(), 2);
+            for p in &s.points {
+                assert!(p.ops_per_sec > 0.0, "{} measured", s.path);
+                assert!(p.p50_us > 0, "{} latency sampled", s.path);
+                assert!(p.p99_us >= p.p50_us);
+            }
+        }
+        assert!(report.wire_sizes.len() >= 5);
+        for w in &report.wire_sizes {
+            assert!(
+                w.frame_bytes > proxy_wire::frame::HEADER_LEN,
+                "{}",
+                w.message
+            );
+        }
+        let json = report.to_json();
+        assert!(json.contains("fig3-authz-query"));
+        assert!(json.contains("\"wire_sizes\""));
+        let count = |c: char| json.chars().filter(|&x| x == c).count();
+        assert_eq!(count('{'), count('}'));
+        assert_eq!(count('['), count(']'));
+    }
+}

@@ -137,9 +137,13 @@ impl std::fmt::Debug for VerifyingKey {
 /// An Ed25519 signing (private) key.
 ///
 /// Holds the RFC 8032 expanded secret: the clamped scalar `a` and the
-/// 32-byte `prefix` used to derive deterministic nonces.
+/// 32-byte `prefix` used to derive deterministic nonces. The originating
+/// seed is retained so the key can be serialized (e.g. proxy-key material
+/// crossing the wire inside a protected channel) and re-expanded on the
+/// other side.
 #[derive(Clone)]
 pub struct SigningKey {
+    seed: [u8; SEED_LEN],
     scalar: Scalar,
     prefix: [u8; 32],
     public: VerifyingKey,
@@ -160,10 +164,20 @@ impl SigningKey {
         let public_point = Point::mul_basepoint(&scalar);
         let public = VerifyingKey::from_bytes(public_point.compress());
         Self {
+            seed: *seed,
             scalar,
             prefix,
             public,
         }
+    }
+
+    /// The 32-byte seed this key expands from (RFC 8032 private key).
+    ///
+    /// This **is** the secret: expose it only to serialize the key into a
+    /// confidentiality-protected channel.
+    #[must_use]
+    pub fn seed(&self) -> &[u8; SEED_LEN] {
+        &self.seed
     }
 
     /// Generates a signing key from `rng`.

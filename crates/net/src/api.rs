@@ -1,0 +1,240 @@
+//! Typed request helpers over any [`Transport`].
+//!
+//! Each helper builds the request message, performs the call, and
+//! narrows the reply to the expected variant — the call-shaped surface
+//! the examples, benchmarks, and integration tests program against.
+
+use proxy_wire::Message;
+use restricted_proxy::prelude::{
+    Currency, GroupName, ObjectName, Operation, Presentation, PrincipalId, Proxy, Timestamp,
+    Validity,
+};
+
+use crate::error::NetError;
+use crate::transport::Transport;
+
+/// Outcome of a networked check deposit.
+#[derive(Debug, Clone)]
+pub enum Deposit {
+    /// Drawn on the receiving server: settled immediately.
+    Settled {
+        /// Who paid.
+        payor: PrincipalId,
+        /// Which check cleared.
+        check_no: u64,
+        /// Currency settled.
+        currency: Currency,
+        /// Amount settled.
+        amount: u64,
+    },
+    /// Drawn elsewhere: credited as uncollected, forward the endorsed
+    /// check to `next_hop`.
+    Forwarded {
+        /// The re-endorsed check.
+        check: Proxy,
+        /// The next clearing hop.
+        next_hop: PrincipalId,
+    },
+}
+
+/// Fig. 3: ask an authorization server for a proxy asserting rights.
+///
+/// # Errors
+///
+/// [`NetError::Remote`] on denial, transport errors otherwise.
+#[allow(clippy::too_many_arguments)]
+pub fn request_authorization(
+    t: &impl Transport,
+    client: &PrincipalId,
+    presentations: Vec<Presentation>,
+    end_server: &PrincipalId,
+    operation: &Operation,
+    object: &ObjectName,
+    validity: Validity,
+    now: Timestamp,
+) -> Result<Proxy, NetError> {
+    let reply = t.call(&Message::AuthzQuery {
+        client: client.clone(),
+        presentations,
+        end_server: end_server.clone(),
+        operation: operation.clone(),
+        object: object.clone(),
+        validity,
+        now,
+    })?;
+    match reply {
+        Message::AuthzGrant { proxy } => Ok(proxy),
+        _ => Err(NetError::Protocol("expected authz-grant reply")),
+    }
+}
+
+/// §3.3: ask a group server to certify memberships.
+///
+/// # Errors
+///
+/// [`NetError::Remote`] on denial, transport errors otherwise.
+pub fn membership_proxy(
+    t: &impl Transport,
+    requester: &PrincipalId,
+    groups: &[&str],
+    validity: Validity,
+) -> Result<Proxy, NetError> {
+    let reply = t.call(&Message::GroupQuery {
+        requester: requester.clone(),
+        groups: groups.iter().map(|g| (*g).to_string()).collect(),
+        validity,
+    })?;
+    match reply {
+        Message::GroupGrant { proxy } => Ok(proxy),
+        _ => Err(NetError::Protocol("expected group-grant reply")),
+    }
+}
+
+/// Fig. 4: present a request (with proxy chains) to an end-server.
+///
+/// Returns the accepted claims `(principals, groups)`.
+///
+/// # Errors
+///
+/// [`NetError::Remote`] on denial, transport errors otherwise.
+pub fn end_request(
+    t: &impl Transport,
+    operation: &Operation,
+    object: &ObjectName,
+    authenticated: Vec<PrincipalId>,
+    presentations: Vec<Presentation>,
+    now: Timestamp,
+    amounts: Vec<(Currency, u64)>,
+) -> Result<(Vec<PrincipalId>, Vec<GroupName>), NetError> {
+    let reply = t.call(&Message::EndRequest {
+        operation: operation.clone(),
+        object: object.clone(),
+        authenticated,
+        presentations,
+        now,
+        amounts,
+    })?;
+    match reply {
+        Message::EndDecision { principals, groups } => Ok((principals, groups)),
+        _ => Err(NetError::Protocol("expected end-decision reply")),
+    }
+}
+
+/// §4: purchase a cashier's check.
+///
+/// # Errors
+///
+/// [`NetError::Remote`] on denial, transport errors otherwise.
+#[allow(clippy::too_many_arguments)]
+pub fn write_cashiers_check(
+    t: &impl Transport,
+    purchaser: &PrincipalId,
+    from_account: &str,
+    payee: &PrincipalId,
+    check_no: u64,
+    currency: Currency,
+    amount: u64,
+    validity: Validity,
+) -> Result<Proxy, NetError> {
+    let reply = t.call(&Message::CheckWrite {
+        purchaser: purchaser.clone(),
+        from_account: from_account.to_string(),
+        payee: payee.clone(),
+        check_no,
+        currency,
+        amount,
+        validity,
+    })?;
+    match reply {
+        Message::CheckWritten { check } => Ok(check),
+        _ => Err(NetError::Protocol("expected check-written reply")),
+    }
+}
+
+/// Fig. 5: deposit a check.
+///
+/// # Errors
+///
+/// [`NetError::Remote`] on denial, transport errors otherwise.
+pub fn deposit_check(
+    t: &impl Transport,
+    check: Proxy,
+    depositor: &PrincipalId,
+    to_account: &str,
+    next_hop: &PrincipalId,
+    now: Timestamp,
+) -> Result<Deposit, NetError> {
+    let reply = t.call(&Message::CheckDeposit {
+        check,
+        depositor: depositor.clone(),
+        to_account: to_account.to_string(),
+        next_hop: next_hop.clone(),
+        now,
+    })?;
+    match reply {
+        Message::CheckSettled {
+            payor,
+            check_no,
+            currency,
+            amount,
+        } => Ok(Deposit::Settled {
+            payor,
+            check_no,
+            currency,
+            amount,
+        }),
+        Message::CheckForwarded { check, next_hop } => Ok(Deposit::Forwarded { check, next_hop }),
+        _ => Err(NetError::Protocol("expected deposit reply")),
+    }
+}
+
+/// Inter-server clearing: endorse a check toward the payor's server.
+///
+/// # Errors
+///
+/// [`NetError::Remote`] on denial, transport errors otherwise.
+pub fn endorse_check(
+    t: &impl Transport,
+    check: Proxy,
+    next_hop: &PrincipalId,
+) -> Result<Proxy, NetError> {
+    let reply = t.call(&Message::CheckEndorse {
+        check,
+        next_hop: next_hop.clone(),
+    })?;
+    match reply {
+        Message::CheckEndorsed { check } => Ok(check),
+        _ => Err(NetError::Protocol("expected check-endorsed reply")),
+    }
+}
+
+/// §4: certify a check (place funds on hold).
+///
+/// # Errors
+///
+/// [`NetError::Remote`] on denial, transport errors otherwise.
+#[allow(clippy::too_many_arguments)]
+pub fn certify_check(
+    t: &impl Transport,
+    requester: &PrincipalId,
+    account: &str,
+    check_no: u64,
+    currency: Currency,
+    amount: u64,
+    payee: &PrincipalId,
+    validity: Validity,
+) -> Result<Proxy, NetError> {
+    let reply = t.call(&Message::CheckCertify {
+        requester: requester.clone(),
+        account: account.to_string(),
+        check_no,
+        currency,
+        amount,
+        payee: payee.clone(),
+        validity,
+    })?;
+    match reply {
+        Message::CheckCertified { proxy } => Ok(proxy),
+        _ => Err(NetError::Protocol("expected check-certified reply")),
+    }
+}

@@ -1,0 +1,204 @@
+//! Pooled blocking TCP client with deadlines, bounded retries, and
+//! jittered backoff.
+
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use proxy_wire::frame::{read_frame, write_frame};
+use proxy_wire::Message;
+
+use crate::error::NetError;
+use crate::transport::Transport;
+
+/// Retry budget for a call: how many attempts, and how long to back off
+/// between them.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts (1 = no retry).
+    pub attempts: u32,
+    /// Base backoff before the second attempt; doubles per attempt.
+    pub base_backoff: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub max_backoff: Duration,
+}
+
+impl RetryPolicy {
+    /// One attempt, no retries, no sleeping.
+    #[must_use]
+    pub fn none() -> Self {
+        Self {
+            attempts: 1,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+        }
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            attempts: 3,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(100),
+        }
+    }
+}
+
+/// Client configuration.
+#[derive(Debug, Clone)]
+pub struct ClientOptions {
+    /// Per-request deadline: connect, send, and receive each bounded by
+    /// this duration.
+    pub deadline: Duration,
+    /// Retry budget for transport-level failures.
+    pub retry: RetryPolicy,
+    /// Seed for deterministic backoff jitter.
+    pub jitter_seed: u64,
+}
+
+impl Default for ClientOptions {
+    fn default() -> Self {
+        Self {
+            deadline: Duration::from_secs(2),
+            retry: RetryPolicy::default(),
+            jitter_seed: 0x5EED,
+        }
+    }
+}
+
+/// A pooled blocking TCP client for one service endpoint.
+///
+/// Connections are checked out of a free-list per call and returned on
+/// success, so N concurrent callers settle on N kept-alive connections.
+/// A call that fails at the transport level discards its connection
+/// (its stream state is unknowable) and, when the failure is retryable
+/// and budget remains, redials after a jittered exponential backoff.
+///
+/// Server-side denials ([`NetError::Remote`]) are never retried — the
+/// server *answered*; retrying would just be asking again.
+pub struct TcpClient {
+    addr: SocketAddr,
+    opts: ClientOptions,
+    pool: Mutex<Vec<TcpStream>>,
+    next_id: AtomicU64,
+    jitter: AtomicU64,
+}
+
+impl TcpClient {
+    /// A client for the endpoint at `addr`.
+    #[must_use]
+    pub fn new(addr: SocketAddr, opts: ClientOptions) -> Self {
+        let jitter = AtomicU64::new(opts.jitter_seed | 1);
+        Self {
+            addr,
+            opts,
+            pool: Mutex::new(Vec::new()),
+            next_id: AtomicU64::new(1),
+            jitter: AtomicU64::new(jitter.into_inner()),
+        }
+    }
+
+    /// Connections currently idle in the pool.
+    #[must_use]
+    pub fn pooled_connections(&self) -> usize {
+        self.pool.lock().expect("client pool lock").len()
+    }
+
+    fn checkout(&self) -> Result<TcpStream, NetError> {
+        if let Some(conn) = self.pool.lock().expect("client pool lock").pop() {
+            return Ok(conn);
+        }
+        let stream = TcpStream::connect_timeout(&self.addr, self.opts.deadline)?;
+        stream.set_read_timeout(Some(self.opts.deadline))?;
+        stream.set_write_timeout(Some(self.opts.deadline))?;
+        let _ = stream.set_nodelay(true);
+        Ok(stream)
+    }
+
+    fn checkin(&self, conn: TcpStream) {
+        self.pool.lock().expect("client pool lock").push(conn);
+    }
+
+    /// xorshift step — deterministic jitter without a global RNG.
+    fn next_jitter(&self) -> u64 {
+        let mut x = self.jitter.load(Ordering::Relaxed);
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.jitter.store(x, Ordering::Relaxed);
+        x
+    }
+
+    /// The sleep before attempt `attempt` (1-based beyond the first):
+    /// exponential in the attempt number, capped, with ±50% jitter.
+    fn backoff(&self, attempt: u32) -> Duration {
+        let base = self.opts.retry.base_backoff.as_micros() as u64;
+        if base == 0 {
+            return Duration::ZERO;
+        }
+        let exp = base.saturating_mul(1u64 << (attempt - 1).min(16));
+        let capped = exp.min(self.opts.retry.max_backoff.as_micros() as u64);
+        // jitter in [50%, 150%) of the capped value.
+        let jittered = capped / 2 + self.next_jitter() % capped.max(1);
+        Duration::from_micros(jittered.min(self.opts.retry.max_backoff.as_micros() as u64))
+    }
+
+    fn try_call(&self, request: &Message) -> Result<Message, NetError> {
+        let request_id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let mut conn = self.checkout()?;
+        write_frame(
+            &mut conn,
+            request.msg_type(),
+            request_id,
+            &request.encode_body(),
+        )?;
+        let (header, body) = read_frame(&mut conn)?;
+        if header.request_id != request_id {
+            return Err(NetError::Protocol("reply request id mismatch"));
+        }
+        let reply = Message::decode_body(header.msg_type, &body)?;
+        // Only a fully successful exchange proves the stream is clean
+        // enough to reuse.
+        self.checkin(conn);
+        match reply {
+            Message::Error { code, detail } => Err(NetError::Remote { code, detail }),
+            message => Ok(message),
+        }
+    }
+}
+
+impl Transport for TcpClient {
+    fn call(&self, request: &Message) -> Result<Message, NetError> {
+        let attempts = self.opts.retry.attempts.max(1);
+        let mut last = NetError::Protocol("no attempt made");
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                std::thread::sleep(self.backoff(attempt));
+            }
+            match self.try_call(request) {
+                Ok(reply) => return Ok(reply),
+                Err(e) if e.is_retryable() && attempt + 1 < attempts => last = e,
+                Err(e) => {
+                    // Non-retryable (remote denial, protocol bug) — or
+                    // the budget is spent.
+                    if attempts == 1 {
+                        return Err(e);
+                    }
+                    if !e.is_retryable() {
+                        return Err(e);
+                    }
+                    return Err(NetError::RetriesExhausted {
+                        attempts,
+                        last: Box::new(e),
+                    });
+                }
+            }
+        }
+        Err(NetError::RetriesExhausted {
+            attempts,
+            last: Box::new(last),
+        })
+    }
+}

@@ -1,0 +1,107 @@
+//! Typed client-side transport errors.
+
+use std::fmt;
+use std::io;
+
+use proxy_wire::{ErrorCode, WireError};
+
+/// Everything a [`crate::Transport::call`] can fail with.
+///
+/// The variants distinguish the cases a caller handles differently:
+/// retry (`Refused`, `Disconnected`, `DeadlineExceeded`), surface to the
+/// user (`Remote`), or treat as a bug (`Protocol`, `Wire`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// The bytes on the wire were not a valid frame or message.
+    Wire(WireError),
+    /// The server answered with a typed error reply.
+    Remote {
+        /// Machine-readable reason.
+        code: ErrorCode,
+        /// Server-provided detail.
+        detail: String,
+    },
+    /// The per-request deadline elapsed before a reply arrived.
+    DeadlineExceeded,
+    /// The server actively refused the connection.
+    Refused,
+    /// The connection closed before a complete reply (EOF, reset, or a
+    /// broken pipe mid-frame).
+    Disconnected,
+    /// Any other I/O failure, by kind.
+    Io(io::ErrorKind),
+    /// The peer violated the protocol (e.g. a reply with the wrong
+    /// request id).
+    Protocol(&'static str),
+    /// Every attempt of a retried call failed; `last` is the final
+    /// attempt's error.
+    RetriesExhausted {
+        /// How many attempts were made.
+        attempts: u32,
+        /// The error the last attempt died with.
+        last: Box<NetError>,
+    },
+}
+
+impl NetError {
+    /// Classifies an I/O error into the variant a caller would branch on.
+    #[must_use]
+    pub fn from_io_kind(kind: io::ErrorKind) -> Self {
+        match kind {
+            io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock => NetError::DeadlineExceeded,
+            io::ErrorKind::ConnectionRefused => NetError::Refused,
+            io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::BrokenPipe => NetError::Disconnected,
+            other => NetError::Io(other),
+        }
+    }
+
+    /// True when a fresh connection might succeed (the request was
+    /// likely never processed, or the failure was transient).
+    #[must_use]
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            NetError::DeadlineExceeded
+                | NetError::Refused
+                | NetError::Disconnected
+                | NetError::Io(_)
+        )
+    }
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Wire(e) => write!(f, "wire error: {e}"),
+            NetError::Remote { code, detail } => write!(f, "server error {code}: {detail}"),
+            NetError::DeadlineExceeded => write!(f, "deadline exceeded"),
+            NetError::Refused => write!(f, "connection refused"),
+            NetError::Disconnected => write!(f, "connection closed mid-exchange"),
+            NetError::Io(kind) => write!(f, "i/o error: {kind:?}"),
+            NetError::Protocol(what) => write!(f, "protocol violation: {what}"),
+            NetError::RetriesExhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts; last error: {last}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<WireError> for NetError {
+    fn from(e: WireError) -> Self {
+        match e {
+            WireError::Io(kind) => NetError::from_io_kind(kind),
+            other => NetError::Wire(other),
+        }
+    }
+}
+
+impl From<io::Error> for NetError {
+    fn from(e: io::Error) -> Self {
+        NetError::from_io_kind(e.kind())
+    }
+}

@@ -1,0 +1,34 @@
+//! # proxy-net
+//!
+//! The service layer that puts the paper's servers on a network: a
+//! [`Transport`] abstraction with two implementations, a [`ServiceMux`]
+//! that dispatches decoded [`proxy_wire`] frames into the service
+//! crates' concurrent hot paths, and a pooled blocking [`TcpClient`]
+//! with per-request deadlines, bounded retries, and jittered backoff.
+//!
+//! * [`Loopback`] — in-process: every message round-trips through its
+//!   real frame encoding and is tallied on a [`netsim::Network`] link
+//!   via the atomic-only [`netsim::Network::record`] path, so the
+//!   deterministic figure harnesses keep their exact counts.
+//! * [`TcpServer`]/[`TcpClient`] — std-only blocking TCP: one acceptor
+//!   thread feeding a [`proxy_runtime::Pool`] of connection workers.
+//!
+//! The servers behind the mux are the *same instances* an in-process
+//! caller would use; networking is a layer, not a fork of the logic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod client;
+pub mod error;
+pub mod mux;
+pub mod tcp;
+pub mod transport;
+
+pub use api::Deposit;
+pub use client::{ClientOptions, RetryPolicy, TcpClient};
+pub use error::NetError;
+pub use mux::ServiceMux;
+pub use tcp::TcpServer;
+pub use transport::{Loopback, Transport};

@@ -1,0 +1,287 @@
+//! Request dispatch: decoded frames → the service crates' hot paths.
+
+use std::sync::{Arc, Mutex};
+
+use proxy_accounting::{AccountingServer, AcctError, Check, DepositOutcome};
+use proxy_authz::{AuthorizationServer, AuthzError, EndServer, GroupServer, Request};
+use proxy_wire::{ErrorCode, Message};
+use rand::RngCore;
+use restricted_proxy::prelude::{KeyResolver, MapResolver};
+
+/// Routes each protocol request to the service that answers it.
+///
+/// The mux owns `Arc`s to the servers so the same instances can also be
+/// driven directly (in-process) while serving remote traffic. All
+/// dispatch targets are the `&self` hot paths made thread-safe in the
+/// concurrency PR; the one `&mut self` API (the group server's
+/// membership grant) is wrapped in a [`Mutex`].
+///
+/// `handle` is total: every request produces a reply, with failures
+/// mapped onto typed [`Message::Error`] replies — a remote peer can
+/// never distinguish "service threw an error" from any other denial
+/// except through the [`ErrorCode`].
+pub struct ServiceMux<R: KeyResolver = MapResolver> {
+    authz: Option<Arc<AuthorizationServer<R>>>,
+    end: Option<Arc<EndServer<R>>>,
+    accounting: Option<Arc<AccountingServer>>,
+    groups: Option<Arc<Mutex<GroupServer>>>,
+}
+
+impl<R: KeyResolver> Default for ServiceMux<R> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<R: KeyResolver> ServiceMux<R> {
+    /// A mux with no services mounted (every request answers
+    /// [`ErrorCode::Unavailable`]).
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            authz: None,
+            end: None,
+            accounting: None,
+            groups: None,
+        }
+    }
+
+    /// Mounts an authorization server (answers `AuthzQuery`).
+    #[must_use]
+    pub fn with_authz(mut self, server: Arc<AuthorizationServer<R>>) -> Self {
+        self.authz = Some(server);
+        self
+    }
+
+    /// Mounts an end-server decision engine (answers `EndRequest`).
+    #[must_use]
+    pub fn with_end_server(mut self, server: Arc<EndServer<R>>) -> Self {
+        self.end = Some(server);
+        self
+    }
+
+    /// Mounts an accounting server (answers the check messages).
+    #[must_use]
+    pub fn with_accounting(mut self, server: Arc<AccountingServer>) -> Self {
+        self.accounting = Some(server);
+        self
+    }
+
+    /// Mounts a group server (answers `GroupQuery`).
+    #[must_use]
+    pub fn with_groups(mut self, server: Arc<Mutex<GroupServer>>) -> Self {
+        self.groups = Some(server);
+        self
+    }
+
+    /// Serves one request, always returning a reply message.
+    pub fn handle<G: RngCore>(&self, request: Message, rng: &mut G) -> Message {
+        match request {
+            Message::AuthzQuery {
+                client,
+                presentations,
+                end_server,
+                operation,
+                object,
+                validity,
+                now,
+            } => match &self.authz {
+                None => unavailable("no authorization server mounted"),
+                Some(authz) => match authz.request_authorization(
+                    &client,
+                    &presentations,
+                    &end_server,
+                    &operation,
+                    &object,
+                    validity,
+                    now,
+                    rng,
+                ) {
+                    Ok(proxy) => Message::AuthzGrant { proxy },
+                    Err(e) => authz_error(&e),
+                },
+            },
+            Message::GroupQuery {
+                requester,
+                groups,
+                validity,
+            } => match &self.groups {
+                None => unavailable("no group server mounted"),
+                Some(server) => {
+                    let names: Vec<&str> = groups.iter().map(String::as_str).collect();
+                    let result = server
+                        .lock()
+                        .expect("group server lock")
+                        .membership_proxy(&requester, &names, validity, rng);
+                    match result {
+                        Ok(proxy) => Message::GroupGrant { proxy },
+                        Err(e) => authz_error(&e),
+                    }
+                }
+            },
+            Message::EndRequest {
+                operation,
+                object,
+                authenticated,
+                presentations,
+                now,
+                amounts,
+            } => match &self.end {
+                None => unavailable("no end-server mounted"),
+                Some(end) => {
+                    let req = Request {
+                        operation,
+                        object,
+                        authenticated,
+                        presentations,
+                        now,
+                        amounts,
+                    };
+                    match end.authorize(&req) {
+                        Ok(authorized) => Message::EndDecision {
+                            principals: authorized.claims.principals,
+                            groups: authorized.claims.groups,
+                        },
+                        Err(e) => authz_error(&e),
+                    }
+                }
+            },
+            Message::CheckWrite {
+                purchaser,
+                from_account,
+                payee,
+                check_no,
+                currency,
+                amount,
+                validity,
+            } => match &self.accounting {
+                None => unavailable("no accounting server mounted"),
+                Some(acct) => match acct.cashiers_check(
+                    &purchaser,
+                    &from_account,
+                    payee,
+                    check_no,
+                    currency,
+                    amount,
+                    validity,
+                    rng,
+                ) {
+                    Ok(check) => Message::CheckWritten { check: check.proxy },
+                    Err(e) => acct_error(&e),
+                },
+            },
+            Message::CheckDeposit {
+                check,
+                depositor,
+                to_account,
+                next_hop,
+                now,
+            } => match &self.accounting {
+                None => unavailable("no accounting server mounted"),
+                Some(acct) => {
+                    let check = Check { proxy: check };
+                    match acct.deposit(&check, &depositor, &to_account, next_hop, now, rng) {
+                        Ok(DepositOutcome::Settled(payment)) => Message::CheckSettled {
+                            payor: payment.payor,
+                            check_no: payment.check_no,
+                            currency: payment.currency,
+                            amount: payment.amount,
+                        },
+                        Ok(DepositOutcome::Forwarded { check, next_hop }) => {
+                            Message::CheckForwarded {
+                                check: check.proxy,
+                                next_hop,
+                            }
+                        }
+                        Err(e) => acct_error(&e),
+                    }
+                }
+            },
+            Message::CheckEndorse { check, next_hop } => match &self.accounting {
+                None => unavailable("no accounting server mounted"),
+                Some(acct) => {
+                    let check = Check { proxy: check };
+                    match acct.forward(&check, next_hop, rng) {
+                        Ok(endorsed) => Message::CheckEndorsed {
+                            check: endorsed.proxy,
+                        },
+                        Err(e) => acct_error(&e),
+                    }
+                }
+            },
+            Message::CheckCertify {
+                requester,
+                account,
+                check_no,
+                currency,
+                amount,
+                payee,
+                validity,
+            } => match &self.accounting {
+                None => unavailable("no accounting server mounted"),
+                Some(acct) => match acct.certify(
+                    &requester, &account, check_no, currency, amount, payee, validity, rng,
+                ) {
+                    Ok(proxy) => Message::CheckCertified { proxy },
+                    Err(e) => acct_error(&e),
+                },
+            },
+            // Replies arriving as requests are a peer bug, not a crash.
+            Message::AuthzGrant { .. }
+            | Message::GroupGrant { .. }
+            | Message::EndDecision { .. }
+            | Message::CheckWritten { .. }
+            | Message::CheckSettled { .. }
+            | Message::CheckForwarded { .. }
+            | Message::CheckEndorsed { .. }
+            | Message::CheckCertified { .. }
+            | Message::Error { .. } => Message::Error {
+                code: ErrorCode::BadRequest,
+                detail: "reply message sent as a request".to_string(),
+            },
+        }
+    }
+}
+
+fn unavailable(detail: &str) -> Message {
+    Message::Error {
+        code: ErrorCode::Unavailable,
+        detail: detail.to_string(),
+    }
+}
+
+/// Maps a service-level authorization error onto its wire code.
+#[must_use]
+pub fn authz_error(e: &AuthzError) -> Message {
+    let code = match e {
+        AuthzError::Verify(_) => ErrorCode::VerifyFailed,
+        AuthzError::NotAuthorized { .. } => ErrorCode::NotAuthorized,
+        AuthzError::UnknownClient(_) => ErrorCode::UnknownPrincipal,
+        AuthzError::UnknownGroup(_) => ErrorCode::UnknownGroup,
+        AuthzError::NotAMember { .. } => ErrorCode::NotAMember,
+        AuthzError::NoRightsAt(_) => ErrorCode::NoRightsAt,
+    };
+    Message::Error {
+        code,
+        detail: e.to_string(),
+    }
+}
+
+/// Maps a service-level accounting error onto its wire code.
+#[must_use]
+pub fn acct_error(e: &AcctError) -> Message {
+    let code = match e {
+        AcctError::UnknownAccount(_) => ErrorCode::UnknownAccount,
+        AcctError::InsufficientFunds { .. } => ErrorCode::InsufficientFunds,
+        AcctError::Verify(_) => ErrorCode::VerifyFailed,
+        AcctError::MalformedCheck(_) => ErrorCode::MalformedCheck,
+        AcctError::WrongServer { .. } => ErrorCode::WrongServer,
+        AcctError::NotAuthorized(_) => ErrorCode::NotAuthorized,
+        AcctError::NoRoute(_) => ErrorCode::NoRoute,
+        AcctError::NoHold { .. } => ErrorCode::NoHold,
+    };
+    Message::Error {
+        code,
+        detail: e.to_string(),
+    }
+}

@@ -1,0 +1,226 @@
+//! Blocking TCP server: one acceptor thread, a [`Pool`] of connection
+//! workers, frame-at-a-time request/reply over each connection.
+//!
+//! ## Error posture per connection
+//!
+//! * A body that decodes to garbage gets a typed [`ErrorCode::Malformed`]
+//!   reply and the connection **stays open** — framing is still in sync.
+//! * A broken *frame* (bad magic, wrong version, oversized declared
+//!   length, CRC mismatch) gets a best-effort error reply and the
+//!   connection is **closed**: after corrupt framing the byte stream can
+//!   no longer be trusted to re-synchronize.
+//! * Oversized declared bodies are rejected from the 18-byte header
+//!   alone; the body is never read into memory.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use proxy_runtime::Pool;
+use proxy_wire::frame::{parse_header, FrameHeader, HEADER_LEN, TRAILER_LEN};
+use proxy_wire::{crc::crc32, ErrorCode, Message, WireError};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use restricted_proxy::prelude::KeyResolver;
+
+use crate::mux::ServiceMux;
+
+/// How often a blocked connection worker wakes to check for shutdown.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// A running TCP service endpoint.
+///
+/// Dropping the server shuts it down: the acceptor is woken and joined,
+/// the worker pool drains, and open connections are released at their
+/// next poll interval.
+pub struct TcpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl TcpServer {
+    /// Binds an ephemeral loopback port and starts serving `mux` with
+    /// `workers` connection-handler threads. Per-connection server-side
+    /// randomness is derived from `seed` and a connection counter, so a
+    /// fixed seed gives reproducible server behavior.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure, if any.
+    pub fn spawn<R>(mux: Arc<ServiceMux<R>>, workers: usize, seed: u64) -> std::io::Result<Self>
+    where
+        R: KeyResolver + Send + Sync + 'static,
+    {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let acceptor_stop = Arc::clone(&stop);
+        let acceptor = std::thread::Builder::new()
+            .name("tcp-acceptor".to_string())
+            .spawn(move || {
+                let pool = Pool::new(workers);
+                let conn_seq = AtomicU64::new(0);
+                for stream in listener.incoming() {
+                    if acceptor_stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let mux = Arc::clone(&mux);
+                    let stop = Arc::clone(&acceptor_stop);
+                    let conn = conn_seq.fetch_add(1, Ordering::Relaxed);
+                    let conn_seed = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(conn);
+                    pool.execute(move || serve_connection(&stream, &mux, &stop, conn_seed));
+                }
+                // `pool` drops here: queue drains, workers join.
+            })
+            .expect("spawn acceptor thread");
+        Ok(Self {
+            addr,
+            stop,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The bound address clients should dial.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Wake the acceptor out of `incoming()` with a throwaway dial.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Reads frames off a stream with a poll timeout, retaining partial
+/// bytes across timeouts so a slow sender is not misread as a framing
+/// error.
+struct FrameReader {
+    buf: Vec<u8>,
+}
+
+/// One poll step's outcome.
+enum Step {
+    /// A complete, CRC-checked frame.
+    Frame(FrameHeader, Vec<u8>),
+    /// Nothing new this poll interval (check the stop flag, try again).
+    Idle,
+}
+
+impl FrameReader {
+    fn new() -> Self {
+        Self { buf: Vec::new() }
+    }
+
+    /// Pulls bytes until one frame completes, the poll interval elapses,
+    /// or the stream errors.
+    fn step(&mut self, stream: &mut impl Read) -> Result<Step, WireError> {
+        loop {
+            // Header first: validated before any body byte is buffered.
+            if self.buf.len() >= HEADER_LEN {
+                let header_bytes: [u8; HEADER_LEN] =
+                    self.buf[..HEADER_LEN].try_into().expect("len checked");
+                let header = parse_header(&header_bytes)?;
+                let total = HEADER_LEN + header.body_len as usize + TRAILER_LEN;
+                if self.buf.len() >= total {
+                    let frame: Vec<u8> = self.buf.drain(..total).collect();
+                    let expected =
+                        u32::from_le_bytes(frame[total - TRAILER_LEN..].try_into().expect("4"));
+                    let actual = crc32(&frame[..total - TRAILER_LEN]);
+                    if expected != actual {
+                        return Err(WireError::BadCrc { expected, actual });
+                    }
+                    let body = frame[HEADER_LEN..total - TRAILER_LEN].to_vec();
+                    return Ok(Step::Frame(header, body));
+                }
+            }
+            let mut chunk = [0u8; 4096];
+            match stream.read(&mut chunk) {
+                Ok(0) => return Err(WireError::Io(std::io::ErrorKind::UnexpectedEof)),
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+                    ) =>
+                {
+                    return Ok(Step::Idle);
+                }
+                Err(e) => return Err(WireError::Io(e.kind())),
+            }
+        }
+    }
+}
+
+fn serve_connection<R: KeyResolver>(
+    stream: &TcpStream,
+    mux: &ServiceMux<R>,
+    stop: &AtomicBool,
+    seed: u64,
+) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+    let mut reader = FrameReader::new();
+    let mut read_side = stream;
+    let mut write_side = stream;
+    loop {
+        if stop.load(Ordering::Acquire) {
+            let _ = stream.shutdown(Shutdown::Both);
+            return;
+        }
+        match reader.step(&mut read_side) {
+            Ok(Step::Idle) => continue,
+            Ok(Step::Frame(header, body)) => {
+                let reply = match Message::decode_body(header.msg_type, &body) {
+                    Ok(request) => mux.handle(request, &mut rng),
+                    // Framing is intact; answer the malformed body and
+                    // keep the connection.
+                    Err(e) => Message::Error {
+                        code: ErrorCode::Malformed,
+                        detail: e.to_string(),
+                    },
+                };
+                let frame = reply.to_frame(header.request_id);
+                if write_side
+                    .write_all(&frame)
+                    .and_then(|()| write_side.flush())
+                    .is_err()
+                {
+                    return;
+                }
+            }
+            Err(
+                e @ (WireError::BadMagic(_)
+                | WireError::UnsupportedVersion(_)
+                | WireError::FrameTooLarge { .. }
+                | WireError::BadCrc { .. }),
+            ) => {
+                // The stream can no longer be trusted to frame: report
+                // best-effort, then drop the connection.
+                let reply = Message::Error {
+                    code: ErrorCode::Malformed,
+                    detail: e.to_string(),
+                };
+                let _ = write_side.write_all(&reply.to_frame(0));
+                let _ = stream.shutdown(Shutdown::Both);
+                return;
+            }
+            // Disconnect or hard I/O failure.
+            Err(_) => return,
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Client robustness: every way a network call can go wrong maps to the
+//! right typed [`NetError`], within a bounded time budget (no test
+//! sleeps anywhere near 100 ms).
+
+use std::io::{Read, Write};
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use proxy_net::{ClientOptions, NetError, RetryPolicy, TcpClient, Transport};
+use proxy_wire::frame::read_frame;
+use proxy_wire::{ErrorCode, Message};
+use restricted_proxy::prelude::*;
+
+fn ping() -> Message {
+    Message::GroupQuery {
+        requester: PrincipalId::new("alice"),
+        groups: vec![],
+        validity: Validity::new(Timestamp(0), Timestamp(10)),
+    }
+}
+
+fn opts_no_retry(deadline_ms: u64) -> ClientOptions {
+    ClientOptions {
+        deadline: Duration::from_millis(deadline_ms),
+        retry: RetryPolicy::none(),
+        jitter_seed: 1,
+    }
+}
+
+#[test]
+fn deadline_exceeded_when_server_never_replies() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || {
+        let (mut stream, _) = listener.accept().unwrap();
+        // Swallow the request, never answer, hold the connection open
+        // until the client gives up and disconnects.
+        let mut buf = [0u8; 4096];
+        while matches!(stream.read(&mut buf), Ok(n) if n > 0) {}
+    });
+
+    let client = TcpClient::new(addr, opts_no_retry(50));
+    let start = Instant::now();
+    let err = client.call(&ping()).unwrap_err();
+    assert_eq!(err, NetError::DeadlineExceeded);
+    assert!(start.elapsed() < Duration::from_millis(500));
+    drop(client);
+    server.join().unwrap();
+}
+
+#[test]
+fn connection_refused_is_typed() {
+    // Bind and immediately drop: the port is (almost certainly) closed.
+    let addr = {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.local_addr().unwrap()
+    };
+    let client = TcpClient::new(addr, opts_no_retry(100));
+    assert_eq!(client.call(&ping()).unwrap_err(), NetError::Refused);
+}
+
+#[test]
+fn mid_frame_disconnect_is_typed() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || {
+        let (mut stream, _) = listener.accept().unwrap();
+        let (header, _body) = read_frame(&mut stream).unwrap();
+        // Start a valid reply frame, cut it off mid-body, close.
+        let reply = Message::Error {
+            code: ErrorCode::BadRequest,
+            detail: "half a reply".to_string(),
+        }
+        .to_frame(header.request_id);
+        stream.write_all(&reply[..reply.len() / 2]).unwrap();
+        // Dropping the stream closes the connection mid-frame.
+    });
+
+    let client = TcpClient::new(addr, opts_no_retry(100));
+    assert_eq!(client.call(&ping()).unwrap_err(), NetError::Disconnected);
+    server.join().unwrap();
+}
+
+#[test]
+fn reply_with_wrong_request_id_is_protocol_error() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || {
+        let (mut stream, _) = listener.accept().unwrap();
+        let (header, _body) = read_frame(&mut stream).unwrap();
+        let reply = Message::Error {
+            code: ErrorCode::BadRequest,
+            detail: String::new(),
+        }
+        .to_frame(header.request_id ^ 1);
+        stream.write_all(&reply).unwrap();
+    });
+
+    let client = TcpClient::new(addr, opts_no_retry(100));
+    assert_eq!(
+        client.call(&ping()).unwrap_err(),
+        NetError::Protocol("reply request id mismatch")
+    );
+    server.join().unwrap();
+}
+
+#[test]
+fn retry_gives_up_after_configured_budget() {
+    let addr = {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.local_addr().unwrap()
+    };
+    let client = TcpClient::new(
+        addr,
+        ClientOptions {
+            deadline: Duration::from_millis(100),
+            retry: RetryPolicy {
+                attempts: 4,
+                base_backoff: Duration::from_millis(2),
+                max_backoff: Duration::from_millis(10),
+            },
+            jitter_seed: 99,
+        },
+    );
+    let start = Instant::now();
+    match client.call(&ping()).unwrap_err() {
+        NetError::RetriesExhausted { attempts, last } => {
+            assert_eq!(attempts, 4);
+            assert_eq!(*last, NetError::Refused);
+        }
+        other => panic!("expected RetriesExhausted, got {other:?}"),
+    }
+    // 3 backoffs capped at 10 ms (+50% jitter) each: well under 100 ms.
+    assert!(start.elapsed() < Duration::from_millis(100));
+}
+
+#[test]
+fn retry_recovers_when_a_later_attempt_succeeds() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let accepted = Arc::new(AtomicU32::new(0));
+    let server_accepted = Arc::clone(&accepted);
+    let server = std::thread::spawn(move || {
+        // First connection: accept and slam the door mid-request.
+        let (stream, _) = listener.accept().unwrap();
+        server_accepted.fetch_add(1, Ordering::SeqCst);
+        drop(stream);
+        // Second connection: answer properly.
+        let (mut stream, _) = listener.accept().unwrap();
+        server_accepted.fetch_add(1, Ordering::SeqCst);
+        let (header, _body) = read_frame(&mut stream).unwrap();
+        let reply = Message::EndDecision {
+            principals: vec![],
+            groups: vec![],
+        }
+        .to_frame(header.request_id);
+        stream.write_all(&reply).unwrap();
+    });
+
+    let client = TcpClient::new(
+        addr,
+        ClientOptions {
+            deadline: Duration::from_millis(200),
+            retry: RetryPolicy {
+                attempts: 3,
+                base_backoff: Duration::from_millis(2),
+                max_backoff: Duration::from_millis(10),
+            },
+            jitter_seed: 7,
+        },
+    );
+    let reply = client.call(&ping()).unwrap();
+    assert!(matches!(reply, Message::EndDecision { .. }));
+    assert_eq!(accepted.load(Ordering::SeqCst), 2);
+    server.join().unwrap();
+}
+
+#[test]
+fn remote_denial_is_not_retried() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let dials = Arc::new(AtomicU32::new(0));
+    let server_dials = Arc::clone(&dials);
+    let server = std::thread::spawn(move || {
+        let (mut stream, _) = listener.accept().unwrap();
+        server_dials.fetch_add(1, Ordering::SeqCst);
+        let (header, _body) = read_frame(&mut stream).unwrap();
+        let reply = Message::Error {
+            code: ErrorCode::NotAuthorized,
+            detail: "denied".to_string(),
+        }
+        .to_frame(header.request_id);
+        stream.write_all(&reply).unwrap();
+    });
+
+    let client = TcpClient::new(
+        addr,
+        ClientOptions {
+            deadline: Duration::from_millis(200),
+            retry: RetryPolicy {
+                attempts: 5,
+                base_backoff: Duration::from_millis(2),
+                max_backoff: Duration::from_millis(10),
+            },
+            jitter_seed: 3,
+        },
+    );
+    let err = client.call(&ping()).unwrap_err();
+    assert_eq!(
+        err,
+        NetError::Remote {
+            code: ErrorCode::NotAuthorized,
+            detail: "denied".to_string()
+        }
+    );
+    // Exactly one connection: a served denial must not burn the budget.
+    assert_eq!(dials.load(Ordering::SeqCst), 1);
+    server.join().unwrap();
+}

@@ -24,6 +24,9 @@ pub enum DecodeError {
     /// A field decoded structurally but held a semantically invalid value
     /// (e.g. an empty principal name).
     InvalidValue(&'static str),
+    /// Nested values exceeded the decoder's depth bound (e.g. a
+    /// `limit`-restriction tree deep enough to threaten the stack).
+    TooDeep(usize),
 }
 
 impl fmt::Display for DecodeError {
@@ -35,6 +38,7 @@ impl fmt::Display for DecodeError {
             DecodeError::BadTag(t) => write!(f, "unrecognized tag byte {t:#04x}"),
             DecodeError::TrailingBytes(n) => write!(f, "{n} trailing bytes after value"),
             DecodeError::InvalidValue(what) => write!(f, "invalid value: {what}"),
+            DecodeError::TooDeep(max) => write!(f, "nesting deeper than {max} levels"),
         }
     }
 }
@@ -44,6 +48,12 @@ impl std::error::Error for DecodeError {}
 /// Maximum accepted collection length; prevents allocation bombs when
 /// decoding attacker-supplied bytes.
 const MAX_COLLECTION: u32 = 1 << 20;
+
+/// Default bound on recursive nesting accepted by a [`Decoder`]
+/// (see [`Decoder::descend`]). Legitimate encodings nest one or two
+/// levels; sixteen leaves headroom without letting hostile input recurse
+/// toward stack exhaustion.
+pub const MAX_DECODE_DEPTH: usize = 16;
 
 /// Append-only canonical encoder.
 #[derive(Debug, Default)]
@@ -112,13 +122,57 @@ impl Encoder {
 pub struct Decoder<'a> {
     input: &'a [u8],
     pos: usize,
+    depth: usize,
+    max_depth: usize,
 }
 
 impl<'a> Decoder<'a> {
     /// Creates a decoder over `input`.
     #[must_use]
     pub fn new(input: &'a [u8]) -> Self {
-        Self { input, pos: 0 }
+        Self {
+            input,
+            pos: 0,
+            depth: 0,
+            max_depth: MAX_DECODE_DEPTH,
+        }
+    }
+
+    /// Replaces the nesting bound enforced by [`Decoder::descend`].
+    #[must_use]
+    pub fn with_max_depth(mut self, max_depth: usize) -> Self {
+        self.max_depth = max_depth;
+        self
+    }
+
+    /// Bytes not yet consumed.
+    ///
+    /// Outer protocols (the wire framing) use this to cap what a nested
+    /// value may claim to contain before allocating for it.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.input.len() - self.pos
+    }
+
+    /// Enters one level of recursive decoding; pair with
+    /// [`Decoder::ascend`]. Recursive decoders (the `limit` restriction
+    /// holds a nested restriction list) call this so attacker-chosen
+    /// nesting is bounded in one place rather than per message.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::TooDeep`] when nesting exceeds the configured bound.
+    pub fn descend(&mut self) -> Result<(), DecodeError> {
+        if self.depth >= self.max_depth {
+            return Err(DecodeError::TooDeep(self.max_depth));
+        }
+        self.depth += 1;
+        Ok(())
+    }
+
+    /// Leaves one level of recursive decoding.
+    pub fn ascend(&mut self) {
+        self.depth = self.depth.saturating_sub(1);
     }
 
     /// Asserts the input is fully consumed.
@@ -229,6 +283,25 @@ impl<'a> Decoder<'a> {
         }
         Ok(n as usize)
     }
+
+    /// Reads a collection count prefix and additionally requires that
+    /// `count * min_item_bytes` fit in the remaining input, so a count
+    /// can never commit the caller to allocating more than the input
+    /// could possibly justify. Collection decoders should prefer this
+    /// over [`Decoder::count`] whenever each element occupies at least
+    /// `min_item_bytes` on the wire.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::BadLength`] when the count exceeds the sanity
+    /// bound or outruns the remaining input.
+    pub fn counted(&mut self, min_item_bytes: usize) -> Result<usize, DecodeError> {
+        let n = self.count()?;
+        if n.saturating_mul(min_item_bytes.max(1)) > self.remaining() {
+            return Err(DecodeError::BadLength(n as u64));
+        }
+        Ok(n)
+    }
 }
 
 #[cfg(test)]
@@ -289,6 +362,43 @@ mod tests {
         let buf = e.finish();
         let mut d = Decoder::new(&buf);
         assert_eq!(d.str(), Err(DecodeError::BadUtf8));
+    }
+
+    #[test]
+    fn counted_rejects_counts_exceeding_remaining_input() {
+        // Claims 1000 elements of >= 4 bytes each, but only 8 bytes follow.
+        let mut e = Encoder::new();
+        e.count(1000).u64(0);
+        let buf = e.finish();
+        let mut d = Decoder::new(&buf);
+        assert_eq!(d.counted(4), Err(DecodeError::BadLength(1000)));
+        // The same count is fine when the input could actually hold it.
+        let mut e = Encoder::new();
+        e.count(2).u64(0);
+        let buf = e.finish();
+        let mut d = Decoder::new(&buf);
+        assert_eq!(d.counted(4), Ok(2));
+    }
+
+    #[test]
+    fn depth_guard_stops_runaway_recursion() {
+        let mut d = Decoder::new(&[]).with_max_depth(2);
+        d.descend().unwrap();
+        d.descend().unwrap();
+        assert_eq!(d.descend(), Err(DecodeError::TooDeep(2)));
+        d.ascend();
+        assert!(d.descend().is_ok());
+    }
+
+    #[test]
+    fn remaining_tracks_cursor() {
+        let mut e = Encoder::new();
+        e.u32(7).u8(1);
+        let buf = e.finish();
+        let mut d = Decoder::new(&buf);
+        assert_eq!(d.remaining(), 5);
+        d.u32().unwrap();
+        assert_eq!(d.remaining(), 1);
     }
 
     #[test]

@@ -111,7 +111,7 @@ impl Presentation {
     /// Returns [`DecodeError`] on malformed input.
     pub fn decode(input: &[u8]) -> Result<Presentation, DecodeError> {
         let mut d = Decoder::new(input);
-        let n = d.count()?;
+        let n = d.counted(4)?;
         let mut certs = Vec::with_capacity(n);
         for _ in 0..n {
             certs.push(Certificate::decode(d.bytes()?)?);

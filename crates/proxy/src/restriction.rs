@@ -493,7 +493,7 @@ impl Restriction {
         Ok(match tag {
             1 => {
                 let required = d.u32()?;
-                let n = d.count()?;
+                let n = d.counted(4)?;
                 let mut delegates = Vec::with_capacity(n);
                 for _ in 0..n {
                     delegates.push(d.principal()?);
@@ -505,7 +505,7 @@ impl Restriction {
             }
             2 => {
                 let required = d.u32()?;
-                let n = d.count()?;
+                let n = d.counted(8)?;
                 let mut groups = Vec::with_capacity(n);
                 for _ in 0..n {
                     let server = d.principal()?;
@@ -515,7 +515,7 @@ impl Restriction {
                 Restriction::ForUseByGroup { groups, required }
             }
             3 => {
-                let n = d.count()?;
+                let n = d.counted(4)?;
                 let mut servers = Vec::with_capacity(n);
                 for _ in 0..n {
                     servers.push(d.principal()?);
@@ -528,14 +528,14 @@ impl Restriction {
                 limit: d.u64()?,
             },
             5 => {
-                let n = d.count()?;
+                let n = d.counted(5)?;
                 let mut entries = Vec::with_capacity(n);
                 for _ in 0..n {
                     let object = ObjectName::new(d.str()?);
                     let operations = match d.u8()? {
                         0 => None,
                         1 => {
-                            let m = d.count()?;
+                            let m = d.counted(4)?;
                             let mut ops = Vec::with_capacity(m);
                             for _ in 0..m {
                                 ops.push(Operation::new(d.str()?));
@@ -549,7 +549,7 @@ impl Restriction {
                 Restriction::Authorized { entries }
             }
             6 => {
-                let n = d.count()?;
+                let n = d.counted(8)?;
                 let mut groups = Vec::with_capacity(n);
                 for _ in 0..n {
                     let server = d.principal()?;
@@ -560,16 +560,21 @@ impl Restriction {
             }
             7 => Restriction::AcceptOnce { id: d.u64()? },
             8 => {
-                let n = d.count()?;
+                let n = d.counted(4)?;
                 let mut servers = Vec::with_capacity(n);
                 for _ in 0..n {
                     servers.push(d.principal()?);
                 }
-                let m = d.count()?;
+                // The nested restriction list recurses; the decoder's
+                // depth guard bounds how far hostile input can push the
+                // stack.
+                d.descend()?;
+                let m = d.counted(1)?;
                 let mut restrictions = Vec::with_capacity(m);
                 for _ in 0..m {
                     restrictions.push(Restriction::decode_from(d)?);
                 }
+                d.ascend();
                 Restriction::LimitRestriction {
                     servers,
                     restrictions,
@@ -727,7 +732,7 @@ impl RestrictionSet {
     ///
     /// Propagates [`DecodeError`] from the codec.
     pub fn decode_from(d: &mut Decoder<'_>) -> Result<RestrictionSet, DecodeError> {
-        let n = d.count()?;
+        let n = d.counted(1)?;
         let mut out = Vec::with_capacity(n);
         for _ in 0..n {
             out.push(Restriction::decode_from(d)?);
@@ -1046,6 +1051,43 @@ mod tests {
         assert_eq!(
             RestrictionSet::decode_from(&mut d),
             Err(DecodeError::BadTag(99))
+        );
+    }
+
+    #[test]
+    fn deeply_nested_limit_restriction_rejected_not_overflowed() {
+        // 64 levels of limit-restriction nesting — well past the decoder's
+        // depth bound; the encoder will happily produce it, the decoder
+        // must refuse it instead of recursing toward stack exhaustion.
+        let mut r = Restriction::AcceptOnce { id: 1 };
+        for _ in 0..64 {
+            r = Restriction::LimitRestriction {
+                servers: vec![p("s")],
+                restrictions: vec![r],
+            };
+        }
+        let set = RestrictionSet::from_vec(vec![r]);
+        let mut e = Encoder::new();
+        set.encode_into(&mut e);
+        let buf = e.finish();
+        let mut d = Decoder::new(&buf);
+        assert_eq!(
+            RestrictionSet::decode_from(&mut d),
+            Err(DecodeError::TooDeep(crate::encode::MAX_DECODE_DEPTH))
+        );
+    }
+
+    #[test]
+    fn restriction_count_bounded_by_input_size() {
+        // A count prefix claiming 2^20 restrictions with 4 bytes behind it
+        // must fail before any allocation proportional to the count.
+        let mut e = Encoder::new();
+        e.count(1 << 20).u32(0);
+        let buf = e.finish();
+        let mut d = Decoder::new(&buf);
+        assert_eq!(
+            RestrictionSet::decode_from(&mut d),
+            Err(DecodeError::BadLength(1 << 20))
         );
     }
 

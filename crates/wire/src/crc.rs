@@ -1,0 +1,107 @@
+//! CRC-32 (IEEE 802.3 polynomial), table-driven, implemented locally.
+//!
+//! The frame trailer carries a CRC so a receiver can cheaply reject
+//! frames corrupted in transit (or mutated by an adversary) before any
+//! expensive body decoding or signature verification. It is an integrity
+//! *hint*, not an authenticator — real tamper resistance comes from the
+//! seals on the certificates inside.
+
+/// Reflected polynomial for CRC-32/ISO-HDLC (the zlib/Ethernet CRC).
+const POLY: u32 = 0xEDB8_8320;
+
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// Incremental CRC-32 state.
+#[derive(Debug, Clone)]
+pub struct Crc32(u32);
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    /// Fresh state.
+    #[must_use]
+    pub fn new() -> Self {
+        Self(0xFFFF_FFFF)
+    }
+
+    /// Folds `data` into the state.
+    pub fn update(&mut self, data: &[u8]) {
+        let mut crc = self.0;
+        for &b in data {
+            crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+        }
+        self.0 = crc;
+    }
+
+    /// Final checksum value.
+    #[must_use]
+    pub fn finalize(&self) -> u32 {
+        self.0 ^ 0xFFFF_FFFF
+    }
+}
+
+/// One-shot CRC-32 of `data`.
+#[must_use]
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(data);
+    c.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard CRC-32/ISO-HDLC check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn incremental_matches_one_shot() {
+        let data = b"split across several updates";
+        let mut c = Crc32::new();
+        c.update(&data[..7]);
+        c.update(&data[7..20]);
+        c.update(&data[20..]);
+        assert_eq!(c.finalize(), crc32(data));
+    }
+
+    #[test]
+    fn detects_single_bit_flip() {
+        let mut data = b"some frame bytes".to_vec();
+        let clean = crc32(&data);
+        data[5] ^= 0x10;
+        assert_ne!(crc32(&data), clean);
+    }
+}

@@ -1,0 +1,90 @@
+//! Typed wire-format errors.
+
+use std::fmt;
+use std::io;
+
+use restricted_proxy::encode::DecodeError;
+
+/// Everything that can go wrong turning bytes into protocol messages.
+///
+/// Every variant is a *typed rejection*: hostile input maps onto one of
+/// these, never onto a panic or an unbounded allocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The frame did not start with the protocol magic.
+    BadMagic([u8; 4]),
+    /// The frame declared a protocol version this implementation does not
+    /// speak.
+    UnsupportedVersion(u8),
+    /// The frame's message-type byte is not assigned.
+    UnknownMessageType(u8),
+    /// The frame declared a body larger than [`crate::MAX_FRAME_BODY`].
+    /// Raised from the fixed-size header alone, before any body bytes
+    /// are read or buffered.
+    FrameTooLarge {
+        /// Declared body length.
+        len: u32,
+        /// The limit it exceeded.
+        max: u32,
+    },
+    /// The CRC trailer did not match the received header + body.
+    BadCrc {
+        /// Checksum carried by the frame.
+        expected: u32,
+        /// Checksum computed over what arrived.
+        actual: u32,
+    },
+    /// The body failed canonical decoding.
+    Decode(DecodeError),
+    /// A collection in the body exceeded a wire-level limit (chain depth,
+    /// restriction count, …) even though it decoded structurally.
+    TooManyItems {
+        /// What overflowed.
+        what: &'static str,
+        /// How many the body declared.
+        count: usize,
+        /// The limit it exceeded.
+        max: usize,
+    },
+    /// An I/O error while reading or writing a frame (by [`io::ErrorKind`]
+    /// so the error stays comparable in tests).
+    Io(io::ErrorKind),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::BadMagic(m) => write!(f, "bad frame magic {m:02x?}"),
+            WireError::UnsupportedVersion(v) => write!(f, "unsupported protocol version {v}"),
+            WireError::UnknownMessageType(t) => write!(f, "unknown message type {t:#04x}"),
+            WireError::FrameTooLarge { len, max } => {
+                write!(f, "declared body of {len} bytes exceeds limit {max}")
+            }
+            WireError::BadCrc { expected, actual } => {
+                write!(
+                    f,
+                    "crc mismatch: frame says {expected:#010x}, computed {actual:#010x}"
+                )
+            }
+            WireError::Decode(e) => write!(f, "body decode failed: {e}"),
+            WireError::TooManyItems { what, count, max } => {
+                write!(f, "{count} {what} exceeds limit {max}")
+            }
+            WireError::Io(kind) => write!(f, "i/o error: {kind:?}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<DecodeError> for WireError {
+    fn from(e: DecodeError) -> Self {
+        WireError::Decode(e)
+    }
+}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        WireError::Io(e.kind())
+    }
+}

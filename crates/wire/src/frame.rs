@@ -1,0 +1,252 @@
+//! Length-prefixed frames: the outermost layer of the protocol.
+//!
+//! Layout (all integers little-endian; see DESIGN.md §10 for the field
+//! table):
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic        b"PXAA"
+//!      4     1  version      PROTOCOL_VERSION
+//!      5     1  msg_type     message discriminant (message module)
+//!      6     8  request_id   echoed verbatim in the reply
+//!     14     4  body_len     length of the body that follows
+//!     18     n  body         canonical message encoding
+//!   18+n     4  crc32        CRC-32 over bytes [0, 18+n)
+//! ```
+//!
+//! The 18-byte header is parsed and validated — magic, version,
+//! `body_len ≤ MAX_FRAME_BODY` — *before* any body byte is read or
+//! buffered, so an attacker declaring a 4 GiB body costs the receiver
+//! eighteen bytes of work, not an allocation.
+
+use std::io::{Read, Write};
+
+use crate::crc::{crc32, Crc32};
+use crate::error::WireError;
+use crate::{MAGIC, MAX_FRAME_BODY, PROTOCOL_VERSION};
+
+/// Bytes in the fixed frame header.
+pub const HEADER_LEN: usize = 18;
+/// Bytes in the CRC trailer.
+pub const TRAILER_LEN: usize = 4;
+
+/// A parsed, validated frame header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// Protocol version (currently always [`PROTOCOL_VERSION`]).
+    pub version: u8,
+    /// Message-type discriminant.
+    pub msg_type: u8,
+    /// Correlation id; a reply echoes its request's id.
+    pub request_id: u64,
+    /// Length of the body following the header.
+    pub body_len: u32,
+}
+
+/// Parses and validates the fixed-size header.
+///
+/// # Errors
+///
+/// [`WireError::BadMagic`], [`WireError::UnsupportedVersion`], or
+/// [`WireError::FrameTooLarge`] — all decided from these 18 bytes alone.
+pub fn parse_header(bytes: &[u8; HEADER_LEN]) -> Result<FrameHeader, WireError> {
+    let magic: [u8; 4] = bytes[0..4].try_into().expect("slice of 4");
+    if magic != MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    let version = bytes[4];
+    if version != PROTOCOL_VERSION {
+        return Err(WireError::UnsupportedVersion(version));
+    }
+    let msg_type = bytes[5];
+    let request_id = u64::from_le_bytes(bytes[6..14].try_into().expect("slice of 8"));
+    let body_len = u32::from_le_bytes(bytes[14..18].try_into().expect("slice of 4"));
+    if body_len > MAX_FRAME_BODY {
+        return Err(WireError::FrameTooLarge {
+            len: body_len,
+            max: MAX_FRAME_BODY,
+        });
+    }
+    Ok(FrameHeader {
+        version,
+        msg_type,
+        request_id,
+        body_len,
+    })
+}
+
+/// Encodes a complete frame (header + body + CRC trailer).
+///
+/// # Panics
+///
+/// Panics if `body` exceeds [`MAX_FRAME_BODY`] — encoding oversized
+/// frames is a caller bug, only *decoding* them is an expected hostile
+/// input.
+#[must_use]
+pub fn encode_frame(msg_type: u8, request_id: u64, body: &[u8]) -> Vec<u8> {
+    let body_len = u32::try_from(body.len()).expect("frame body over 4 GiB");
+    assert!(
+        body_len <= MAX_FRAME_BODY,
+        "frame body of {body_len} bytes exceeds MAX_FRAME_BODY"
+    );
+    let mut out = Vec::with_capacity(HEADER_LEN + body.len() + TRAILER_LEN);
+    out.extend_from_slice(&MAGIC);
+    out.push(PROTOCOL_VERSION);
+    out.push(msg_type);
+    out.extend_from_slice(&request_id.to_le_bytes());
+    out.extend_from_slice(&body_len.to_le_bytes());
+    out.extend_from_slice(body);
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Decodes one frame from a complete in-memory buffer, checking the CRC
+/// and that no bytes trail the frame.
+///
+/// # Errors
+///
+/// Header errors as in [`parse_header`]; [`WireError::Io`] with
+/// [`std::io::ErrorKind::UnexpectedEof`] on truncation;
+/// [`WireError::BadCrc`] on checksum mismatch; `TrailingBytes` (as a
+/// [`WireError::Decode`]) when the buffer continues past the frame.
+pub fn decode_frame(bytes: &[u8]) -> Result<(FrameHeader, &[u8]), WireError> {
+    use restricted_proxy::encode::DecodeError;
+    if bytes.len() < HEADER_LEN {
+        return Err(WireError::Io(std::io::ErrorKind::UnexpectedEof));
+    }
+    let header: [u8; HEADER_LEN] = bytes[..HEADER_LEN].try_into().expect("len checked");
+    let header = parse_header(&header)?;
+    let total = HEADER_LEN + header.body_len as usize + TRAILER_LEN;
+    if bytes.len() < total {
+        return Err(WireError::Io(std::io::ErrorKind::UnexpectedEof));
+    }
+    if bytes.len() > total {
+        return Err(WireError::Decode(DecodeError::TrailingBytes(
+            bytes.len() - total,
+        )));
+    }
+    let body = &bytes[HEADER_LEN..HEADER_LEN + header.body_len as usize];
+    let expected = u32::from_le_bytes(bytes[total - TRAILER_LEN..total].try_into().expect("4"));
+    let actual = crc32(&bytes[..total - TRAILER_LEN]);
+    if expected != actual {
+        return Err(WireError::BadCrc { expected, actual });
+    }
+    Ok((header, body))
+}
+
+/// Writes a complete frame to `w`.
+///
+/// # Errors
+///
+/// Propagates I/O errors (as [`WireError::Io`]).
+pub fn write_frame(
+    w: &mut impl Write,
+    msg_type: u8,
+    request_id: u64,
+    body: &[u8],
+) -> Result<(), WireError> {
+    let frame = encode_frame(msg_type, request_id, body);
+    w.write_all(&frame)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame from `r`, validating the header before the body is
+/// read and the CRC after.
+///
+/// # Errors
+///
+/// Header errors as in [`parse_header`]; [`WireError::BadCrc`];
+/// [`WireError::Io`] for transport failures (including `UnexpectedEof`
+/// on a connection closed mid-frame).
+pub fn read_frame(r: &mut impl Read) -> Result<(FrameHeader, Vec<u8>), WireError> {
+    let mut header_bytes = [0u8; HEADER_LEN];
+    r.read_exact(&mut header_bytes)?;
+    let header = parse_header(&header_bytes)?;
+    let mut body = vec![0u8; header.body_len as usize];
+    r.read_exact(&mut body)?;
+    let mut trailer = [0u8; TRAILER_LEN];
+    r.read_exact(&mut trailer)?;
+    let expected = u32::from_le_bytes(trailer);
+    let mut crc = Crc32::new();
+    crc.update(&header_bytes);
+    crc.update(&body);
+    let actual = crc.finalize();
+    if expected != actual {
+        return Err(WireError::BadCrc { expected, actual });
+    }
+    Ok((header, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trip() {
+        let frame = encode_frame(0x42, 7, b"hello");
+        let (header, body) = decode_frame(&frame).unwrap();
+        assert_eq!(header.msg_type, 0x42);
+        assert_eq!(header.request_id, 7);
+        assert_eq!(body, b"hello");
+
+        let mut cursor = std::io::Cursor::new(frame);
+        let (header, body) = read_frame(&mut cursor).unwrap();
+        assert_eq!(header.request_id, 7);
+        assert_eq!(body, b"hello");
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut frame = encode_frame(1, 1, b"x");
+        frame[0] = b'Z';
+        assert!(matches!(decode_frame(&frame), Err(WireError::BadMagic(_))));
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let mut frame = encode_frame(1, 1, b"x");
+        frame[4] = 99;
+        assert_eq!(
+            decode_frame(&frame).unwrap_err(),
+            WireError::UnsupportedVersion(99)
+        );
+    }
+
+    #[test]
+    fn oversized_declared_body_rejected_from_header_alone() {
+        let mut frame = encode_frame(1, 1, b"x");
+        frame[14..18].copy_from_slice(&u32::MAX.to_le_bytes());
+        // decode_frame never gets past the 18-byte header.
+        assert_eq!(
+            decode_frame(&frame).unwrap_err(),
+            WireError::FrameTooLarge {
+                len: u32::MAX,
+                max: MAX_FRAME_BODY
+            }
+        );
+    }
+
+    #[test]
+    fn flipped_bit_fails_crc() {
+        let mut frame = encode_frame(1, 1, b"payload");
+        let idx = HEADER_LEN + 2;
+        frame[idx] ^= 0x01;
+        assert!(matches!(
+            decode_frame(&frame),
+            Err(WireError::BadCrc { .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_is_io_error() {
+        let frame = encode_frame(1, 1, b"payload");
+        for cut in [0, 5, HEADER_LEN, frame.len() - 1] {
+            assert!(matches!(
+                decode_frame(&frame[..cut]),
+                Err(WireError::Io(std::io::ErrorKind::UnexpectedEof))
+            ));
+        }
+    }
+}

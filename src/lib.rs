@@ -12,6 +12,11 @@
 //! * [`authz`] — ACLs, authorization server, group server, capabilities.
 //! * [`accounting`] — accounts, checks, endorsements, clearing.
 //! * [`baselines`] — comparators from the paper's related-work section.
+//! * [`runtime`] — thread pool and closed-loop measurement harness.
+//! * [`wire`] — versioned, CRC-framed binary wire format for every
+//!   protocol message, hardened against hostile input.
+//! * [`net`] — the TCP/loopback service layer: `Transport`, the
+//!   request mux, server, and retrying pooled client.
 //!
 //! See `README.md` for a tour and `examples/` for runnable scenarios.
 //!
@@ -40,4 +45,7 @@ pub use proxy_accounting as accounting;
 pub use proxy_authz as authz;
 pub use proxy_baselines as baselines;
 pub use proxy_crypto as crypto;
+pub use proxy_net as net;
+pub use proxy_runtime as runtime;
+pub use proxy_wire as wire;
 pub use restricted_proxy as proxy;

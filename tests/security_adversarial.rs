@@ -422,3 +422,143 @@ fn seal_cache_never_bypasses_possession_proof() {
         "the seal was served from cache, and possession still failed"
     );
 }
+
+/// The §2 hostile-network posture, over real sockets: ten thousand
+/// corrupted, truncated, oversized, and garbage frames thrown at a live
+/// TCP server must never panic it, never blow up its memory (oversized
+/// declared bodies are rejected from the 18-byte header alone), and
+/// never stop it answering legitimate requests interleaved throughout.
+#[test]
+fn frame_mutation_adversary_cannot_kill_the_tcp_server() {
+    use proxy_aa::authz::{Acl, AclRights, AclSubject, AuthorizationServer};
+    use proxy_aa::net::{api, ClientOptions, ServiceMux, TcpClient, TcpServer};
+    use proxy_aa::wire::{Message, MAX_FRAME_BODY};
+    use rand::RngCore;
+    use std::io::Write;
+    use std::net::TcpStream;
+    use std::sync::Arc;
+
+    // The Fig. 3 world the legitimate probe client keeps querying.
+    let mut setup = StdRng::seed_from_u64(77);
+    let r_key = SymmetricKey::generate(&mut setup);
+    let mut authz =
+        AuthorizationServer::new(p("R"), GrantAuthority::SharedKey(r_key), MapResolver::new());
+    authz.database_mut(p("S")).set(
+        ObjectName::new("X"),
+        Acl::new().with(
+            AclSubject::Principal(p("C")),
+            AclRights::ops(vec![Operation::new("read")]),
+        ),
+    );
+    let mux = Arc::new(ServiceMux::new().with_authz(Arc::new(authz)));
+    let server = TcpServer::spawn(mux, 4, 77).expect("spawn server");
+
+    let probe = TcpClient::new(server.addr(), ClientOptions::default());
+    let assert_serving = |probe: &TcpClient| {
+        api::request_authorization(
+            probe,
+            &p("C"),
+            vec![],
+            &p("S"),
+            &Operation::new("read"),
+            &ObjectName::new("X"),
+            window(),
+            Timestamp(1),
+        )
+        .expect("server must keep serving legitimate requests");
+    };
+    assert_serving(&probe);
+
+    // A well-formed frame to mutate.
+    let valid = Message::AuthzQuery {
+        client: p("C"),
+        presentations: vec![],
+        end_server: p("S"),
+        operation: Operation::new("read"),
+        object: ObjectName::new("X"),
+        validity: window(),
+        now: Timestamp(1),
+    }
+    .to_frame(1);
+
+    const TARGET: u32 = 10_000;
+    let mut rng = StdRng::seed_from_u64(0x0BAD_F00D);
+    let mut conn: Option<TcpStream> = None;
+    let mut frames_on_conn = 0u32;
+    let mut delivered = 0u32;
+    let mut attempts = 0u32;
+    let mut classes = [0u32; 4];
+    while delivered < TARGET {
+        attempts += 1;
+        assert!(
+            attempts < 20 * TARGET,
+            "server stopped accepting adversarial connections"
+        );
+        if conn.is_none() || frames_on_conn >= 64 {
+            conn = TcpStream::connect(server.addr()).ok();
+            frames_on_conn = 0;
+        }
+        let Some(stream) = conn.as_mut() else {
+            continue;
+        };
+        let class = rng.next_u32() % 4;
+        let bytes: Vec<u8> = match class {
+            // Random bit flips: the CRC (or a stricter check before it)
+            // must reject every one.
+            0 => {
+                let mut b = valid.clone();
+                for _ in 0..=(rng.next_u32() % 8) {
+                    let i = rng.next_u32() as usize % b.len();
+                    b[i] ^= 1 << (rng.next_u32() % 8);
+                }
+                b
+            }
+            // Truncation at an arbitrary boundary: the server just keeps
+            // waiting for the rest (and misparses whatever comes next).
+            1 => {
+                let cut = rng.next_u32() as usize % valid.len();
+                valid[..cut].to_vec()
+            }
+            // Oversized declared body: must be rejected from the header
+            // alone — the claimed megabytes are never allocated or read.
+            2 => {
+                let mut b = valid.clone();
+                let huge = MAX_FRAME_BODY + 1 + (rng.next_u32() % 1_000_000);
+                b[14..18].copy_from_slice(&huge.to_le_bytes());
+                b
+            }
+            // Raw garbage of arbitrary length: bad magic, closed stream.
+            _ => {
+                let len = 1 + rng.next_u32() as usize % 256;
+                let mut b = vec![0u8; len];
+                rng.fill_bytes(&mut b);
+                b
+            }
+        };
+        match stream.write_all(&bytes) {
+            Ok(()) => {
+                delivered += 1;
+                classes[class as usize] += 1;
+                frames_on_conn += 1;
+                // Frame-level rejections close the connection server-side;
+                // dial fresh so the next mutation actually arrives.
+                if class != 1 {
+                    conn = None;
+                }
+                // Interleave legitimate traffic: the server must answer
+                // correctly *while* under mutation load.
+                if delivered.is_multiple_of(1_000) {
+                    assert_serving(&probe);
+                }
+            }
+            Err(_) => conn = None,
+        }
+    }
+    assert_eq!(delivered, TARGET);
+    assert!(
+        classes.iter().all(|&c| c > 0),
+        "every mutation class exercised: {classes:?}"
+    );
+    // And after the storm: still serving, same answers.
+    assert_serving(&probe);
+}
