@@ -103,7 +103,11 @@ impl Check {
     ///
     /// [`AcctError::MalformedCheck`] naming the missing restriction.
     pub fn info(&self) -> Result<CheckInfo, AcctError> {
-        let head = &self.proxy.certs[0];
+        let head = self
+            .proxy
+            .certs
+            .first()
+            .ok_or(AcctError::MalformedCheck("empty certificate chain"))?;
         let mut payee = None;
         let mut check_no = None;
         let mut money = None;
@@ -122,7 +126,13 @@ impl Check {
                         .first()
                         .and_then(|e| e.object.as_str().strip_prefix("acct:").map(str::to_string));
                 }
-                _ => {}
+                // Not check fields: these restrict *use* of the check and
+                // are enforced by chain verification, not parsed here.
+                // Enumerated (not `_`) so a new Restriction variant forces
+                // an explicit decision at this site (§7.9).
+                Restriction::ForUseByGroup { .. }
+                | Restriction::GroupMembership { .. }
+                | Restriction::LimitRestriction { .. } => {}
             }
         }
         let (currency, amount) = money.ok_or(AcctError::MalformedCheck("quota"))?;
@@ -245,6 +255,24 @@ mod tests {
                 payor_account: "carol-checking".into(),
             }
         );
+    }
+
+    #[test]
+    fn empty_chain_check_is_malformed_not_panic() {
+        use restricted_proxy::key::ProxyKey;
+        // Regression: `info()` indexed `certs[0]` and panicked on a
+        // hand-built check with no certificates; it must fail closed.
+        let mut rng = StdRng::seed_from_u64(3);
+        let check = Check {
+            proxy: Proxy {
+                certs: vec![],
+                key: ProxyKey::Symmetric(SymmetricKey::generate(&mut rng)),
+            },
+        };
+        assert!(matches!(
+            check.info(),
+            Err(AcctError::MalformedCheck("empty certificate chain"))
+        ));
     }
 
     #[test]

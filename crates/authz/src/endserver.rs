@@ -231,7 +231,16 @@ fn asserted_groups(
                 // Only the grantor's own groups are assertable (§7.6).
                 Some(groups.iter().filter(|g| g.server == *grantor).cloned())
             }
-            _ => None,
+            // No other restriction asserts membership. Enumerated (not
+            // `_`) so a new Restriction variant forces an explicit
+            // decision here (§7.9).
+            Restriction::Grantee { .. }
+            | Restriction::ForUseByGroup { .. }
+            | Restriction::IssuedFor { .. }
+            | Restriction::Quota { .. }
+            | Restriction::Authorized { .. }
+            | Restriction::AcceptOnce { .. }
+            | Restriction::LimitRestriction { .. } => None,
         })
         .flatten()
         .collect()

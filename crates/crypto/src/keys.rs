@@ -40,9 +40,25 @@ impl std::error::Error for KeyError {}
 
 /// A 256-bit symmetric key (session key, proxy key, or long-term key).
 ///
-/// The `Debug` impl redacts the key bytes.
-#[derive(Clone, PartialEq, Eq, Hash)]
+/// The `Debug` impl redacts the key bytes, and equality is constant-time
+/// (see the manual [`PartialEq`] below) so comparing an attacker-supplied
+/// key against a real one cannot leak matching-prefix length.
+#[derive(Clone, Eq)]
 pub struct SymmetricKey([u8; 32]);
+
+impl PartialEq for SymmetricKey {
+    fn eq(&self, other: &Self) -> bool {
+        crate::ct::ct_eq(&self.0, &other.0)
+    }
+}
+
+// Hash must stay consistent with the manual PartialEq above; ct_eq is plain
+// byte equality with constant-time evaluation, so hashing the bytes agrees.
+impl std::hash::Hash for SymmetricKey {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.0.hash(state);
+    }
+}
 
 impl SymmetricKey {
     /// Wraps raw key bytes.
@@ -131,6 +147,20 @@ mod tests {
         let s = format!("{key:?}");
         assert!(s.contains("redacted"));
         assert!(!s.contains('7'));
+    }
+
+    #[test]
+    fn key_equality_is_constant_time_byte_equality() {
+        let a = SymmetricKey::from_bytes([7u8; 32]);
+        let b = SymmetricKey::from_bytes([7u8; 32]);
+        assert_eq!(a, b);
+        // A single differing byte — anywhere, including the last —
+        // must compare unequal through the ct_eq-backed impl.
+        for i in [0usize, 15, 31] {
+            let mut bytes = [7u8; 32];
+            bytes[i] ^= 0x01;
+            assert_ne!(a, SymmetricKey::from_bytes(bytes));
+        }
     }
 
     #[test]

@@ -1,0 +1,383 @@
+//! A hand-rolled Rust lexer: just enough fidelity for invariant scanning.
+//!
+//! The analyzer needs to see identifiers, punctuation, and structure
+//! (braces, `match` arms, attributes) while being immune to the classic
+//! traps of text-level grepping: `unwrap` inside a comment, `panic!`
+//! inside a string literal, a lifetime tick opening a bogus char
+//! literal. Comments and doc comments are dropped entirely; string,
+//! char, and numeric literals are kept as single opaque tokens with
+//! their line numbers.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Identifier or keyword (`unwrap`, `match`, `u32`, …).
+    Ident,
+    /// A lifetime (`'a`, `'static`), tick included in the text.
+    Lifetime,
+    /// String, byte-string, or raw-string literal (content dropped).
+    Str,
+    /// Character or byte literal.
+    Char,
+    /// Numeric literal.
+    Num,
+    /// Punctuation; multi-character operators the analyses care about
+    /// (`==`, `!=`, `=>`, `::`, `->`, `..`, `<=`, `>=`) are one token.
+    Punct,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token kind.
+    pub kind: Kind,
+    /// The token text (empty for string literals).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// True when the token is an identifier equal to `s`.
+    #[must_use]
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == Kind::Ident && self.text == s
+    }
+
+    /// True when the token is punctuation equal to `s`.
+    #[must_use]
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == Kind::Punct && self.text == s
+    }
+}
+
+/// Rust keywords that can never be the base of an index expression.
+/// `bytes[0]` is indexing; `let [a, b] = ..` and `for x in [1, 2]` are not.
+const KEYWORDS: &[&str] = &[
+    "as", "async", "await", "box", "break", "const", "continue", "crate", "dyn", "else", "enum",
+    "extern", "false", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move",
+    "mut", "pub", "ref", "return", "self", "Self", "static", "struct", "super", "trait", "true",
+    "type", "unsafe", "use", "where", "while",
+];
+
+/// True when `s` is a Rust keyword.
+#[must_use]
+pub fn is_keyword(s: &str) -> bool {
+    KEYWORDS.contains(&s)
+}
+
+/// Lexes `source` into tokens, dropping comments and string contents.
+///
+/// The lexer is total: any byte sequence produces a token stream (unknown
+/// characters become single-character punctuation), so a syntactically
+/// broken file degrades to weaker analysis instead of a crash.
+#[must_use]
+pub fn lex(source: &str) -> Vec<Token> {
+    let bytes = source.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    macro_rules! push {
+        ($kind:expr, $text:expr) => {
+            tokens.push(Token {
+                kind: $kind,
+                text: $text,
+                line,
+            })
+        };
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                // Line comment (incl. doc comments): skip to end of line.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                // Block comment, nesting honored.
+                let mut depth = 1usize;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'r' | b'b' if starts_raw_or_byte_string(bytes, i) => {
+                i = skip_string_like(bytes, i, &mut line);
+                push!(Kind::Str, String::new());
+            }
+            b'"' => {
+                i = skip_plain_string(bytes, i, &mut line);
+                push!(Kind::Str, String::new());
+            }
+            b'\'' => {
+                // Char literal vs lifetime. `'\x'`-style escapes and
+                // `'x'` are chars; `'ident` with no closing tick is a
+                // lifetime.
+                if bytes.get(i + 1) == Some(&b'\\') {
+                    i = skip_char_literal(bytes, i);
+                    push!(Kind::Char, String::new());
+                } else if bytes.get(i + 2) == Some(&b'\'') {
+                    i += 3;
+                    push!(Kind::Char, String::new());
+                } else {
+                    let start = i;
+                    i += 1;
+                    while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                    {
+                        i += 1;
+                    }
+                    push!(
+                        Kind::Lifetime,
+                        String::from_utf8_lossy(&bytes[start..i]).into_owned()
+                    );
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                i += 1;
+                while i < bytes.len() {
+                    let b = bytes[i];
+                    if b.is_ascii_alphanumeric() || b == b'_' {
+                        i += 1;
+                    } else if b == b'.'
+                        && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)
+                        && !source[start..i].contains('.')
+                    {
+                        // One decimal point, only when a digit follows —
+                        // keeps `0..n` range syntax out of the literal.
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                push!(
+                    Kind::Num,
+                    String::from_utf8_lossy(&bytes[start..i]).into_owned()
+                );
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                push!(
+                    Kind::Ident,
+                    String::from_utf8_lossy(&bytes[start..i]).into_owned()
+                );
+            }
+            _ => {
+                let two = |a: u8, b: u8| c == a && bytes.get(i + 1) == Some(&b);
+                let text = if two(b'=', b'=') {
+                    "=="
+                } else if two(b'!', b'=') {
+                    "!="
+                } else if two(b'=', b'>') {
+                    "=>"
+                } else if two(b':', b':') {
+                    "::"
+                } else if two(b'-', b'>') {
+                    "->"
+                } else if two(b'.', b'.') {
+                    ".."
+                } else if two(b'<', b'=') {
+                    "<="
+                } else if two(b'>', b'=') {
+                    ">="
+                } else {
+                    ""
+                };
+                if text.is_empty() {
+                    push!(Kind::Punct, (c as char).to_string());
+                    i += 1;
+                } else {
+                    push!(Kind::Punct, text.to_string());
+                    i += text.len();
+                }
+            }
+        }
+    }
+    tokens
+}
+
+/// Does `r"`, `r#"`, `br"`, `br#"`, or `b"` start at `i`?
+fn starts_raw_or_byte_string(bytes: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    if bytes.get(j) == Some(&b'r') {
+        j += 1;
+        while bytes.get(j) == Some(&b'#') {
+            j += 1;
+        }
+    }
+    bytes.get(j) == Some(&b'"') && j > i
+}
+
+/// Skips a raw/byte string starting at `i`; returns the index after it.
+fn skip_string_like(bytes: &[u8], mut i: usize, line: &mut u32) -> usize {
+    let mut raw = false;
+    if bytes[i] == b'b' {
+        i += 1;
+    }
+    let mut hashes = 0usize;
+    if bytes.get(i) == Some(&b'r') {
+        raw = true;
+        i += 1;
+        while bytes.get(i) == Some(&b'#') {
+            hashes += 1;
+            i += 1;
+        }
+    }
+    debug_assert_eq!(bytes.get(i), Some(&b'"'));
+    if raw {
+        i += 1;
+        loop {
+            match bytes.get(i) {
+                None => return i,
+                Some(b'\n') => {
+                    *line += 1;
+                    i += 1;
+                }
+                Some(b'"') => {
+                    let mut j = i + 1;
+                    let mut seen = 0usize;
+                    while seen < hashes && bytes.get(j) == Some(&b'#') {
+                        seen += 1;
+                        j += 1;
+                    }
+                    if seen == hashes {
+                        return j;
+                    }
+                    i += 1;
+                }
+                Some(_) => i += 1,
+            }
+        }
+    } else {
+        skip_plain_string(bytes, i, line)
+    }
+}
+
+/// Skips a `"…"` string with escapes starting at `i` (which must point at
+/// the opening quote); returns the index after the closing quote.
+fn skip_plain_string(bytes: &[u8], mut i: usize, line: &mut u32) -> usize {
+    i += 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skips a `'\…'` char literal starting at the tick.
+fn skip_char_literal(bytes: &[u8], mut i: usize) -> usize {
+    i += 2; // tick + backslash
+    while i < bytes.len() && bytes[i] != b'\'' {
+        i += 1;
+    }
+    i + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == Kind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_opaque() {
+        let src = r##"
+            // unwrap() in a comment
+            /* panic!("no") */
+            let s = "unwrap()"; // more unwrap
+            let r = r#"panic!"#;
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"unwrap".to_string()));
+        assert!(!ids.contains(&"panic".to_string()));
+        assert!(ids.contains(&"let".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes: Vec<_> = toks.iter().filter(|t| t.kind == Kind::Lifetime).collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(toks.iter().filter(|t| t.kind == Kind::Char).count(), 1);
+    }
+
+    #[test]
+    fn escaped_char_literal() {
+        let toks = lex(r"let c = '\n'; let q = '\'';");
+        assert_eq!(toks.iter().filter(|t| t.kind == Kind::Char).count(), 2);
+    }
+
+    #[test]
+    fn composite_operators_are_single_tokens() {
+        let toks = lex("a == b != c => d :: e -> f .. g");
+        let puncts: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == Kind::Punct)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(puncts, vec!["==", "!=", "=>", "::", "->", ".."]);
+    }
+
+    #[test]
+    fn lines_are_tracked_through_comments_and_strings() {
+        let src = "a\n/* two\nlines */\nb\n\"str\nspan\"\nc";
+        let toks = lex(src);
+        let find = |name: &str| toks.iter().find(|t| t.is_ident(name)).unwrap().line;
+        assert_eq!(find("a"), 1);
+        assert_eq!(find("b"), 4);
+        assert_eq!(find("c"), 7);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let toks = lex("for i in 0..n {}");
+        assert!(toks.iter().any(|t| t.is_punct("..")));
+        assert!(toks.iter().any(|t| t.kind == Kind::Num && t.text == "0"));
+    }
+
+    #[test]
+    fn byte_strings_and_raw_hashes() {
+        let toks = lex(r###"let a = b"bytes"; let b = br#"raw "quoted" bytes"#; done"###);
+        assert!(toks.iter().any(|t| t.is_ident("done")));
+        assert_eq!(toks.iter().filter(|t| t.kind == Kind::Str).count(), 2);
+    }
+}

@@ -1,0 +1,121 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! `proxy-lint` — a workspace invariant analyzer for the proxy stack.
+//!
+//! The proxy model's security argument rests on invariants that the
+//! type system does not express: untrusted-input paths must reject
+//! hostile bytes with typed errors instead of panicking, restriction
+//! matches must fail closed on unknown variants (the paper's §7.9
+//! propagation rule), secret byte material must be compared in constant
+//! time, the replayable crates must be deterministic, and every crate
+//! root must carry the hygiene header. This crate enforces them
+//! statically, with a hand-rolled lexer and token-level rules — no
+//! `syn`, no dependencies beyond `std`.
+//!
+//! Pipeline: [`walk`] finds the sources, [`lexer`] tokenizes,
+//! [`source`] masks test code, [`rules`] produce [`diag::Finding`]s
+//! scoped by [`scope`], and [`allow`] applies the checked-in,
+//! justification-bearing suppression list.
+
+pub mod allow;
+pub mod diag;
+pub mod fixture;
+pub mod lexer;
+pub mod rules;
+pub mod scope;
+pub mod source;
+pub mod walk;
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use allow::{AllowEntry, AllowParseError};
+use diag::Finding;
+use source::SourceFile;
+
+/// Lints one file's text as if it lived at `rel_path` in the workspace.
+#[must_use]
+pub fn analyze_source(rel_path: &str, text: String) -> Vec<Finding> {
+    rules::check_all(&SourceFile::new(rel_path, text))
+}
+
+/// Everything a workspace run produced, before exit-code policy.
+#[derive(Debug)]
+pub struct WorkspaceReport {
+    /// Findings not covered by any allowlist entry — these fail the run.
+    pub findings: Vec<Finding>,
+    /// Findings suppressed by an allowlist entry, with the entry.
+    pub suppressed: Vec<(Finding, AllowEntry)>,
+    /// Allowlist entries that matched nothing — stale, these also fail.
+    pub stale: Vec<AllowEntry>,
+    /// Number of files linted.
+    pub files_seen: usize,
+}
+
+impl WorkspaceReport {
+    /// Whether the run is clean: no live findings and no stale entries.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty() && self.stale.is_empty()
+    }
+}
+
+/// A failure to run the analyzer at all (as opposed to findings).
+#[derive(Debug)]
+pub enum LintError {
+    /// Filesystem error reading the tree.
+    Io(io::Error),
+    /// `lint-allow.toml` did not parse.
+    Allow(AllowParseError),
+}
+
+impl std::fmt::Display for LintError {
+    fn fmt(&self, out: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LintError::Io(e) => write!(out, "io error: {e}"),
+            LintError::Allow(e) => write!(out, "{e}"),
+        }
+    }
+}
+
+impl From<io::Error> for LintError {
+    fn from(e: io::Error) -> Self {
+        LintError::Io(e)
+    }
+}
+
+/// Lints every workspace source under `root`, applying the allowlist at
+/// `root/lint-allow.toml` when present.
+pub fn analyze_workspace(root: &Path) -> Result<WorkspaceReport, LintError> {
+    let entries = load_allowlist(root)?;
+    let files = walk::walk_workspace(root)?;
+    let files_seen = files.len();
+    let mut all = Vec::new();
+    for f in &files {
+        let text = fs::read_to_string(&f.abs_path)?;
+        all.extend(analyze_source(&f.rel_path, text));
+    }
+    let (findings, suppressed, stale) = allow::apply_allowlist(all, &entries);
+    Ok(WorkspaceReport {
+        findings,
+        suppressed: suppressed
+            .into_iter()
+            .map(|(f, e)| (f, e.clone()))
+            .collect(),
+        stale: stale.into_iter().cloned().collect(),
+        files_seen,
+    })
+}
+
+/// Reads and parses `lint-allow.toml` under `root`; absent file means
+/// an empty list.
+pub fn load_allowlist(root: &Path) -> Result<Vec<AllowEntry>, LintError> {
+    let path = root.join("lint-allow.toml");
+    if !path.is_file() {
+        return Ok(Vec::new());
+    }
+    let text = fs::read_to_string(path)?;
+    allow::parse_allow_file(&text).map_err(LintError::Allow)
+}

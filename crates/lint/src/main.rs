@@ -1,0 +1,217 @@
+//! The `proxy-lint` command-line interface.
+//!
+//! ```text
+//! proxy-lint --workspace [--explain]   lint every workspace .rs file
+//! proxy-lint [--explain] FILE...       lint specific files (fixtures ok)
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings (or stale allowlist entries),
+//! `2` usage / filesystem / allowlist-parse error.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::env;
+use std::fs;
+use std::path::Path;
+use std::process::ExitCode;
+
+use proxy_lint::diag::Rule;
+use proxy_lint::{analyze_source, analyze_workspace, fixture, walk};
+
+/// What each rule family enforces, shown under `--explain`.
+const RULE_NOTES: &[(Rule, &str)] = &[
+    (
+        Rule::PanicFree,
+        "untrusted-input paths (wire decode, codec, net layer, request handlers) must \
+         reject hostile bytes with typed errors, never panic",
+    ),
+    (
+        Rule::FailClosed,
+        "a match over Restriction must enumerate variants; wildcards may only deny \
+         (paper §7.9: unknown restrictions propagate as deny)",
+    ),
+    (
+        Rule::ConstTime,
+        "secret key/seal bytes are compared through ct_eq, never ==, so timing does \
+         not leak how many bytes matched",
+    ),
+    (
+        Rule::Determinism,
+        "replayable crates take injected Timestamps; ambient clocks and sleeps would \
+         break fixed-seed reproduction",
+    ),
+    (
+        Rule::Hygiene,
+        "every crate root carries #![forbid(unsafe_code)] and a missing_docs lint",
+    ),
+];
+
+fn main() -> ExitCode {
+    let mut explain = false;
+    let mut workspace = false;
+    let mut files = Vec::new();
+    for arg in env::args().skip(1) {
+        match arg.as_str() {
+            "--explain" => explain = true,
+            "--workspace" => workspace = true,
+            "--help" | "-h" => {
+                print!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("proxy-lint: unknown flag {other:?}\n{}", usage());
+                return ExitCode::from(2);
+            }
+            file => files.push(file.to_string()),
+        }
+    }
+    match (workspace, files.is_empty()) {
+        (true, true) => run_workspace(explain),
+        (false, false) => run_files(&files, explain),
+        _ => {
+            eprintln!(
+                "proxy-lint: pass --workspace or file paths, not both\n{}",
+                usage()
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage() -> String {
+    "usage: proxy-lint --workspace [--explain]\n       proxy-lint [--explain] FILE...\n".to_string()
+}
+
+/// Lints the whole workspace against the checked-in allowlist.
+fn run_workspace(explain: bool) -> ExitCode {
+    let cwd = match env::current_dir() {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("proxy-lint: cannot read current directory: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let root = match walk::find_workspace_root(&cwd) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("proxy-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match analyze_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("proxy-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if explain {
+        println!("proxy-lint rule families:");
+        for (rule, note) in RULE_NOTES {
+            println!("  [{}/{}] {}", rule.code(), rule.name(), note);
+        }
+        println!();
+        if report.suppressed.is_empty() {
+            println!("no findings are suppressed.");
+        } else {
+            println!("suppressed findings (justified in lint-allow.toml):");
+            for (f, entry) in &report.suppressed {
+                println!(
+                    "  {}:{}: [{}/{}] {}",
+                    f.path,
+                    f.line,
+                    f.rule.code(),
+                    f.rule.name(),
+                    f.message
+                );
+                println!("      allowed: {}", entry.justification);
+            }
+        }
+        println!();
+    }
+
+    for f in &report.findings {
+        println!("{f}");
+    }
+    for entry in &report.stale {
+        println!(
+            "lint-allow.toml: stale entry matches no finding: {entry} ({})",
+            entry.justification
+        );
+    }
+    println!(
+        "proxy-lint: {} file(s), {} finding(s), {} suppressed, {} stale allow entr{}",
+        report.files_seen,
+        report.findings.len(),
+        report.suppressed.len(),
+        report.stale.len(),
+        if report.stale.len() == 1 { "y" } else { "ies" },
+    );
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+/// Lints explicit files; fixture directives pick the effective path,
+/// and the workspace allowlist is not applied (fixtures must stand on
+/// their own).
+fn run_files(files: &[String], explain: bool) -> ExitCode {
+    if explain {
+        println!("proxy-lint rule families:");
+        for (rule, note) in RULE_NOTES {
+            println!("  [{}/{}] {}", rule.code(), rule.name(), note);
+        }
+        println!();
+    }
+    let mut total = 0usize;
+    for file in files {
+        let text = match fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("proxy-lint: {file}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let effective = fixture::fixture_directive(&text)
+            .map(|d| d.path)
+            .unwrap_or_else(|| normalize(file));
+        let findings = analyze_source(&effective, text);
+        for f in &findings {
+            println!("{f}");
+        }
+        total += findings.len();
+    }
+    println!("proxy-lint: {} finding(s)", total);
+    if total == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+/// Best-effort workspace-relative form of a CLI path argument.
+fn normalize(file: &str) -> String {
+    let path = Path::new(file);
+    let cwd = env::current_dir().ok();
+    let abs = if path.is_absolute() {
+        path.to_path_buf()
+    } else if let Some(cwd) = cwd {
+        cwd.join(path)
+    } else {
+        path.to_path_buf()
+    };
+    if let Ok(root) = walk::find_workspace_root(&abs) {
+        if let Ok(rel) = abs.strip_prefix(&root) {
+            return rel
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                .collect::<Vec<_>>()
+                .join("/");
+        }
+    }
+    file.replace('\\', "/")
+}

@@ -1,0 +1,100 @@
+//! L4 — determinism in replayable crates.
+//!
+//! The figure harnesses replay proxy issuance, verification, and
+//! accounting against fixed seeds; every run must produce the same
+//! bytes and the same decisions. Timestamps are injected as explicit
+//! [`Timestamp`] values, never read from the environment, so ambient
+//! clocks (`SystemTime::now`, `Instant::now`) and wall-clock waits
+//! (`thread::sleep`) are forbidden in the deterministic crates.
+
+use crate::diag::{Finding, Rule};
+use crate::source::SourceFile;
+
+/// Forbidden `A::b` paths, as (qualifier, member, why) triples.
+const FORBIDDEN_PATHS: &[(&str, &str, &str)] = &[
+    (
+        "SystemTime",
+        "now",
+        "ambient wall-clock time; take an injected Timestamp instead",
+    ),
+    (
+        "Instant",
+        "now",
+        "ambient monotonic time; take an injected Timestamp instead",
+    ),
+    (
+        "thread",
+        "sleep",
+        "wall-clock wait breaks replay; model delays in the simulator",
+    ),
+];
+
+/// Scans `file` for ambient-time constructs.
+#[must_use]
+pub fn check_determinism(file: &SourceFile) -> Vec<Finding> {
+    let toks = &file.tokens;
+    let mut findings = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !file.is_live(i) {
+            continue;
+        }
+        for (qual, member, why) in FORBIDDEN_PATHS {
+            if t.is_ident(qual)
+                && toks.get(i + 1).is_some_and(|n| n.is_punct("::"))
+                && toks.get(i + 2).is_some_and(|n| n.is_ident(member))
+            {
+                findings.push(Finding {
+                    rule: Rule::Determinism,
+                    path: file.rel_path.clone(),
+                    line: t.line,
+                    message: format!("{qual}::{member} is {why}"),
+                    snippet: file.line_text(t.line).to_string(),
+                });
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Finding> {
+        check_determinism(&SourceFile::new(
+            "crates/proxy/src/grant.rs",
+            src.to_string(),
+        ))
+    }
+
+    #[test]
+    fn system_time_now_fires() {
+        let f = run("fn t() -> SystemTime { std::time::SystemTime::now() }");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("SystemTime::now"));
+    }
+
+    #[test]
+    fn instant_now_and_sleep_fire() {
+        let f = run("fn t() { let _ = Instant::now(); std::thread::sleep(d); }");
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn injected_timestamps_are_fine() {
+        let f = run("fn t(now: Timestamp) -> Timestamp { now.saturating_add(60) }");
+        assert_eq!(f, vec![]);
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let f = run("#[cfg(test)] mod t { fn f() { let _ = Instant::now(); } }");
+        assert_eq!(f, vec![]);
+    }
+
+    #[test]
+    fn unrelated_now_idents_are_fine() {
+        let f = run("fn t(now: Timestamp) -> bool { now.secs() > 0 }");
+        assert_eq!(f, vec![]);
+    }
+}

@@ -1,0 +1,254 @@
+//! L2 — fail-closed restriction matching.
+//!
+//! The paper's §7.9 propagation rule demands that *unknown* restrictions
+//! deny: a verifier that wildcards a `match` on [`Restriction`] into an
+//! allow (`true`, `Ok`, `None`-skip, or an empty arm) silently treats a
+//! restriction it does not understand as satisfied. Adding a variant to
+//! `Restriction` must break compilation at every decision site, forcing
+//! an explicit propagation/enforcement decision — so every `match` over
+//! `Restriction` must enumerate its variants, and a `_` arm may exist
+//! only when it *denies*.
+
+use crate::diag::{Finding, Rule};
+use crate::lexer::Token;
+use crate::source::{matching_close, SourceFile};
+
+/// Scans `file` for wildcard-allow arms in matches over `Restriction`.
+#[must_use]
+pub fn check_fail_closed(file: &SourceFile) -> Vec<Finding> {
+    let toks = &file.tokens;
+    let mut findings = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("match") || !file.is_live(i) {
+            continue;
+        }
+        // Scrutinee runs to the first `{` at group depth zero.
+        let Some(open) = find_match_open(toks, i + 1) else {
+            continue;
+        };
+        let close = matching_close(toks, open);
+        let arms = split_arms(toks, open, close);
+        let is_restriction_match = arms.iter().any(|arm| {
+            pattern_tokens(toks, arm)
+                .windows(2)
+                .any(|w| w[0].is_ident("Restriction") && w[1].is_punct("::"))
+        });
+        if !is_restriction_match {
+            continue;
+        }
+        for arm in &arms {
+            let pat = pattern_tokens(toks, arm);
+            // Only a bare, unguarded `_` is a wildcard; `_ if cond` is a
+            // deliberate, reviewable decision.
+            if !(pat.len() == 1 && pat[0].is_ident("_")) {
+                continue;
+            }
+            if let Some(kind) = allowy_body(toks, arm) {
+                findings.push(Finding {
+                    rule: Rule::FailClosed,
+                    path: file.rel_path.clone(),
+                    line: toks[arm.arrow].line,
+                    message: format!(
+                        "wildcard arm on a `Restriction` match evaluates to {kind}: an unknown \
+                         restriction would be allowed (§7.9 requires deny); enumerate the \
+                         variants explicitly"
+                    ),
+                    snippet: file.line_text(toks[arm.arrow].line).to_string(),
+                });
+            }
+        }
+    }
+    findings
+}
+
+/// One match arm: `[start, arrow)` is the pattern, `(arrow, end]` the body.
+struct Arm {
+    start: usize,
+    arrow: usize,
+    end: usize,
+}
+
+/// Finds the `{` opening the match body, skipping over any bracketed
+/// groups inside the scrutinee expression.
+fn find_match_open(toks: &[Token], mut i: usize) -> Option<usize> {
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct("{") {
+            return Some(i);
+        }
+        if t.is_punct("(") || t.is_punct("[") {
+            i = matching_close(toks, i) + 1;
+            continue;
+        }
+        if t.is_punct(";") || t.is_punct("}") {
+            return None; // Not a match expression we can parse.
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Splits the tokens between `open` and `close` into arms. Arms are
+/// separated by `,` at depth 1; an arm whose body is a brace block ends
+/// at the block's `}` (comma optional).
+fn split_arms(toks: &[Token], open: usize, close: usize) -> Vec<Arm> {
+    let mut arms = Vec::new();
+    let mut i = open + 1;
+    while i < close {
+        let start = i;
+        // Find the arm's `=>` at depth 0 relative to the arm.
+        let mut arrow = None;
+        let mut j = i;
+        while j < close {
+            let t = &toks[j];
+            if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+                j = matching_close(toks, j) + 1;
+                continue;
+            }
+            if t.is_punct("=>") {
+                arrow = Some(j);
+                break;
+            }
+            j += 1;
+        }
+        let Some(arrow) = arrow else { break };
+        // Body: a brace block, or everything up to the next depth-0 `,`.
+        let mut k = arrow + 1;
+        let end;
+        if toks.get(k).is_some_and(|t| t.is_punct("{")) {
+            end = matching_close(toks, k);
+            k = end + 1;
+            if toks.get(k).is_some_and(|t| t.is_punct(",")) {
+                k += 1;
+            }
+        } else {
+            loop {
+                match toks.get(k) {
+                    None => break,
+                    Some(t) if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") => {
+                        k = matching_close(toks, k) + 1;
+                    }
+                    Some(t) if t.is_punct(",") || k >= close => break,
+                    Some(_) if k >= close => break,
+                    Some(_) => k += 1,
+                }
+                if k >= close {
+                    break;
+                }
+            }
+            end = k.saturating_sub(1).min(close - 1);
+            if toks.get(k).is_some_and(|t| t.is_punct(",")) {
+                k += 1;
+            }
+        }
+        arms.push(Arm { start, arrow, end });
+        i = k.max(start + 1);
+    }
+    arms
+}
+
+/// The arm's pattern tokens, guard excluded is **not** done here — a
+/// guard keeps the pattern from being the single `_` token, which is
+/// exactly the exemption the rule intends.
+fn pattern_tokens<'t>(toks: &'t [Token], arm: &Arm) -> &'t [Token] {
+    &toks[arm.start..arm.arrow]
+}
+
+/// If the arm body is an allow, returns a description of how.
+fn allowy_body(toks: &[Token], arm: &Arm) -> Option<&'static str> {
+    let body: Vec<&Token> = toks.get(arm.arrow + 1..=arm.end)?.iter().collect();
+    let first = body.first()?;
+    if first.is_ident("true") {
+        return Some("`true`");
+    }
+    if first.is_ident("None") {
+        return Some("`None` (silently skipped)");
+    }
+    if first.is_ident("Ok") {
+        return Some("`Ok` (treated as satisfied)");
+    }
+    if first.is_punct("{") && body.get(1).is_some_and(|t| t.is_punct("}")) {
+        return Some("an empty arm (silently ignored)");
+    }
+    if first.is_punct("(") && body.get(1).is_some_and(|t| t.is_punct(")")) {
+        return Some("`()` (silently ignored)");
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Finding> {
+        check_fail_closed(&SourceFile::new(
+            "crates/proxy/src/restriction.rs",
+            src.to_string(),
+        ))
+    }
+
+    #[test]
+    fn wildcard_true_on_restriction_match_fires() {
+        let f = run("fn f(r: &Restriction) -> bool { match r { Restriction::Grantee { .. } => false, _ => true, } }");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("true"));
+    }
+
+    #[test]
+    fn wildcard_none_skip_fires() {
+        let f = run("fn f(r: &Restriction) -> Option<u8> { match r { Restriction::Quota { .. } => Some(1), _ => None, } }");
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn wildcard_ok_fires() {
+        let f = run("fn f(r: &Restriction) -> Result<(), E> { match r { Restriction::Quota { .. } => check(), _ => Ok(()), } }");
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn wildcard_empty_arm_fires() {
+        let f = run(
+            "fn f(r: &Restriction) { match r { Restriction::Quota { .. } => act(), _ => {} } }",
+        );
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn denying_wildcard_is_fine() {
+        let f = run("fn f(r: &Restriction) -> Result<(), E> { match r { Restriction::Quota { .. } => Ok(()), _ => Err(E::Unknown), } }");
+        assert_eq!(f, vec![]);
+    }
+
+    #[test]
+    fn enumerated_variants_are_fine() {
+        let f = run(
+            "fn f(r: &Restriction) -> bool { match r { Restriction::Quota { .. } => false, \
+             Restriction::Grantee { .. } | Restriction::AcceptOnce { .. } => true, } }",
+        );
+        assert_eq!(f, vec![]);
+    }
+
+    #[test]
+    fn non_restriction_matches_are_ignored() {
+        let f = run(
+            "fn f(e: &Error) -> Option<&E> { match e { Error::Io(x) => Some(x), _ => None, } }",
+        );
+        assert_eq!(f, vec![]);
+    }
+
+    #[test]
+    fn guarded_wildcard_is_exempt() {
+        let f = run("fn f(r: &Restriction, lax: bool) -> bool { match r { Restriction::Quota { .. } => false, _ if lax => true, _ => false, } }");
+        assert_eq!(f, vec![]);
+    }
+
+    #[test]
+    fn nested_match_bodies_are_scanned_independently() {
+        let f = run(
+            "fn f(r: &Restriction, e: &E) -> bool { match e { E::A => match r { \
+             Restriction::Quota { .. } => false, _ => true, }, E::B => false, } }",
+        );
+        assert_eq!(f.len(), 1);
+    }
+}

@@ -1,0 +1,111 @@
+//! L5 — crate-root hygiene.
+//!
+//! Every crate root must carry two inner attributes:
+//!
+//! * `#![forbid(unsafe_code)]` — the verifier stack's memory-safety
+//!   argument is "no unsafe anywhere"; forbidding it at the root makes
+//!   that checkable per crate rather than a convention;
+//! * a docs lint (`#![warn(missing_docs)]` or stricter) — every public
+//!   item in the workspace is documented, and the root attribute keeps
+//!   it that way.
+
+use crate::diag::{Finding, Rule};
+use crate::lexer::Token;
+use crate::source::{matching_close, SourceFile};
+
+/// Scans a crate root for the required inner attributes.
+#[must_use]
+pub fn check_hygiene(file: &SourceFile) -> Vec<Finding> {
+    let toks = &file.tokens;
+    let mut has_forbid_unsafe = false;
+    let mut has_docs_lint = false;
+
+    let mut i = 0;
+    while i + 1 < toks.len() {
+        if toks[i].is_punct("#") && toks[i + 1].is_punct("!") {
+            if let Some(open) = toks.get(i + 2).filter(|t| t.is_punct("[")) {
+                let _ = open;
+                let close = matching_close(toks, i + 2);
+                let body = &toks[i + 3..close.min(toks.len())];
+                has_forbid_unsafe |= attr_is(body, &["forbid"], "unsafe_code");
+                has_docs_lint |= attr_is(body, &["warn", "deny", "forbid"], "missing_docs");
+                i = close + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+
+    let mut findings = Vec::new();
+    let mut missing = |message: &str| {
+        findings.push(Finding {
+            rule: Rule::Hygiene,
+            path: file.rel_path.clone(),
+            line: 1,
+            message: message.to_string(),
+            snippet: file.line_text(1).to_string(),
+        });
+    };
+    if !has_forbid_unsafe {
+        missing("crate root is missing #![forbid(unsafe_code)]");
+    }
+    if !has_docs_lint {
+        missing("crate root is missing a docs lint (#![warn(missing_docs)] or stricter)");
+    }
+    findings
+}
+
+/// True when the attribute body is `level(.. lint ..)` for one of the
+/// accepted levels.
+fn attr_is(body: &[Token], levels: &[&str], lint: &str) -> bool {
+    let Some(head) = body.first() else {
+        return false;
+    };
+    levels.iter().any(|l| head.is_ident(l)) && body.iter().any(|t| t.is_ident(lint))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Finding> {
+        check_hygiene(&SourceFile::new("crates/wire/src/lib.rs", src.to_string()))
+    }
+
+    #[test]
+    fn complete_header_passes() {
+        let f = run("#![forbid(unsafe_code)]\n#![warn(missing_docs)]\npub fn x() {}");
+        assert_eq!(f, vec![]);
+    }
+
+    #[test]
+    fn deny_missing_docs_also_passes() {
+        let f = run("#![forbid(unsafe_code)]\n#![deny(missing_docs)]\n");
+        assert_eq!(f, vec![]);
+    }
+
+    #[test]
+    fn grouped_lint_attr_passes() {
+        let f = run("#![forbid(unsafe_code)]\n#![warn(missing_docs, rust_2018_idioms)]\n");
+        assert_eq!(f, vec![]);
+    }
+
+    #[test]
+    fn missing_both_fires_twice() {
+        let f = run("pub fn x() {}");
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn warn_unsafe_is_not_forbid() {
+        let f = run("#![warn(unsafe_code)]\n#![warn(missing_docs)]\n");
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("unsafe_code"));
+    }
+
+    #[test]
+    fn outer_attrs_do_not_count() {
+        let f = run("#[allow(missing_docs)]\nfn x() {}");
+        assert_eq!(f.len(), 2);
+    }
+}

@@ -1,0 +1,41 @@
+//! The five rule families (L1–L5).
+
+mod const_time;
+mod determinism;
+mod fail_closed;
+mod hygiene;
+mod panic_free;
+
+pub use const_time::check_const_time;
+pub use determinism::check_determinism;
+pub use fail_closed::check_fail_closed;
+pub use hygiene::check_hygiene;
+pub use panic_free::check_panic_free;
+
+use crate::diag::Finding;
+use crate::scope;
+use crate::source::SourceFile;
+
+/// Runs every rule whose scope covers `file`, returning all findings.
+#[must_use]
+pub fn check_all(file: &SourceFile) -> Vec<Finding> {
+    let rel = file.rel_path.as_str();
+    let mut findings = Vec::new();
+    if scope::panic_free_applies(rel) {
+        findings.extend(check_panic_free(file));
+    }
+    if scope::fail_closed_applies(rel) {
+        findings.extend(check_fail_closed(file));
+    }
+    if scope::const_time_applies(rel) {
+        findings.extend(check_const_time(file));
+    }
+    if scope::determinism_applies(rel) {
+        findings.extend(check_determinism(file));
+    }
+    if scope::hygiene_applies(rel) {
+        findings.extend(check_hygiene(file));
+    }
+    findings.sort_by(|a, b| (a.line, a.rule.code()).cmp(&(b.line, b.rule.code())));
+    findings
+}

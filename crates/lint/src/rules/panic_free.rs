@@ -1,0 +1,160 @@
+//! L1 — panic-freedom on untrusted-input paths.
+//!
+//! Code that consumes attacker-controlled bytes (wire decode, the
+//! canonical codec, the net service layer, the request handlers) must
+//! reject hostile input with a typed error, never a panic: a reachable
+//! panic is a one-frame denial-of-service against the whole worker.
+//!
+//! Flagged in scoped files, outside test code:
+//!
+//! * `.unwrap()` / `.expect(..)` / `.unwrap_err()` / `.expect_err(..)`
+//! * `panic!` / `unreachable!` / `todo!` / `unimplemented!` and the
+//!   `assert!` family (`debug_assert*` is allowed: compiled out of
+//!   release builds and used for internal invariants only)
+//! * slice/array indexing `expr[..]` — use `.get(..)` with a typed error
+//! * potentially-truncating `as` casts to narrow integer types — use
+//!   `try_from` with a typed error
+
+use crate::diag::{Finding, Rule};
+use crate::lexer::{is_keyword, Kind};
+use crate::source::SourceFile;
+
+const PANICKY_CALLS: &[&str] = &["unwrap", "expect", "unwrap_err", "expect_err"];
+const PANICKY_MACROS: &[&str] = &[
+    "panic",
+    "unreachable",
+    "todo",
+    "unimplemented",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+];
+const NARROW_CASTS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// Scans `file` for the panic-prone constructs above.
+#[must_use]
+pub fn check_panic_free(file: &SourceFile) -> Vec<Finding> {
+    let toks = &file.tokens;
+    let mut findings = Vec::new();
+    let mut push = |line: u32, message: String| {
+        findings.push(Finding {
+            rule: Rule::PanicFree,
+            path: file.rel_path.clone(),
+            line,
+            message,
+            snippet: file.line_text(line).to_string(),
+        });
+    };
+
+    for (i, t) in toks.iter().enumerate() {
+        if !file.is_live(i) {
+            continue;
+        }
+        match t.kind {
+            Kind::Ident => {
+                let next_is = |s: &str| toks.get(i + 1).is_some_and(|n| n.is_punct(s));
+                let prev_is = |s: &str| i > 0 && toks[i - 1].is_punct(s);
+                if PANICKY_CALLS.contains(&t.text.as_str()) && prev_is(".") && next_is("(") {
+                    push(
+                        t.line,
+                        format!(
+                            ".{}() may panic on untrusted input; return a typed error instead",
+                            t.text
+                        ),
+                    );
+                } else if PANICKY_MACROS.contains(&t.text.as_str()) && next_is("!") {
+                    push(
+                        t.line,
+                        format!(
+                            "{}! is reachable from untrusted input; reject with a typed error",
+                            t.text
+                        ),
+                    );
+                } else if t.text == "as" {
+                    if let Some(target) = toks.get(i + 1) {
+                        if target.kind == Kind::Ident
+                            && NARROW_CASTS.contains(&target.text.as_str())
+                        {
+                            push(
+                                t.line,
+                                format!(
+                                    "`as {}` silently truncates; use try_from with a typed error",
+                                    target.text
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+            Kind::Punct if t.text == "[" && i > 0 => {
+                let prev = &toks[i - 1];
+                let indexable = match prev.kind {
+                    Kind::Ident => !is_keyword(&prev.text),
+                    Kind::Punct => prev.text == ")" || prev.text == "]" || prev.text == "?",
+                    _ => false,
+                };
+                if indexable {
+                    push(
+                        t.line,
+                        "slice indexing panics out of range; use .get(..) and fail closed"
+                            .to_string(),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Finding> {
+        check_panic_free(&SourceFile::new("crates/wire/src/x.rs", src.to_string()))
+    }
+
+    #[test]
+    fn flags_unwrap_expect_and_macros() {
+        let f = run("fn d(b: &[u8]) { let x = b.first().unwrap(); q.expect(\"x\"); panic!(\"no\"); unreachable!(); }");
+        assert_eq!(f.len(), 4);
+    }
+
+    #[test]
+    fn flags_indexing_and_narrow_casts() {
+        let f = run("fn d(b: &[u8], n: u64) { let h = b[0]; let m = b[1..3]; let c = n as u32; }");
+        assert_eq!(f.len(), 3);
+    }
+
+    #[test]
+    fn allows_safe_constructs() {
+        let f = run("fn d(b: &[u8], n: u32) -> Option<[u8; 4]> {\n\
+             let v: [u8; 4] = [0; 4];\n\
+             debug_assert!(n > 0);\n\
+             let w = n as u64;\n\
+             let z = n as usize;\n\
+             let first = b.get(0)?;\n\
+             let r = b.first().unwrap_or(&0);\n\
+             Some(v)\n}");
+        assert_eq!(f, vec![]);
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let f = run("#[cfg(test)] mod t { fn f() { x.unwrap(); b[0]; } }");
+        assert_eq!(f, vec![]);
+    }
+
+    #[test]
+    fn comments_and_strings_do_not_fire() {
+        let f = run("fn d() { let s = \"b[0].unwrap()\"; } // b.unwrap()");
+        assert_eq!(f, vec![]);
+    }
+
+    #[test]
+    fn slice_patterns_are_not_indexing() {
+        let f = run("fn d(b: &[u8]) { if let [a, rest @ ..] = b { let _ = (a, rest); } }");
+        assert_eq!(f, vec![]);
+    }
+}

@@ -1,0 +1,106 @@
+//! Which files each rule family applies to.
+//!
+//! Scoping is by workspace-relative path, mirroring the trust-boundary
+//! map in DESIGN.md §11: L1 guards the code that touches
+//! attacker-controlled bytes, L2 the code that interprets restrictions,
+//! L3 the code that holds secrets, L4 the crates the figure harnesses
+//! replay deterministically, and L5 every crate root.
+
+/// L1 — untrusted-input paths that must never panic: wire decode, the
+/// canonical codec, the whole net service layer, and the authz /
+/// accounting request handlers that consume wire-decoded values.
+pub fn panic_free_applies(rel: &str) -> bool {
+    rel.starts_with("crates/wire/src/")
+        || rel.starts_with("crates/net/src/")
+        || rel == "crates/proxy/src/encode.rs"
+        || rel == "crates/authz/src/server.rs"
+        || rel == "crates/authz/src/endserver.rs"
+        || rel == "crates/accounting/src/server.rs"
+        || rel == "crates/accounting/src/check.rs"
+        || rel == "crates/accounting/src/clearing.rs"
+}
+
+/// L2 — verifier modules where a `match` on `Restriction` must not
+/// wildcard into an allow.
+pub fn fail_closed_applies(rel: &str) -> bool {
+    rel.starts_with("crates/proxy/src/")
+        || rel.starts_with("crates/authz/src/")
+        || rel.starts_with("crates/accounting/src/")
+}
+
+/// L3 — crates holding secret key/seal byte material. The `ct` module
+/// itself is exempt: it is where the constant-time comparisons live.
+pub fn const_time_applies(rel: &str) -> bool {
+    (rel.starts_with("crates/crypto/src/") || rel.starts_with("crates/proxy/src/"))
+        && rel != "crates/crypto/src/ct.rs"
+}
+
+/// L4 — deterministic crates: same inputs, same bytes, same decisions.
+/// Clocks are injected `Timestamp` values; ambient time is forbidden.
+pub fn determinism_applies(rel: &str) -> bool {
+    [
+        "crates/proxy/",
+        "crates/authz/",
+        "crates/accounting/",
+        "crates/wire/",
+        "crates/netsim/",
+        "crates/kerberos/",
+    ]
+    .iter()
+    .any(|p| rel.starts_with(p))
+}
+
+/// L5 — crate roots that must carry the hygiene header.
+pub fn hygiene_applies(rel: &str) -> bool {
+    if rel == "src/lib.rs" {
+        return true;
+    }
+    let Some(rest) = rel
+        .strip_prefix("crates/")
+        .or_else(|| rel.strip_prefix("vendor/"))
+    else {
+        return false;
+    };
+    // `<crate>/src/lib.rs`, exactly one level deep.
+    rest.split('/').collect::<Vec<_>>() == [rest.split('/').next().unwrap_or(""), "src", "lib.rs"]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l1_covers_wire_and_handlers_not_verify() {
+        assert!(panic_free_applies("crates/wire/src/frame.rs"));
+        assert!(panic_free_applies("crates/net/src/tcp.rs"));
+        assert!(panic_free_applies("crates/proxy/src/encode.rs"));
+        assert!(panic_free_applies("crates/accounting/src/check.rs"));
+        assert!(!panic_free_applies("crates/proxy/src/verify.rs"));
+        assert!(!panic_free_applies("crates/crypto/src/sha256.rs"));
+    }
+
+    #[test]
+    fn l3_exempts_ct_module() {
+        assert!(const_time_applies("crates/crypto/src/keys.rs"));
+        assert!(const_time_applies("crates/proxy/src/key.rs"));
+        assert!(!const_time_applies("crates/crypto/src/ct.rs"));
+        assert!(!const_time_applies("crates/net/src/tcp.rs"));
+    }
+
+    #[test]
+    fn l4_covers_deterministic_crates_only() {
+        assert!(determinism_applies("crates/netsim/src/lib.rs"));
+        assert!(determinism_applies("crates/kerberos/src/kdc.rs"));
+        assert!(!determinism_applies("crates/net/src/client.rs"));
+        assert!(!determinism_applies("crates/runtime/src/lib.rs"));
+    }
+
+    #[test]
+    fn l5_matches_crate_roots_only() {
+        assert!(hygiene_applies("src/lib.rs"));
+        assert!(hygiene_applies("crates/wire/src/lib.rs"));
+        assert!(hygiene_applies("vendor/rand/src/lib.rs"));
+        assert!(!hygiene_applies("crates/wire/src/frame.rs"));
+        assert!(!hygiene_applies("examples/tcp_demo.rs"));
+    }
+}

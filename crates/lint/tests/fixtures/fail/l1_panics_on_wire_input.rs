@@ -1,0 +1,14 @@
+// lint-fixture: path=crates/wire/src/frame.rs rule=L1
+// Every construct here is a panic reachable from attacker bytes.
+
+fn parse(bytes: &[u8]) -> u32 {
+    let first = bytes[0]; // indexing
+    let len = bytes.len() as u32; // fine (widening is not flagged... usize->u32 is narrow!)
+    let tag = bytes.first().unwrap(); // unwrap
+    let word: [u8; 4] = bytes[1..5].try_into().expect("four bytes"); // expect + indexing
+    if *tag == 0 {
+        panic!("zero tag"); // panic!
+    }
+    assert!(len > 0, "empty frame"); // assert!
+    u32::from_le_bytes(word) + u32::from(first) + (bytes.len() as u32)
+}

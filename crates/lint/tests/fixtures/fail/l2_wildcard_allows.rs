@@ -1,0 +1,16 @@
+// lint-fixture: path=crates/proxy/src/restriction.rs rule=L2
+// A wildcard arm on a Restriction match that evaluates to an allow.
+
+fn satisfied(r: &Restriction) -> bool {
+    match r {
+        Restriction::Quota { limit, .. } => *limit > 0,
+        _ => true, // unknown restriction treated as satisfied: forbidden
+    }
+}
+
+fn names(r: &Restriction) -> Option<&str> {
+    match r {
+        Restriction::Grantee { name, .. } => Some(name),
+        _ => None, // unknown restriction silently skipped: forbidden
+    }
+}

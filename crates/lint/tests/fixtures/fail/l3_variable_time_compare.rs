@@ -1,0 +1,13 @@
+// lint-fixture: path=crates/crypto/src/keys.rs rule=L3
+// Secret byte material compared with ==/derived PartialEq.
+
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct SymmetricKey([u8; 32]);
+
+fn verify_mac(mac: &[u8], expected: &[u8]) -> bool {
+    mac == expected // leaks matching-prefix length through timing
+}
+
+fn verify_proof(proof: &[u8; 32], want: &[u8; 32]) -> bool {
+    proof.as_slice() != want.as_slice()
+}

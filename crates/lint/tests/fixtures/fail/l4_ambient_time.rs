@@ -1,0 +1,10 @@
+// lint-fixture: path=crates/proxy/src/grant.rs rule=L4
+// Ambient clocks and sleeps in a replayable crate.
+
+fn issue_expiry() -> u64 {
+    let now = std::time::SystemTime::now(); // ambient wall clock
+    let t0 = Instant::now(); // ambient monotonic clock
+    std::thread::sleep(std::time::Duration::from_millis(1)); // wall-clock wait
+    drop((now, t0));
+    0
+}

@@ -1,0 +1,6 @@
+// lint-fixture: path=crates/wire/src/lib.rs rule=L5
+// A crate root with neither #![forbid(unsafe_code)] nor a docs lint.
+
+pub fn exported() -> u8 {
+    7
+}

@@ -1,0 +1,32 @@
+// lint-fixture: path=crates/wire/src/frame.rs rule=L1
+// The same shapes as the fail fixture, written fail-closed.
+
+enum DecodeError {
+    UnexpectedEnd,
+    ZeroTag,
+}
+
+fn parse(bytes: &[u8]) -> Result<u64, DecodeError> {
+    let first = bytes.first().ok_or(DecodeError::UnexpectedEnd)?;
+    let word = bytes
+        .get(1..5)
+        .and_then(|w| w.first_chunk::<4>())
+        .ok_or(DecodeError::UnexpectedEnd)?;
+    if *first == 0 {
+        return Err(DecodeError::ZeroTag);
+    }
+    debug_assert!(!bytes.is_empty(), "guarded by first() above");
+    let len = bytes.len() as u64; // widening: allowed
+    Ok(u64::from(u32::from_le_bytes(*word)) + len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_may_use_panicky_asserts() {
+        // unwrap/indexing in tests is exempt by design.
+        assert_eq!(parse(&[1, 2, 3, 4, 5]).ok().unwrap() > 0, true);
+    }
+}

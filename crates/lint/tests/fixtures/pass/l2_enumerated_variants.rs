@@ -1,0 +1,26 @@
+// lint-fixture: path=crates/proxy/src/restriction.rs rule=L2
+// Fail-closed shapes: enumerated variants, or a wildcard that denies.
+
+fn satisfied(r: &Restriction) -> bool {
+    match r {
+        Restriction::Quota { limit, .. } => *limit > 0,
+        Restriction::Grantee { .. } | Restriction::AcceptOnce { .. } => true,
+    }
+}
+
+fn checked(r: &Restriction) -> Result<(), Denial> {
+    match r {
+        Restriction::Quota { .. } => Ok(()),
+        // A denying wildcard is fail-closed and therefore allowed.
+        _ => Err(Denial::UnknownRestriction),
+    }
+}
+
+fn gated(r: &Restriction, lax: bool) -> bool {
+    match r {
+        Restriction::Quota { .. } => false,
+        // A guarded wildcard is a deliberate, reviewable decision.
+        _ if lax => true,
+        _ => false,
+    }
+}

@@ -1,0 +1,20 @@
+// lint-fixture: path=crates/crypto/src/keys.rs rule=L3
+// Secrets compared through ct_eq; public structure compared freely.
+
+#[derive(Clone, Eq, Hash)]
+pub struct SymmetricKey([u8; 32]);
+
+impl PartialEq for SymmetricKey {
+    fn eq(&self, other: &Self) -> bool {
+        crate::ct::ct_eq(&self.0, &other.0)
+    }
+}
+
+fn verify_mac(mac: &[u8], expected: &[u8]) -> bool {
+    // Length is public (ct_eq's own contract), bytes are not.
+    mac.len() == expected.len() && crate::ct::ct_eq(mac, expected)
+}
+
+fn version_ok(version: u8) -> bool {
+    version == 3 // no secret operand: plain == is fine
+}

@@ -1,0 +1,19 @@
+// lint-fixture: path=crates/proxy/src/grant.rs rule=L4
+// Timestamps are injected values; same inputs replay to the same bytes.
+
+fn issue_expiry(now: Timestamp, lifetime: u64) -> Timestamp {
+    now.saturating_add(lifetime)
+}
+
+fn still_valid(now: Timestamp, expires: Timestamp) -> bool {
+    now.0 <= expires.0
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_time_itself() {
+        let started = std::time::Instant::now();
+        assert!(started.elapsed().as_secs() < 60);
+    }
+}

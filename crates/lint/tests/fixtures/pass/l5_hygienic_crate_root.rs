@@ -1,0 +1,10 @@
+// lint-fixture: path=crates/wire/src/lib.rs rule=L5
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! A crate root carrying the full hygiene header.
+
+/// Documented, as the header demands.
+pub fn exported() -> u8 {
+    7
+}

@@ -3,7 +3,7 @@
 
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
 
 use proxy_wire::frame::{read_frame, write_frame};
@@ -103,11 +103,20 @@ impl TcpClient {
     /// Connections currently idle in the pool.
     #[must_use]
     pub fn pooled_connections(&self) -> usize {
-        self.pool.lock().expect("client pool lock").len()
+        self.pool_guard().len()
+    }
+
+    /// The pool holds plain `TcpStream`s with no invariant between them,
+    /// so a panic in another thread that held the lock cannot have left
+    /// the list inconsistent — recover the guard instead of propagating
+    /// the poison (which would turn one panicked caller into a panic in
+    /// every later caller).
+    fn pool_guard(&self) -> MutexGuard<'_, Vec<TcpStream>> {
+        self.pool.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     fn checkout(&self) -> Result<TcpStream, NetError> {
-        if let Some(conn) = self.pool.lock().expect("client pool lock").pop() {
+        if let Some(conn) = self.pool_guard().pop() {
             return Ok(conn);
         }
         let stream = TcpStream::connect_timeout(&self.addr, self.opts.deadline)?;
@@ -118,7 +127,7 @@ impl TcpClient {
     }
 
     fn checkin(&self, conn: TcpStream) {
-        self.pool.lock().expect("client pool lock").push(conn);
+        self.pool_guard().push(conn);
     }
 
     /// xorshift step — deterministic jitter without a global RNG.
@@ -200,5 +209,33 @@ impl Transport for TcpClient {
             attempts,
             last: Box::new(last),
         })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn pool_survives_a_poisoned_lock() {
+        let addr: SocketAddr = "127.0.0.1:9".parse().unwrap();
+        let client = Arc::new(TcpClient::new(addr, ClientOptions::default()));
+        let poisoner = Arc::clone(&client);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.pool.lock().unwrap();
+            panic!("poison the pool lock");
+        })
+        .join();
+        assert!(client.pool.lock().is_err(), "lock must be poisoned");
+
+        // Regression: the pool accessors used `.expect("client pool
+        // lock")`, so one panicked holder made every later call panic.
+        // The free-list has no cross-entry invariant; recovery is safe.
+        assert_eq!(client.pooled_connections(), 0);
+        let checked_out = client.checkout();
+        // No server is listening at the address; the only acceptable
+        // outcomes are a typed dial error — never a lock panic.
+        assert!(checked_out.is_err());
     }
 }

@@ -109,13 +109,17 @@ impl<R: KeyResolver> ServiceMux<R> {
                 None => unavailable("no group server mounted"),
                 Some(server) => {
                     let names: Vec<&str> = groups.iter().map(String::as_str).collect();
-                    let result = server
-                        .lock()
-                        .expect("group server lock")
-                        .membership_proxy(&requester, &names, validity, rng);
-                    match result {
-                        Ok(proxy) => Message::GroupGrant { proxy },
-                        Err(e) => authz_error(&e),
+                    // Fail closed on a poisoned lock: the group server's
+                    // issuance state may be mid-update, so refuse to mint
+                    // from it rather than panic or trust it.
+                    match server.lock() {
+                        Err(_) => unavailable("group server state poisoned"),
+                        Ok(mut server) => {
+                            match server.membership_proxy(&requester, &names, validity, rng) {
+                                Ok(proxy) => Message::GroupGrant { proxy },
+                                Err(e) => authz_error(&e),
+                            }
+                        }
                     }
                 }
             },
@@ -283,5 +287,56 @@ pub fn acct_error(e: &AcctError) -> Message {
     Message::Error {
         code,
         detail: e.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proxy_authz::GroupServer;
+    use proxy_crypto::keys::SymmetricKey;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use restricted_proxy::key::GrantAuthority;
+    use restricted_proxy::prelude::*;
+
+    #[test]
+    fn poisoned_group_server_lock_answers_unavailable() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let authority = GrantAuthority::SharedKey(SymmetricKey::generate(&mut rng));
+        let server = Arc::new(Mutex::new(GroupServer::new(
+            PrincipalId::new("groups"),
+            authority,
+        )));
+        let poisoner = Arc::clone(&server);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.lock().unwrap();
+            panic!("poison the group server lock");
+        })
+        .join();
+        assert!(
+            server.lock().is_err(),
+            "lock must be poisoned for this test"
+        );
+
+        // Regression: `handle` used `.expect("group server lock")`, so one
+        // panicked holder turned every later GroupQuery into a connection
+        // worker panic. It must instead fail closed with Unavailable.
+        let mux: ServiceMux = ServiceMux::new().with_groups(server);
+        let reply = mux.handle(
+            Message::GroupQuery {
+                requester: PrincipalId::new("alice"),
+                groups: vec!["staff".to_string()],
+                validity: Validity::new(Timestamp(0), Timestamp(10)),
+            },
+            &mut rng,
+        );
+        match reply {
+            Message::Error { code, detail } => {
+                assert_eq!(code, ErrorCode::Unavailable);
+                assert!(detail.contains("poisoned"));
+            }
+            other => panic!("expected Unavailable error, got {other:?}"),
+        }
     }
 }

@@ -76,8 +76,7 @@ impl TcpServer {
                     pool.execute(move || serve_connection(&stream, &mux, &stop, conn_seed));
                 }
                 // `pool` drops here: queue drains, workers join.
-            })
-            .expect("spawn acceptor thread");
+            })?;
         Ok(Self {
             addr,
             stop,
@@ -128,27 +127,34 @@ impl FrameReader {
     fn step(&mut self, stream: &mut impl Read) -> Result<Step, WireError> {
         loop {
             // Header first: validated before any body byte is buffered.
-            if self.buf.len() >= HEADER_LEN {
-                let header_bytes: [u8; HEADER_LEN] =
-                    self.buf[..HEADER_LEN].try_into().expect("len checked");
-                let header = parse_header(&header_bytes)?;
+            const EOF: WireError = WireError::Io(std::io::ErrorKind::UnexpectedEof);
+            if let Some(header_bytes) = self.buf.first_chunk::<HEADER_LEN>() {
+                let header = parse_header(header_bytes)?;
                 let total = HEADER_LEN + header.body_len as usize + TRAILER_LEN;
                 if self.buf.len() >= total {
                     let frame: Vec<u8> = self.buf.drain(..total).collect();
-                    let expected =
-                        u32::from_le_bytes(frame[total - TRAILER_LEN..].try_into().expect("4"));
-                    let actual = crc32(&frame[..total - TRAILER_LEN]);
+                    let crc_end = total - TRAILER_LEN;
+                    let expected = frame
+                        .get(crc_end..)
+                        .and_then(|t| t.first_chunk::<TRAILER_LEN>())
+                        .map(|t| u32::from_le_bytes(*t))
+                        .ok_or(EOF)?;
+                    let actual = crc32(frame.get(..crc_end).ok_or(EOF)?);
                     if expected != actual {
                         return Err(WireError::BadCrc { expected, actual });
                     }
-                    let body = frame[HEADER_LEN..total - TRAILER_LEN].to_vec();
+                    let body = frame.get(HEADER_LEN..crc_end).ok_or(EOF)?.to_vec();
                     return Ok(Step::Frame(header, body));
                 }
             }
             let mut chunk = [0u8; 4096];
             match stream.read(&mut chunk) {
-                Ok(0) => return Err(WireError::Io(std::io::ErrorKind::UnexpectedEof)),
-                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Ok(0) => return Err(EOF),
+                Ok(n) => self.buf.extend_from_slice(
+                    chunk
+                        .get(..n)
+                        .ok_or(WireError::Io(std::io::ErrorKind::InvalidData))?,
+                ),
                 Err(e)
                     if matches!(
                         e.kind(),

@@ -1,7 +1,7 @@
 //! The [`Transport`] abstraction and the deterministic in-proc loopback.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use netsim::{EndpointId, Network};
 use proxy_wire::Message;
@@ -81,7 +81,10 @@ impl<R: KeyResolver> Transport for Loopback<R> {
             .record(&self.client, &self.server, frame.len() as u64);
         let (request_id, decoded) = Message::from_frame(&frame)?;
         let reply = {
-            let mut rng = self.rng.lock().expect("loopback rng lock");
+            // The RNG is a self-contained xorshift state; a panic under
+            // the lock cannot corrupt it, so recover from poison rather
+            // than cascading the panic into every later caller.
+            let mut rng = self.rng.lock().unwrap_or_else(PoisonError::into_inner);
             self.mux.handle(decoded, &mut *rng)
         };
         let reply_frame = reply.to_frame(request_id);

@@ -190,12 +190,25 @@ impl<'a> Decoder<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
-        if self.input.len() - self.pos < n {
-            return Err(DecodeError::UnexpectedEnd);
-        }
-        let out = &self.input[self.pos..self.pos + n];
-        self.pos += n;
+        let end = self.pos.checked_add(n).ok_or(DecodeError::UnexpectedEnd)?;
+        let out = self
+            .input
+            .get(self.pos..end)
+            .ok_or(DecodeError::UnexpectedEnd)?;
+        self.pos = end;
         Ok(out)
+    }
+
+    /// Reads exactly `N` bytes as an array.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::UnexpectedEnd`] when fewer than `N` bytes remain.
+    pub fn raw_array<const N: usize>(&mut self) -> Result<[u8; N], DecodeError> {
+        self.take(N)?
+            .first_chunk::<N>()
+            .copied()
+            .ok_or(DecodeError::UnexpectedEnd)
     }
 
     /// Reads one byte.
@@ -204,7 +217,8 @@ impl<'a> Decoder<'a> {
     ///
     /// [`DecodeError::UnexpectedEnd`] when the input is exhausted.
     pub fn u8(&mut self) -> Result<u8, DecodeError> {
-        Ok(self.take(1)?[0])
+        let [b] = self.raw_array::<1>()?;
+        Ok(b)
     }
 
     /// Reads a little-endian u32.
@@ -213,8 +227,7 @@ impl<'a> Decoder<'a> {
     ///
     /// [`DecodeError::UnexpectedEnd`] when the input is exhausted.
     pub fn u32(&mut self) -> Result<u32, DecodeError> {
-        let b = self.take(4)?;
-        Ok(u32::from_le_bytes(b.try_into().expect("take(4)")))
+        Ok(u32::from_le_bytes(self.raw_array::<4>()?))
     }
 
     /// Reads a little-endian u64.
@@ -223,8 +236,7 @@ impl<'a> Decoder<'a> {
     ///
     /// [`DecodeError::UnexpectedEnd`] when the input is exhausted.
     pub fn u64(&mut self) -> Result<u64, DecodeError> {
-        let b = self.take(8)?;
-        Ok(u64::from_le_bytes(b.try_into().expect("take(8)")))
+        Ok(u64::from_le_bytes(self.raw_array::<8>()?))
     }
 
     /// Reads a u32-length-prefixed byte string.
@@ -333,6 +345,29 @@ mod tests {
         let buf = e.finish();
         let mut d = Decoder::new(&buf[..4]);
         assert_eq!(d.u64(), Err(DecodeError::UnexpectedEnd));
+    }
+
+    #[test]
+    fn every_primitive_errors_on_short_input() {
+        // Regression: these paths once sliced/`expect`ed internally; a
+        // hostile short buffer must come back as UnexpectedEnd at every
+        // width, never a panic.
+        assert_eq!(Decoder::new(&[]).u8(), Err(DecodeError::UnexpectedEnd));
+        assert_eq!(
+            Decoder::new(&[1, 2, 3]).u32(),
+            Err(DecodeError::UnexpectedEnd)
+        );
+        assert_eq!(
+            Decoder::new(&[1, 2, 3, 4, 5, 6, 7]).u64(),
+            Err(DecodeError::UnexpectedEnd)
+        );
+        assert_eq!(
+            Decoder::new(&[0u8; 31]).raw_array::<32>(),
+            Err(DecodeError::UnexpectedEnd)
+        );
+        let mut d = Decoder::new(&[9, 8]);
+        assert_eq!(d.raw_array::<2>(), Ok([9, 8]));
+        d.finish().unwrap();
     }
 
     #[test]

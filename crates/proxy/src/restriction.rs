@@ -668,7 +668,16 @@ impl RestrictionSet {
             .iter()
             .filter_map(|r| match r {
                 Restriction::Grantee { delegates, .. } => Some(delegates.iter()),
-                _ => None,
+                // Enumerated (not `_`) so a new Restriction variant forces
+                // an explicit decision here (§7.9): only `grantee` names
+                // delegates today.
+                Restriction::ForUseByGroup { .. }
+                | Restriction::IssuedFor { .. }
+                | Restriction::Quota { .. }
+                | Restriction::Authorized { .. }
+                | Restriction::GroupMembership { .. }
+                | Restriction::AcceptOnce { .. }
+                | Restriction::LimitRestriction { .. } => None,
             })
             .flatten()
             .collect()
@@ -711,7 +720,16 @@ impl RestrictionSet {
                 Restriction::LimitRestriction { servers, .. } => {
                     servers.iter().any(|s| targets.contains(s))
                 }
-                _ => true,
+                // Every unscoped restriction propagates (§7.9: restrictions
+                // are additive and never silently shed). Enumerated (not
+                // `_`) so a new variant forces a propagation decision.
+                Restriction::Grantee { .. }
+                | Restriction::ForUseByGroup { .. }
+                | Restriction::IssuedFor { .. }
+                | Restriction::Quota { .. }
+                | Restriction::Authorized { .. }
+                | Restriction::GroupMembership { .. }
+                | Restriction::AcceptOnce { .. } => true,
             })
             .cloned()
             .collect();
@@ -1046,6 +1064,27 @@ mod tests {
     fn decode_rejects_bad_tag() {
         let mut e = Encoder::new();
         e.count(1).u8(99);
+        let buf = e.finish();
+        let mut d = Decoder::new(&buf);
+        assert_eq!(
+            RestrictionSet::decode_from(&mut d),
+            Err(DecodeError::BadTag(99))
+        );
+    }
+
+    #[test]
+    fn unknown_restriction_nested_in_limit_restriction_is_rejected() {
+        // §7.9: a verifier must never skip a restriction it does not
+        // understand. The decode layer enforces this structurally —
+        // including for restrictions smuggled *inside* a
+        // limit-restriction's nested list, which is the spot a lazy
+        // decoder would be most tempted to skip over.
+        let mut e = Encoder::new();
+        e.count(1); // one restriction in the set
+        e.u8(8).count(1); // limit-restriction, one server
+        e.str("s");
+        e.count(1); // one nested restriction ...
+        e.u8(99); // ... with an unknown tag
         let buf = e.finish();
         let mut d = Decoder::new(&buf);
         assert_eq!(

@@ -318,8 +318,9 @@ impl<R: KeyResolver> Verifier<R> {
 }
 
 fn grantee_satisfied(restrictions: &RestrictionSet, authenticated: &[PrincipalId]) -> bool {
+    use crate::restriction::Restriction;
     restrictions.iter().all(|r| match r {
-        crate::restriction::Restriction::Grantee {
+        Restriction::Grantee {
             delegates,
             required,
         } => {
@@ -329,7 +330,17 @@ fn grantee_satisfied(restrictions: &RestrictionSet, authenticated: &[PrincipalId
                 .count() as u32
                 >= *required
         }
-        _ => true,
+        // This helper decides only the *grantee* question; the other
+        // restrictions are enforced by `RestrictionSet::evaluate` during
+        // chain verification. Enumerated (not `_`) so a new variant
+        // forces an explicit decision here (§7.9).
+        Restriction::ForUseByGroup { .. }
+        | Restriction::IssuedFor { .. }
+        | Restriction::Quota { .. }
+        | Restriction::Authorized { .. }
+        | Restriction::GroupMembership { .. }
+        | Restriction::AcceptOnce { .. }
+        | Restriction::LimitRestriction { .. } => true,
     }) && restrictions.has_grantee()
 }
 

@@ -50,17 +50,19 @@ pub struct FrameHeader {
 /// [`WireError::BadMagic`], [`WireError::UnsupportedVersion`], or
 /// [`WireError::FrameTooLarge`] — all decided from these 18 bytes alone.
 pub fn parse_header(bytes: &[u8; HEADER_LEN]) -> Result<FrameHeader, WireError> {
-    let magic: [u8; 4] = bytes[0..4].try_into().expect("slice of 4");
+    // Array-pattern destructuring: the compiler proves every field
+    // access fits in the 18 bytes, so no slice can panic.
+    let [m0, m1, m2, m3, version, msg_type, r0, r1, r2, r3, r4, r5, r6, r7, l0, l1, l2, l3] =
+        *bytes;
+    let magic = [m0, m1, m2, m3];
     if magic != MAGIC {
         return Err(WireError::BadMagic(magic));
     }
-    let version = bytes[4];
     if version != PROTOCOL_VERSION {
         return Err(WireError::UnsupportedVersion(version));
     }
-    let msg_type = bytes[5];
-    let request_id = u64::from_le_bytes(bytes[6..14].try_into().expect("slice of 8"));
-    let body_len = u32::from_le_bytes(bytes[14..18].try_into().expect("slice of 4"));
+    let request_id = u64::from_le_bytes([r0, r1, r2, r3, r4, r5, r6, r7]);
+    let body_len = u32::from_le_bytes([l0, l1, l2, l3]);
     if body_len > MAX_FRAME_BODY {
         return Err(WireError::FrameTooLarge {
             len: body_len,
@@ -112,23 +114,28 @@ pub fn encode_frame(msg_type: u8, request_id: u64, body: &[u8]) -> Vec<u8> {
 /// [`WireError::Decode`]) when the buffer continues past the frame.
 pub fn decode_frame(bytes: &[u8]) -> Result<(FrameHeader, &[u8]), WireError> {
     use restricted_proxy::encode::DecodeError;
-    if bytes.len() < HEADER_LEN {
-        return Err(WireError::Io(std::io::ErrorKind::UnexpectedEof));
-    }
-    let header: [u8; HEADER_LEN] = bytes[..HEADER_LEN].try_into().expect("len checked");
-    let header = parse_header(&header)?;
-    let total = HEADER_LEN + header.body_len as usize + TRAILER_LEN;
+    const EOF: WireError = WireError::Io(std::io::ErrorKind::UnexpectedEof);
+    let Some((header_bytes, rest)) = bytes.split_first_chunk::<HEADER_LEN>() else {
+        return Err(EOF);
+    };
+    let header = parse_header(header_bytes)?;
+    let body_len = header.body_len as usize;
+    let total = HEADER_LEN + body_len + TRAILER_LEN;
     if bytes.len() < total {
-        return Err(WireError::Io(std::io::ErrorKind::UnexpectedEof));
+        return Err(EOF);
     }
     if bytes.len() > total {
         return Err(WireError::Decode(DecodeError::TrailingBytes(
             bytes.len() - total,
         )));
     }
-    let body = &bytes[HEADER_LEN..HEADER_LEN + header.body_len as usize];
-    let expected = u32::from_le_bytes(bytes[total - TRAILER_LEN..total].try_into().expect("4"));
-    let actual = crc32(&bytes[..total - TRAILER_LEN]);
+    let body = rest.get(..body_len).ok_or(EOF)?;
+    let trailer = rest
+        .get(body_len..)
+        .and_then(|t| t.first_chunk::<TRAILER_LEN>())
+        .ok_or(EOF)?;
+    let expected = u32::from_le_bytes(*trailer);
+    let actual = crc32(bytes.get(..total - TRAILER_LEN).ok_or(EOF)?);
     if expected != actual {
         return Err(WireError::BadCrc { expected, actual });
     }

@@ -743,7 +743,7 @@ fn decode_proxy(d: &mut Decoder<'_>) -> Result<Proxy, WireError> {
                 .map_err(|_| DecodeError::InvalidValue("bad symmetric proxy key"))?,
         ),
         1 => {
-            let seed: [u8; 32] = d.raw(32)?.try_into().expect("raw(32) is 32 bytes");
+            let seed = d.raw_array::<32>()?;
             ProxyKey::Ed25519(SigningKey::from_seed(&seed))
         }
         t => return Err(DecodeError::BadTag(t).into()),

@@ -38,6 +38,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub use kerberos_sim as kerberos;
 pub use netsim;
