@@ -33,6 +33,14 @@ RUST_TEST_THREADS=8 cargo test --release -q --test concurrency
 cargo test --release -q --test net_integration
 cargo test --release -q -p proxy-wire --test proptests --test corpus
 
+# Pipelined wire path (DESIGN.md §12): correlation of out-of-order
+# replies, accept-once/fail-closed invariants under deep pipelines and
+# racing clients, pooled-connection recovery after (mid-frame)
+# disconnects, and the seal micro-batcher's failure isolation — release
+# mode so the Ed25519 batch equations run at full speed.
+cargo test --release -q --test pipeline
+cargo test --release -q --test security_adversarial forged_seal_in_a_micro_batch
+
 # Documentation gate: rustdoc warnings (broken intra-doc links, bad
 # HTML) are errors.
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q

@@ -1,9 +1,11 @@
 //! The accounting server (§4): accounts, check collection, certification.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use rand::RngCore;
 
+use restricted_proxy::batcher::SealBatcher;
 use restricted_proxy::cache::VerifiedCertCache;
 use restricted_proxy::context::RequestContext;
 use restricted_proxy::key::{GrantAuthority, GrantorVerifier, MapResolver};
@@ -134,6 +136,29 @@ impl AccountingServer {
     #[must_use]
     pub fn seal_cache(&self) -> Option<&VerifiedCertCache> {
         self.verifier.seal_cache()
+    }
+
+    /// Attaches a (typically process-shared) cross-request seal batcher:
+    /// check and endorsement seal verification from concurrently-served
+    /// deposits then shares one combined batch equation; see
+    /// [`restricted_proxy::batcher::SealBatcher`].
+    #[must_use]
+    pub fn with_seal_batcher(mut self, batcher: Arc<SealBatcher>) -> Self {
+        self.verifier = self.verifier.with_seal_batcher(batcher);
+        self
+    }
+
+    /// Sizes the accept-once replay guard for this server's expected
+    /// check volume. The guard is bounded fail-closed
+    /// ([`ReplayCache`]): once full of unexpired identifiers it denies
+    /// further deposits rather than forgetting a spent check, so a
+    /// deployment (or benchmark) that clears more than
+    /// [`ReplayCache::DEFAULT_CAPACITY`] live checks must provision it
+    /// explicitly.
+    #[must_use]
+    pub fn with_replay_capacity(mut self, capacity: usize) -> Self {
+        self.replay = ReplayCache::with_capacity(capacity, ReplayCache::DEFAULT_SHARDS);
+        self
     }
 
     /// Opens an account.
@@ -642,6 +667,56 @@ mod tests {
         assert!(matches!(err, AcctError::Verify(_)), "got {err:?}");
         // Balance unchanged by the replay.
         assert_eq!(f.bank.account("carol-acct").unwrap().balance(&usd()), 450);
+    }
+
+    #[test]
+    fn replay_guard_capacity_is_provisionable_and_fail_closed() {
+        // Undersized guard (~one slot per stripe): a burst of distinct
+        // checks must see denials once the stripes fill — the guard
+        // fails closed rather than forgetting a spent check — and every
+        // deposit that does settle moves exactly its face value.
+        let mut f = fixture();
+        f.bank = f.bank.with_replay_capacity(1);
+        let mut settled = 0u64;
+        for no in 1..=40 {
+            let check = carol_check(&mut f, no, 1);
+            if f.bank
+                .deposit(
+                    &check,
+                    &p("shop"),
+                    "shop-acct",
+                    p("bank"),
+                    Timestamp(1),
+                    &mut f.rng,
+                )
+                .is_ok()
+            {
+                settled += 1;
+            }
+        }
+        assert!(settled < 40, "undersized accept-once guard fails closed");
+        assert_eq!(
+            f.bank.account("shop-acct").unwrap().balance(&usd()),
+            settled
+        );
+
+        // Provisioned for the volume, the same burst settles completely.
+        let mut f = fixture();
+        f.bank = f.bank.with_replay_capacity(4096);
+        for no in 1..=40 {
+            let check = carol_check(&mut f, no, 1);
+            f.bank
+                .deposit(
+                    &check,
+                    &p("shop"),
+                    "shop-acct",
+                    p("bank"),
+                    Timestamp(1),
+                    &mut f.rng,
+                )
+                .expect("provisioned guard admits distinct checks");
+        }
+        assert_eq!(f.bank.account("shop-acct").unwrap().balance(&usd()), 40);
     }
 
     #[test]

@@ -10,9 +10,11 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use rand::RngCore;
 
+use restricted_proxy::batcher::SealBatcher;
 use restricted_proxy::context::RequestContext;
 use restricted_proxy::key::{GrantAuthority, KeyResolver};
 use restricted_proxy::present::Presentation;
@@ -61,6 +63,15 @@ impl<R: KeyResolver> AuthorizationServer<R> {
             replay: ReplayCache::new(),
             next_serial: AtomicU64::new(1),
         }
+    }
+
+    /// Attaches a (typically process-shared) cross-request seal batcher
+    /// for the group proxies this server verifies; see
+    /// [`restricted_proxy::batcher::SealBatcher`].
+    #[must_use]
+    pub fn with_seal_batcher(mut self, batcher: Arc<SealBatcher>) -> Self {
+        self.verifier = self.verifier.with_seal_batcher(batcher);
+        self
     }
 
     /// The server's principal name.

@@ -424,6 +424,63 @@ fn networked() {
     println!("wrote BENCH_net.json");
 }
 
+/// Runs the pipelined wire path (depth × batch-flush sweeps, see
+/// `proxy_bench::pipeline`) and persists the results to
+/// `BENCH_pipeline.json`.
+fn pipelined() {
+    use proxy_bench::pipeline::{run, PipelineOptions};
+
+    let opts = PipelineOptions::default();
+    let report = run(&opts);
+    for series in &report.depth_sweep {
+        report_row(
+            "P",
+            &format!("{}/parity", series.path),
+            1,
+            format!(
+                "{:.0} ops/s, p50 {} µs",
+                series.parity.ops_per_sec, series.parity.p50_us
+            ),
+            "",
+        );
+        for point in &series.points {
+            report_row(
+                "P",
+                series.path,
+                point.depth,
+                format!(
+                    "{:.0} ops/s, p50 {} µs, p99 {} µs, {:.2}x vs depth 1",
+                    point.ops_per_sec, point.p50_us, point.p99_us, point.speedup_vs_depth1
+                ),
+                "",
+            );
+        }
+    }
+    for b in &report.batch_sweep {
+        report_row(
+            "P",
+            "fig5-batch-sweep",
+            b.flush_max,
+            format!(
+                "{:.0} ops/s, p50 {} µs, {} batched / {} inline seal checks in {} batches",
+                b.point.ops_per_sec, b.point.p50_us, b.batched_checks, b.inline_verifies, b.batches
+            ),
+            "",
+        );
+    }
+    report_row("P", "host-parallelism", 1, report.host_parallelism, "cpus");
+    // Gate before persisting: a run that fails the regression check must
+    // not overwrite the recorded results with its own.
+    let gate = report.best_speedup_at_depth(16);
+    println!("best pipelining speedup at depth >= 16: {gate:.2}x (target >= 2x)");
+    assert!(
+        gate >= 2.0,
+        "pipelining throughput gain regressed below 2x over the depth-1 baseline"
+    );
+    std::fs::write("BENCH_pipeline.json", report.to_json()).expect("write BENCH_pipeline.json");
+    println!("wrote BENCH_pipeline.json");
+}
+
 fn main() {
     if std::env::args().any(|arg| arg == "--ablate-crypto") {
         ablate_crypto();
@@ -435,6 +492,10 @@ fn main() {
     }
     if std::env::args().any(|arg| arg == "--net") {
         networked();
+        return;
+    }
+    if std::env::args().any(|arg| arg == "--pipeline") {
+        pipelined();
         return;
     }
     f1_sizes();

@@ -15,6 +15,7 @@
 #![warn(missing_docs)]
 
 pub mod netbench;
+pub mod pipeline;
 pub mod seed_ed25519;
 pub mod throughput;
 

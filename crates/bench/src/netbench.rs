@@ -21,13 +21,14 @@
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use proxy_accounting::{write_check, AccountingServer};
+use proxy_accounting::{write_check, AccountingServer, Check};
 use proxy_authz::{Acl, AclRights, AclSubject, AuthorizationServer, EndServer};
 use proxy_crypto::ed25519::SigningKey;
 use proxy_crypto::keys::SymmetricKey;
 use proxy_net::{api, ClientOptions, Deposit, ServiceMux, TcpClient, TcpServer};
 use proxy_runtime::closed_loop;
 use proxy_wire::Message;
+use rand::rngs::StdRng;
 use restricted_proxy::prelude::*;
 
 use crate::{rng, window};
@@ -37,8 +38,12 @@ use crate::{rng, window};
 pub struct NetOptions {
     /// Thread counts to sweep (the scaling axis).
     pub thread_counts: Vec<usize>,
-    /// Closed-loop operations per client thread.
+    /// Closed-loop operations per client thread (measured).
     pub ops_per_thread: u64,
+    /// Unmeasured operations per client thread run before each point, so
+    /// connection dials, allocator warm-up, and server-side caches are
+    /// out of the timed window.
+    pub warmup_per_thread: u64,
     /// Server connection-worker threads.
     pub workers: usize,
     /// Certificate-chain depth for the cascade path (Fig. 4).
@@ -49,7 +54,11 @@ impl Default for NetOptions {
     fn default() -> Self {
         Self {
             thread_counts: vec![1, 2, 4, 8],
-            ops_per_thread: 300,
+            // 300 ops/thread put the p99 within spitting distance of the
+            // sample noise floor; 1500 + warm-up makes repeat runs agree
+            // to a few percent.
+            ops_per_thread: 1500,
+            warmup_per_thread: 150,
             workers: 8,
             cascade_depth: 4,
         }
@@ -63,9 +72,17 @@ impl NetOptions {
         Self {
             thread_counts: vec![1, 2],
             ops_per_thread: 20,
+            warmup_per_thread: 2,
             workers: 4,
             cascade_depth: 2,
         }
+    }
+
+    /// Total operations (warm-up + measured) one payor issues across the
+    /// whole sweep — the funding a fig5 account needs.
+    #[must_use]
+    pub fn total_ops_per_payor(&self) -> u64 {
+        (self.ops_per_thread + self.warmup_per_thread) * self.thread_counts.len() as u64
     }
 }
 
@@ -186,13 +203,22 @@ fn percentile(sorted: &[u64], pct: f64) -> u64 {
 
 /// Runs `threads × ops` closed-loop operations against `client`,
 /// timing each call, and folds the runtime report plus latency
-/// percentiles into a [`NetPoint`].
+/// percentiles into a [`NetPoint`]. An unmeasured warm-up pass of
+/// `warmup` operations per thread runs first (same op, same threads),
+/// so pooled connections exist and caches are hot before the clock
+/// starts. Warm-up op indices continue past the measured range so ops
+/// needing unique inputs stay unique.
 fn measure(
     threads: usize,
     ops: u64,
+    warmup: u64,
     client: &TcpClient,
     op: impl Fn(&TcpClient, usize, u64) + Sync,
 ) -> NetPoint {
+    if warmup > 0 {
+        let op = &op;
+        closed_loop(threads, warmup, |t| move |i| op(client, t, ops + i));
+    }
     let latencies: Mutex<Vec<u64>> = Mutex::new(Vec::with_capacity(threads * ops as usize));
     let report = closed_loop(threads, ops, |t| {
         let latencies = &latencies;
@@ -220,8 +246,9 @@ fn client_for(server: &TcpServer) -> TcpClient {
     TcpClient::new(server.addr(), ClientOptions::default())
 }
 
-/// Fig. 3 over TCP: N clients requesting authorization proxies.
-fn fig3_series(opts: &NetOptions) -> NetSeries {
+/// The Fig. 3 world: an authorization server where client `C` may read
+/// object `X` at end-server `S`. Shared with the pipeline harness.
+pub(crate) fn fig3_mux() -> Arc<ServiceMux<MapResolver>> {
     let mut setup = rng(31);
     let r_key = SymmetricKey::generate(&mut setup);
     let mut authz =
@@ -233,26 +260,36 @@ fn fig3_series(opts: &NetOptions) -> NetSeries {
             AclRights::ops(vec![Operation::new("read")]),
         ),
     );
-    let mux = Arc::new(ServiceMux::new().with_authz(Arc::new(authz)));
-    let server = TcpServer::spawn(mux, opts.workers, 31).expect("spawn authz server");
+    Arc::new(ServiceMux::new().with_authz(Arc::new(authz)))
+}
+
+/// Fig. 3 over TCP: N clients requesting authorization proxies.
+fn fig3_series(opts: &NetOptions) -> NetSeries {
+    let server = TcpServer::spawn(fig3_mux(), opts.workers, 31).expect("spawn authz server");
     let client = client_for(&server);
     let points = opts
         .thread_counts
         .iter()
         .map(|&t| {
-            measure(t, opts.ops_per_thread, &client, |c, _t, _i| {
-                api::request_authorization(
-                    c,
-                    &p("C"),
-                    vec![],
-                    &p("S"),
-                    &Operation::new("read"),
-                    &ObjectName::new("X"),
-                    window(),
-                    Timestamp(1),
-                )
-                .expect("authorized over TCP");
-            })
+            measure(
+                t,
+                opts.ops_per_thread,
+                opts.warmup_per_thread,
+                &client,
+                |c, _t, _i| {
+                    api::request_authorization(
+                        c,
+                        &p("C"),
+                        vec![],
+                        &p("S"),
+                        &Operation::new("read"),
+                        &ObjectName::new("X"),
+                        window(),
+                        Timestamp(1),
+                    )
+                    .expect("authorized over TCP");
+                },
+            )
         })
         .collect();
     NetSeries {
@@ -263,7 +300,7 @@ fn fig3_series(opts: &NetOptions) -> NetSeries {
 
 /// A re-presentable bearer cascade of `depth` certificates, plus the
 /// end-server that accepts it.
-fn cascade_world(depth: usize) -> (EndServer<MapResolver>, Proxy) {
+pub(crate) fn cascade_world(depth: usize) -> (EndServer<MapResolver>, Proxy) {
     let mut r = rng(32);
     let shared = SymmetricKey::generate(&mut r);
     let grantor = p("alice");
@@ -308,19 +345,25 @@ fn fig4_series(opts: &NetOptions) -> NetSeries {
         .thread_counts
         .iter()
         .map(|&t| {
-            measure(t, opts.ops_per_thread, &client, |c, t, _i| {
-                let (principals, _groups) = api::end_request(
-                    c,
-                    &Operation::new("read"),
-                    &ObjectName::new("doc"),
-                    vec![],
-                    vec![presentations[t].clone()],
-                    Timestamp(1),
-                    vec![],
-                )
-                .expect("cascade accepted over TCP");
-                assert!(principals.contains(&p("alice")));
-            })
+            measure(
+                t,
+                opts.ops_per_thread,
+                opts.warmup_per_thread,
+                &client,
+                |c, t, _i| {
+                    let (principals, _groups) = api::end_request(
+                        c,
+                        &Operation::new("read"),
+                        &ObjectName::new("doc"),
+                        vec![],
+                        vec![presentations[t].clone()],
+                        Timestamp(1),
+                        vec![],
+                    )
+                    .expect("cascade accepted over TCP");
+                    assert!(principals.contains(&p("alice")));
+                },
+            )
         })
         .collect();
     NetSeries {
@@ -329,12 +372,15 @@ fn fig4_series(opts: &NetOptions) -> NetSeries {
     }
 }
 
-/// Fig. 5 over TCP: N payors' checks deposited to the shop's account on
-/// the drawee server. Conservation asserted after every sweep point.
-fn fig5_series(opts: &NetOptions) -> NetSeries {
+/// The Fig. 5 world: a drawee bank with a shop account plus one
+/// keypair-backed payor account per possible worker thread, each funded
+/// with `funding_per_payor` units. Shared with the pipeline harness,
+/// which wraps the returned server in a seal batcher before serving.
+pub(crate) fn fig5_bank(
+    max_threads: usize,
+    funding_per_payor: u64,
+) -> (AccountingServer, Vec<GrantAuthority>) {
     let mut setup = rng(33);
-    let max_threads = opts.thread_counts.iter().copied().max().unwrap_or(1);
-    let total_ops: u64 = opts.ops_per_thread * opts.thread_counts.iter().sum::<usize>() as u64;
     let bank_key = SigningKey::generate(&mut setup);
     let mut bank = AccountingServer::new(p("bank"), GrantAuthority::Keypair(bank_key));
     bank.open_account("shop", vec![p("shop")]);
@@ -350,9 +396,39 @@ fn fig5_series(opts: &NetOptions) -> NetSeries {
         // Enough for every sweep point this payor participates in.
         bank.account_mut(&format!("acct{t}"))
             .unwrap()
-            .credit(Currency::new("USD"), total_ops);
+            .credit(Currency::new("USD"), funding_per_payor);
         authorities.push(GrantAuthority::Keypair(key));
     }
+    (bank, authorities)
+}
+
+/// One signed check drawn on the Fig. 5 bank, payable to the shop.
+/// `check_no` must be globally unique (accept-once on the drawee).
+pub(crate) fn fig5_check(
+    payor: usize,
+    authority: &GrantAuthority,
+    check_no: u64,
+    client_rng: &mut StdRng,
+) -> Check {
+    write_check(
+        &p(&format!("payor{payor}")),
+        authority,
+        &p("bank"),
+        &format!("acct{payor}"),
+        p("shop"),
+        check_no,
+        Currency::new("USD"),
+        1,
+        window(),
+        client_rng,
+    )
+}
+
+/// Fig. 5 over TCP: N payors' checks deposited to the shop's account on
+/// the drawee server. Conservation asserted after every sweep point.
+fn fig5_series(opts: &NetOptions) -> NetSeries {
+    let max_threads = opts.thread_counts.iter().copied().max().unwrap_or(1);
+    let (bank, authorities) = fig5_bank(max_threads, opts.total_ops_per_payor());
     let bank = Arc::new(bank);
     let mux = Arc::new(ServiceMux::<MapResolver>::new().with_accounting(Arc::clone(&bank)));
     let server = TcpServer::spawn(mux, opts.workers, 33).expect("spawn accounting server");
@@ -366,36 +442,32 @@ fn fig5_series(opts: &NetOptions) -> NetSeries {
         .thread_counts
         .iter()
         .map(|&t| {
-            let pt = measure(t, opts.ops_per_thread, &client, |c, t, i| {
-                let mut client_rng = rng(5_000 + t as u64 * 10_000 + i);
-                let check_no = check_seq.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                let check = write_check(
-                    &p(&format!("payor{t}")),
-                    &authorities[t],
-                    &p("bank"),
-                    &format!("acct{t}"),
-                    p("shop"),
-                    check_no,
-                    Currency::new("USD"),
-                    1,
-                    window(),
-                    &mut client_rng,
-                );
-                let outcome = api::deposit_check(
-                    c,
-                    check.proxy,
-                    &p("shop"),
-                    "shop",
-                    &p("bank"),
-                    Timestamp(1),
-                )
-                .expect("deposit settles over TCP");
-                assert!(
-                    matches!(outcome, Deposit::Settled { .. }),
-                    "same-bank deposit settles"
-                );
-            });
-            deposited += pt.total_ops;
+            let pt = measure(
+                t,
+                opts.ops_per_thread,
+                opts.warmup_per_thread,
+                &client,
+                |c, t, i| {
+                    let mut client_rng = rng(5_000 + t as u64 * 10_000 + i);
+                    let check_no = check_seq.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let check = fig5_check(t, &authorities[t], check_no, &mut client_rng);
+                    let outcome = api::deposit_check(
+                        c,
+                        check.proxy,
+                        &p("shop"),
+                        "shop",
+                        &p("bank"),
+                        Timestamp(1),
+                    )
+                    .expect("deposit settles over TCP");
+                    assert!(
+                        matches!(outcome, Deposit::Settled { .. }),
+                        "same-bank deposit settles"
+                    );
+                },
+            );
+            // Warm-up deposits also land in the shop account.
+            deposited += pt.total_ops + opts.warmup_per_thread * t as u64;
             // Conservation: every deposited unit is in the shop account.
             assert_eq!(
                 bank.account("shop")

@@ -1,16 +1,21 @@
-//! Pooled blocking TCP client with deadlines, bounded retries, and
-//! jittered backoff.
+//! Pooled blocking TCP client with deadlines, bounded retries, jittered
+//! backoff, and per-connection pipelining
+//! ([`TcpClient::call_pipelined`]).
 
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard, PoisonError};
-use std::time::Duration;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
 
-use proxy_wire::frame::{read_frame, write_frame};
-use proxy_wire::Message;
+use proxy_wire::frame::{read_frame, split_frame, write_frame_vectored};
+use proxy_wire::{BufPool, Message};
 
 use crate::error::NetError;
 use crate::transport::Transport;
+
+/// Bytes pulled from the socket per pipelined read: large enough to
+/// drain a full window of typical replies in one syscall.
+const READ_CHUNK: usize = 16 * 1024;
 
 /// Retry budget for a call: how many attempts, and how long to back off
 /// between them.
@@ -84,6 +89,8 @@ pub struct TcpClient {
     pool: Mutex<Vec<TcpStream>>,
     next_id: AtomicU64,
     jitter: AtomicU64,
+    /// Scratch buffers for batched pipeline sends.
+    bufs: Arc<BufPool>,
 }
 
 impl TcpClient {
@@ -97,6 +104,7 @@ impl TcpClient {
             pool: Mutex::new(Vec::new()),
             next_id: AtomicU64::new(1),
             jitter: AtomicU64::new(jitter.into_inner()),
+            bufs: Arc::new(BufPool::default()),
         }
     }
 
@@ -115,10 +123,17 @@ impl TcpClient {
         self.pool.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    fn checkout(&self) -> Result<TcpStream, NetError> {
+    /// Checks out a connection; the flag says whether it came from the
+    /// pool (and may therefore have been closed by the server while it
+    /// sat idle) or was freshly dialed.
+    fn checkout(&self) -> Result<(TcpStream, bool), NetError> {
         if let Some(conn) = self.pool_guard().pop() {
-            return Ok(conn);
+            return Ok((conn, true));
         }
+        Ok((self.dial()?, false))
+    }
+
+    fn dial(&self) -> Result<TcpStream, NetError> {
         let stream = TcpStream::connect_timeout(&self.addr, self.opts.deadline)?;
         stream.set_read_timeout(Some(self.opts.deadline))?;
         stream.set_write_timeout(Some(self.opts.deadline))?;
@@ -155,9 +170,28 @@ impl TcpClient {
     }
 
     fn try_call(&self, request: &Message) -> Result<Message, NetError> {
+        let (conn, pooled) = self.checkout()?;
+        match self.exchange(conn, request) {
+            // A kept-alive connection the server closed while it sat
+            // idle fails with a disconnect the moment it is exercised.
+            // That says nothing about the server or the request: discard
+            // the stale socket and redial fresh, once, without spending
+            // the caller's retry budget (and without re-sleeping a
+            // backoff the caller never asked for).
+            Err(NetError::Disconnected) if pooled => {
+                let fresh = self.dial()?;
+                self.exchange(fresh, request)
+            }
+            other => other,
+        }
+    }
+
+    /// One request/reply exchange on `conn`; checks the connection back
+    /// in only after a fully successful exchange (anything less leaves
+    /// the stream state unknowable).
+    fn exchange(&self, mut conn: TcpStream, request: &Message) -> Result<Message, NetError> {
         let request_id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let mut conn = self.checkout()?;
-        write_frame(
+        write_frame_vectored(
             &mut conn,
             request.msg_type(),
             request_id,
@@ -168,14 +202,197 @@ impl TcpClient {
             return Err(NetError::Protocol("reply request id mismatch"));
         }
         let reply = Message::decode_body(header.msg_type, &body)?;
-        // Only a fully successful exchange proves the stream is clean
-        // enough to reuse.
         self.checkin(conn);
         match reply {
             Message::Error { code, detail } => Err(NetError::Remote { code, detail }),
             message => Ok(message),
         }
     }
+
+    /// Issues `requests` over **one** connection with up to `depth`
+    /// in flight at a time, returning one result per request, in request
+    /// order.
+    ///
+    /// Requests are batch-encoded into a pooled scratch buffer and sent
+    /// with one write per window top-up; replies are matched to requests
+    /// by correlation id, so the server may answer out of order. Each
+    /// request keeps its own deadline, measured from the moment it was
+    /// sent. A transport failure poisons the stream: every request still
+    /// outstanding fails with a clone of the same error and the
+    /// connection is discarded. Server-side denials and malformed reply
+    /// bodies are per-request results and do not disturb the pipeline.
+    ///
+    /// `depth = 1` degenerates to sequential calls on a kept-alive
+    /// connection. No retries are attempted beyond the transparent
+    /// stale-pooled-connection redial.
+    pub fn call_pipelined(
+        &self,
+        requests: &[Message],
+        depth: usize,
+    ) -> Vec<Result<Message, NetError>> {
+        if requests.is_empty() {
+            return Vec::new();
+        }
+        let (conn, pooled) = match self.checkout() {
+            Ok(c) => c,
+            Err(e) => return requests.iter().map(|_| Err(e.clone())).collect(),
+        };
+        let mut run = self.run_pipeline(conn, requests, depth);
+        if pooled && !run.any_reply && run.failure == Some(NetError::Disconnected) {
+            // Stale pooled connection (see `try_call`): nothing was ever
+            // answered, so the whole pipeline transparently restarts on
+            // a fresh dial.
+            match self.dial() {
+                Ok(fresh) => run = self.run_pipeline(fresh, requests, depth),
+                Err(e) => run.failure = Some(e),
+            }
+        }
+        let failure = run
+            .failure
+            .unwrap_or(NetError::Protocol("pipeline slot left unfilled"));
+        run.results
+            .into_iter()
+            .map(|slot| slot.unwrap_or_else(|| Err(failure.clone())))
+            .collect()
+    }
+
+    /// Drives one pipeline over `conn`. On clean completion the
+    /// connection is checked back in; on failure it is dropped.
+    ///
+    /// The send window refills at a low watermark (half of `depth`),
+    /// batch-encoding the refill into one pooled buffer and one write;
+    /// replies are pulled off the socket in [`READ_CHUNK`]-sized reads
+    /// and split out of the buffer in place, so a deep pipeline costs a
+    /// couple of syscalls per window rather than several per reply.
+    fn run_pipeline(&self, mut conn: TcpStream, requests: &[Message], depth: usize) -> PipelineRun {
+        let depth = depth.max(1);
+        let mut run = PipelineRun {
+            results: requests.iter().map(|_| None).collect(),
+            failure: None,
+            any_reply: false,
+        };
+        // Outstanding requests: (request id, request index, deadline).
+        // A bounded window (≤ `depth` ≤ a few dozen) makes a linear
+        // scan of a small vector cheaper than hashing every id.
+        let mut inflight: Vec<(u64, usize, Instant)> = Vec::with_capacity(depth);
+        let mut next = 0;
+        let mut inbuf = self.bufs.get();
+        let mut consumed = 0;
+        'pipeline: while next < requests.len() || !inflight.is_empty() {
+            // Refill the window once it drains to the watermark:
+            // batch-encode into one pooled buffer, one write for the
+            // whole refill.
+            if next < requests.len() && inflight.len() <= depth / 2 {
+                let mut out = self.bufs.get();
+                // One clock read covers the whole refill: every request
+                // in this batch is sent by the same write below, so a
+                // shared send timestamp is the honest one.
+                let sent_deadline = Instant::now() + self.opts.deadline;
+                while next < requests.len() && inflight.len() < depth {
+                    let Some(request) = requests.get(next) else {
+                        break;
+                    };
+                    let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+                    request.encode_frame_into(&mut out, id);
+                    inflight.push((id, next, sent_deadline));
+                    next += 1;
+                }
+                if let Err(e) = std::io::Write::write_all(&mut conn, &out)
+                    .and_then(|()| std::io::Write::flush(&mut conn))
+                {
+                    run.failure = Some(NetError::from(e));
+                    break;
+                }
+            }
+            // Deliver every complete reply already buffered; only hit
+            // the socket when the buffer runs dry.
+            loop {
+                match split_frame(inbuf.get(consumed..).unwrap_or(&[])) {
+                    Ok(Some((header, body, used))) => {
+                        let Some(slot_at) = inflight
+                            .iter()
+                            .position(|&(id, _, _)| id == header.request_id)
+                        else {
+                            run.failure = Some(NetError::Protocol("reply to unknown request id"));
+                            break 'pipeline;
+                        };
+                        let (_, index, _) = inflight.swap_remove(slot_at);
+                        run.any_reply = true;
+                        let result = match Message::decode_body(header.msg_type, body) {
+                            Ok(Message::Error { code, detail }) => {
+                                Err(NetError::Remote { code, detail })
+                            }
+                            Ok(message) => Ok(message),
+                            // Framing stayed intact; a garbled body
+                            // fails only its own request.
+                            Err(e) => Err(NetError::from(e)),
+                        };
+                        if let Some(slot) = run.results.get_mut(index) {
+                            *slot = Some(result);
+                        }
+                        consumed += used;
+                        continue 'pipeline;
+                    }
+                    Ok(None) => {}
+                    // Broken framing (bad magic, CRC mismatch, …): the
+                    // byte stream can no longer be trusted.
+                    Err(e) => {
+                        run.failure = Some(NetError::from(e));
+                        break 'pipeline;
+                    }
+                }
+                inbuf.drain(..consumed);
+                consumed = 0;
+                // Read more bytes, bounded by the earliest outstanding
+                // deadline.
+                let Some(earliest) = inflight.iter().map(|&(_, _, d)| d).min() else {
+                    continue 'pipeline;
+                };
+                let remaining = earliest.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    run.failure = Some(NetError::DeadlineExceeded);
+                    break 'pipeline;
+                }
+                if conn.set_read_timeout(Some(remaining)).is_err() {
+                    run.failure = Some(NetError::Io(std::io::ErrorKind::Other));
+                    break 'pipeline;
+                }
+                let mut chunk = [0u8; READ_CHUNK];
+                match std::io::Read::read(&mut conn, &mut chunk) {
+                    Ok(0) => {
+                        run.failure = Some(NetError::Disconnected);
+                        break 'pipeline;
+                    }
+                    Ok(n) => inbuf.extend_from_slice(chunk.get(..n).unwrap_or(&[])),
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(e) => {
+                        run.failure = Some(NetError::from(e));
+                        break 'pipeline;
+                    }
+                }
+            }
+        }
+        // Unconsumed trailing bytes mean the stream is out of sync with
+        // the request/reply protocol — never pool such a connection.
+        if run.failure.is_none()
+            && consumed == inbuf.len()
+            && conn.set_read_timeout(Some(self.opts.deadline)).is_ok()
+        {
+            self.checkin(conn);
+        }
+        run
+    }
+}
+
+/// Outcome of one [`TcpClient::run_pipeline`] drive.
+struct PipelineRun {
+    /// One slot per request; `None` means the pipeline failed before a
+    /// reply arrived for it.
+    results: Vec<Option<Result<Message, NetError>>>,
+    failure: Option<NetError>,
+    /// Whether any reply at all arrived (distinguishes a stale pooled
+    /// connection from a mid-pipeline failure).
+    any_reply: bool,
 }
 
 impl Transport for TcpClient {

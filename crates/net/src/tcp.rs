@@ -1,5 +1,11 @@
 //! Blocking TCP server: one acceptor thread, a [`Pool`] of connection
-//! workers, frame-at-a-time request/reply over each connection.
+//! workers, pipelining-aware request/reply over each connection.
+//!
+//! Each worker drains **every** complete frame its read buffer holds per
+//! wakeup, packs all the replies back-to-back into one pooled scratch
+//! buffer ([`BufPool`]), and issues a single write — so a pipelining
+//! client with N requests in flight costs the server one read and one
+//! write per batch of ready frames, not N of each.
 //!
 //! ## Error posture per connection
 //!
@@ -8,7 +14,8 @@
 //! * A broken *frame* (bad magic, wrong version, oversized declared
 //!   length, CRC mismatch) gets a best-effort error reply and the
 //!   connection is **closed**: after corrupt framing the byte stream can
-//!   no longer be trusted to re-synchronize.
+//!   no longer be trusted to re-synchronize. Replies to frames drained
+//!   before the corrupt one are still delivered.
 //! * Oversized declared bodies are rejected from the 18-byte header
 //!   alone; the body is never read into memory.
 
@@ -20,8 +27,8 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use proxy_runtime::Pool;
-use proxy_wire::frame::{parse_header, FrameHeader, HEADER_LEN, TRAILER_LEN};
-use proxy_wire::{crc::crc32, ErrorCode, Message, WireError};
+use proxy_wire::frame::split_frame;
+use proxy_wire::{BufPool, ErrorCode, Message, WireError};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use restricted_proxy::prelude::KeyResolver;
@@ -30,6 +37,10 @@ use crate::mux::ServiceMux;
 
 /// How often a blocked connection worker wakes to check for shutdown.
 const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Bytes pulled from the socket per read: large enough to drain a deep
+/// pipeline of typical frames in one syscall.
+const READ_CHUNK: usize = 16 * 1024;
 
 /// A running TCP service endpoint.
 ///
@@ -64,6 +75,9 @@ impl TcpServer {
             .spawn(move || {
                 let pool = Pool::new(workers);
                 let conn_seq = AtomicU64::new(0);
+                // Reply scratch buffers, shared by every connection
+                // worker so capacity amortizes across connections.
+                let bufs = Arc::new(BufPool::default());
                 for stream in listener.incoming() {
                     if acceptor_stop.load(Ordering::Acquire) {
                         break;
@@ -71,9 +85,10 @@ impl TcpServer {
                     let Ok(stream) = stream else { continue };
                     let mux = Arc::clone(&mux);
                     let stop = Arc::clone(&acceptor_stop);
+                    let bufs = Arc::clone(&bufs);
                     let conn = conn_seq.fetch_add(1, Ordering::Relaxed);
                     let conn_seed = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(conn);
-                    pool.execute(move || serve_connection(&stream, &mux, &stop, conn_seed));
+                    pool.execute(move || serve_connection(&stream, &mux, &stop, conn_seed, &bufs));
                 }
                 // `pool` drops here: queue drains, workers join.
             })?;
@@ -102,85 +117,19 @@ impl Drop for TcpServer {
     }
 }
 
-/// Reads frames off a stream with a poll timeout, retaining partial
-/// bytes across timeouts so a slow sender is not misread as a framing
-/// error.
-struct FrameReader {
-    buf: Vec<u8>,
-}
-
-/// One poll step's outcome.
-enum Step {
-    /// A complete, CRC-checked frame.
-    Frame(FrameHeader, Vec<u8>),
-    /// Nothing new this poll interval (check the stop flag, try again).
-    Idle,
-}
-
-impl FrameReader {
-    fn new() -> Self {
-        Self { buf: Vec::new() }
-    }
-
-    /// Pulls bytes until one frame completes, the poll interval elapses,
-    /// or the stream errors.
-    fn step(&mut self, stream: &mut impl Read) -> Result<Step, WireError> {
-        loop {
-            // Header first: validated before any body byte is buffered.
-            const EOF: WireError = WireError::Io(std::io::ErrorKind::UnexpectedEof);
-            if let Some(header_bytes) = self.buf.first_chunk::<HEADER_LEN>() {
-                let header = parse_header(header_bytes)?;
-                let total = HEADER_LEN + header.body_len as usize + TRAILER_LEN;
-                if self.buf.len() >= total {
-                    let frame: Vec<u8> = self.buf.drain(..total).collect();
-                    let crc_end = total - TRAILER_LEN;
-                    let expected = frame
-                        .get(crc_end..)
-                        .and_then(|t| t.first_chunk::<TRAILER_LEN>())
-                        .map(|t| u32::from_le_bytes(*t))
-                        .ok_or(EOF)?;
-                    let actual = crc32(frame.get(..crc_end).ok_or(EOF)?);
-                    if expected != actual {
-                        return Err(WireError::BadCrc { expected, actual });
-                    }
-                    let body = frame.get(HEADER_LEN..crc_end).ok_or(EOF)?.to_vec();
-                    return Ok(Step::Frame(header, body));
-                }
-            }
-            let mut chunk = [0u8; 4096];
-            match stream.read(&mut chunk) {
-                Ok(0) => return Err(EOF),
-                Ok(n) => self.buf.extend_from_slice(
-                    chunk
-                        .get(..n)
-                        .ok_or(WireError::Io(std::io::ErrorKind::InvalidData))?,
-                ),
-                Err(e)
-                    if matches!(
-                        e.kind(),
-                        std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
-                    ) =>
-                {
-                    return Ok(Step::Idle);
-                }
-                Err(e) => return Err(WireError::Io(e.kind())),
-            }
-        }
-    }
-}
-
 fn serve_connection<R: KeyResolver>(
     stream: &TcpStream,
     mux: &ServiceMux<R>,
     stop: &AtomicBool,
     seed: u64,
+    bufs: &Arc<BufPool>,
 ) {
     let mut rng = StdRng::seed_from_u64(seed);
     if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
         return;
     }
     let _ = stream.set_nodelay(true);
-    let mut reader = FrameReader::new();
+    let mut inbuf: Vec<u8> = Vec::new();
     let mut read_side = stream;
     let mut write_side = stream;
     loop {
@@ -188,45 +137,81 @@ fn serve_connection<R: KeyResolver>(
             let _ = stream.shutdown(Shutdown::Both);
             return;
         }
-        match reader.step(&mut read_side) {
-            Ok(Step::Idle) => continue,
-            Ok(Step::Frame(header, body)) => {
-                let reply = match Message::decode_body(header.msg_type, &body) {
-                    Ok(request) => mux.handle(request, &mut rng),
-                    // Framing is intact; answer the malformed body and
-                    // keep the connection.
-                    Err(e) => Message::Error {
+        // One read per wakeup; partial frames simply wait for more bytes
+        // (a slow sender is never misread as a framing error).
+        let mut chunk = [0u8; READ_CHUNK];
+        match read_side.read(&mut chunk) {
+            Ok(0) => return,
+            Ok(n) => inbuf.extend_from_slice(chunk.get(..n).unwrap_or(&[])),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+                ) =>
+            {
+                continue;
+            }
+            Err(_) => return,
+        }
+        // Drain every complete frame now buffered, packing all replies
+        // into one pooled buffer — bodies are decoded from borrowed
+        // views over `inbuf`, never copied out.
+        let mut out = bufs.get();
+        let mut consumed = 0;
+        let mut poisoned_stream = false;
+        loop {
+            match split_frame(inbuf.get(consumed..).unwrap_or(&[])) {
+                Ok(Some((header, body, used))) => {
+                    let reply = match Message::decode_body(header.msg_type, body) {
+                        Ok(request) => mux.handle(request, &mut rng),
+                        // Framing is intact; answer the malformed body
+                        // and keep the connection.
+                        Err(e) => Message::Error {
+                            code: ErrorCode::Malformed,
+                            detail: e.to_string(),
+                        },
+                    };
+                    reply.encode_frame_into(&mut out, header.request_id);
+                    consumed += used;
+                }
+                Ok(None) => break,
+                Err(
+                    e @ (WireError::BadMagic(_)
+                    | WireError::UnsupportedVersion(_)
+                    | WireError::FrameTooLarge { .. }
+                    | WireError::BadCrc { .. }),
+                ) => {
+                    // The stream can no longer be trusted to frame:
+                    // report best-effort (after any replies already
+                    // packed), then drop the connection.
+                    let reply = Message::Error {
                         code: ErrorCode::Malformed,
                         detail: e.to_string(),
-                    },
-                };
-                let frame = reply.to_frame(header.request_id);
-                if write_side
-                    .write_all(&frame)
-                    .and_then(|()| write_side.flush())
-                    .is_err()
-                {
-                    return;
+                    };
+                    reply.encode_frame_into(&mut out, 0);
+                    poisoned_stream = true;
+                    break;
+                }
+                // `split_frame` reports nothing else; treat any future
+                // variant as unrecoverable.
+                Err(_) => {
+                    poisoned_stream = true;
+                    break;
                 }
             }
-            Err(
-                e @ (WireError::BadMagic(_)
-                | WireError::UnsupportedVersion(_)
-                | WireError::FrameTooLarge { .. }
-                | WireError::BadCrc { .. }),
-            ) => {
-                // The stream can no longer be trusted to frame: report
-                // best-effort, then drop the connection.
-                let reply = Message::Error {
-                    code: ErrorCode::Malformed,
-                    detail: e.to_string(),
-                };
-                let _ = write_side.write_all(&reply.to_frame(0));
-                let _ = stream.shutdown(Shutdown::Both);
-                return;
-            }
-            // Disconnect or hard I/O failure.
-            Err(_) => return,
+        }
+        inbuf.drain(..consumed);
+        if !out.is_empty()
+            && write_side
+                .write_all(&out)
+                .and_then(|()| write_side.flush())
+                .is_err()
+        {
+            return;
+        }
+        if poisoned_stream {
+            let _ = stream.shutdown(Shutdown::Both);
+            return;
         }
     }
 }

@@ -1,0 +1,445 @@
+//! Cross-request Ed25519 seal micro-batching.
+//!
+//! [`crate::verify::Verifier`] already batches the seal checks *within*
+//! one presented chain ([`proxy_crypto::ed25519::verify_batch`] amortizes
+//! the doubling work across equations). A busy server, though, verifies
+//! many *independent* requests concurrently — each arriving on its own
+//! connection worker — and each pays for its own small batch. A
+//! [`SealBatcher`] collects the seal checks of concurrently in-flight
+//! requests into one shared queue and flushes them through a single
+//! combined batch equation, so the algebraic amortization spans requests,
+//! not just links of one chain.
+//!
+//! ## Adaptivity — the low-load guarantee
+//!
+//! Batching buys throughput by spending latency, which is only a good
+//! trade when there is someone to share the batch with. The batcher
+//! therefore keeps an in-flight submission count; a submitter that finds
+//! itself alone (count ≤ 1 and queue empty) verifies **inline**,
+//! touching no lock beyond one queue probe and waiting for nobody. A
+//! single-stream client pays the same latency as an unbatched verifier.
+//!
+//! ## Leader/follower flush protocol
+//!
+//! Under concurrency, a submitter enqueues its checks with a verdict
+//! slot and then either *leads* or *follows*:
+//!
+//! * The submitter that finds the queue empty becomes the **leader**: it
+//!   lingers up to the flush deadline (default ~50µs) for more arrivals,
+//!   flushing early the moment the batch fills, then takes the whole
+//!   queue (`mem::take` — leadership exclusivity comes from the take,
+//!   not from a flag) and verifies it as one batch.
+//! * Every other submitter is a **follower**: it parks on its slot's
+//!   condvar until the verdict lands. A follower whose wait times out
+//!   checks whether its job is still queued — if so the leader died or
+//!   stalled and the follower rescues the batch by taking the queue
+//!   itself; if not, a flush is in progress and it keeps waiting.
+//!
+//! ## Failure isolation
+//!
+//! A combined batch that fails tells us only that *some* signature is
+//! bad. The flusher then re-verifies per request, so one forged seal
+//! fails exactly the request that presented it; every co-batched request
+//! still gets its honest verdict. (Within the failing request,
+//! attribution falls back to per-item checks, mirroring
+//! [`crate::verify::Verifier`]'s own fallback.)
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+use proxy_crypto::ed25519::{self, Signature, VerifyingKey};
+
+/// Default flush threshold: combined equations keep paying off past this
+/// point, but waiting for more than this many concurrent requests is
+/// rarely worth the linger.
+pub const DEFAULT_MAX_BATCH: usize = 16;
+
+/// Default leader linger before flushing a partial batch.
+pub const DEFAULT_FLUSH_WAIT: Duration = Duration::from_micros(50);
+
+/// One Ed25519 seal check, detached from its chain so it can cross
+/// threads into the shared batch.
+#[derive(Clone, Debug)]
+pub struct SealCheck {
+    /// The sealed certificate body bytes.
+    pub body: Vec<u8>,
+    /// The seal to verify.
+    pub sig: Signature,
+    /// The key the seal must verify under.
+    pub vk: VerifyingKey,
+}
+
+/// Outcome counters, for benchmarks and tests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BatcherStats {
+    /// Submissions verified inline (low-load fast path).
+    pub inline_verifies: u64,
+    /// Combined batches flushed.
+    pub batches: u64,
+    /// Seal checks that went through a combined batch.
+    pub batched_checks: u64,
+}
+
+/// A verdict slot one submission parks on.
+#[derive(Debug)]
+struct Slot {
+    /// `None` until the flusher rules; then `Ok(())` or `Err(i)` with
+    /// `i` the submission-local index of the first bad seal.
+    verdict: Mutex<Option<Result<(), usize>>>,
+    done: Condvar,
+}
+
+impl Slot {
+    fn new() -> Self {
+        Self {
+            verdict: Mutex::new(None),
+            done: Condvar::new(),
+        }
+    }
+
+    fn set(&self, v: Result<(), usize>) {
+        // The slot holds a single Option with no cross-field invariant;
+        // recover a poisoned lock rather than losing the verdict.
+        *self.verdict.lock().unwrap_or_else(PoisonError::into_inner) = Some(v);
+        self.done.notify_all();
+    }
+}
+
+/// One queued submission: its checks and where to post the verdict.
+#[derive(Debug)]
+struct Job {
+    checks: Vec<SealCheck>,
+    slot: Arc<Slot>,
+}
+
+/// An adaptive cross-request seal batcher; see the module docs.
+#[derive(Debug)]
+pub struct SealBatcher {
+    queue: Mutex<Vec<Job>>,
+    /// Wakes a lingering leader when arrivals fill the batch.
+    arrivals: Condvar,
+    max_batch: usize,
+    flush_wait: Duration,
+    /// Submissions currently inside [`SealBatcher::verify_seals`].
+    active: AtomicUsize,
+    inline_verifies: AtomicU64,
+    batches: AtomicU64,
+    batched_checks: AtomicU64,
+}
+
+impl Default for SealBatcher {
+    fn default() -> Self {
+        Self::new(DEFAULT_MAX_BATCH, DEFAULT_FLUSH_WAIT)
+    }
+}
+
+impl SealBatcher {
+    /// A batcher flushing at `max_batch` queued checks or after the
+    /// leader has lingered `flush_wait`, whichever comes first.
+    #[must_use]
+    pub fn new(max_batch: usize, flush_wait: Duration) -> Self {
+        Self {
+            queue: Mutex::new(Vec::new()),
+            arrivals: Condvar::new(),
+            max_batch: max_batch.max(1),
+            flush_wait,
+            active: AtomicUsize::new(0),
+            inline_verifies: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batched_checks: AtomicU64::new(0),
+        }
+    }
+
+    /// Current outcome counters.
+    #[must_use]
+    pub fn stats(&self) -> BatcherStats {
+        BatcherStats {
+            inline_verifies: self.inline_verifies.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batched_checks: self.batched_checks.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Verifies one request's seal checks, sharing a combined batch
+    /// equation with other requests in flight at the same moment.
+    ///
+    /// # Errors
+    ///
+    /// `Err(i)` names the submission-local index of a seal that failed;
+    /// co-batched submissions are unaffected (failure isolation).
+    pub fn verify_seals(&self, checks: Vec<SealCheck>) -> Result<(), usize> {
+        if checks.is_empty() {
+            return Ok(());
+        }
+        let _in_flight = InFlight::enter(self);
+
+        // Low-load fast path: alone and nothing queued → verify inline.
+        if self.active.load(Ordering::Acquire) <= 1 && self.queue_guard().is_empty() {
+            self.inline_verifies.fetch_add(1, Ordering::Relaxed);
+            return verify_one_submission(&checks);
+        }
+
+        // Contended path: enqueue, then lead or follow.
+        let slot = Arc::new(Slot::new());
+        let lead = {
+            let mut q = self.queue_guard();
+            let was_empty = q.is_empty();
+            q.push(Job {
+                checks,
+                slot: Arc::clone(&slot),
+            });
+            if !was_empty {
+                // A leader may be lingering for exactly this arrival.
+                self.arrivals.notify_one();
+            }
+            was_empty
+        };
+        if lead {
+            self.linger_then_flush();
+        }
+        self.await_verdict(&slot)
+    }
+
+    /// Leader: wait up to the flush deadline for the batch to fill, then
+    /// take and flush whatever is queued.
+    fn linger_then_flush(&self) {
+        let mut q = self.queue_guard();
+        loop {
+            let queued: usize = q.iter().map(|j| j.checks.len()).sum();
+            if queued >= self.max_batch || queued == 0 {
+                // Full — or a rescuer already took our batch.
+                break;
+            }
+            let (guard, timeout) = self
+                .arrivals
+                .wait_timeout(q, self.flush_wait)
+                .unwrap_or_else(PoisonError::into_inner);
+            q = guard;
+            if timeout.timed_out() {
+                break;
+            }
+        }
+        let jobs = std::mem::take(&mut *q);
+        drop(q);
+        self.flush(jobs);
+    }
+
+    /// Parks until this submission's verdict lands. A timed-out waiter
+    /// whose job is still queued rescues the batch by flushing it.
+    fn await_verdict(&self, slot: &Arc<Slot>) -> Result<(), usize> {
+        let mut v = slot.verdict.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(verdict) = *v {
+                return verdict;
+            }
+            let wait = self
+                .flush_wait
+                .saturating_mul(4)
+                .max(Duration::from_micros(200));
+            let (guard, timeout) = slot
+                .done
+                .wait_timeout(v, wait)
+                .unwrap_or_else(PoisonError::into_inner);
+            v = guard;
+            if timeout.timed_out() && v.is_none() {
+                // Leader stalled? If our job is still queued, rescue it.
+                drop(v);
+                let jobs = {
+                    let mut q = self.queue_guard();
+                    if q.iter().any(|j| Arc::ptr_eq(&j.slot, slot)) {
+                        std::mem::take(&mut *q)
+                    } else {
+                        Vec::new() // flush in progress; keep waiting
+                    }
+                };
+                self.flush(jobs);
+                v = slot.verdict.lock().unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+    }
+
+    /// Verifies a taken batch as one combined equation and posts every
+    /// job's verdict. On a combined failure, each job re-verifies alone
+    /// so a bad seal fails only the request that presented it.
+    fn flush(&self, jobs: Vec<Job>) {
+        if jobs.is_empty() {
+            return;
+        }
+        let items: Vec<(&[u8], &Signature, &VerifyingKey)> = jobs
+            .iter()
+            .flat_map(|j| j.checks.iter().map(|c| (c.body.as_slice(), &c.sig, &c.vk)))
+            .collect();
+        let all_ok = ed25519::verify_batch(&items).is_ok();
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_checks
+            .fetch_add(items.len() as u64, Ordering::Relaxed);
+        for job in &jobs {
+            let verdict = if all_ok {
+                Ok(())
+            } else {
+                verify_one_submission(&job.checks)
+            };
+            job.slot.set(verdict);
+        }
+    }
+
+    /// The free-list of jobs carries no cross-entry invariant; recover a
+    /// poisoned lock rather than wedging every verifier thread.
+    fn queue_guard(&self) -> MutexGuard<'_, Vec<Job>> {
+        self.queue.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Verifies one submission's checks by themselves: its own small batch
+/// first, per-item attribution on failure.
+fn verify_one_submission(checks: &[SealCheck]) -> Result<(), usize> {
+    let items: Vec<(&[u8], &Signature, &VerifyingKey)> = checks
+        .iter()
+        .map(|c| (c.body.as_slice(), &c.sig, &c.vk))
+        .collect();
+    if ed25519::verify_batch(&items).is_ok() {
+        return Ok(());
+    }
+    for (i, c) in checks.iter().enumerate() {
+        if c.vk.verify(&c.body, &c.sig).is_err() {
+            return Err(i);
+        }
+    }
+    // Unreachable in practice (the batch only fails when some equation
+    // fails); fail closed on the head rather than accept.
+    Err(0)
+}
+
+/// RAII guard for the in-flight submission count.
+struct InFlight<'a> {
+    batcher: &'a SealBatcher,
+}
+
+impl<'a> InFlight<'a> {
+    fn enter(batcher: &'a SealBatcher) -> Self {
+        batcher.active.fetch_add(1, Ordering::AcqRel);
+        Self { batcher }
+    }
+}
+
+impl Drop for InFlight<'_> {
+    fn drop(&mut self) {
+        self.batcher.active.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proxy_crypto::ed25519::SigningKey;
+
+    fn check(msg: &[u8], key: &SigningKey) -> SealCheck {
+        SealCheck {
+            body: msg.to_vec(),
+            sig: key.sign(msg),
+            vk: key.verifying_key(),
+        }
+    }
+
+    fn bad_check(msg: &[u8], key: &SigningKey) -> SealCheck {
+        let mut c = check(msg, key);
+        c.body.push(0xFF); // body no longer matches the seal
+        c
+    }
+
+    #[test]
+    fn single_submission_verifies_inline() {
+        let b = SealBatcher::default();
+        let k = SigningKey::from_seed(&[7u8; 32]);
+        assert_eq!(b.verify_seals(vec![check(b"hello", &k)]), Ok(()));
+        let stats = b.stats();
+        assert_eq!(stats.inline_verifies, 1);
+        assert_eq!(stats.batches, 0, "no combined batch for a lone caller");
+    }
+
+    #[test]
+    fn bad_seal_is_attributed_to_its_local_index() {
+        let b = SealBatcher::default();
+        let k = SigningKey::from_seed(&[8u8; 32]);
+        let checks = vec![check(b"a", &k), bad_check(b"b", &k), check(b"c", &k)];
+        assert_eq!(b.verify_seals(checks), Err(1));
+    }
+
+    #[test]
+    fn empty_submission_is_trivially_ok() {
+        let b = SealBatcher::default();
+        assert_eq!(b.verify_seals(Vec::new()), Ok(()));
+        assert_eq!(b.stats(), BatcherStats::default());
+    }
+
+    #[test]
+    fn concurrent_submissions_share_batches_and_keep_verdicts_separate() {
+        let b = Arc::new(SealBatcher::new(8, Duration::from_micros(500)));
+        let good_key = SigningKey::from_seed(&[1u8; 32]);
+        let bad_key = SigningKey::from_seed(&[2u8; 32]);
+        let threads: Vec<_> = (0..8)
+            .map(|i| {
+                let b = Arc::clone(&b);
+                let good = good_key.clone();
+                let bad = bad_key.clone();
+                std::thread::spawn(move || {
+                    let mut verdicts = Vec::new();
+                    for round in 0..25u32 {
+                        let msg = [i as u8, round as u8, 3, 4];
+                        let checks = if i == 0 {
+                            vec![bad_check(&msg, &bad)]
+                        } else {
+                            vec![check(&msg, &good)]
+                        };
+                        verdicts.push(b.verify_seals(checks));
+                    }
+                    verdicts
+                })
+            })
+            .collect();
+        for (i, t) in threads.into_iter().enumerate() {
+            let verdicts = t.join().expect("worker panicked");
+            for v in verdicts {
+                if i == 0 {
+                    assert_eq!(v, Err(0), "forged seal must fail its own request");
+                } else {
+                    assert_eq!(v, Ok(()), "honest co-batched request must pass");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn contended_load_actually_batches() {
+        // Force the contended path deterministically: pre-load the queue
+        // by submitting from many threads with a generous linger.
+        let b = Arc::new(SealBatcher::new(4, Duration::from_millis(5)));
+        let k = SigningKey::from_seed(&[9u8; 32]);
+        let threads: Vec<_> = (0..4)
+            .map(|i| {
+                let b = Arc::clone(&b);
+                let k = k.clone();
+                std::thread::spawn(move || {
+                    for round in 0..10u8 {
+                        let msg = [i as u8, round];
+                        assert_eq!(b.verify_seals(vec![check(&msg, &k)]), Ok(()));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("worker panicked");
+        }
+        let stats = b.stats();
+        assert!(
+            stats.batches > 0 || stats.inline_verifies == 40,
+            "all submissions accounted for: {stats:?}"
+        );
+        assert_eq!(
+            stats.inline_verifies + stats.batched_checks,
+            40,
+            "every check verified exactly once: {stats:?}"
+        );
+    }
+}

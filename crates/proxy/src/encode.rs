@@ -68,6 +68,17 @@ impl Encoder {
         Self::default()
     }
 
+    /// Creates an encoder that appends to `buf`, preserving its existing
+    /// contents and capacity — the reusable-scratch-buffer encode path:
+    /// a pooled buffer cycles through `from_vec` → encode → [`finish`]
+    /// without ever reallocating once warm.
+    ///
+    /// [`finish`]: Self::finish
+    #[must_use]
+    pub fn from_vec(buf: Vec<u8>) -> Self {
+        Self { buf }
+    }
+
     /// Finishes encoding and returns the bytes.
     #[must_use]
     pub fn finish(self) -> Vec<u8> {

@@ -12,6 +12,7 @@ use std::sync::Arc;
 use proxy_crypto::ed25519::{self, Signature, VerifyingKey};
 use proxy_crypto::hmac::HmacSha256;
 
+use crate::batcher::{SealBatcher, SealCheck};
 use crate::cache::{seal_digest, SealDigest, VerifiedCertCache};
 use crate::cert::{CertSeal, Certificate, SigningAuthorityKind};
 use crate::context::RequestContext;
@@ -57,6 +58,10 @@ pub struct Verifier<R> {
     /// [`VerifiedCertCache`] for what is (and is deliberately not)
     /// memoized. Shared across clones so every handle benefits.
     cache: Option<Arc<VerifiedCertCache>>,
+    /// Optional cross-request seal batcher ([`SealBatcher`]); when
+    /// attached, deferred Ed25519 seal checks from concurrent requests
+    /// share one combined batch equation.
+    batcher: Option<Arc<SealBatcher>>,
 }
 
 impl<R: KeyResolver> Verifier<R> {
@@ -67,6 +72,7 @@ impl<R: KeyResolver> Verifier<R> {
             server,
             resolver,
             cache: None,
+            batcher: None,
         }
     }
 
@@ -89,6 +95,22 @@ impl<R: KeyResolver> Verifier<R> {
     #[must_use]
     pub fn seal_cache(&self) -> Option<&VerifiedCertCache> {
         self.cache.as_deref()
+    }
+
+    /// Attaches a (possibly shared) cross-request seal batcher. Deferred
+    /// Ed25519 seal checks then ride a combined batch equation with the
+    /// checks of other requests in flight at the same moment; a lone
+    /// request still verifies inline (the batcher's low-load fast path).
+    #[must_use]
+    pub fn with_seal_batcher(mut self, batcher: Arc<SealBatcher>) -> Self {
+        self.batcher = Some(batcher);
+        self
+    }
+
+    /// The attached seal batcher, if any.
+    #[must_use]
+    pub fn seal_batcher(&self) -> Option<&Arc<SealBatcher>> {
+        self.batcher.as_ref()
     }
 
     /// The end-server this verifier speaks for.
@@ -290,6 +312,9 @@ impl<R: KeyResolver> Verifier<R> {
         if deferred.is_empty() {
             return Ok(());
         }
+        if let Some(batcher) = &self.batcher {
+            return self.flush_through_batcher(batcher, deferred, now);
+        }
         let items: Vec<(&[u8], &Signature, &VerifyingKey)> = deferred
             .iter()
             .map(|d| (d.body.as_slice(), &d.sig, &d.vk))
@@ -314,6 +339,46 @@ impl<R: KeyResolver> Verifier<R> {
             }
         }
         Ok(())
+    }
+
+    /// Routes deferred seals through the attached [`SealBatcher`] so the
+    /// batch equation spans concurrently-verifying requests. The batcher
+    /// attributes a failure to a submission-local index, which maps back
+    /// to the chain index it came from; success populates the seal cache
+    /// exactly as the local path does.
+    fn flush_through_batcher(
+        &self,
+        batcher: &SealBatcher,
+        deferred: Vec<DeferredSeal>,
+        now: Timestamp,
+    ) -> Result<(), VerifyError> {
+        let mut checks = Vec::with_capacity(deferred.len());
+        let mut metas = Vec::with_capacity(deferred.len());
+        for d in deferred {
+            checks.push(SealCheck {
+                body: d.body,
+                sig: d.sig,
+                vk: d.vk,
+            });
+            metas.push((d.index, d.digest, d.expires));
+        }
+        match batcher.verify_seals(checks) {
+            Ok(()) => {
+                if let Some(cache) = &self.cache {
+                    for (_, digest, expires) in metas {
+                        if let Some(digest) = digest {
+                            cache.insert(digest, expires, now);
+                        }
+                    }
+                }
+                Ok(())
+            }
+            Err(i) => Err(VerifyError::BadSeal {
+                // A submission-local index always maps to a queued seal;
+                // blame the head conservatively if it somehow does not.
+                index: metas.get(i).or_else(|| metas.first()).map_or(0, |m| m.0),
+            }),
+        }
     }
 }
 

@@ -86,21 +86,107 @@ pub fn parse_header(bytes: &[u8; HEADER_LEN]) -> Result<FrameHeader, WireError> 
 /// input.
 #[must_use]
 pub fn encode_frame(msg_type: u8, request_id: u64, body: &[u8]) -> Vec<u8> {
-    let body_len = u32::try_from(body.len()).expect("frame body over 4 GiB");
-    assert!(
-        body_len <= MAX_FRAME_BODY,
-        "frame body of {body_len} bytes exceeds MAX_FRAME_BODY"
-    );
     let mut out = Vec::with_capacity(HEADER_LEN + body.len() + TRAILER_LEN);
+    encode_frame_into(&mut out, msg_type, request_id, body);
+    out
+}
+
+/// Appends a complete frame to `out`, reusing the buffer's existing
+/// capacity — the pooled-buffer encode path ([`crate::pool::BufPool`]):
+/// several reply frames can be packed back to back into one scratch
+/// buffer and written with a single syscall.
+///
+/// # Panics
+///
+/// As [`encode_frame`]: an oversized `body` is a caller bug.
+pub fn encode_frame_into(out: &mut Vec<u8>, msg_type: u8, request_id: u64, body: &[u8]) {
+    let start = begin_frame(out, msg_type, request_id);
+    out.extend_from_slice(body);
+    finish_frame(out, start);
+}
+
+/// Starts a frame in `out`: appends the header with a zero length
+/// placeholder and returns the frame's start offset. Encode the body
+/// directly into `out`, then call [`finish_frame`] with the returned
+/// offset to patch the length and append the CRC.
+///
+/// This is the zero-copy encode path: the body bytes are produced once,
+/// in place, instead of being built in a temporary and memcpy'd in.
+#[must_use]
+pub fn begin_frame(out: &mut Vec<u8>, msg_type: u8, request_id: u64) -> usize {
+    let start = out.len();
     out.extend_from_slice(&MAGIC);
     out.push(PROTOCOL_VERSION);
     out.push(msg_type);
     out.extend_from_slice(&request_id.to_le_bytes());
-    out.extend_from_slice(&body_len.to_le_bytes());
-    out.extend_from_slice(body);
-    let crc = crc32(&out);
+    out.extend_from_slice(&0u32.to_le_bytes());
+    start
+}
+
+/// Completes a frame started with [`begin_frame`] at offset `start`:
+/// patches the body length and appends the CRC-32 trailer.
+///
+/// # Panics
+///
+/// Panics if the body written since [`begin_frame`] exceeds
+/// [`MAX_FRAME_BODY`], or if `start` is not an offset previously
+/// returned by [`begin_frame`] on this buffer — both caller bugs on the
+/// encode side, never reachable from wire input.
+pub fn finish_frame(out: &mut Vec<u8>, start: usize) {
+    let body_start = start.saturating_add(HEADER_LEN);
+    assert!(body_start <= out.len(), "finish_frame before begin_frame");
+    let body_len = u32::try_from(out.len() - body_start).expect("frame body over 4 GiB");
+    assert!(
+        body_len <= MAX_FRAME_BODY,
+        "frame body of {body_len} bytes exceeds MAX_FRAME_BODY"
+    );
+    let len_at = start.saturating_add(HEADER_LEN - 4);
+    if let Some(slot) = out.get_mut(len_at..body_start) {
+        slot.copy_from_slice(&body_len.to_le_bytes());
+    }
+    let crc = crc32(out.get(start..).unwrap_or(&[]));
     out.extend_from_slice(&crc.to_le_bytes());
-    out
+}
+
+/// One frame split off the front of a stream buffer: the parsed header,
+/// the body borrowed from the buffer, and the total bytes the frame
+/// occupies (header + body + trailer — advance the cursor by this).
+pub type SplitFrame<'a> = (FrameHeader, &'a [u8], usize);
+
+/// Splits one complete frame off the front of `buf` without copying the
+/// body: on success returns the parsed header, a view of the body
+/// borrowed from `buf`, and the total bytes the frame occupies.
+///
+/// Returns `Ok(None)` when `buf` holds only a prefix of a frame (read
+/// more and retry) — a short buffer is *not* an error here, unlike
+/// [`decode_frame`], because the caller is draining a stream.
+///
+/// # Errors
+///
+/// Header errors as in [`parse_header`]; [`WireError::BadCrc`] on
+/// checksum mismatch.
+pub fn split_frame(buf: &[u8]) -> Result<Option<SplitFrame<'_>>, WireError> {
+    let Some((header_bytes, rest)) = buf.split_first_chunk::<HEADER_LEN>() else {
+        return Ok(None);
+    };
+    let header = parse_header(header_bytes)?;
+    let body_len = header.body_len as usize;
+    let total = HEADER_LEN + body_len + TRAILER_LEN;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    const EOF: WireError = WireError::Io(std::io::ErrorKind::UnexpectedEof);
+    let body = rest.get(..body_len).ok_or(EOF)?;
+    let trailer = rest
+        .get(body_len..body_len + TRAILER_LEN)
+        .and_then(|t| t.first_chunk::<TRAILER_LEN>())
+        .ok_or(EOF)?;
+    let expected = u32::from_le_bytes(*trailer);
+    let actual = crc32(buf.get(..total - TRAILER_LEN).ok_or(EOF)?);
+    if expected != actual {
+        return Err(WireError::BadCrc { expected, actual });
+    }
+    Ok(Some((header, body, total)))
 }
 
 /// Decodes one frame from a complete in-memory buffer, checking the CRC
@@ -155,6 +241,72 @@ pub fn write_frame(
 ) -> Result<(), WireError> {
     let frame = encode_frame(msg_type, request_id, body);
     w.write_all(&frame)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes a complete frame to `w` using scatter-gather I/O: the 18-byte
+/// header and 4-byte trailer live on the stack and the body is written
+/// from the caller's buffer directly — no per-frame heap allocation and,
+/// on a cooperative `Write` impl, a single vectored syscall.
+///
+/// # Errors
+///
+/// Propagates I/O errors (as [`WireError::Io`]).
+///
+/// # Panics
+///
+/// As [`encode_frame`]: an oversized `body` is a caller bug.
+pub fn write_frame_vectored(
+    w: &mut impl Write,
+    msg_type: u8,
+    request_id: u64,
+    body: &[u8],
+) -> Result<(), WireError> {
+    let body_len = u32::try_from(body.len()).expect("frame body over 4 GiB");
+    assert!(
+        body_len <= MAX_FRAME_BODY,
+        "frame body of {body_len} bytes exceeds MAX_FRAME_BODY"
+    );
+    let mut header = [0u8; HEADER_LEN];
+    if let Some(m) = header.get_mut(..4) {
+        m.copy_from_slice(&MAGIC);
+    }
+    if let Some(v) = header.get_mut(4..6) {
+        v.copy_from_slice(&[PROTOCOL_VERSION, msg_type]);
+    }
+    if let Some(r) = header.get_mut(6..14) {
+        r.copy_from_slice(&request_id.to_le_bytes());
+    }
+    if let Some(l) = header.get_mut(14..18) {
+        l.copy_from_slice(&body_len.to_le_bytes());
+    }
+    let mut crc = Crc32::new();
+    crc.update(&header);
+    crc.update(body);
+    let trailer = crc.finalize().to_le_bytes();
+
+    let parts: [&[u8]; 3] = [&header, body, &trailer];
+    let slices = [
+        std::io::IoSlice::new(&header),
+        std::io::IoSlice::new(body),
+        std::io::IoSlice::new(&trailer),
+    ];
+    // One vectored attempt; whatever the writer did not take is finished
+    // with plain write_all per remaining part.
+    let mut written = match w.write_vectored(&slices) {
+        Ok(n) => n,
+        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => 0,
+        Err(e) => return Err(WireError::Io(e.kind())),
+    };
+    for part in parts {
+        if written >= part.len() {
+            written -= part.len();
+            continue;
+        }
+        w.write_all(part.get(written..).unwrap_or(&[]))?;
+        written = 0;
+    }
     w.flush()?;
     Ok(())
 }
@@ -244,6 +396,101 @@ mod tests {
             decode_frame(&frame),
             Err(WireError::BadCrc { .. })
         ));
+    }
+
+    #[test]
+    fn encode_into_matches_encode_and_packs_back_to_back() {
+        let single = encode_frame(0x42, 7, b"hello");
+        let mut packed = Vec::new();
+        encode_frame_into(&mut packed, 0x42, 7, b"hello");
+        assert_eq!(packed, single);
+        encode_frame_into(&mut packed, 0x43, 8, b"world");
+        // Both frames split back out of the shared buffer, in order.
+        let (h1, b1, used1) = split_frame(&packed).unwrap().unwrap();
+        assert_eq!((h1.msg_type, h1.request_id, b1), (0x42, 7, &b"hello"[..]));
+        let (h2, b2, used2) = split_frame(&packed[used1..]).unwrap().unwrap();
+        assert_eq!((h2.msg_type, h2.request_id, b2), (0x43, 8, &b"world"[..]));
+        assert_eq!(used1 + used2, packed.len());
+    }
+
+    #[test]
+    fn begin_finish_frame_supports_in_place_bodies() {
+        let mut out = Vec::new();
+        let start = begin_frame(&mut out, 9, 99);
+        out.extend_from_slice(b"in-place body");
+        finish_frame(&mut out, start);
+        let (header, body) = decode_frame(&out).unwrap();
+        assert_eq!(header.msg_type, 9);
+        assert_eq!(header.request_id, 99);
+        assert_eq!(body, b"in-place body");
+    }
+
+    #[test]
+    fn split_frame_reports_incomplete_as_none_not_error() {
+        let frame = encode_frame(1, 1, b"payload");
+        for cut in [0, 5, HEADER_LEN, frame.len() - 1] {
+            assert!(matches!(split_frame(&frame[..cut]), Ok(None)), "cut {cut}");
+        }
+        // A flipped bit is still a hard error.
+        let mut bad = frame.clone();
+        bad[HEADER_LEN + 1] ^= 0x10;
+        assert!(matches!(split_frame(&bad), Err(WireError::BadCrc { .. })));
+    }
+
+    #[test]
+    fn vectored_write_round_trips() {
+        let mut out = Vec::new();
+        write_frame_vectored(&mut out, 0x11, 1234, b"vectored").unwrap();
+        assert_eq!(out, encode_frame(0x11, 1234, b"vectored"));
+        let (header, body) = decode_frame(&out).unwrap();
+        assert_eq!(header.request_id, 1234);
+        assert_eq!(body, b"vectored");
+    }
+
+    /// A writer that takes at most `cap` bytes per vectored call, to
+    /// exercise the partial-write completion path.
+    struct Dribble {
+        out: Vec<u8>,
+        cap: usize,
+    }
+
+    impl Write for Dribble {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            let n = buf.len().min(self.cap);
+            self.out.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+        fn write_vectored(&mut self, bufs: &[std::io::IoSlice<'_>]) -> std::io::Result<usize> {
+            let mut taken = 0;
+            for b in bufs {
+                let n = (self.cap - taken).min(b.len());
+                self.out.extend_from_slice(&b[..n]);
+                taken += n;
+                if taken == self.cap {
+                    break;
+                }
+            }
+            Ok(taken)
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn vectored_write_completes_after_partial_acceptance() {
+        for cap in [1, 3, HEADER_LEN, HEADER_LEN + 2, 64] {
+            let mut w = Dribble {
+                out: Vec::new(),
+                cap,
+            };
+            write_frame_vectored(&mut w, 0x22, 42, b"partial-write body").unwrap();
+            assert_eq!(
+                w.out,
+                encode_frame(0x22, 42, b"partial-write body"),
+                "cap {cap}"
+            );
+        }
     }
 
     #[test]

@@ -340,6 +340,14 @@ impl Message {
     #[must_use]
     pub fn encode_body(&self) -> Vec<u8> {
         let mut e = Encoder::new();
+        self.encode_body_onto(&mut e);
+        e.finish()
+    }
+
+    /// Appends the canonical body encoding to an existing encoder — the
+    /// zero-copy path used by [`Message::encode_frame_into`] to build a
+    /// frame directly inside a pooled scratch buffer.
+    pub fn encode_body_onto(&self, e: &mut Encoder) {
         match self {
             Message::AuthzQuery {
                 client,
@@ -351,16 +359,16 @@ impl Message {
                 now,
             } => {
                 e.str(client.as_str());
-                encode_presentations(&mut e, presentations);
+                encode_presentations(e, presentations);
                 e.str(end_server.as_str())
                     .str(operation.as_str())
                     .str(object.as_str());
-                encode_validity(&mut e, validity);
+                encode_validity(e, validity);
                 e.u64(now.0);
             }
             Message::AuthzGrant { proxy }
             | Message::GroupGrant { proxy }
-            | Message::CheckCertified { proxy } => encode_proxy(&mut e, proxy),
+            | Message::CheckCertified { proxy } => encode_proxy(e, proxy),
             Message::GroupQuery {
                 requester,
                 groups,
@@ -370,7 +378,7 @@ impl Message {
                 for g in groups {
                     e.str(g);
                 }
-                encode_validity(&mut e, validity);
+                encode_validity(e, validity);
             }
             Message::EndRequest {
                 operation,
@@ -385,7 +393,7 @@ impl Message {
                 for p in authenticated {
                     e.str(p.as_str());
                 }
-                encode_presentations(&mut e, presentations);
+                encode_presentations(e, presentations);
                 e.u64(now.0).count(amounts.len());
                 for (c, v) in amounts {
                     e.str(c.as_str()).u64(*v);
@@ -416,10 +424,10 @@ impl Message {
                     .u64(*check_no)
                     .str(currency.as_str())
                     .u64(*amount);
-                encode_validity(&mut e, validity);
+                encode_validity(e, validity);
             }
             Message::CheckWritten { check } | Message::CheckEndorsed { check } => {
-                encode_proxy(&mut e, check);
+                encode_proxy(e, check);
             }
             Message::CheckDeposit {
                 check,
@@ -428,7 +436,7 @@ impl Message {
                 next_hop,
                 now,
             } => {
-                encode_proxy(&mut e, check);
+                encode_proxy(e, check);
                 e.str(depositor.as_str())
                     .str(to_account)
                     .str(next_hop.as_str())
@@ -447,7 +455,7 @@ impl Message {
             }
             Message::CheckForwarded { check, next_hop }
             | Message::CheckEndorse { check, next_hop } => {
-                encode_proxy(&mut e, check);
+                encode_proxy(e, check);
                 e.str(next_hop.as_str());
             }
             Message::CheckCertify {
@@ -465,13 +473,12 @@ impl Message {
                     .str(currency.as_str())
                     .u64(*amount)
                     .str(payee.as_str());
-                encode_validity(&mut e, validity);
+                encode_validity(e, validity);
             }
             Message::Error { code, detail } => {
                 e.u32(u32::from(code.as_u16())).str(detail);
             }
         }
-        e.finish()
     }
 
     /// Decodes a body previously produced by [`Message::encode_body`]
@@ -634,7 +641,23 @@ impl Message {
     /// Encodes this message as a complete frame.
     #[must_use]
     pub fn to_frame(&self, request_id: u64) -> Vec<u8> {
-        frame::encode_frame(self.msg_type(), request_id, &self.encode_body())
+        let mut out = Vec::new();
+        self.encode_frame_into(&mut out, request_id);
+        out
+    }
+
+    /// Appends this message as a complete frame to `out`, encoding the
+    /// body in place — no intermediate body allocation. Frames packed
+    /// back-to-back this way are exactly what [`frame::encode_frame`]
+    /// would have produced, so the pipelined client and the server's
+    /// drain loop can batch many frames into one pooled buffer and issue
+    /// a single write.
+    pub fn encode_frame_into(&self, out: &mut Vec<u8>, request_id: u64) {
+        let start = frame::begin_frame(out, self.msg_type(), request_id);
+        let mut e = Encoder::from_vec(std::mem::take(out));
+        self.encode_body_onto(&mut e);
+        *out = e.finish();
+        frame::finish_frame(out, start);
     }
 
     /// Decodes a complete in-memory frame into `(request_id, message)`.

@@ -1,0 +1,195 @@
+//! Bounded pool of reusable byte buffers for the hot wire paths.
+//!
+//! Every frame the old path touched cost at least one fresh `Vec`
+//! allocation on each side of the socket. Under a pipelined load the
+//! allocator becomes a per-frame tax; a [`BufPool`] turns it into an
+//! amortized one: buffers are checked out, filled, and on drop returned
+//! to a bounded free-list with their capacity intact.
+//!
+//! Two bounds keep the pool honest against hostile traffic shapes:
+//!
+//! * `max_pooled` caps the free-list length, so a burst of concurrent
+//!   checkouts cannot ratchet the pool's idle footprint up forever.
+//! * `max_retained_capacity` caps the capacity a returned buffer may
+//!   keep. A single oversized frame (up to [`crate::MAX_FRAME_BODY`])
+//!   would otherwise pin its worst-case allocation in the pool for the
+//!   rest of the process lifetime.
+//!
+//! The pool is `Mutex`-guarded but held only for a push/pop, and the
+//! buffers themselves carry no invariants between entries, so a poisoned
+//! lock is recovered rather than propagated.
+
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// Default free-list bound: enough for every connection worker plus a
+/// pipelining client to hold one spare each.
+pub const DEFAULT_MAX_POOLED: usize = 32;
+
+/// Default retained-capacity bound (bytes): several typical frames, far
+/// below [`crate::MAX_FRAME_BODY`].
+pub const DEFAULT_MAX_RETAINED: usize = 64 * 1024;
+
+/// A bounded free-list of reusable `Vec<u8>` scratch buffers.
+#[derive(Debug)]
+pub struct BufPool {
+    free: Mutex<Vec<Vec<u8>>>,
+    max_pooled: usize,
+    max_retained_capacity: usize,
+}
+
+impl Default for BufPool {
+    fn default() -> Self {
+        Self::new(DEFAULT_MAX_POOLED, DEFAULT_MAX_RETAINED)
+    }
+}
+
+impl BufPool {
+    /// A pool keeping at most `max_pooled` idle buffers, each retaining
+    /// at most `max_retained_capacity` bytes of capacity.
+    #[must_use]
+    pub fn new(max_pooled: usize, max_retained_capacity: usize) -> Self {
+        Self {
+            free: Mutex::new(Vec::new()),
+            max_pooled,
+            max_retained_capacity,
+        }
+    }
+
+    /// Buffers currently idle in the pool.
+    #[must_use]
+    pub fn idle(&self) -> usize {
+        self.guard().len()
+    }
+
+    /// Checks out a cleared buffer (pooled if available, fresh
+    /// otherwise). The buffer returns to the pool when the guard drops.
+    #[must_use]
+    pub fn get(self: &Arc<Self>) -> PooledBuf {
+        let buf = self.guard().pop().unwrap_or_default();
+        PooledBuf {
+            buf,
+            pool: Some(Arc::clone(self)),
+        }
+    }
+
+    /// The free-list holds independent buffers with no cross-entry
+    /// invariant, so a panic in another holder cannot have left it
+    /// inconsistent; recover the guard instead of propagating poison.
+    fn guard(&self) -> MutexGuard<'_, Vec<Vec<u8>>> {
+        self.free.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn put(&self, mut buf: Vec<u8>) {
+        if buf.capacity() > self.max_retained_capacity {
+            return;
+        }
+        buf.clear();
+        let mut free = self.guard();
+        if free.len() < self.max_pooled {
+            free.push(buf);
+        }
+    }
+}
+
+/// A checked-out buffer; returns to its pool on drop.
+///
+/// Dereferences to `Vec<u8>`, so callers encode into it exactly as they
+/// would into a fresh vector.
+#[derive(Debug)]
+pub struct PooledBuf {
+    buf: Vec<u8>,
+    pool: Option<Arc<BufPool>>,
+}
+
+impl PooledBuf {
+    /// Consumes the guard, keeping the buffer out of the pool for good.
+    #[must_use]
+    pub fn into_inner(mut self) -> Vec<u8> {
+        self.pool = None;
+        std::mem::take(&mut self.buf)
+    }
+}
+
+impl std::ops::Deref for PooledBuf {
+    type Target = Vec<u8>;
+    fn deref(&self) -> &Vec<u8> {
+        &self.buf
+    }
+}
+
+impl std::ops::DerefMut for PooledBuf {
+    fn deref_mut(&mut self) -> &mut Vec<u8> {
+        &mut self.buf
+    }
+}
+
+impl Drop for PooledBuf {
+    fn drop(&mut self) {
+        if let Some(pool) = self.pool.take() {
+            pool.put(std::mem::take(&mut self.buf));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_round_trip_with_capacity_retained() {
+        let pool = Arc::new(BufPool::new(4, 1024));
+        {
+            let mut b = pool.get();
+            b.extend_from_slice(&[1, 2, 3]);
+        }
+        assert_eq!(pool.idle(), 1);
+        let b = pool.get();
+        assert!(b.is_empty(), "returned buffer is cleared");
+        assert!(b.capacity() >= 3, "capacity survives the round trip");
+        assert_eq!(pool.idle(), 0);
+    }
+
+    #[test]
+    fn free_list_is_bounded() {
+        let pool = Arc::new(BufPool::new(2, 1024));
+        let bufs: Vec<_> = (0..5).map(|_| pool.get()).collect();
+        drop(bufs);
+        assert_eq!(pool.idle(), 2, "only max_pooled buffers retained");
+    }
+
+    #[test]
+    fn oversized_buffers_are_not_retained() {
+        let pool = Arc::new(BufPool::new(4, 64));
+        {
+            let mut b = pool.get();
+            b.reserve(1024);
+        }
+        assert_eq!(pool.idle(), 0, "oversized capacity is dropped");
+    }
+
+    #[test]
+    fn into_inner_detaches_from_pool() {
+        let pool = Arc::new(BufPool::new(4, 1024));
+        let mut b = pool.get();
+        b.push(7);
+        let v = b.into_inner();
+        assert_eq!(v, vec![7]);
+        assert_eq!(pool.idle(), 0);
+    }
+
+    #[test]
+    fn pool_survives_a_poisoned_lock() {
+        let pool = Arc::new(BufPool::new(4, 1024));
+        let poisoner = Arc::clone(&pool);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.free.lock().unwrap();
+            panic!("poison the pool lock");
+        })
+        .join();
+        assert!(pool.free.lock().is_err(), "lock must be poisoned");
+        // Checkout and return still work: the free-list has no
+        // cross-entry invariant to have been corrupted.
+        drop(pool.get());
+        assert_eq!(pool.idle(), 1);
+    }
+}

@@ -562,3 +562,105 @@ fn frame_mutation_adversary_cannot_kill_the_tcp_server() {
     // And after the storm: still serving, same answers.
     assert_serving(&probe);
 }
+
+/// A forged seal inside a server-side verification micro-batch fails
+/// only its own request: seven honest depositors and one attacker race
+/// through a bank whose Ed25519 seal checks are flushed through one
+/// shared batch verifier, and exactly the forged check bounces.
+#[test]
+fn forged_seal_in_a_micro_batch_fails_only_that_request() {
+    use proxy_aa::accounting::{write_check, AccountingServer};
+    use proxy_aa::net::{api, ClientOptions, ServiceMux, TcpClient, TcpServer};
+    use proxy_crypto::ed25519::SigningKey;
+    use std::sync::{Arc, Barrier};
+    use std::time::Duration;
+
+    const DEPOSITORS: usize = 8;
+    const FORGER: usize = 3;
+    let usd = || Currency::new("USD");
+
+    let mut rng = StdRng::seed_from_u64(91);
+    let bank_key = SigningKey::generate(&mut rng);
+    let mut bank = AccountingServer::new(p("bank"), GrantAuthority::Keypair(bank_key));
+    let mut authorities = Vec::new();
+    for t in 0..DEPOSITORS {
+        let key = SigningKey::generate(&mut rng);
+        bank.register_grantor(
+            p(&format!("payor{t}")),
+            GrantorVerifier::PublicKey(key.verifying_key()),
+        );
+        bank.open_account(format!("acct{t}"), vec![p(&format!("payor{t}"))]);
+        bank.account_mut(&format!("acct{t}"))
+            .expect("account just opened")
+            .credit(usd(), 100);
+        authorities.push(GrantAuthority::Keypair(key));
+    }
+    bank.open_account("shop", vec![p("shop")]);
+    let batcher = Arc::new(SealBatcher::new(DEPOSITORS, Duration::from_micros(500)));
+    let bank = Arc::new(bank.with_seal_batcher(Arc::clone(&batcher)));
+    let mux: ServiceMux = ServiceMux::new().with_accounting(Arc::clone(&bank));
+    let srv = TcpServer::spawn(Arc::new(mux), DEPOSITORS, 91).expect("bank server");
+
+    // The attacker holds payor3's principal name but not payor3's key:
+    // its check is sealed with a key the bank has never seen.
+    let attacker = GrantAuthority::Keypair(SigningKey::generate(&mut rng));
+    let checks: Vec<Proxy> = (0..DEPOSITORS)
+        .map(|t| {
+            let authority = if t == FORGER {
+                &attacker
+            } else {
+                &authorities[t]
+            };
+            write_check(
+                &p(&format!("payor{t}")),
+                authority,
+                &p("bank"),
+                &format!("acct{t}"),
+                p("shop"),
+                1,
+                usd(),
+                5,
+                window(),
+                &mut rng,
+            )
+            .proxy
+        })
+        .collect();
+
+    let barrier = Barrier::new(DEPOSITORS);
+    let outcomes: Vec<bool> = std::thread::scope(|s| {
+        let handles: Vec<_> = checks
+            .into_iter()
+            .map(|check| {
+                let (srv, barrier) = (&srv, &barrier);
+                s.spawn(move || {
+                    let client = TcpClient::new(srv.addr(), ClientOptions::default());
+                    barrier.wait();
+                    api::deposit_check(&client, check, &p("shop"), "shop", &p("bank"), Timestamp(3))
+                        .is_ok()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("depositor thread"))
+            .collect()
+    });
+
+    assert!(!outcomes[FORGER], "the forged seal must bounce");
+    assert_eq!(
+        outcomes.iter().filter(|ok| **ok).count(),
+        DEPOSITORS - 1,
+        "honest checks are untouched by the forgery: {outcomes:?}"
+    );
+    assert_eq!(
+        bank.account("shop").expect("shop account").balance(&usd()),
+        (DEPOSITORS as u64 - 1) * 5,
+        "exactly the honest deposits settled"
+    );
+    let stats = batcher.stats();
+    assert!(
+        stats.inline_verifies + stats.batched_checks >= DEPOSITORS as u64,
+        "every deposit's seal was checked through the batcher: {stats:?}"
+    );
+}
