@@ -41,6 +41,15 @@ cargo test --release -q -p proxy-wire --test proptests --test corpus
 cargo test --release -q --test pipeline
 cargo test --release -q --test security_adversarial forged_seal_in_a_micro_batch
 
+# Readiness-driven net core (DESIGN.md §13): per-connection state
+# machines under partial reads/writes, slow-loris, backpressure, idle
+# reap, and thousands of idle registrations — release mode so the
+# event loop runs at realistic speed. Then a reduced-scale C10k smoke
+# (512 concurrent pipelined connections, flat-p99 gate asserted by the
+# harness itself).
+cargo test --release -q -p proxy-net --test event_loop
+cargo run -q -p proxy-bench --bin figures --release -- --c10k-smoke
+
 # Documentation gate: rustdoc warnings (broken intra-doc links, bad
 # HTML) are errors.
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q

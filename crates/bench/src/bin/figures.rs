@@ -424,6 +424,105 @@ fn networked() {
     println!("wrote BENCH_net.json");
 }
 
+/// Runs the C10k sweep (see `proxy_bench::c10k`): thousands of
+/// concurrent pipelined loopback connections on the fig3 authz-query
+/// path, served by the readiness-driven event-loop server, with the
+/// blocking thread-per-connection server as the low-end baseline and a
+/// seal-batcher probe on the fig5 path.
+///
+/// In full mode (`--c10k`) the thread-scaling sweep also reruns and
+/// `BENCH_net.json` is rewritten with both sections. In smoke mode
+/// (`--c10k-smoke`, used by ci.sh) only the reduced sweep runs and the
+/// recorded results are left untouched.
+fn c10k(smoke: bool) {
+    use proxy_bench::c10k::{run, seal_batcher_probe, C10kOptions};
+
+    let opts = if smoke {
+        C10kOptions::smoke()
+    } else {
+        C10kOptions::default()
+    };
+    let report = run(&opts);
+    for pt in &report.event_loop {
+        report_row(
+            "C10K",
+            "event-loop",
+            pt.connections,
+            format!(
+                "{:.0} ops/s, burst p50 {} µs, p99 {} µs, connect {:.2}s",
+                pt.ops_per_sec, pt.p50_us, pt.p99_us, pt.connect_secs
+            ),
+            "",
+        );
+    }
+    let base = &report.blocking_baseline;
+    report_row(
+        "C10K",
+        "blocking-baseline",
+        base.connections,
+        format!(
+            "{:.0} ops/s, burst p50 {} µs, p99 {} µs (thread per connection)",
+            base.ops_per_sec, base.p50_us, base.p99_us
+        ),
+        "",
+    );
+
+    // Flat-p99 gate: the most-loaded point within 2x of the least.
+    let ratio = report.p99_ratio();
+    let top = report.event_loop.last().expect("sweep not empty");
+    println!(
+        "c10k p99 ratio ({} conns vs {} conns): {ratio:.2}x (target <= 2x)",
+        top.connections,
+        report
+            .event_loop
+            .first()
+            .expect("sweep not empty")
+            .connections,
+    );
+    assert!(
+        ratio <= 2.0,
+        "p99 degraded more than 2x across the connection sweep"
+    );
+    if !smoke {
+        assert!(
+            top.connections >= 5000,
+            "full c10k sweep must reach at least 5000 concurrent connections"
+        );
+    }
+
+    // Seal-batcher probe: does event-loop dispatch form natural batches?
+    for workers in [1usize, 2] {
+        let probe = seal_batcher_probe(workers, 16, if smoke { 16 } else { 64 });
+        report_row(
+            "C10K",
+            "seal-batcher-probe",
+            workers,
+            format!(
+                "{:.0} deposits/s, {} inline / {} batched seal checks in {} batches",
+                probe.ops_per_sec, probe.inline_verifies, probe.batched_checks, probe.batches
+            ),
+            "",
+        );
+    }
+
+    if !smoke {
+        // Rerun the thread-scaling sweep and persist both sections.
+        use proxy_bench::netbench::{run as net_run, NetOptions};
+        let net = net_run(&NetOptions::default());
+        let mut json = net.to_json();
+        let trimmed = json.trim_end();
+        let body = trimmed
+            .strip_suffix('}')
+            .expect("net report JSON is an object")
+            .trim_end()
+            .to_string();
+        json = format!(",\n  \"c10k\": {}\n}}\n", report.to_json());
+        let combined = format!("{body}{json}");
+        std::fs::write("BENCH_net.json", combined).expect("write BENCH_net.json");
+        println!("wrote BENCH_net.json (thread scaling + c10k)");
+    }
+}
+
 /// Runs the pipelined wire path (depth × batch-flush sweeps, see
 /// `proxy_bench::pipeline`) and persists the results to
 /// `BENCH_pipeline.json`.
@@ -496,6 +595,14 @@ fn main() {
     }
     if std::env::args().any(|arg| arg == "--pipeline") {
         pipelined();
+        return;
+    }
+    if std::env::args().any(|arg| arg == "--c10k-smoke") {
+        c10k(true);
+        return;
+    }
+    if std::env::args().any(|arg| arg == "--c10k") {
+        c10k(false);
         return;
     }
     f1_sizes();

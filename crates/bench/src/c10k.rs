@@ -1,0 +1,467 @@
+//! C10k benchmark (`figures --c10k`): thousands of concurrent pipelined
+//! loopback connections on the fig3 authz-query path, served by the
+//! readiness-driven [`proxy_net::EventLoopServer`].
+//!
+//! ## What the sweep measures
+//!
+//! The connection count `N` sweeps from tens to thousands while the
+//! **aggregate in-flight window stays fixed**: at any moment
+//! `group × burst` requests (16 connections × depth-4 bursts = 64) are
+//! outstanding, rotating round-robin over all `N` connections so every
+//! connection is exercised. Holding the offered load constant makes the
+//! latency series an honest scaling probe: if p99 stays flat as `N`
+//! grows, open-but-quiet connections cost the active ones nothing —
+//! which is exactly the property a readiness-driven server buys
+//! (epoll waits are O(ready), not O(open)).
+//!
+//! The blocking thread-per-connection [`proxy_net::TcpServer`] is kept
+//! as the baseline at the low end of the sweep. It cannot appear at the
+//! high end at all: each of its connections **occupies a worker thread
+//! for the connection's lifetime**, so `N` long-lived connections need
+//! `N` threads — the C10k problem statement — while the event-loop
+//! server serves the whole sweep with one worker thread.
+//!
+//! Latency is recorded per burst (send of a connection's burst to its
+//! last reply), so a point's p50/p99 reflect what one pipelined client
+//! experiences while `N − group` other connections sit open.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Instant;
+
+use proxy_net::{EventLoopOptions, EventLoopServer, TcpServer};
+use proxy_wire::frame::read_frame;
+use proxy_wire::Message;
+use restricted_proxy::prelude::*;
+
+use crate::netbench::fig3_mux;
+use crate::window;
+
+/// C10k harness configuration.
+#[derive(Clone, Debug)]
+pub struct C10kOptions {
+    /// Connection counts to sweep (the scaling axis).
+    pub conn_counts: Vec<usize>,
+    /// Connections with a burst in flight at any moment.
+    pub group: usize,
+    /// Pipelined requests per connection per burst.
+    pub burst: usize,
+    /// Minimum measured requests per point (rounds are scaled up so
+    /// small-`N` points still collect a meaningful latency sample).
+    pub min_total_ops: u64,
+    /// Event-loop worker threads serving the sweep.
+    pub workers: usize,
+}
+
+impl Default for C10kOptions {
+    fn default() -> Self {
+        Self {
+            conn_counts: vec![64, 512, 2048, 6000],
+            group: 16,
+            burst: 4,
+            min_total_ops: 8192,
+            workers: 1,
+        }
+    }
+}
+
+impl C10kOptions {
+    /// A reduced-scale configuration for CI smoke runs.
+    #[must_use]
+    pub fn smoke() -> Self {
+        Self {
+            conn_counts: vec![64, 512],
+            min_total_ops: 2048,
+            ..Self::default()
+        }
+    }
+}
+
+/// One measured point: connection count → throughput and burst latency.
+#[derive(Clone, Copy, Debug)]
+pub struct C10kPoint {
+    /// Concurrent open connections.
+    pub connections: usize,
+    /// Requests completed across the whole point.
+    pub total_ops: u64,
+    /// Wall-clock seconds for the measured rounds (connect time
+    /// excluded).
+    pub elapsed_secs: f64,
+    /// Requests per wall-clock second.
+    pub ops_per_sec: f64,
+    /// Median burst round-trip, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile burst round-trip, microseconds.
+    pub p99_us: u64,
+    /// Seconds to open (and get accepted on) all `connections`.
+    pub connect_secs: f64,
+}
+
+/// The C10k report: the event-loop sweep plus the blocking baseline.
+#[derive(Clone, Debug)]
+pub struct C10kReport {
+    /// Event-loop worker threads used.
+    pub workers: usize,
+    /// Event-loop server, one point per connection count.
+    pub event_loop: Vec<C10kPoint>,
+    /// Blocking thread-per-connection server at the sweep's low end
+    /// (with one worker thread per connection — its scaling model).
+    pub blocking_baseline: C10kPoint,
+}
+
+impl C10kReport {
+    /// The event-loop point for `connections`, if measured.
+    #[must_use]
+    pub fn point_for(&self, connections: usize) -> Option<&C10kPoint> {
+        self.event_loop
+            .iter()
+            .find(|p| p.connections == connections)
+    }
+
+    /// p99 ratio of the highest-connection point over the lowest — the
+    /// "flat p99" acceptance gate.
+    #[must_use]
+    pub fn p99_ratio(&self) -> f64 {
+        match (self.event_loop.first(), self.event_loop.last()) {
+            (Some(low), Some(high)) if low.p99_us > 0 => high.p99_us as f64 / low.p99_us as f64,
+            _ => f64::INFINITY,
+        }
+    }
+
+    /// Renders the report as a JSON object (hand-rolled; numbers only).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        fn point(p: &C10kPoint) -> String {
+            format!(
+                "{{\"connections\": {}, \"total_ops\": {}, \"elapsed_secs\": {:.4}, \
+                 \"ops_per_sec\": {:.1}, \"p50_us\": {}, \"p99_us\": {}, \
+                 \"connect_secs\": {:.4}}}",
+                p.connections,
+                p.total_ops,
+                p.elapsed_secs,
+                p.ops_per_sec,
+                p.p50_us,
+                p.p99_us,
+                p.connect_secs
+            )
+        }
+        let mut out = String::from("{\n");
+        out.push_str(&format!("    \"workers\": {},\n", self.workers));
+        out.push_str("    \"event_loop\": [\n");
+        for (i, p) in self.event_loop.iter().enumerate() {
+            out.push_str("      ");
+            out.push_str(&point(p));
+            out.push_str(if i + 1 < self.event_loop.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("    ],\n    \"blocking_baseline\": ");
+        out.push_str(&point(&self.blocking_baseline));
+        out.push_str("\n  }");
+        out
+    }
+}
+
+/// The fig3 request every connection pipelines: an authorization query
+/// for C's read of X (granted — the reply carries a signed proxy).
+fn authz_query() -> Message {
+    Message::AuthzQuery {
+        client: PrincipalId::new("C"),
+        presentations: vec![],
+        end_server: PrincipalId::new("S"),
+        operation: Operation::new("read"),
+        object: ObjectName::new("X"),
+        validity: window(),
+        now: Timestamp(1),
+    }
+}
+
+/// Opens `n` connections, then drives `rounds` round-robin sweeps of
+/// depth-`burst` pipelined bursts in groups of `group`, measuring each
+/// burst's round trip.
+fn drive(addr: std::net::SocketAddr, opts: &C10kOptions, n: usize) -> C10kPoint {
+    let connect_start = Instant::now();
+    let mut conns: Vec<TcpStream> = (0..n)
+        .map(|_| {
+            let s = TcpStream::connect(addr).expect("c10k connect");
+            s.set_nodelay(true).expect("nodelay");
+            s
+        })
+        .collect();
+    let connect_secs = connect_start.elapsed().as_secs_f64();
+
+    let frame = authz_query();
+    let burst = opts.burst.max(1);
+    let group = opts.group.max(1);
+    let per_round = (n * burst) as u64;
+    let rounds = opts.min_total_ops.div_ceil(per_round.max(1)).max(1);
+
+    let mut latencies: Vec<u64> = Vec::with_capacity((rounds * n as u64) as usize);
+    let mut request_id: u64 = 0;
+
+    // One full rotation over all connections, reply-buffer by
+    // reply-buffer, measured per burst from its write to its last reply
+    // — which includes the queueing the whole in-flight window imposes,
+    // the figure a loaded client actually sees. `sample` is None for
+    // warm-up rotations.
+    let rotate =
+        |conns: &mut [TcpStream], request_id: &mut u64, mut sample: Option<&mut Vec<u64>>| -> u64 {
+            let mut ops = 0u64;
+            for chunk_start in (0..n).step_by(group) {
+                let chunk_end = (chunk_start + group).min(n);
+                // Send a pipelined burst on every connection in the group…
+                let mut burst_starts: Vec<(usize, Instant, u64)> = Vec::with_capacity(group);
+                for (c, conn) in conns
+                    .iter_mut()
+                    .enumerate()
+                    .take(chunk_end)
+                    .skip(chunk_start)
+                {
+                    let mut bytes = Vec::new();
+                    let first_id = *request_id;
+                    for _ in 0..burst {
+                        bytes.extend_from_slice(&frame.to_frame(*request_id));
+                        *request_id += 1;
+                    }
+                    let t0 = Instant::now();
+                    conn.write_all(&bytes).expect("burst write");
+                    burst_starts.push((c, t0, first_id));
+                }
+                // …then collect every reply.
+                for (c, t0, first_id) in burst_starts {
+                    for k in 0..burst {
+                        let (header, _body) = read_frame(&mut conns[c]).expect("burst reply");
+                        assert_eq!(header.request_id, first_id + k as u64);
+                        assert_ne!(header.msg_type, 0x7F, "authz query must not error");
+                    }
+                    let us = t0.elapsed().as_micros() as u64;
+                    if let Some(sample) = sample.as_deref_mut() {
+                        sample.push(us);
+                    }
+                    ops += burst as u64;
+                }
+            }
+            ops
+        };
+
+    // Warm-up rotation, unmeasured: first-touch costs (server-side
+    // connection install, buffer growth, allocator and cache warm-up)
+    // land here, so the measured rounds compare steady states across
+    // connection counts rather than cold-start slopes.
+    rotate(&mut conns, &mut request_id, None);
+
+    let mut total_ops: u64 = 0;
+    let started = Instant::now();
+    for _ in 0..rounds {
+        total_ops += rotate(&mut conns, &mut request_id, Some(&mut latencies));
+    }
+    let elapsed = started.elapsed();
+
+    latencies.sort_unstable();
+    let pct = |p: f64| -> u64 {
+        if latencies.is_empty() {
+            return 0;
+        }
+        let rank = ((p / 100.0) * latencies.len() as f64).ceil() as usize;
+        latencies[rank.clamp(1, latencies.len()) - 1]
+    };
+    C10kPoint {
+        connections: n,
+        total_ops,
+        elapsed_secs: elapsed.as_secs_f64(),
+        ops_per_sec: total_ops as f64 / elapsed.as_secs_f64().max(1e-9),
+        p50_us: pct(50.0),
+        p99_us: pct(99.0),
+        connect_secs,
+    }
+}
+
+/// Runs the full C10k sweep: the event-loop server across every
+/// connection count, then the blocking baseline at the lowest.
+#[must_use]
+pub fn run(opts: &C10kOptions) -> C10kReport {
+    let event_loop = opts
+        .conn_counts
+        .iter()
+        .map(|&n| {
+            let server = EventLoopServer::spawn_with(
+                fig3_mux(),
+                EventLoopOptions {
+                    workers: opts.workers,
+                    ..EventLoopOptions::default()
+                },
+                31,
+            )
+            .expect("spawn event-loop server");
+            drive(server.addr(), opts, n)
+        })
+        .collect();
+
+    // Blocking baseline: thread-per-connection, so it needs as many
+    // workers as connections — which is why it stops at the low end.
+    let baseline_n = opts.conn_counts.iter().copied().min().unwrap_or(64);
+    let server =
+        TcpServer::spawn(fig3_mux(), baseline_n, 31).expect("spawn blocking baseline server");
+    let blocking_baseline = drive(server.addr(), opts, baseline_n);
+
+    C10kReport {
+        workers: opts.workers,
+        event_loop,
+        blocking_baseline,
+    }
+}
+
+/// One seal-batcher probe result (see [`seal_batcher_probe`]).
+#[derive(Clone, Copy, Debug)]
+pub struct BatcherProbe {
+    /// Event-loop workers serving the probe.
+    pub workers: usize,
+    /// Deposits completed.
+    pub total_ops: u64,
+    /// Deposits per wall-clock second.
+    pub ops_per_sec: f64,
+    /// Seal checks verified inline (submitter found itself alone).
+    pub inline_verifies: u64,
+    /// Batched flushes performed.
+    pub batches: u64,
+    /// Seal checks that rode in a batch.
+    pub batched_checks: u64,
+}
+
+/// Drives the Fig. 5 check-deposit path through the event-loop server
+/// with a [`SealBatcher`]
+/// attached, and reports whether the event loop's *natural* batches
+/// (many frames drained per readiness wakeup) reach the batcher as
+/// concurrent submissions.
+///
+/// With one worker the dispatch loop is strictly sequential, so every
+/// seal check finds itself alone and takes the batcher's inline path —
+/// structurally, not probabilistically. A second worker is the minimum
+/// configuration in which two connections' bursts can overlap inside
+/// `verify_seals` and actually form a batch. The probe exists to record
+/// that distinction with numbers (see EXPERIMENTS.md).
+///
+/// All client-side signing happens before the clock starts: the frames
+/// are prebuilt, so the measured window is server verification plus the
+/// wire.
+#[must_use]
+pub fn seal_batcher_probe(workers: usize, conns: usize, deposits_per_conn: u64) -> BatcherProbe {
+    use proxy_net::ServiceMux;
+    use restricted_proxy::batcher::SealBatcher;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let conns = conns.max(1);
+    let (bank, authorities) = crate::netbench::fig5_bank(conns, deposits_per_conn);
+    let batcher = Arc::new(SealBatcher::new(16, Duration::from_micros(50)));
+    let total = deposits_per_conn * conns as u64;
+    let replay_capacity = usize::try_from(total * 2).unwrap_or(usize::MAX);
+    let bank = Arc::new(
+        bank.with_seal_batcher(Arc::clone(&batcher))
+            .with_replay_capacity(replay_capacity),
+    );
+    let mux = Arc::new(ServiceMux::<MapResolver>::new().with_accounting(bank));
+    let server = EventLoopServer::spawn_with(
+        mux,
+        EventLoopOptions {
+            workers,
+            ..EventLoopOptions::default()
+        },
+        33,
+    )
+    .expect("spawn event-loop accounting server");
+
+    // Prebuild every deposit frame (client-side Ed25519 signing stays
+    // outside the timed window). Distinct check numbers per payor.
+    let mut request_id: u64 = 0;
+    let mut check_no: u64 = 1;
+    let frames: Vec<Vec<Vec<u8>>> = (0..conns)
+        .map(|t| {
+            (0..deposits_per_conn)
+                .map(|_| {
+                    let mut client_rng = crate::rng(7_000_000 + check_no);
+                    let check =
+                        crate::netbench::fig5_check(t, &authorities[t], check_no, &mut client_rng);
+                    check_no += 1;
+                    let msg = Message::CheckDeposit {
+                        check: check.proxy,
+                        depositor: PrincipalId::new("shop"),
+                        to_account: "shop".to_string(),
+                        next_hop: PrincipalId::new("bank"),
+                        now: Timestamp(1),
+                    };
+                    let frame = msg.to_frame(request_id);
+                    request_id += 1;
+                    frame
+                })
+                .collect()
+        })
+        .collect();
+
+    let mut sockets: Vec<TcpStream> = (0..conns)
+        .map(|_| {
+            let s = TcpStream::connect(server.addr()).expect("probe connect");
+            s.set_nodelay(true).expect("nodelay");
+            s
+        })
+        .collect();
+
+    // Everything in flight at once: each connection sends its whole
+    // deposit burst, then all replies are drained. This is the widest
+    // natural batch the event loop can offer the verifier.
+    let started = Instant::now();
+    for (t, per_conn) in frames.iter().enumerate() {
+        let bytes: Vec<u8> = per_conn.iter().flatten().copied().collect();
+        sockets[t].write_all(&bytes).expect("probe burst write");
+    }
+    let mut total_ops = 0u64;
+    for (t, per_conn) in frames.iter().enumerate() {
+        for _ in 0..per_conn.len() {
+            let (header, _body) = read_frame(&mut sockets[t]).expect("probe reply");
+            assert_ne!(header.msg_type, 0x7F, "deposit must settle");
+            total_ops += 1;
+        }
+    }
+    let elapsed = started.elapsed();
+
+    let stats = batcher.stats();
+    BatcherProbe {
+        workers,
+        total_ops,
+        ops_per_sec: total_ops as f64 / elapsed.as_secs_f64().max(1e-9),
+        inline_verifies: stats.inline_verifies,
+        batches: stats.batches,
+        batched_checks: stats.batched_checks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_sweep_measures_and_serializes() {
+        let opts = C10kOptions {
+            conn_counts: vec![8, 32],
+            min_total_ops: 64,
+            ..C10kOptions::default()
+        };
+        let report = run(&opts);
+        assert_eq!(report.event_loop.len(), 2);
+        for p in &report.event_loop {
+            assert!(p.ops_per_sec > 0.0);
+            assert!(p.p99_us >= p.p50_us);
+            assert!(p.total_ops >= 64);
+        }
+        assert_eq!(report.blocking_baseline.connections, 8);
+        assert!(report.p99_ratio().is_finite());
+        let json = report.to_json();
+        assert!(json.contains("\"event_loop\""));
+        assert!(json.contains("\"blocking_baseline\""));
+        let count = |c: char| json.chars().filter(|&x| x == c).count();
+        assert_eq!(count('{'), count('}'));
+        assert_eq!(count('['), count(']'));
+    }
+}

@@ -14,6 +14,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod c10k;
 pub mod netbench;
 pub mod pipeline;
 pub mod seed_ed25519;

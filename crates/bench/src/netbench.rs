@@ -44,6 +44,14 @@ pub struct NetOptions {
     /// connection dials, allocator warm-up, and server-side caches are
     /// out of the timed window.
     pub warmup_per_thread: u64,
+    /// Unmeasured single-thread operations run once before the whole
+    /// sweep. The first measured point otherwise lands in a freshly
+    /// started process — CPU frequency ramp, cold caches, and
+    /// first-touch allocation inflate or deflate it by 20%+ from run to
+    /// run, which PR 5 recorded as a spurious 1→2 thread "regression".
+    /// The per-point `warmup_per_thread` is too short (a few ms) to
+    /// ride that out; this pass is long enough.
+    pub prime_ops: u64,
     /// Server connection-worker threads.
     pub workers: usize,
     /// Certificate-chain depth for the cascade path (Fig. 4).
@@ -59,6 +67,7 @@ impl Default for NetOptions {
             // to a few percent.
             ops_per_thread: 1500,
             warmup_per_thread: 150,
+            prime_ops: 4000,
             workers: 8,
             cascade_depth: 4,
         }
@@ -73,6 +82,7 @@ impl NetOptions {
             thread_counts: vec![1, 2],
             ops_per_thread: 20,
             warmup_per_thread: 2,
+            prime_ops: 20,
             workers: 4,
             cascade_depth: 2,
         }
@@ -561,9 +571,37 @@ fn wire_sizes(cascade_depth: usize) -> Vec<WireSize> {
         .collect()
 }
 
+/// Primes the process before any measured point: runs `prime_ops`
+/// closed-loop Fig. 3 queries single-threaded against a throwaway
+/// server, then discards everything. See [`NetOptions::prime_ops`].
+fn prime(opts: &NetOptions) {
+    if opts.prime_ops == 0 {
+        return;
+    }
+    if let Ok(server) = TcpServer::spawn(fig3_mux(), opts.workers, 29) {
+        let client = client_for(&server);
+        closed_loop(1, opts.prime_ops, |_t| {
+            let client = &client;
+            move |_i| {
+                let _ = api::request_authorization(
+                    client,
+                    &p("C"),
+                    vec![],
+                    &p("S"),
+                    &Operation::new("read"),
+                    &ObjectName::new("X"),
+                    window(),
+                    Timestamp(1),
+                );
+            }
+        });
+    }
+}
+
 /// Runs the full networked sweep and returns the report.
 #[must_use]
 pub fn run(opts: &NetOptions) -> NetReport {
+    prime(opts);
     NetReport {
         host_parallelism: std::thread::available_parallelism().map_or(1, usize::from),
         workers: opts.workers,

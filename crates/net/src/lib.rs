@@ -12,6 +12,10 @@
 //!   deterministic figure harnesses keep their exact counts.
 //! * [`TcpServer`]/[`TcpClient`] — std-only blocking TCP: one acceptor
 //!   thread feeding a [`proxy_runtime::Pool`] of connection workers.
+//! * [`EventLoopServer`] — readiness-driven TCP: each worker owns a
+//!   [`proxy_runtime::Poller`] (epoll on Linux) and drains thousands of
+//!   nonblocking connections through per-connection state machines with
+//!   write-queue backpressure and idle reaping — the C10k path.
 //!
 //! The servers behind the mux are the *same instances* an in-process
 //! caller would use; networking is a layer, not a fork of the logic.
@@ -22,6 +26,7 @@
 pub mod api;
 pub mod client;
 pub mod error;
+pub mod event_loop;
 pub mod mux;
 pub mod tcp;
 pub mod transport;
@@ -29,6 +34,7 @@ pub mod transport;
 pub use api::Deposit;
 pub use client::{ClientOptions, RetryPolicy, TcpClient};
 pub use error::NetError;
+pub use event_loop::{EventLoopOptions, EventLoopServer};
 pub use mux::ServiceMux;
 pub use tcp::TcpServer;
 pub use transport::{Loopback, Transport};

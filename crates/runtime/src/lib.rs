@@ -2,16 +2,23 @@
 //!
 //! A small std-only concurrency runtime for driving the concurrent
 //! service cores: a fixed worker pool ([`Pool`]), a completion latch
-//! ([`WaitGroup`]), and a closed-loop load driver ([`closed_loop`]).
+//! ([`WaitGroup`]), a closed-loop load driver ([`closed_loop`]), and a
+//! readiness [`Poller`] (epoll with a portable `poll(2)` fallback) for
+//! the event-loop servers.
 //!
-//! No tokio, no rayon — the whole machinery is `std::thread` plus
-//! channels, which is all the throughput harness needs: N threads in a
-//! closed loop (each issues a request, waits for its completion, issues
-//! the next), the standard client model for server benchmarks. Wall
-//! clock over total completed operations gives ops/sec.
+//! No tokio, no rayon, no libc crate — the whole machinery is
+//! `std::thread`, channels, and a thin audited FFI module ([`sys`])
+//! over the two readiness syscalls. `unsafe` is denied crate-wide and
+//! allowed *only* inside `sys`, whose every call site carries a local
+//! safety argument; the rest of the workspace stays `forbid(unsafe_code)`.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod poller;
+pub mod sys;
+
+pub use poller::{Event, Interest, Poller, PollerKind};
 
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Barrier, Condvar, Mutex};

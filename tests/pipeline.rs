@@ -412,3 +412,59 @@ fn pipelined_batch_recovers_from_a_stale_pooled_connection() {
     drop(client);
     server.join().expect("server thread");
 }
+
+/// A **server-initiated** close — the event-loop server's idle reaper —
+/// must surface to a pooled client as an ordinary stale connection:
+/// discarded on the next call and redialed transparently, with the retry
+/// budget at zero. This is the contract that lets the server reap
+/// abandoned sockets without clients ever observing an error.
+#[test]
+fn server_side_idle_reap_surfaces_as_clean_redial() {
+    let (mux, authority) = end_world(9);
+    let srv = proxy_aa::net::EventLoopServer::spawn_with(
+        Arc::new(mux),
+        proxy_aa::net::EventLoopOptions {
+            idle_timeout: std::time::Duration::from_millis(100),
+            tick: std::time::Duration::from_millis(10),
+            ..proxy_aa::net::EventLoopOptions::default()
+        },
+        9,
+    )
+    .expect("event-loop server");
+    let mut rng = StdRng::seed_from_u64(9);
+    let proxy = grant(
+        &p("alice"),
+        &authority,
+        RestrictionSet::new(),
+        window(),
+        1,
+        &mut rng,
+    );
+    let client = no_retry_client(srv.addr());
+    let first = client.call(&read_x(proxy.present_bearer([1u8; 32], &p("S"))));
+    assert!(first.is_ok(), "first call on a fresh dial: {first:?}");
+    assert_eq!(client.pooled_connections(), 1, "connection pooled");
+
+    // Sit idle past the server's reap horizon (sweeps run at timeout/4).
+    std::thread::sleep(std::time::Duration::from_millis(400));
+
+    // The pooled socket is now dead server-side; the next call must
+    // notice, discard it, and answer over a fresh dial — no error, no
+    // retry budget consumed.
+    let second = client.call(&read_x(proxy.present_bearer([2u8; 32], &p("S"))));
+    assert!(
+        second.is_ok(),
+        "reaped pooled connection must be replaced transparently: {second:?}"
+    );
+
+    // And a pipelined batch after another reap recovers the same way.
+    std::thread::sleep(std::time::Duration::from_millis(400));
+    let batch: Vec<Message> = (3..7u8)
+        .map(|i| read_x(proxy.present_bearer([i; 32], &p("S"))))
+        .collect();
+    let results = client.call_pipelined(&batch, 4);
+    assert!(
+        results.iter().all(Result::is_ok),
+        "pipelined batch after a server-side reap must restart cleanly: {results:?}"
+    );
+}
