@@ -50,6 +50,14 @@ cargo test --release -q --test security_adversarial forged_seal_in_a_micro_batch
 cargo test --release -q -p proxy-net --test event_loop
 cargo run -q -p proxy-bench --bin figures --release -- --c10k-smoke
 
+# Revocation index + membership mirror (DESIGN.md §14): reduced-scale
+# smoke (100k serials / 100k members) asserting the O(1) contains
+# ratio, the ≤5% cascade-verify overhead, and the zero-round-trip
+# membership tally. The quantile gates compare timing ratios, so one
+# retry absorbs a noisy-neighbor window on shared hosts.
+cargo run -q -p proxy-bench --bin figures --release -- --revocation-smoke \
+    || cargo run -q -p proxy-bench --bin figures --release -- --revocation-smoke
+
 # Documentation gate: rustdoc warnings (broken intra-doc links, bad
 # HTML) are errors.
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q

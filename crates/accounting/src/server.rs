@@ -8,13 +8,14 @@ use rand::RngCore;
 use restricted_proxy::batcher::SealBatcher;
 use restricted_proxy::cache::VerifiedCertCache;
 use restricted_proxy::context::RequestContext;
-use restricted_proxy::key::{GrantAuthority, GrantorVerifier, MapResolver};
+use restricted_proxy::key::{GrantAuthority, GrantorVerifier, KeyResolver, MapResolver};
 use restricted_proxy::principal::PrincipalId;
 use restricted_proxy::proxy::{grant, Proxy};
 use restricted_proxy::replay::ReplayCache;
 use restricted_proxy::restriction::{
     AuthorizedEntry, Currency, ObjectName, Operation, Restriction, RestrictionSet,
 };
+use restricted_proxy::revocation::{ArtifactError, RevocationArtifact, RevocationDirectory};
 use restricted_proxy::shard::ShardMap;
 use restricted_proxy::time::{Timestamp, Validity};
 use restricted_proxy::verify::Verifier;
@@ -87,6 +88,9 @@ pub struct AccountingServer {
     replay: ReplayCache,
     uncollected: ShardMap<(PrincipalId, u64), Uncollected>,
     next_serial: AtomicU64,
+    /// Local mirror of issuers' revoked check/endorsement serials,
+    /// consulted by the verifier on every deposited chain.
+    revocations: Arc<RevocationDirectory>,
 }
 
 impl AccountingServer {
@@ -104,16 +108,47 @@ impl AccountingServer {
             GrantAuthority::Keypair(sk) => GrantorVerifier::PublicKey(sk.verifying_key()),
         };
         let directory = MapResolver::new().with(name.clone(), self_verifier);
+        let revocations = Arc::new(RevocationDirectory::new());
         Self {
             verifier: Verifier::new(name.clone(), directory)
-                .with_seal_cache(Self::SEAL_CACHE_CAPACITY),
+                .with_seal_cache(Self::SEAL_CACHE_CAPACITY)
+                .with_revocation(revocations.clone()),
             name,
             authority,
             accounts: ShardMap::new(),
             replay: ReplayCache::new(),
             uncollected: ShardMap::new(),
             next_serial: AtomicU64::new(1),
+            revocations,
         }
+    }
+
+    /// The local revocation mirror, for instrumentation and epoch sync.
+    #[must_use]
+    pub fn revocation_directory(&self) -> &Arc<RevocationDirectory> {
+        &self.revocations
+    }
+
+    /// Verifies and applies a revocation artifact: a revoked check or
+    /// endorsement serial is then refused at deposit with no issuer
+    /// round trip. Fail-closed like the end-server path — bad seals,
+    /// unknown issuers, epoch regressions, and delta-base mismatches all
+    /// leave the last good state enforced.
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError`] on unknown issuer, bad seal, epoch regression,
+    /// or delta-base mismatch.
+    pub fn apply_revocation(&self, artifact: &RevocationArtifact) -> Result<(), ArtifactError> {
+        let verifier = self
+            .verifier
+            .resolver()
+            .grantor_verifier(&artifact.issuer)
+            .ok_or_else(|| ArtifactError::UnknownIssuer(artifact.issuer.clone()))?;
+        if !artifact.verify_seal(&verifier) {
+            return Err(ArtifactError::BadSeal);
+        }
+        self.revocations.apply_verified(artifact)
     }
 
     fn take_serial(&self) -> u64 {

@@ -8,14 +8,16 @@ use restricted_proxy::batcher::SealBatcher;
 use restricted_proxy::cache::VerifiedCertCache;
 use restricted_proxy::context::RequestContext;
 use restricted_proxy::key::KeyResolver;
+use restricted_proxy::membership::{MembershipAnswer, MembershipArtifact, MembershipDirectory};
 use restricted_proxy::present::Presentation;
 use restricted_proxy::principal::{GroupName, PrincipalId};
 use restricted_proxy::replay::ReplayCache;
 use restricted_proxy::restriction::{Currency, ObjectName, Operation, Restriction};
+use restricted_proxy::revocation::{ArtifactError, RevocationArtifact, RevocationDirectory};
 use restricted_proxy::time::Timestamp;
 use restricted_proxy::verify::Verifier;
 
-use crate::acl::{AclEntry, AclStore, ClaimSet};
+use crate::acl::{AclEntry, AclStore, AclSubject, ClaimSet};
 use crate::error::AuthzError;
 
 /// A request as an end-server sees it.
@@ -95,6 +97,14 @@ pub struct EndServer<R> {
     /// Per-object ACLs (public so operators can edit policy directly).
     pub acls: AclStore,
     replay: ReplayCache,
+    /// Local mirror of issuers' revoked-serial sets; consulted on every
+    /// certificate by the verifier (O(1) probe, zero round trips). Empty
+    /// until artifacts are applied — absent data revokes nothing.
+    revocations: Arc<RevocationDirectory>,
+    /// Local mirror of group memberships; lets ACL `Group` entries be
+    /// satisfied by an authenticated identity without a group proxy or a
+    /// group-server round trip.
+    memberships: Arc<MembershipDirectory>,
 }
 
 impl<R: KeyResolver> EndServer<R> {
@@ -108,10 +118,15 @@ impl<R: KeyResolver> EndServer<R> {
     /// entries); only signature validity is memoized — replay guards,
     /// validity windows, and possession proofs run on every request.
     pub fn new(name: PrincipalId, resolver: R) -> Self {
+        let revocations = Arc::new(RevocationDirectory::new());
         Self {
-            verifier: Verifier::new(name, resolver).with_seal_cache(Self::SEAL_CACHE_CAPACITY),
+            verifier: Verifier::new(name, resolver)
+                .with_seal_cache(Self::SEAL_CACHE_CAPACITY)
+                .with_revocation(revocations.clone()),
             acls: AclStore::new(),
             replay: ReplayCache::new(),
+            revocations,
+            memberships: Arc::new(MembershipDirectory::new()),
         }
     }
 
@@ -135,6 +150,60 @@ impl<R: KeyResolver> EndServer<R> {
     pub fn with_seal_batcher(mut self, batcher: Arc<SealBatcher>) -> Self {
         self.verifier = self.verifier.with_seal_batcher(batcher);
         self
+    }
+
+    /// The local revocation mirror, for instrumentation and epoch sync.
+    #[must_use]
+    pub fn revocation_directory(&self) -> &Arc<RevocationDirectory> {
+        &self.revocations
+    }
+
+    /// The local membership mirror, for instrumentation and epoch sync.
+    #[must_use]
+    pub fn membership_directory(&self) -> &Arc<MembershipDirectory> {
+        &self.memberships
+    }
+
+    /// Verifies and applies a revocation artifact. The seal must check
+    /// out under the claimed issuer's resolved key material and the
+    /// epoch must advance (snapshot) or extend the exact mirrored epoch
+    /// (delta); anything else is rejected and the last good state keeps
+    /// being enforced.
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError`] on unknown issuer, bad seal, epoch regression,
+    /// or delta-base mismatch.
+    pub fn apply_revocation(&self, artifact: &RevocationArtifact) -> Result<(), ArtifactError> {
+        let verifier = self
+            .verifier
+            .resolver()
+            .grantor_verifier(&artifact.issuer)
+            .ok_or_else(|| ArtifactError::UnknownIssuer(artifact.issuer.clone()))?;
+        if !artifact.verify_seal(&verifier) {
+            return Err(ArtifactError::BadSeal);
+        }
+        self.revocations.apply_verified(artifact)
+    }
+
+    /// Verifies and applies a membership artifact; same fail-closed
+    /// discipline as [`Self::apply_revocation`], with the group server
+    /// (`artifact.group.server`) as the only acceptable sealer.
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError`] on unknown issuer, bad seal, epoch regression,
+    /// or delta-base mismatch.
+    pub fn apply_membership(&self, artifact: &MembershipArtifact) -> Result<(), ArtifactError> {
+        let verifier = self
+            .verifier
+            .resolver()
+            .grantor_verifier(&artifact.group.server)
+            .ok_or_else(|| ArtifactError::UnknownIssuer(artifact.group.server.clone()))?;
+        if !artifact.verify_seal(&verifier) {
+            return Err(ArtifactError::BadSeal);
+        }
+        self.memberships.apply_verified(artifact)
     }
 
     /// Decides a request.
@@ -165,6 +234,33 @@ impl<R: KeyResolver> EndServer<R> {
             groups: Vec::new(),
         };
         let mut last_error: Option<AuthzError> = None;
+
+        // Pass 0: the local membership mirror proves groups for the
+        // authenticated identities — zero group-server round trips. Only
+        // groups this object's ACL actually names are probed, and only a
+        // mirrored `Member` answer adds a claim (`Unknown` stays a
+        // non-claim: the requester can still present a group proxy).
+        // Running before proxy verification lets `for-use-by-group`
+        // restrictions see mirror-proven groups too.
+        let acl = self.acls.acl_for(&req.object);
+        for entry in acl.iter() {
+            let named: &[GroupName] = match &entry.subject {
+                AclSubject::Group(g) => std::slice::from_ref(g),
+                AclSubject::Principal(_) | AclSubject::Compound(_) | AclSubject::Anyone => &[],
+            };
+            for g in named {
+                if claims.groups.contains(g) {
+                    continue;
+                }
+                let proven = req.authenticated.iter().any(|principal| {
+                    self.memberships.assert(g, principal, req.now) == MembershipAnswer::Member
+                });
+                if proven {
+                    claims.groups.push(g.clone());
+                    ctx.asserted_groups.push(g.clone());
+                }
+            }
+        }
 
         // Pass 1: group proxies prove memberships.
         let (group_proxies, other_proxies): (Vec<_>, Vec<_>) = req
@@ -198,7 +294,6 @@ impl<R: KeyResolver> EndServer<R> {
         }
 
         // Local ACL decides.
-        let acl = self.acls.acl_for(&req.object);
         match acl.find_match(&claims, &req.operation) {
             Some(entry) => {
                 // ACL-entry restrictions apply to the request too (§3.5).
@@ -403,6 +498,135 @@ mod tests {
         assert!(
             server.authorize(&req).is_err(),
             "capability revoked with grantor"
+        );
+    }
+
+    #[test]
+    fn applied_revocation_artifact_kills_capability() {
+        use restricted_proxy::revocation::{ArtifactKind, RevocationArtifact};
+        let mut rng = StdRng::seed_from_u64(21);
+        let shared = SymmetricKey::generate(&mut rng);
+        let resolver =
+            MapResolver::new().with(p("alice"), GrantorVerifier::SharedKey(shared.clone()));
+        let mut server = EndServer::new(p("fs"), resolver);
+        server.acls.set(
+            obj("file1"),
+            Acl::new().with(AclSubject::Principal(p("alice")), AclRights::all()),
+        );
+        let authority = GrantAuthority::SharedKey(shared);
+        let cap = grant(
+            &p("alice"),
+            &authority,
+            RestrictionSet::new().with(Restriction::authorize_op(obj("file1"), op("read"))),
+            Validity::new(Timestamp(0), Timestamp(100)),
+            7,
+            &mut rng,
+        );
+        let req = Request::new(op("read"), obj("file1"), Timestamp(1))
+            .with_presentation(cap.present_bearer([1u8; 32], &p("fs")));
+        assert!(server.authorize(&req).is_ok());
+        // Alice revokes serial 7 explicitly; the end-server applies the
+        // sealed artifact and the capability dies mid-validity.
+        let artifact = RevocationArtifact::seal(
+            p("alice"),
+            1,
+            ArtifactKind::Snapshot,
+            [7u64].into_iter().collect(),
+            &authority,
+        );
+        server.apply_revocation(&artifact).unwrap();
+        let req = Request::new(op("read"), obj("file1"), Timestamp(1))
+            .with_presentation(cap.present_bearer([2u8; 32], &p("fs")));
+        assert!(matches!(
+            server.authorize(&req),
+            Err(AuthzError::Verify(
+                restricted_proxy::error::VerifyError::Revoked { serial: 7, .. }
+            ))
+        ));
+    }
+
+    #[test]
+    fn membership_mirror_satisfies_group_acl_without_proxy() {
+        use restricted_proxy::membership::{member_digest, MembershipArtifact, MembershipKind};
+        let mut rng = StdRng::seed_from_u64(22);
+        let gs_key = SymmetricKey::generate(&mut rng);
+        let resolver = MapResolver::new().with(p("gs"), GrantorVerifier::SharedKey(gs_key.clone()));
+        let mut server = EndServer::new(p("fs"), resolver);
+        let staff = GroupName::new(p("gs"), "staff");
+        server.acls.set(
+            obj("wiki"),
+            Acl::new().with(AclSubject::Group(staff.clone()), AclRights::all()),
+        );
+        // Bob is authenticated but presents no group proxy: denied while
+        // no mirror exists (Unknown never grants).
+        let req = Request::new(op("edit"), obj("wiki"), Timestamp(1)).authenticated_as(p("bob"));
+        assert!(server.authorize(&req).is_err());
+        // The group server's sealed snapshot lands; bob's assert is now
+        // answered locally with zero round trips.
+        let snapshot = MembershipArtifact::seal(
+            staff.clone(),
+            1,
+            MembershipKind::Snapshot,
+            vec![member_digest(&p("bob"))],
+            Vec::new(),
+            &GrantAuthority::SharedKey(gs_key),
+        );
+        server.apply_membership(&snapshot).unwrap();
+        let req = Request::new(op("edit"), obj("wiki"), Timestamp(1)).authenticated_as(p("bob"));
+        let authorized = server.authorize(&req).unwrap();
+        assert_eq!(authorized.claims.groups, vec![staff]);
+        // Carol is mirrored-absent: still denied, also without round trips.
+        let req = Request::new(op("edit"), obj("wiki"), Timestamp(1)).authenticated_as(p("carol"));
+        assert!(server.authorize(&req).is_err());
+    }
+
+    #[test]
+    fn forged_artifacts_rejected_by_apply() {
+        use restricted_proxy::membership::{member_digest, MembershipArtifact, MembershipKind};
+        use restricted_proxy::revocation::{ArtifactKind, RevocationArtifact};
+        let mut rng = StdRng::seed_from_u64(23);
+        let shared = SymmetricKey::generate(&mut rng);
+        let mallory_key = SymmetricKey::generate(&mut rng);
+        let resolver =
+            MapResolver::new().with(p("alice"), GrantorVerifier::SharedKey(shared.clone()));
+        let server = EndServer::new(p("fs"), resolver);
+        // Sealed under mallory's key but claiming alice as issuer.
+        let forged = RevocationArtifact::seal(
+            p("alice"),
+            1,
+            ArtifactKind::Snapshot,
+            [7u64].into_iter().collect(),
+            &GrantAuthority::SharedKey(mallory_key.clone()),
+        );
+        assert_eq!(
+            server.apply_revocation(&forged),
+            Err(ArtifactError::BadSeal)
+        );
+        assert!(!server.revocation_directory().is_revoked(&p("alice"), 7));
+        // Unknown issuer fails closed before any seal math.
+        let unknown = RevocationArtifact::seal(
+            p("nobody"),
+            1,
+            ArtifactKind::Snapshot,
+            [7u64].into_iter().collect(),
+            &GrantAuthority::SharedKey(mallory_key.clone()),
+        );
+        assert_eq!(
+            server.apply_revocation(&unknown),
+            Err(ArtifactError::UnknownIssuer(p("nobody")))
+        );
+        // Same for membership artifacts.
+        let forged = MembershipArtifact::seal(
+            GroupName::new(p("alice"), "staff"),
+            1,
+            MembershipKind::Snapshot,
+            vec![member_digest(&p("mallory"))],
+            Vec::new(),
+            &GrantAuthority::SharedKey(mallory_key),
+        );
+        assert_eq!(
+            server.apply_membership(&forged),
+            Err(ArtifactError::BadSeal)
         );
     }
 

@@ -1,29 +1,60 @@
 //! The group server (§3.3): grants proxies that delegate the right to
-//! assert membership in a group.
+//! assert membership in a group, and publishes sealed membership
+//! artifacts so end-servers can answer asserts locally.
 //!
 //! Group proxies are *delegate* proxies (membership is not transferable)
 //! and always carry an explicit `group-membership` restriction (§7.6) so a
 //! proxy never accidentally asserts every group the server maintains.
+//!
+//! Every operation takes `&self`: per-group state lives in a lock-striped
+//! [`ShardMap`] (one shard lock per touched group, never two — DESIGN.md
+//! §9) and the proxy serial counter is an atomic, matching the PR-2
+//! migration of the other three servers. Membership changes bump a
+//! per-group epoch only when published; [`GroupServer::updates_since`]
+//! hands a lagging mirror the sealed delta chain (or one snapshot when
+//! the bounded per-group delta log no longer reaches back).
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use rand::RngCore;
 
 use restricted_proxy::key::GrantAuthority;
+use restricted_proxy::membership::{
+    member_digest, MemberDigest, MembershipArtifact, MembershipKind,
+};
 use restricted_proxy::principal::{GroupName, PrincipalId};
 use restricted_proxy::proxy::{grant, Proxy};
 use restricted_proxy::restriction::{Restriction, RestrictionSet};
+use restricted_proxy::shard::ShardMap;
 use restricted_proxy::time::Validity;
 
 use crate::error::AuthzError;
 
-/// A group server maintaining one or more groups.
+/// Published membership deltas kept per group for lagging mirrors.
+pub const GROUP_DELTA_LOG_DEPTH: usize = 64;
+
+/// Per-group state under one shard lock.
+#[derive(Debug, Default)]
+struct GroupState {
+    members: BTreeSet<PrincipalId>,
+    /// Epoch of the last published artifact for this group.
+    epoch: u64,
+    /// Digest changes since the last publication.
+    pending_adds: Vec<MemberDigest>,
+    pending_removes: Vec<MemberDigest>,
+    /// Published deltas, oldest first (bounded).
+    log: Vec<MembershipArtifact>,
+}
+
+/// A group server maintaining one or more groups. All operations take
+/// `&self` and are safe under concurrent use.
 #[derive(Debug)]
 pub struct GroupServer {
     name: PrincipalId,
     authority: GrantAuthority,
-    groups: HashMap<String, BTreeSet<PrincipalId>>,
-    next_serial: u64,
+    groups: ShardMap<String, GroupState>,
+    next_serial: AtomicU64,
 }
 
 impl GroupServer {
@@ -33,8 +64,8 @@ impl GroupServer {
         Self {
             name,
             authority,
-            groups: HashMap::new(),
-            next_serial: 1,
+            groups: ShardMap::new(),
+            next_serial: AtomicU64::new(1),
         }
     }
 
@@ -51,35 +82,168 @@ impl GroupServer {
     }
 
     /// Creates an (empty) group; no-op if it exists.
-    pub fn create_group(&mut self, group: &str) {
-        self.groups.entry(group.to_string()).or_default();
+    pub fn create_group(&self, group: &str) {
+        self.groups
+            .upsert(group.to_string(), GroupState::default, |_| ());
     }
 
     /// Adds `member` to `group`, creating the group if needed.
-    pub fn add_member(&mut self, group: &str, member: PrincipalId) {
+    pub fn add_member(&self, group: &str, member: PrincipalId) {
         self.groups
-            .entry(group.to_string())
-            .or_default()
-            .insert(member);
+            .upsert(group.to_string(), GroupState::default, |state| {
+                let digest = member_digest(&member);
+                if state.members.insert(member) {
+                    // A pending remove cancels instead of queueing an add:
+                    // the mirror never saw the member leave.
+                    if state.pending_removes.contains(&digest) {
+                        state.pending_removes.retain(|d| *d != digest);
+                    } else {
+                        state.pending_adds.push(digest);
+                    }
+                }
+            });
+    }
+
+    /// Adds every member of `members` to `group` in one shard-lock
+    /// acquisition — the bulk path for populating large groups.
+    pub fn add_members(&self, group: &str, members: impl IntoIterator<Item = PrincipalId>) {
+        self.groups
+            .upsert(group.to_string(), GroupState::default, |state| {
+                for member in members {
+                    let digest = member_digest(&member);
+                    if state.members.insert(member) {
+                        if state.pending_removes.contains(&digest) {
+                            state.pending_removes.retain(|d| *d != digest);
+                        } else {
+                            state.pending_adds.push(digest);
+                        }
+                    }
+                }
+            });
     }
 
     /// Removes `member` from `group`.
-    pub fn remove_member(&mut self, group: &str, member: &PrincipalId) {
-        if let Some(set) = self.groups.get_mut(group) {
-            set.remove(member);
-        }
+    pub fn remove_member(&self, group: &str, member: &PrincipalId) {
+        self.groups.update(&group.to_string(), |state| {
+            if let Some(state) = state {
+                if state.members.remove(member) {
+                    let digest = member_digest(member);
+                    // A pending add cancels instead of queueing a remove:
+                    // the mirror never saw the member join.
+                    if state.pending_adds.contains(&digest) {
+                        state.pending_adds.retain(|d| *d != digest);
+                    } else {
+                        state.pending_removes.push(digest);
+                    }
+                }
+            }
+        });
     }
 
     /// True when `member` belongs to `group`.
     #[must_use]
     pub fn is_member(&self, group: &str, member: &PrincipalId) -> bool {
-        self.groups.get(group).is_some_and(|s| s.contains(member))
+        self.groups.read(&group.to_string(), |state| {
+            state.is_some_and(|s| s.members.contains(member))
+        })
     }
 
     /// Number of groups maintained.
     #[must_use]
     pub fn group_count(&self) -> usize {
         self.groups.len()
+    }
+
+    /// Members currently in `group` (None when the group does not exist).
+    #[must_use]
+    pub fn member_count(&self, group: &str) -> Option<usize> {
+        self.groups
+            .read(&group.to_string(), |state| state.map(|s| s.members.len()))
+    }
+
+    /// The last published epoch for `group` (0 when never published).
+    #[must_use]
+    pub fn epoch_of(&self, group: &str) -> u64 {
+        self.groups
+            .read(&group.to_string(), |state| state.map_or(0, |s| s.epoch))
+    }
+
+    /// Publishes pending membership changes for `group` as a sealed
+    /// delta, bumping the group's epoch. Returns `None` when the group
+    /// does not exist or nothing is pending.
+    pub fn publish_delta(&self, group: &str) -> Option<MembershipArtifact> {
+        let global = self.global_name(group);
+        self.groups.update(&group.to_string(), |state| {
+            let state = state?;
+            if state.pending_adds.is_empty() && state.pending_removes.is_empty() {
+                return None;
+            }
+            let adds = std::mem::take(&mut state.pending_adds);
+            let removes = std::mem::take(&mut state.pending_removes);
+            let base = state.epoch;
+            let artifact = MembershipArtifact::seal(
+                global,
+                base + 1,
+                MembershipKind::Delta { base_epoch: base },
+                adds,
+                removes,
+                &self.authority,
+            );
+            state.epoch = base + 1;
+            state.log.push(artifact.clone());
+            if state.log.len() > GROUP_DELTA_LOG_DEPTH {
+                let excess = state.log.len() - GROUP_DELTA_LOG_DEPTH;
+                state.log.drain(..excess);
+            }
+            Some(artifact)
+        })
+    }
+
+    /// Publishes the complete membership of `group` as a sealed snapshot
+    /// at the current epoch (pending changes are folded in first).
+    /// Returns `None` when the group does not exist.
+    pub fn publish_snapshot(&self, group: &str) -> Option<MembershipArtifact> {
+        self.publish_delta(group);
+        let global = self.global_name(group);
+        self.groups.read(&group.to_string(), |state| {
+            let state = state?;
+            Some(MembershipArtifact::seal(
+                global,
+                state.epoch,
+                MembershipKind::Snapshot,
+                state.members.iter().map(member_digest).collect(),
+                Vec::new(),
+                &self.authority,
+            ))
+        })
+    }
+
+    /// The artifacts that bring a mirror of `group` at `have_epoch` up to
+    /// date: the contiguous delta chain when the log covers it, else one
+    /// snapshot. Pending changes are published first. Empty when the
+    /// mirror is already current or the group does not exist.
+    pub fn updates_since(&self, group: &str, have_epoch: u64) -> Vec<MembershipArtifact> {
+        self.publish_delta(group);
+        let chain = self.groups.read(&group.to_string(), |state| {
+            let state = state?;
+            if have_epoch >= state.epoch {
+                return Some(Vec::new());
+            }
+            let chain: Vec<MembershipArtifact> = state
+                .log
+                .iter()
+                .filter(|a| a.epoch > have_epoch)
+                .cloned()
+                .collect();
+            let covered = chain.first().is_some_and(
+                |a| matches!(a.kind, MembershipKind::Delta { base_epoch } if base_epoch <= have_epoch),
+            );
+            covered.then_some(chain)
+        });
+        match chain {
+            Some(chain) => chain,
+            None => self.publish_snapshot(group).into_iter().collect(),
+        }
     }
 
     /// Issues a membership proxy for `requester` covering `groups`.
@@ -93,7 +257,7 @@ impl GroupServer {
     ///
     /// [`AuthzError::UnknownGroup`] / [`AuthzError::NotAMember`].
     pub fn membership_proxy<R: RngCore>(
-        &mut self,
+        &self,
         requester: &PrincipalId,
         groups: &[&str],
         validity: Validity,
@@ -101,20 +265,21 @@ impl GroupServer {
     ) -> Result<Proxy, AuthzError> {
         let mut names = Vec::with_capacity(groups.len());
         for g in groups {
-            let members = self
-                .groups
-                .get(*g)
-                .ok_or_else(|| AuthzError::UnknownGroup((*g).to_string()))?;
-            if !members.contains(requester) {
-                return Err(AuthzError::NotAMember {
-                    group: (*g).to_string(),
-                    principal: requester.clone(),
-                });
+            let status = self.groups.read(&(*g).to_string(), |state| {
+                state.map(|s| s.members.contains(requester))
+            });
+            match status {
+                None => return Err(AuthzError::UnknownGroup((*g).to_string())),
+                Some(false) => {
+                    return Err(AuthzError::NotAMember {
+                        group: (*g).to_string(),
+                        principal: requester.clone(),
+                    })
+                }
+                Some(true) => names.push(self.global_name(g)),
             }
-            names.push(self.global_name(g));
         }
-        let serial = self.next_serial;
-        self.next_serial += 1;
+        let serial = self.next_serial.fetch_add(1, Ordering::Relaxed);
         let restrictions = RestrictionSet::new()
             .with(Restriction::grantee_one(requester.clone()))
             .with(Restriction::GroupMembership { groups: names });
@@ -135,23 +300,26 @@ mod tests {
     use proxy_crypto::keys::SymmetricKey;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use restricted_proxy::key::GrantorVerifier;
+    use restricted_proxy::membership::{MembershipAnswer, MembershipDirectory};
     use restricted_proxy::time::Timestamp;
 
     fn p(name: &str) -> PrincipalId {
         PrincipalId::new(name)
     }
 
-    fn server(rng: &mut StdRng) -> GroupServer {
-        GroupServer::new(
-            p("gs"),
-            GrantAuthority::SharedKey(SymmetricKey::generate(rng)),
+    fn server(rng: &mut StdRng) -> (GroupServer, GrantorVerifier) {
+        let key = SymmetricKey::generate(rng);
+        (
+            GroupServer::new(p("gs"), GrantAuthority::SharedKey(key.clone())),
+            GrantorVerifier::SharedKey(key),
         )
     }
 
     #[test]
     fn membership_management() {
         let mut rng = StdRng::seed_from_u64(1);
-        let mut gs = server(&mut rng);
+        let (gs, _) = server(&mut rng);
         gs.add_member("staff", p("bob"));
         assert!(gs.is_member("staff", &p("bob")));
         gs.remove_member("staff", &p("bob"));
@@ -163,7 +331,7 @@ mod tests {
     #[test]
     fn proxy_issued_only_to_members() {
         let mut rng = StdRng::seed_from_u64(2);
-        let mut gs = server(&mut rng);
+        let (gs, _) = server(&mut rng);
         gs.add_member("staff", p("bob"));
         let window = Validity::new(Timestamp(0), Timestamp(100));
         let proxy = gs
@@ -188,7 +356,7 @@ mod tests {
     #[test]
     fn proxy_lists_exactly_requested_groups() {
         let mut rng = StdRng::seed_from_u64(3);
-        let mut gs = server(&mut rng);
+        let (gs, _) = server(&mut rng);
         gs.add_member("staff", p("bob"));
         gs.add_member("admins", p("bob"));
         let window = Validity::new(Timestamp(0), Timestamp(100));
@@ -206,5 +374,71 @@ mod tests {
             .collect();
         // §7.6: the proxy asserts only "staff", not everything bob is in.
         assert_eq!(listed, vec![gs.global_name("staff")]);
+    }
+
+    #[test]
+    fn publishes_sealed_deltas_and_snapshots() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let (gs, verifier) = server(&mut rng);
+        assert!(gs.publish_delta("staff").is_none(), "unknown group");
+        gs.add_member("staff", p("bob"));
+        gs.add_member("staff", p("carol"));
+        let d1 = gs.publish_delta("staff").unwrap();
+        assert_eq!(d1.epoch, 1);
+        assert_eq!(d1.kind, MembershipKind::Delta { base_epoch: 0 });
+        assert_eq!(d1.adds.len(), 2);
+        assert!(d1.verify_seal(&verifier));
+        assert!(gs.publish_delta("staff").is_none(), "nothing pending");
+        // Add+remove of the same member inside one window cancels out.
+        gs.add_member("staff", p("dave"));
+        gs.remove_member("staff", &p("dave"));
+        gs.remove_member("staff", &p("carol"));
+        let d2 = gs.publish_delta("staff").unwrap();
+        assert_eq!(d2.epoch, 2);
+        assert!(d2.adds.is_empty());
+        assert_eq!(d2.removes, vec![member_digest(&p("carol"))]);
+        let snap = gs.publish_snapshot("staff").unwrap();
+        assert_eq!(snap.epoch, 2, "snapshot rides the current epoch");
+        assert_eq!(snap.adds, vec![member_digest(&p("bob"))]);
+    }
+
+    #[test]
+    fn mirror_syncs_via_updates_since() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let (gs, verifier) = server(&mut rng);
+        let dir = MembershipDirectory::new();
+        let staff = gs.global_name("staff");
+        let now = Timestamp(10);
+        gs.add_members("staff", (0..100).map(|i| p(&format!("u{i}"))));
+        for artifact in gs.updates_since("staff", dir.epoch_of(&staff)) {
+            assert!(artifact.verify_seal(&verifier));
+            dir.apply_verified(&artifact).unwrap();
+        }
+        assert_eq!(dir.assert(&staff, &p("u42"), now), MembershipAnswer::Member);
+        assert_eq!(
+            dir.assert(&staff, &p("mallory"), now),
+            MembershipAnswer::NotMember
+        );
+        // Incremental catch-up: one membership change → one delta.
+        gs.remove_member("staff", &p("u42"));
+        let updates = gs.updates_since("staff", dir.epoch_of(&staff));
+        assert_eq!(updates.len(), 1);
+        assert!(matches!(updates[0].kind, MembershipKind::Delta { .. }));
+        for artifact in updates {
+            dir.apply_verified(&artifact).unwrap();
+        }
+        assert_eq!(
+            dir.assert(&staff, &p("u42"), now),
+            MembershipAnswer::NotMember
+        );
+        assert_eq!(dir.epoch_of(&staff), gs.epoch_of("staff"));
+        // A mirror far behind a truncated log falls back to a snapshot.
+        for i in 0..(GROUP_DELTA_LOG_DEPTH as u64 + 4) {
+            gs.add_member("staff", p(&format!("late{i}")));
+            gs.publish_delta("staff");
+        }
+        let updates = gs.updates_since("staff", 1);
+        assert_eq!(updates.len(), 1);
+        assert_eq!(updates[0].kind, MembershipKind::Snapshot);
     }
 }

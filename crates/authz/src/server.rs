@@ -24,6 +24,7 @@ use restricted_proxy::replay::ReplayCache;
 use restricted_proxy::restriction::{
     AuthorizedEntry, ObjectName, Operation, Restriction, RestrictionSet,
 };
+use restricted_proxy::revocation::{RevocationArtifact, RevocationRegistry};
 use restricted_proxy::time::{Timestamp, Validity};
 use restricted_proxy::verify::Verifier;
 
@@ -46,6 +47,9 @@ pub struct AuthorizationServer<R> {
     verifier: Verifier<R>,
     replay: ReplayCache,
     next_serial: AtomicU64,
+    /// Serials this server has explicitly revoked (§3.1 made explicit);
+    /// published to end-servers as sealed epoch artifacts.
+    revocations: RevocationRegistry,
 }
 
 impl<R: KeyResolver> AuthorizationServer<R> {
@@ -59,10 +63,36 @@ impl<R: KeyResolver> AuthorizationServer<R> {
             name: name.clone(),
             authority,
             databases: HashMap::new(),
-            verifier: Verifier::new(name, resolver),
+            verifier: Verifier::new(name.clone(), resolver),
             replay: ReplayCache::new(),
             next_serial: AtomicU64::new(1),
+            revocations: RevocationRegistry::new(name),
         }
+    }
+
+    /// Revokes an issued proxy by serial; true when newly revoked. The
+    /// revocation reaches end-servers through the next published
+    /// artifact ([`Self::revocation_updates_since`]).
+    pub fn revoke_serial(&self, serial: u64) -> bool {
+        self.revocations.revoke(serial)
+    }
+
+    /// True when this server has revoked `serial`.
+    #[must_use]
+    pub fn is_revoked(&self, serial: u64) -> bool {
+        self.revocations.is_revoked(serial)
+    }
+
+    /// The current revocation epoch.
+    #[must_use]
+    pub fn revocation_epoch(&self) -> u64 {
+        self.revocations.epoch()
+    }
+
+    /// Sealed artifacts bringing a mirror at `have_epoch` up to date
+    /// (delta chain, or one snapshot when the mirror is too far behind).
+    pub fn revocation_updates_since(&self, have_epoch: u64) -> Vec<RevocationArtifact> {
+        self.revocations.updates_since(have_epoch, &self.authority)
     }
 
     /// Attaches a (typically process-shared) cross-request seal batcher

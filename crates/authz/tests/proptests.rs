@@ -106,7 +106,7 @@ proptest! {
     ) {
         let mut rng = StdRng::seed_from_u64(seed);
         let gs_key = SymmetricKey::generate(&mut rng);
-        let mut gs = GroupServer::new(p("gs"), GrantAuthority::SharedKey(gs_key.clone()));
+        let gs = GroupServer::new(p("gs"), GrantAuthority::SharedKey(gs_key.clone()));
         gs.create_group("staff");
         for m in &members {
             gs.add_member("staff", p(m));

@@ -79,7 +79,7 @@ fn build(seed: u64) -> Stack {
             ),
     );
 
-    let mut groups = GroupServer::new(p("GS"), GrantAuthority::SharedKey(gs_to_s.clone()));
+    let groups = GroupServer::new(p("GS"), GrantAuthority::SharedKey(gs_to_s.clone()));
     groups.add_member("staff", p("C"));
 
     // Accounting: one bank holding both accounts (same-server clearing).

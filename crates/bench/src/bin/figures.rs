@@ -580,6 +580,112 @@ fn pipelined() {
     println!("wrote BENCH_pipeline.json");
 }
 
+/// Runs the revocation-index and membership-mirror harness (see
+/// `proxy_bench::revocation`). In full mode (`--revocation`, 1M serials
+/// and 1M members) the report is gated and persisted to
+/// `BENCH_revocation.json`; in smoke mode (`--revocation-smoke`, used by
+/// ci.sh, ~100k serials) the same gates run but the recorded results are
+/// left untouched.
+fn revocation(smoke: bool) {
+    use proxy_bench::revocation::{run, Options};
+
+    let opts = if smoke {
+        Options::smoke()
+    } else {
+        Options::default()
+    };
+    let report = run(&opts);
+    report_row(
+        "R",
+        "contains-small",
+        report.small_serials,
+        format!("{:.1} ns/probe", report.contains_small_ns),
+        "",
+    );
+    report_row(
+        "R",
+        "contains-large",
+        report.large_serials,
+        format!(
+            "{:.1} ns/probe ({:.2}x of small, gate <= 2x)",
+            report.contains_large_ns, report.contains_ratio
+        ),
+        "",
+    );
+    report_row(
+        "R",
+        "snapshot-artifact",
+        report.large_serials,
+        format!(
+            "{} bytes, encode {:.0} MB/s, decode {:.0} MB/s",
+            report.snapshot_bytes, report.encode_mb_per_s, report.decode_mb_per_s
+        ),
+        "",
+    );
+    report_row(
+        "R",
+        "delta-apply",
+        opts.delta_size,
+        format!(
+            "{:.1} µs/delta onto a {}-serial mirror",
+            report.delta_apply_us, report.large_serials
+        ),
+        "",
+    );
+    report_row(
+        "R",
+        "cascade-verify-off",
+        opts.cascade_depth,
+        format!(
+            "p50 {:.2} µs, p99 {:.2} µs",
+            report.verify_off_p50_us, report.verify_off_p99_us
+        ),
+        "",
+    );
+    report_row(
+        "R",
+        "cascade-verify-on",
+        opts.cascade_depth,
+        format!(
+            "p50 {:.2} µs ({:+.2}%), p99 {:.2} µs ({:+.2}%), gate <= 5%",
+            report.verify_on_p50_us,
+            report.overhead_p50_pct,
+            report.verify_on_p99_us,
+            report.overhead_p99_pct
+        ),
+        "",
+    );
+    report_row(
+        "R",
+        "verify-under-churn",
+        opts.cascade_depth,
+        format!(
+            "p50 {:.2} µs with deltas streaming in",
+            report.verify_under_churn_p50_us
+        ),
+        "",
+    );
+    report_row(
+        "R",
+        "membership-mirror",
+        report.members,
+        format!(
+            "{} roster bytes in, then {} asserts at {:.1} ns with {} network messages",
+            report.roster_bytes, report.asserts, report.assert_ns, report.messages_during_asserts
+        ),
+        "",
+    );
+    report_row("R", "host-parallelism", 1, report.host_parallelism, "cpus");
+    // Gate before persisting: a run that fails the acceptance checks
+    // must not overwrite the recorded results with its own.
+    report.check_gates();
+    if !smoke {
+        std::fs::write("BENCH_revocation.json", report.to_json())
+            .expect("write BENCH_revocation.json");
+        println!("wrote BENCH_revocation.json");
+    }
+}
+
 fn main() {
     if std::env::args().any(|arg| arg == "--ablate-crypto") {
         ablate_crypto();
@@ -603,6 +709,14 @@ fn main() {
     }
     if std::env::args().any(|arg| arg == "--c10k") {
         c10k(false);
+        return;
+    }
+    if std::env::args().any(|arg| arg == "--revocation-smoke") {
+        revocation(true);
+        return;
+    }
+    if std::env::args().any(|arg| arg == "--revocation") {
+        revocation(false);
         return;
     }
     f1_sizes();

@@ -17,6 +17,7 @@
 pub mod c10k;
 pub mod netbench;
 pub mod pipeline;
+pub mod revocation;
 pub mod seed_ed25519;
 pub mod throughput;
 

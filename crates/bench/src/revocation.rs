@@ -1,0 +1,522 @@
+//! Revocation-index and membership-mirror harness.
+//!
+//! Quantifies the PR-7 claims end to end:
+//!
+//! * **O(1) contains** — point probes against a 1k-serial and a 1M-serial
+//!   compressed index at equal density must cost the same (gate: within
+//!   2×). Set size buys chunks, not probe work.
+//! * **Artifact throughput** — canonical encode / decode of a full
+//!   snapshot and registry→directory delta application, reported as
+//!   MB/s and µs/delta.
+//! * **Hot-path overhead** — cascade-verify p50/p99 with a 1M-serial
+//!   revocation mirror attached to the verifier vs. detached (gate: ≤5%
+//!   on both quantiles). The probe is one shard read + one container
+//!   lookup against µs-scale seal work, so the budget is generous.
+//! * **Round-trip-free membership** — a 1M-member group roster lands as
+//!   one sealed snapshot over the simulated network; every subsequent
+//!   assert is answered locally. The [`Network`] tally proves zero
+//!   group-server messages during the assert storm.
+//!
+//! All timing uses interleaved min-of-rounds (the `ablate-crypto`
+//! discipline): variants alternate within each round, and each keeps its
+//! fastest round, so shared-host noise cancels out of the *ratios* the
+//! gates check.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use netsim::{EndpointId, Network};
+use proxy_authz::GroupServer;
+use rand::Rng;
+use restricted_proxy::membership::{MembershipAnswer, MembershipDirectory};
+use restricted_proxy::prelude::*;
+use restricted_proxy::revocation::{
+    RevocationArtifact, RevocationDirectory, RevocationRegistry, SerialSet,
+};
+
+use crate::{cascade, matching_ctx, rng, symmetric_world};
+
+/// Harness configuration.
+#[derive(Clone, Debug)]
+pub struct Options {
+    /// Serials in the large index (the headline configuration is 1M).
+    pub large_serials: u64,
+    /// Serials in the small comparison index.
+    pub small_serials: u64,
+    /// Members in the mirrored group roster.
+    pub members: u64,
+    /// Certificate-chain depth for the cascade-verify comparison.
+    pub cascade_depth: usize,
+    /// Interleaved timing rounds (each variant keeps its fastest).
+    pub rounds: usize,
+    /// Contains-probes per round per index.
+    pub probes: usize,
+    /// Cascade verifications per round per variant.
+    pub verify_iters: usize,
+    /// Deltas applied for the delta-apply series.
+    pub delta_batches: u64,
+    /// Serials per delta.
+    pub delta_size: u64,
+    /// Membership asserts in the zero-round-trip storm.
+    pub asserts: u64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            large_serials: 1_000_000,
+            small_serials: 1_000,
+            members: 1_000_000,
+            cascade_depth: 4,
+            rounds: 24,
+            probes: 20_000,
+            verify_iters: 1_000,
+            delta_batches: 32,
+            delta_size: 1_000,
+            asserts: 100_000,
+        }
+    }
+}
+
+impl Options {
+    /// The ci.sh smoke configuration (~100k serials, seconds not minutes).
+    #[must_use]
+    pub fn smoke() -> Self {
+        Self {
+            large_serials: 100_000,
+            small_serials: 1_000,
+            members: 100_000,
+            cascade_depth: 4,
+            rounds: 24,
+            probes: 5_000,
+            verify_iters: 1_000,
+            delta_batches: 8,
+            delta_size: 500,
+            asserts: 20_000,
+        }
+    }
+}
+
+/// Everything the harness measured, persisted as `BENCH_revocation.json`.
+#[derive(Clone, Debug)]
+pub struct RevocationReport {
+    /// Hardware threads the host exposes (context for readers).
+    pub host_parallelism: usize,
+    /// Serials in the small index.
+    pub small_serials: u64,
+    /// Serials in the large index.
+    pub large_serials: u64,
+    /// Fastest-round per-probe cost against the small index.
+    pub contains_small_ns: f64,
+    /// Fastest-round per-probe cost against the large index.
+    pub contains_large_ns: f64,
+    /// `contains_large_ns / contains_small_ns` — the O(1) gate (≤2).
+    pub contains_ratio: f64,
+    /// Canonical snapshot artifact size for the large index.
+    pub snapshot_bytes: usize,
+    /// Snapshot encode throughput.
+    pub encode_mb_per_s: f64,
+    /// Snapshot decode (with full structural validation) throughput.
+    pub decode_mb_per_s: f64,
+    /// Mean time to apply one sealed delta to a 1M-serial mirror.
+    pub delta_apply_us: f64,
+    /// Cascade-verify p50 without a revocation mirror attached.
+    pub verify_off_p50_us: f64,
+    /// Cascade-verify p99 without a revocation mirror attached.
+    pub verify_off_p99_us: f64,
+    /// Cascade-verify p50 with the 1M-serial mirror attached.
+    pub verify_on_p50_us: f64,
+    /// Cascade-verify p99 with the 1M-serial mirror attached.
+    pub verify_on_p99_us: f64,
+    /// Median over rounds of the paired per-round `(on/off - 1) * 100`
+    /// ratio at p50 — gated ≤5%.
+    pub overhead_p50_pct: f64,
+    /// Median over rounds of the paired per-round `(on/off - 1) * 100`
+    /// ratio at p99 — gated ≤5%.
+    pub overhead_p99_pct: f64,
+    /// Cascade-verify p50 while a writer thread streams delta applies
+    /// into the same mirror (informational: applies build successor
+    /// state off-lock, so verifies only ever wait for a pointer swap).
+    pub verify_under_churn_p50_us: f64,
+    /// Members in the mirrored roster.
+    pub members: u64,
+    /// Sealed roster snapshot size.
+    pub roster_bytes: u64,
+    /// Fastest-round per-assert cost against the local mirror.
+    pub assert_ns: f64,
+    /// Asserts answered during the storm.
+    pub asserts: u64,
+    /// Network messages during the storm (the zero-round-trip proof).
+    pub messages_during_asserts: u64,
+}
+
+impl RevocationReport {
+    /// Renders the report as JSON (hand-rolled; every value is a number).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"host_parallelism\": {},\n  \"contains\": {{\"small_serials\": {}, \"large_serials\": {}, \"small_ns\": {:.1}, \"large_ns\": {:.1}, \"ratio\": {:.3}}},\n  \"artifacts\": {{\"snapshot_bytes\": {}, \"encode_mb_per_s\": {:.1}, \"decode_mb_per_s\": {:.1}, \"delta_apply_us\": {:.1}}},\n  \"cascade_verify\": {{\"off_p50_us\": {:.2}, \"off_p99_us\": {:.2}, \"on_p50_us\": {:.2}, \"on_p99_us\": {:.2}, \"overhead_p50_pct\": {:.2}, \"overhead_p99_pct\": {:.2}, \"under_churn_p50_us\": {:.2}}},\n  \"membership\": {{\"members\": {}, \"roster_bytes\": {}, \"assert_ns\": {:.1}, \"asserts\": {}, \"messages_during_asserts\": {}}}\n}}\n",
+            self.host_parallelism,
+            self.small_serials,
+            self.large_serials,
+            self.contains_small_ns,
+            self.contains_large_ns,
+            self.contains_ratio,
+            self.snapshot_bytes,
+            self.encode_mb_per_s,
+            self.decode_mb_per_s,
+            self.delta_apply_us,
+            self.verify_off_p50_us,
+            self.verify_off_p99_us,
+            self.verify_on_p50_us,
+            self.verify_on_p99_us,
+            self.overhead_p50_pct,
+            self.overhead_p99_pct,
+            self.verify_under_churn_p50_us,
+            self.members,
+            self.roster_bytes,
+            self.assert_ns,
+            self.asserts,
+            self.messages_during_asserts,
+        )
+    }
+
+    /// Enforces the PR-7 acceptance gates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a gate fails: contains-ratio over 2×, cascade-verify
+    /// overhead over 5% at p50 or p99, or any network message during
+    /// the membership assert storm.
+    pub fn check_gates(&self) {
+        assert!(
+            self.contains_ratio <= 2.0,
+            "contains at {} serials is {:.2}x the {}-serial cost (gate: 2x) — the index is not O(1)",
+            self.large_serials,
+            self.contains_ratio,
+            self.small_serials,
+        );
+        assert!(
+            self.overhead_p50_pct <= 5.0 && self.overhead_p99_pct <= 5.0,
+            "revocation probe costs {:.2}% at p50 / {:.2}% at p99 on the verify path (gate: 5%)",
+            self.overhead_p50_pct,
+            self.overhead_p99_pct,
+        );
+        assert_eq!(
+            self.messages_during_asserts, 0,
+            "membership asserts must not touch the network"
+        );
+    }
+}
+
+/// `count` serials scattered at constant density (64 slots per serial),
+/// so small and large indexes differ in chunk count, not in per-chunk
+/// shape — a fair O(1) comparison.
+fn scattered_serials(count: u64, seed: u64) -> Vec<u64> {
+    let space = count.saturating_mul(64).max(64);
+    let mut r = rng(seed);
+    (0..count).map(|_| r.gen_range(0..space)).collect()
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn contains_ns(set: &SerialSet, probes: &[u64], rounds: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..rounds {
+        let t = Instant::now();
+        // The pipelined bulk probe: overlapping misses, branchless
+        // accumulation. Both indexes go through the identical path.
+        let hits = set.count_contained(probes);
+        std::hint::black_box(hits);
+        best = best.min(t.elapsed().as_secs_f64() * 1e9 / probes.len() as f64);
+    }
+    best
+}
+
+/// Runs the harness. Pure measurement: gates live in
+/// [`RevocationReport::check_gates`], which the figures binary invokes
+/// before persisting, so debug-mode unit runs stay timing-insensitive.
+#[must_use]
+pub fn run(opts: &Options) -> RevocationReport {
+    let host_parallelism = std::thread::available_parallelism().map_or(1, usize::from);
+
+    // ---- O(1) contains: small vs large at equal density ----
+    let small: SerialSet = scattered_serials(opts.small_serials, 1)
+        .into_iter()
+        .collect();
+    let large_serials = scattered_serials(opts.large_serials, 2);
+    let large: SerialSet = large_serials.iter().copied().collect();
+    // Probe streams: half drawn from the set, half random misses.
+    let probe_stream = |serials: &[u64], seed: u64| -> Vec<u64> {
+        let space = serials.len() as u64 * 64;
+        let mut r = rng(seed);
+        (0..opts.probes)
+            .map(|i| {
+                if i % 2 == 0 {
+                    serials[r.gen_range(0..serials.len())]
+                } else {
+                    r.gen_range(0..space.max(64))
+                }
+            })
+            .collect()
+    };
+    let small_serial_list = scattered_serials(opts.small_serials, 1);
+    let small_probes = probe_stream(&small_serial_list, 3);
+    let large_probes = probe_stream(&large_serials, 4);
+    // Interleave: alternate small/large each round, keep fastest rounds.
+    let mut contains_small = f64::INFINITY;
+    let mut contains_large = f64::INFINITY;
+    for _ in 0..opts.rounds {
+        contains_small = contains_small.min(contains_ns(&small, &small_probes, 1));
+        contains_large = contains_large.min(contains_ns(&large, &large_probes, 1));
+    }
+    let contains_ratio = contains_large / contains_small;
+
+    // ---- Artifact encode/decode throughput ----
+    let world = symmetric_world(11);
+    let snapshot = RevocationArtifact::seal(
+        world.grantor.clone(),
+        1,
+        restricted_proxy::revocation::ArtifactKind::Snapshot,
+        large.clone(),
+        &world.authority,
+    );
+    let mut encoded = Vec::new();
+    let mut encode_best = f64::INFINITY;
+    let mut decode_best = f64::INFINITY;
+    for _ in 0..opts.rounds.min(6) {
+        let t = Instant::now();
+        encoded = snapshot.encode();
+        encode_best = encode_best.min(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        let decoded = RevocationArtifact::decode(&encoded).expect("own encoding decodes");
+        decode_best = decode_best.min(t.elapsed().as_secs_f64());
+        std::hint::black_box(decoded);
+    }
+    let snapshot_bytes = encoded.len();
+    let mb = snapshot_bytes as f64 / 1e6;
+    let encode_mb_per_s = mb / encode_best;
+    let decode_mb_per_s = mb / decode_best;
+
+    // ---- Delta apply against a full mirror ----
+    let registry = RevocationRegistry::new(world.grantor.clone());
+    registry.revoke_all(large_serials.iter().copied());
+    let directory = Arc::new(RevocationDirectory::new());
+    for artifact in registry.updates_since(0, &world.authority) {
+        directory
+            .apply_verified(&artifact)
+            .expect("base mirror syncs");
+    }
+    let space = opts.large_serials * 64;
+    let mut delta_seed = rng(21);
+    let mut delta_total = 0.0;
+    for _ in 0..opts.delta_batches {
+        registry.revoke_all((0..opts.delta_size).map(|_| delta_seed.gen_range(0..space)));
+        let have = directory.epoch_of(&world.grantor);
+        for artifact in registry.updates_since(have, &world.authority) {
+            let t = Instant::now();
+            directory.apply_verified(&artifact).expect("delta applies");
+            delta_total += t.elapsed().as_secs_f64();
+        }
+    }
+    let delta_apply_us = delta_total * 1e6 / opts.delta_batches as f64;
+
+    // ---- Cascade verify: mirror attached vs detached ----
+    let chain = cascade(&world, opts.cascade_depth, 3);
+    let pres = chain.present_bearer([1u8; 32], &world.server);
+    let ctx = matching_ctx(&world.server);
+    let resolver = MapResolver::new().with(
+        world.grantor.clone(),
+        GrantorVerifier::SharedKey(world.shared.clone()),
+    );
+    let verifier_on =
+        Verifier::new(world.server.clone(), resolver).with_revocation(Arc::clone(&directory));
+    let verifier_off = &world.verifier;
+    let time_verify = |v: &Verifier<MapResolver>, samples: &mut Vec<f64>| {
+        for _ in 0..opts.verify_iters {
+            let mut guard = MemoryReplayGuard::new();
+            let t = Instant::now();
+            let ok = v.verify(&pres, &ctx, &mut guard).expect("verifies");
+            samples.push(t.elapsed().as_secs_f64() * 1e6);
+            std::hint::black_box(ok);
+        }
+    };
+    // Min-of-rounds applies to the quantiles themselves: each round
+    // yields its own p50/p99, and each variant keeps its cleanest round.
+    // Pooling all samples instead would leave every scheduler interrupt
+    // in the tail, and the gate would measure host noise, not the probe.
+    // Both variants run back-to-back inside each round, so a round is a
+    // matched pair measured under the same host conditions. Each round
+    // yields its own paired overhead ratio; the gate checks the *median*
+    // of those ratios, which is robust to the rounds where a scheduler
+    // interrupt landed in one variant's tail. (Pooling all samples into
+    // one quantile instead would keep every interrupt in the tail, and
+    // the gate would measure host noise, not the probe.) The reported
+    // absolute quantiles keep each variant's cleanest round, per the
+    // usual min-of-rounds discipline.
+    let mut verify_on_p50_us = f64::INFINITY;
+    let mut verify_on_p99_us = f64::INFINITY;
+    let mut verify_off_p50_us = f64::INFINITY;
+    let mut verify_off_p99_us = f64::INFINITY;
+    let mut round_overhead_p50 = Vec::with_capacity(opts.rounds);
+    let mut round_overhead_p99 = Vec::with_capacity(opts.rounds);
+    for round in 0..opts.rounds {
+        let mut on_round = Vec::new();
+        let mut off_round = Vec::new();
+        // Swap order each round so drift never favors one variant.
+        if round % 2 == 0 {
+            time_verify(&verifier_on, &mut on_round);
+            time_verify(verifier_off, &mut off_round);
+        } else {
+            time_verify(verifier_off, &mut off_round);
+            time_verify(&verifier_on, &mut on_round);
+        }
+        on_round.sort_by(f64::total_cmp);
+        off_round.sort_by(f64::total_cmp);
+        let (on_p50, on_p99) = (percentile(&on_round, 0.50), percentile(&on_round, 0.99));
+        let (off_p50, off_p99) = (percentile(&off_round, 0.50), percentile(&off_round, 0.99));
+        verify_on_p50_us = verify_on_p50_us.min(on_p50);
+        verify_on_p99_us = verify_on_p99_us.min(on_p99);
+        verify_off_p50_us = verify_off_p50_us.min(off_p50);
+        verify_off_p99_us = verify_off_p99_us.min(off_p99);
+        round_overhead_p50.push((on_p50 / off_p50 - 1.0) * 100.0);
+        round_overhead_p99.push((on_p99 / off_p99 - 1.0) * 100.0);
+    }
+    round_overhead_p50.sort_by(f64::total_cmp);
+    round_overhead_p99.sort_by(f64::total_cmp);
+    let overhead_p50_pct = percentile(&round_overhead_p50, 0.50);
+    let overhead_p99_pct = percentile(&round_overhead_p99, 0.50);
+
+    // ---- Verify while deltas stream in (informational) ----
+    let mut churn_samples = Vec::new();
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let (registry, directory, authority, issuer) =
+            (&registry, &directory, &world.authority, &world.grantor);
+        let stop_ref = &stop;
+        scope.spawn(move || {
+            let mut r = rng(31);
+            while !stop_ref.load(std::sync::atomic::Ordering::Relaxed) {
+                registry.revoke_all((0..64).map(|_| r.gen_range(0..space)));
+                let have = directory.epoch_of(issuer);
+                for artifact in registry.updates_since(have, authority) {
+                    let _ = directory.apply_verified(&artifact);
+                }
+            }
+        });
+        for _ in 0..opts.rounds.min(6) {
+            time_verify(&verifier_on, &mut churn_samples);
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    });
+    churn_samples.sort_by(f64::total_cmp);
+    let verify_under_churn_p50_us = percentile(&churn_samples, 0.50);
+
+    // ---- Membership: one snapshot in, zero round trips after ----
+    let gs_world = symmetric_world(12);
+    let gs = GroupServer::new(
+        PrincipalId::new("GS"),
+        GrantAuthority::SharedKey(gs_world.shared.clone()),
+    );
+    let gs_verifier = GrantorVerifier::SharedKey(gs_world.shared.clone());
+    gs.create_group("everyone");
+    gs.add_members(
+        "everyone",
+        (0..opts.members).map(|i| PrincipalId::new(format!("member-{i}"))),
+    );
+    let mirror = MembershipDirectory::new();
+    let staff = GroupName::new(PrincipalId::new("GS"), "everyone");
+    let net = Network::new(0);
+    let mut roster_bytes = 0u64;
+    for artifact in gs.updates_since("everyone", 0) {
+        assert!(artifact.verify_seal(&gs_verifier), "roster seal verifies");
+        let bytes = artifact.encode().len() as u64;
+        roster_bytes += bytes;
+        // The artifact is the only traffic this flow ever generates.
+        net.record(&EndpointId::new("GS"), &EndpointId::new("S"), bytes);
+        mirror.apply_verified(&artifact).expect("roster applies");
+    }
+    let messages_before = net.total_messages();
+    let mut assert_best = f64::INFINITY;
+    let per_round = opts.asserts / opts.rounds.max(1) as u64;
+    let mut hit = 0u64;
+    for round in 0..opts.rounds as u64 {
+        let t = Instant::now();
+        for i in 0..per_round {
+            // Mostly members, with a miss every 16 probes to exercise
+            // the negative path too.
+            let n = (round * per_round + i * 7) % (opts.members + opts.members / 16);
+            let who = PrincipalId::new(format!("member-{n}"));
+            if mirror.assert(&staff, &who, Timestamp(1)) == MembershipAnswer::Member {
+                hit += 1;
+            }
+        }
+        assert_best = assert_best.min(t.elapsed().as_secs_f64() * 1e9 / per_round as f64);
+    }
+    std::hint::black_box(hit);
+    let asserts = per_round * opts.rounds as u64;
+    let messages_during_asserts = net.total_messages() - messages_before;
+
+    RevocationReport {
+        host_parallelism,
+        small_serials: opts.small_serials,
+        large_serials: opts.large_serials,
+        contains_small_ns: contains_small,
+        contains_large_ns: contains_large,
+        contains_ratio,
+        snapshot_bytes,
+        encode_mb_per_s,
+        decode_mb_per_s,
+        delta_apply_us,
+        verify_off_p50_us,
+        verify_off_p99_us,
+        verify_on_p50_us,
+        verify_on_p99_us,
+        overhead_p50_pct,
+        overhead_p99_pct,
+        verify_under_churn_p50_us,
+        members: opts.members,
+        roster_bytes,
+        assert_ns: assert_best,
+        asserts,
+        messages_during_asserts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_run_reports_and_gates() {
+        let opts = Options {
+            large_serials: 5_000,
+            small_serials: 500,
+            members: 2_000,
+            cascade_depth: 2,
+            rounds: 3,
+            probes: 500,
+            verify_iters: 10,
+            delta_batches: 2,
+            delta_size: 50,
+            asserts: 900,
+        };
+        let report = run(&opts);
+        // Timing gates are checked only by the release-mode figures run;
+        // under a debug build on a shared host they would be flaky. The
+        // network tally is deterministic, so that gate holds even here.
+        assert_eq!(report.messages_during_asserts, 0);
+        assert!(report.snapshot_bytes > 0);
+        assert!(report.contains_small_ns > 0.0 && report.contains_large_ns > 0.0);
+        assert!(report.roster_bytes > 0);
+        let json = report.to_json();
+        assert!(json.contains("\"messages_during_asserts\": 0"));
+        assert!(json.contains("\"snapshot_bytes\""));
+    }
+}

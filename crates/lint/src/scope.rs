@@ -7,12 +7,16 @@
 //! replay deterministically, and L5 every crate root.
 
 /// L1 — untrusted-input paths that must never panic: wire decode, the
-/// canonical codec, the whole net service layer, and the authz /
-/// accounting request handlers that consume wire-decoded values.
+/// canonical codec, the revocation / membership artifact decoders (they
+/// parse peer-supplied bitmap and digest structures), the whole net
+/// service layer, and the authz / accounting request handlers that
+/// consume wire-decoded values.
 pub fn panic_free_applies(rel: &str) -> bool {
     rel.starts_with("crates/wire/src/")
         || rel.starts_with("crates/net/src/")
         || rel == "crates/proxy/src/encode.rs"
+        || rel == "crates/proxy/src/revocation.rs"
+        || rel == "crates/proxy/src/membership.rs"
         || rel == "crates/authz/src/server.rs"
         || rel == "crates/authz/src/endserver.rs"
         || rel == "crates/accounting/src/server.rs"
@@ -74,6 +78,8 @@ mod tests {
         assert!(panic_free_applies("crates/wire/src/frame.rs"));
         assert!(panic_free_applies("crates/net/src/tcp.rs"));
         assert!(panic_free_applies("crates/proxy/src/encode.rs"));
+        assert!(panic_free_applies("crates/proxy/src/revocation.rs"));
+        assert!(panic_free_applies("crates/proxy/src/membership.rs"));
         assert!(panic_free_applies("crates/accounting/src/check.rs"));
         assert!(!panic_free_applies("crates/proxy/src/verify.rs"));
         assert!(!panic_free_applies("crates/crypto/src/sha256.rs"));

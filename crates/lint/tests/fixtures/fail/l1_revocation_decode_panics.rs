@@ -1,0 +1,21 @@
+// lint-fixture: path=crates/proxy/src/revocation.rs rule=L1
+// The same decode shapes written panic-prone: every construct here is a
+// crash reachable from a hostile revocation artifact.
+
+fn decode_chunk_keys(bytes: &[u8], declared: usize) -> Vec<u64> {
+    assert!(declared <= 65536, "container bomb"); // assert!
+    let mut keys = Vec::with_capacity(declared);
+    for i in 0..declared {
+        let word: [u8; 8] = bytes[i * 8..i * 8 + 8].try_into().unwrap(); // indexing + unwrap
+        let key = u64::from_le_bytes(word);
+        if let Some(&prev) = keys.last() {
+            if prev >= key {
+                panic!("chunk keys not increasing"); // panic!
+            }
+        }
+        keys.push(key);
+    }
+    let low = keys.len() as u16; // narrowing cast
+    keys.push(u64::from(low));
+    keys
+}

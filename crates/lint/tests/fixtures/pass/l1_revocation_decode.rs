@@ -1,0 +1,45 @@
+// lint-fixture: path=crates/proxy/src/revocation.rs rule=L1
+// The revocation-index decode discipline: counts bounded before any
+// allocation, containers validated structurally, every rejection typed.
+
+enum DecodeError {
+    UnexpectedEnd,
+    BadLength(u64),
+    NotIncreasing,
+}
+
+const MAX_CONTAINERS: usize = 65536;
+
+fn decode_chunk_keys(bytes: &[u8], declared: usize) -> Result<Vec<u64>, DecodeError> {
+    if declared > MAX_CONTAINERS {
+        return Err(DecodeError::BadLength(declared as u64));
+    }
+    let mut keys = Vec::with_capacity(declared.min(bytes.len() / 8));
+    let mut prev: Option<u64> = None;
+    for chunk in bytes.chunks_exact(8).take(declared) {
+        let word = chunk
+            .first_chunk::<8>()
+            .ok_or(DecodeError::UnexpectedEnd)?;
+        let key = u64::from_le_bytes(*word);
+        if prev.is_some_and(|p| p >= key) {
+            return Err(DecodeError::NotIncreasing);
+        }
+        prev = Some(key);
+        keys.push(key);
+    }
+    Ok(keys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorted_keys_decode() {
+        let mut bytes = Vec::new();
+        for k in [1u64, 2, 9] {
+            bytes.extend_from_slice(&k.to_le_bytes());
+        }
+        assert_eq!(decode_chunk_keys(&bytes, 3).ok().unwrap().len(), 3);
+    }
+}

@@ -1,6 +1,6 @@
 //! Request dispatch: decoded frames → the service crates' hot paths.
 
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 use proxy_accounting::{AccountingServer, AcctError, Check, DepositOutcome};
 use proxy_authz::{AuthorizationServer, AuthzError, EndServer, GroupServer, Request};
@@ -12,9 +12,9 @@ use restricted_proxy::prelude::{KeyResolver, MapResolver};
 ///
 /// The mux owns `Arc`s to the servers so the same instances can also be
 /// driven directly (in-process) while serving remote traffic. All
-/// dispatch targets are the `&self` hot paths made thread-safe in the
-/// concurrency PR; the one `&mut self` API (the group server's
-/// membership grant) is wrapped in a [`Mutex`].
+/// dispatch targets are `&self` hot paths made thread-safe in the
+/// concurrency PRs — the group server joined them when its roster moved
+/// onto a sharded map, so no dispatch arm takes a process-wide lock.
 ///
 /// `handle` is total: every request produces a reply, with failures
 /// mapped onto typed [`Message::Error`] replies — a remote peer can
@@ -24,7 +24,7 @@ pub struct ServiceMux<R: KeyResolver = MapResolver> {
     authz: Option<Arc<AuthorizationServer<R>>>,
     end: Option<Arc<EndServer<R>>>,
     accounting: Option<Arc<AccountingServer>>,
-    groups: Option<Arc<Mutex<GroupServer>>>,
+    groups: Option<Arc<GroupServer>>,
 }
 
 impl<R: KeyResolver> Default for ServiceMux<R> {
@@ -67,9 +67,10 @@ impl<R: KeyResolver> ServiceMux<R> {
         self
     }
 
-    /// Mounts a group server (answers `GroupQuery`).
+    /// Mounts a group server (answers `GroupQuery` and
+    /// `MembershipFetch`).
     #[must_use]
-    pub fn with_groups(mut self, server: Arc<Mutex<GroupServer>>) -> Self {
+    pub fn with_groups(mut self, server: Arc<GroupServer>) -> Self {
         self.groups = Some(server);
         self
     }
@@ -109,19 +110,31 @@ impl<R: KeyResolver> ServiceMux<R> {
                 None => unavailable("no group server mounted"),
                 Some(server) => {
                     let names: Vec<&str> = groups.iter().map(String::as_str).collect();
-                    // Fail closed on a poisoned lock: the group server's
-                    // issuance state may be mid-update, so refuse to mint
-                    // from it rather than panic or trust it.
-                    match server.lock() {
-                        Err(_) => unavailable("group server state poisoned"),
-                        Ok(mut server) => {
-                            match server.membership_proxy(&requester, &names, validity, rng) {
-                                Ok(proxy) => Message::GroupGrant { proxy },
-                                Err(e) => authz_error(&e),
-                            }
-                        }
+                    match server.membership_proxy(&requester, &names, validity, rng) {
+                        Ok(proxy) => Message::GroupGrant { proxy },
+                        Err(e) => authz_error(&e),
                     }
                 }
+            },
+            Message::RevocationFetch { issuer, have_epoch } => match &self.authz {
+                None => unavailable("no authorization server mounted"),
+                Some(authz) if *authz.name() != issuer => Message::Error {
+                    code: ErrorCode::UnknownPrincipal,
+                    detail: format!("this server does not issue revocations for {issuer}"),
+                },
+                Some(authz) => Message::RevocationUpdate {
+                    artifacts: authz.revocation_updates_since(have_epoch),
+                },
+            },
+            Message::MembershipFetch {
+                requester: _,
+                group,
+                have_epoch,
+            } => match &self.groups {
+                None => unavailable("no group server mounted"),
+                Some(server) => Message::MembershipUpdate {
+                    artifacts: server.updates_since(&group, have_epoch),
+                },
             },
             Message::EndRequest {
                 operation,
@@ -239,6 +252,8 @@ impl<R: KeyResolver> ServiceMux<R> {
             | Message::CheckForwarded { .. }
             | Message::CheckEndorsed { .. }
             | Message::CheckCertified { .. }
+            | Message::RevocationUpdate { .. }
+            | Message::MembershipUpdate { .. }
             | Message::Error { .. } => Message::Error {
                 code: ErrorCode::BadRequest,
                 detail: "reply message sent as a request".to_string(),
@@ -300,29 +315,23 @@ mod tests {
     use restricted_proxy::key::GrantAuthority;
     use restricted_proxy::prelude::*;
 
-    #[test]
-    fn poisoned_group_server_lock_answers_unavailable() {
-        let mut rng = StdRng::seed_from_u64(1);
-        let authority = GrantAuthority::SharedKey(SymmetricKey::generate(&mut rng));
-        let server = Arc::new(Mutex::new(GroupServer::new(
-            PrincipalId::new("groups"),
-            authority,
-        )));
-        let poisoner = Arc::clone(&server);
-        let _ = std::thread::spawn(move || {
-            let _guard = poisoner.lock().unwrap();
-            panic!("poison the group server lock");
-        })
-        .join();
-        assert!(
-            server.lock().is_err(),
-            "lock must be poisoned for this test"
-        );
+    fn shared_group_server(rng: &mut StdRng) -> Arc<GroupServer> {
+        let authority = GrantAuthority::SharedKey(SymmetricKey::generate(rng));
+        let server = GroupServer::new(PrincipalId::new("groups"), authority);
+        server.create_group("staff");
+        server.add_member("staff", PrincipalId::new("alice"));
+        Arc::new(server)
+    }
 
-        // Regression: `handle` used `.expect("group server lock")`, so one
-        // panicked holder turned every later GroupQuery into a connection
-        // worker panic. It must instead fail closed with Unavailable.
-        let mux: ServiceMux = ServiceMux::new().with_groups(server);
+    #[test]
+    fn group_query_served_without_a_process_wide_lock() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let server = shared_group_server(&mut rng);
+
+        // The shared instance stays directly usable while mounted: the
+        // mux holds a plain Arc, not a Mutex, so a membership grant on
+        // one thread cannot serialize against roster updates on another.
+        let mux: ServiceMux = ServiceMux::new().with_groups(Arc::clone(&server));
         let reply = mux.handle(
             Message::GroupQuery {
                 requester: PrincipalId::new("alice"),
@@ -332,11 +341,88 @@ mod tests {
             &mut rng,
         );
         match reply {
-            Message::Error { code, detail } => {
-                assert_eq!(code, ErrorCode::Unavailable);
-                assert!(detail.contains("poisoned"));
+            Message::GroupGrant { .. } => {}
+            other => panic!("expected GroupGrant, got {other:?}"),
+        }
+        assert!(server.is_member("staff", &PrincipalId::new("alice")));
+    }
+
+    #[test]
+    fn membership_fetch_returns_sealed_artifacts() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let server = shared_group_server(&mut rng);
+        let mux: ServiceMux = ServiceMux::new().with_groups(Arc::clone(&server));
+
+        let reply = mux.handle(
+            Message::MembershipFetch {
+                requester: PrincipalId::new("mirror"),
+                group: "staff".to_string(),
+                have_epoch: 0,
+            },
+            &mut rng,
+        );
+        match reply {
+            Message::MembershipUpdate { artifacts } => {
+                assert!(!artifacts.is_empty(), "pending add must publish");
+                assert_eq!(
+                    artifacts.last().map(|a| a.epoch),
+                    Some(server.epoch_of("staff"))
+                );
             }
-            other => panic!("expected Unavailable error, got {other:?}"),
+            other => panic!("expected MembershipUpdate, got {other:?}"),
+        }
+
+        // Already-current mirrors get an empty (cheap) reply.
+        let reply = mux.handle(
+            Message::MembershipFetch {
+                requester: PrincipalId::new("mirror"),
+                group: "staff".to_string(),
+                have_epoch: server.epoch_of("staff"),
+            },
+            &mut rng,
+        );
+        match reply {
+            Message::MembershipUpdate { artifacts } => assert!(artifacts.is_empty()),
+            other => panic!("expected empty MembershipUpdate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn revocation_fetch_for_foreign_issuer_is_refused() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let authority = GrantAuthority::SharedKey(SymmetricKey::generate(&mut rng));
+        let authz = Arc::new(AuthorizationServer::new(
+            PrincipalId::new("authz"),
+            authority,
+            MapResolver::new(),
+        ));
+        let mux: ServiceMux = ServiceMux::new().with_authz(Arc::clone(&authz));
+
+        let reply = mux.handle(
+            Message::RevocationFetch {
+                issuer: PrincipalId::new("someone-else"),
+                have_epoch: 0,
+            },
+            &mut rng,
+        );
+        match reply {
+            Message::Error { code, .. } => assert_eq!(code, ErrorCode::UnknownPrincipal),
+            other => panic!("expected UnknownPrincipal error, got {other:?}"),
+        }
+
+        authz.revoke_serial(7);
+        let reply = mux.handle(
+            Message::RevocationFetch {
+                issuer: PrincipalId::new("authz"),
+                have_epoch: 0,
+            },
+            &mut rng,
+        );
+        match reply {
+            Message::RevocationUpdate { artifacts } => {
+                assert!(!artifacts.is_empty());
+            }
+            other => panic!("expected RevocationUpdate, got {other:?}"),
         }
     }
 }

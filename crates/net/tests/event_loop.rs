@@ -8,7 +8,7 @@
 
 use std::io::{ErrorKind, Read, Write};
 use std::net::{Shutdown, TcpStream};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use proxy_net::{
@@ -62,7 +62,7 @@ fn fig3_mux() -> ServiceMux<MapResolver> {
         ObjectName::new("X"),
         Acl::new().with(AclSubject::Principal(p("R")), AclRights::all()),
     );
-    let mut groups = GroupServer::new(
+    let groups = GroupServer::new(
         p("G"),
         GrantAuthority::SharedKey(SymmetricKey::generate(&mut rng)),
     );
@@ -71,7 +71,7 @@ fn fig3_mux() -> ServiceMux<MapResolver> {
     ServiceMux::new()
         .with_authz(Arc::new(authz))
         .with_end_server(Arc::new(end))
-        .with_groups(Arc::new(Mutex::new(groups)))
+        .with_groups(Arc::new(groups))
 }
 
 fn spawn_default() -> EventLoopServer {

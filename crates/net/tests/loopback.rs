@@ -2,7 +2,7 @@
 //! arrive as typed remote errors, and the `netsim` tallies recorded for
 //! a fixed seed are bit-for-bit reproducible.
 
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 use netsim::{EndpointId, Network};
 use proxy_net::{api, Loopback, NetError, ServiceMux, TcpClient, TcpServer};
@@ -47,7 +47,7 @@ fn fig3_mux() -> ServiceMux<MapResolver> {
         ObjectName::new("X"),
         Acl::new().with(AclSubject::Principal(p("R")), AclRights::all()),
     );
-    let mut groups = GroupServer::new(
+    let groups = GroupServer::new(
         p("G"),
         GrantAuthority::SharedKey(SymmetricKey::generate(&mut rng)),
     );
@@ -56,7 +56,7 @@ fn fig3_mux() -> ServiceMux<MapResolver> {
     ServiceMux::new()
         .with_authz(Arc::new(authz))
         .with_end_server(Arc::new(end))
-        .with_groups(Arc::new(Mutex::new(groups)))
+        .with_groups(Arc::new(groups))
 }
 
 /// Runs the Fig. 3 flow (grant, then present) over a loopback transport

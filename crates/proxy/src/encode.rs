@@ -91,6 +91,12 @@ impl Encoder {
         self
     }
 
+    /// Appends a little-endian u16.
+    pub fn u16(&mut self, v: u16) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
     /// Appends a little-endian u32.
     pub fn u32(&mut self, v: u32) -> &mut Self {
         self.buf.extend_from_slice(&v.to_le_bytes());
@@ -230,6 +236,15 @@ impl<'a> Decoder<'a> {
     pub fn u8(&mut self) -> Result<u8, DecodeError> {
         let [b] = self.raw_array::<1>()?;
         Ok(b)
+    }
+
+    /// Reads a little-endian u16.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::UnexpectedEnd`] when the input is exhausted.
+    pub fn u16(&mut self) -> Result<u16, DecodeError> {
+        Ok(u16::from_le_bytes(self.raw_array::<2>()?))
     }
 
     /// Reads a little-endian u32.

@@ -70,6 +70,15 @@ pub enum VerifyError {
         /// The evaluation time.
         now: Timestamp,
     },
+    /// A certificate's serial appears in its grantor's mirrored
+    /// revocation set (§3.1 revocation made explicit; see
+    /// [`crate::revocation`]).
+    Revoked {
+        /// Index of the revoked certificate in the chain.
+        index: usize,
+        /// The revoked serial number.
+        serial: u64,
+    },
     /// A restriction denied the request.
     Denied(Denial),
     /// A bearer proxy was presented without a possession proof (§2: to
@@ -106,6 +115,9 @@ impl std::fmt::Display for VerifyError {
             }
             VerifyError::NotValidAt { index, now } => {
                 write!(f, "certificate {index} not valid at {now}")
+            }
+            VerifyError::Revoked { index, serial } => {
+                write!(f, "certificate {index} (serial {serial}) has been revoked")
             }
             VerifyError::Denied(d) => write!(f, "request denied: {d}"),
             VerifyError::BearerRequiresPossession => {

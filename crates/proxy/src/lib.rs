@@ -70,12 +70,14 @@ pub mod context;
 pub mod encode;
 pub mod error;
 pub mod key;
+pub mod membership;
 pub mod nameserver;
 pub mod present;
 pub mod principal;
 pub mod proxy;
 pub mod replay;
 pub mod restriction;
+pub mod revocation;
 pub mod shard;
 pub mod time;
 pub mod transfer;
@@ -91,6 +93,10 @@ pub mod prelude {
     pub use crate::key::{
         GrantAuthority, GrantorVerifier, KeyMaterial, KeyResolver, MapResolver, ProxyKey,
     };
+    pub use crate::membership::{
+        member_digest, MemberDigest, MembershipAnswer, MembershipArtifact, MembershipDirectory,
+        MembershipKind,
+    };
     pub use crate::nameserver::{CertifiedResolver, KeyBinding, NameServer};
     pub use crate::present::{Presentation, Proof};
     pub use crate::principal::{GroupName, PrincipalId};
@@ -98,6 +104,10 @@ pub mod prelude {
     pub use crate::replay::{MemoryReplayGuard, RejectAcceptOnce, ReplayCache, ReplayGuard};
     pub use crate::restriction::{
         AuthorizedEntry, Currency, Denial, ObjectName, Operation, Restriction, RestrictionSet,
+    };
+    pub use crate::revocation::{
+        ArtifactError, ArtifactKind, RevocationArtifact, RevocationDirectory, RevocationRegistry,
+        SerialSet,
     };
     pub use crate::shard::ShardMap;
     pub use crate::time::{Timestamp, Validity};

@@ -1,0 +1,744 @@
+//! Signed group-membership snapshots with round-trip-free asserts.
+//!
+//! The paper's group server (§3.3) answers "is P a member of G?" per
+//! query — a round trip on every cascade verify that names a group. This
+//! module lets the group server publish its membership as sealed,
+//! epoch-numbered artifacts (the same snapshot/delta discipline as
+//! [`crate::revocation`]), so an end-server holding a current mirror
+//! answers membership *locally*, in O(1), with zero round trips.
+//!
+//! Members travel as 16-byte truncated SHA-256 digests of the principal
+//! name under a domain-separation label: canonical, fixed-size, and a
+//! million-member group fits in 16 MB of sorted digests rather than an
+//! unbounded list of strings. Digest truncation is safe here because the
+//! artifact seal — not the digest — carries integrity; a digest only
+//! selects a set slot.
+//!
+//! Three-valued answers keep the fallback honest: [`MembershipAnswer`]
+//! distinguishes *mirrored and present*, *mirrored and absent*, and *no
+//! mirror* — only the last forces the caller back to a query round trip
+//! (or a membership proxy, the paper's own mechanism). A bounded
+//! [`NegativeCache`] remembers recent absent answers with a TTL so
+//! repeated asserts against a missing principal short-circuit without
+//! growing without bound.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, Mutex};
+
+use proxy_crypto::sha256::Sha256;
+
+use crate::cert::CertSeal;
+use crate::encode::{DecodeError, Decoder, Encoder};
+use crate::key::{GrantAuthority, GrantorVerifier};
+use crate::principal::{GroupName, PrincipalId};
+use crate::revocation::{decode_seal, encode_seal, seal_body, verify_body_seal, ArtifactError};
+use crate::time::Timestamp;
+
+/// Domain-separation label for member digests.
+const MEMBER_DIGEST_LABEL: &[u8] = b"proxy-aa member digest v1";
+
+/// Domain-separation label sealed over by membership artifacts.
+const ARTIFACT_LABEL: &[u8] = b"proxy-aa membership artifact v1";
+
+/// Bytes of a truncated member digest.
+pub const MEMBER_DIGEST_LEN: usize = 16;
+
+/// Most digests accepted in one artifact list (adds or removes). At 16
+/// bytes each this bounds a hostile allocation to 32 MB for a claimed
+/// 2M-entry list that must actually be present in the input.
+pub const MAX_MEMBER_DIGESTS: usize = 1 << 21;
+
+/// Artifact kind tags on the wire.
+const TAG_SNAPSHOT: u8 = 0;
+const TAG_DELTA: u8 = 1;
+
+/// A 16-byte truncated, domain-separated SHA-256 digest of a principal
+/// name — the unit of membership in artifacts and mirrors.
+pub type MemberDigest = [u8; MEMBER_DIGEST_LEN];
+
+/// Digest of `principal` for membership purposes.
+#[must_use]
+pub fn member_digest(principal: &PrincipalId) -> MemberDigest {
+    let mut h = Sha256::new();
+    h.update(MEMBER_DIGEST_LABEL);
+    h.update(principal.as_str().as_bytes());
+    let full = h.finalize();
+    let mut out = [0u8; MEMBER_DIGEST_LEN];
+    for (o, b) in out.iter_mut().zip(full.iter()) {
+        *o = *b;
+    }
+    out
+}
+
+/// Snapshot-or-delta semantics for a membership artifact.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MembershipKind {
+    /// `adds` is the complete member set; `removes` must be empty.
+    Snapshot,
+    /// `adds`/`removes` transform the exact `base_epoch` state.
+    Delta {
+        /// The epoch this delta extends.
+        base_epoch: u64,
+    },
+}
+
+/// A sealed, epoch-numbered membership announcement for one group.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MembershipArtifact {
+    /// The group this artifact describes; `group.server` is the only
+    /// principal whose authority may seal it.
+    pub group: GroupName,
+    /// Monotone publication counter per group.
+    pub epoch: u64,
+    /// Snapshot or delta semantics.
+    pub kind: MembershipKind,
+    /// Members added (or, for snapshots, the full set), sorted ascending.
+    pub adds: Vec<MemberDigest>,
+    /// Members removed; empty for snapshots, sorted ascending.
+    pub removes: Vec<MemberDigest>,
+    /// Seal over [`MembershipArtifact::body_bytes`] by the group server.
+    pub seal: CertSeal,
+}
+
+fn encode_digests(e: &mut Encoder, digests: &[MemberDigest]) {
+    e.count(digests.len());
+    for d in digests {
+        e.raw(d);
+    }
+}
+
+fn decode_digests(d: &mut Decoder<'_>) -> Result<Vec<MemberDigest>, DecodeError> {
+    let n = d.counted(MEMBER_DIGEST_LEN)?;
+    if n > MAX_MEMBER_DIGESTS {
+        return Err(DecodeError::BadLength(n as u64));
+    }
+    let mut out = Vec::with_capacity(n);
+    let mut prev: Option<MemberDigest> = None;
+    for _ in 0..n {
+        let digest: MemberDigest = d.raw_array::<MEMBER_DIGEST_LEN>()?;
+        // Canonical form is strictly increasing: rejects duplicates and
+        // unsorted lists, and makes the encoding unique per set.
+        if prev.is_some_and(|p| p >= digest) {
+            return Err(DecodeError::InvalidValue("member digests not increasing"));
+        }
+        prev = Some(digest);
+        out.push(digest);
+    }
+    Ok(out)
+}
+
+impl MembershipArtifact {
+    /// The canonical byte string the seal covers.
+    #[must_use]
+    pub fn body_bytes(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        e.bytes(ARTIFACT_LABEL);
+        e.str(self.group.server.as_str());
+        e.str(&self.group.name);
+        e.u64(self.epoch);
+        match self.kind {
+            MembershipKind::Snapshot => {
+                e.u8(TAG_SNAPSHOT);
+            }
+            MembershipKind::Delta { base_epoch } => {
+                e.u8(TAG_DELTA).u64(base_epoch);
+            }
+        }
+        encode_digests(&mut e, &self.adds);
+        encode_digests(&mut e, &self.removes);
+        e.finish()
+    }
+
+    /// Builds and seals an artifact under the group server's
+    /// `authority`. Digest lists are sorted and deduplicated into
+    /// canonical form before sealing.
+    #[must_use]
+    pub fn seal(
+        group: GroupName,
+        epoch: u64,
+        kind: MembershipKind,
+        mut adds: Vec<MemberDigest>,
+        mut removes: Vec<MemberDigest>,
+        authority: &GrantAuthority,
+    ) -> Self {
+        adds.sort_unstable();
+        adds.dedup();
+        removes.sort_unstable();
+        removes.dedup();
+        let mut artifact = Self {
+            group,
+            epoch,
+            kind,
+            adds,
+            removes,
+            seal: CertSeal::Hmac([0u8; 32]),
+        };
+        artifact.seal = seal_body(authority, &artifact.body_bytes());
+        artifact
+    }
+
+    /// Checks the seal against the group server's verification material;
+    /// flavor mismatches fail closed.
+    #[must_use]
+    pub fn verify_seal(&self, verifier: &GrantorVerifier) -> bool {
+        verify_body_seal(verifier, &self.body_bytes(), &self.seal)
+    }
+
+    /// Full wire encoding (body + seal).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        self.encode_onto(&mut e);
+        e.finish()
+    }
+
+    /// Appends the wire encoding to `e`.
+    pub fn encode_onto(&self, e: &mut Encoder) {
+        e.bytes(&self.body_bytes());
+        encode_seal(e, &self.seal);
+    }
+
+    /// Decodes one artifact from a decoder stream. The result is
+    /// *unverified*: its seal must still be checked.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError`] on malformed input, including unsorted or
+    /// duplicate digests and snapshots carrying removals.
+    pub fn decode_from(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let body = crate::revocation::decode_artifact_body(d)?.to_vec();
+        let seal = decode_seal(d)?;
+        let mut b = Decoder::new(&body);
+        if b.bytes()? != ARTIFACT_LABEL {
+            return Err(DecodeError::InvalidValue("membership artifact label"));
+        }
+        let server = b.principal()?;
+        let name = b.str()?.to_string();
+        let epoch = b.u64()?;
+        let kind = match b.u8()? {
+            TAG_SNAPSHOT => MembershipKind::Snapshot,
+            TAG_DELTA => MembershipKind::Delta {
+                base_epoch: b.u64()?,
+            },
+            t => return Err(DecodeError::BadTag(t)),
+        };
+        if let MembershipKind::Delta { base_epoch } = kind {
+            // Same wire-boundary consistency rule as revocation deltas.
+            if epoch <= base_epoch {
+                return Err(DecodeError::InvalidValue("delta epoch not after its base"));
+            }
+        }
+        let adds = decode_digests(&mut b)?;
+        let removes = decode_digests(&mut b)?;
+        if kind == MembershipKind::Snapshot && !removes.is_empty() {
+            return Err(DecodeError::InvalidValue("snapshot with removals"));
+        }
+        b.finish()?;
+        Ok(Self {
+            group: GroupName::new(server, name),
+            epoch,
+            kind,
+            adds,
+            removes,
+            seal,
+        })
+    }
+
+    /// Decodes [`MembershipArtifact::encode`] output, rejecting trailing
+    /// bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError`] on malformed input.
+    pub fn decode(input: &[u8]) -> Result<Self, DecodeError> {
+        let mut d = Decoder::new(input);
+        let artifact = Self::decode_from(&mut d)?;
+        d.finish()?;
+        Ok(artifact)
+    }
+}
+
+/// What a local membership mirror can say about an assert.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MembershipAnswer {
+    /// Mirrored and present — grant the group claim.
+    Member,
+    /// Mirrored and absent — deny the group claim without a round trip.
+    NotMember,
+    /// No mirror for this group: the caller must fall back to a group
+    /// server query or a membership proxy (never assume membership).
+    Unknown,
+}
+
+/// A bounded TTL cache of recent *absent* answers, modeled on the
+/// replay cache: fixed capacity, fail-closed eviction (dropping an entry
+/// only costs a re-check, never grants membership).
+#[derive(Debug)]
+pub struct NegativeCache {
+    capacity: usize,
+    ttl_ticks: u64,
+    entries: Mutex<HashMap<(GroupName, MemberDigest), Timestamp>>,
+}
+
+impl NegativeCache {
+    /// A cache holding at most `capacity` absent-member entries for
+    /// `ttl_ticks` logical ticks each.
+    #[must_use]
+    pub fn new(capacity: usize, ttl_ticks: u64) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            ttl_ticks,
+            entries: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Records an absent answer observed at `now`.
+    pub fn record(&self, group: &GroupName, digest: MemberDigest, now: Timestamp) {
+        if let Ok(mut map) = self.entries.lock() {
+            if map.len() >= self.capacity {
+                // Bounded: drop expired entries first, then arbitrary
+                // ones. Losing a negative entry is always safe.
+                let ttl = self.ttl_ticks;
+                map.retain(|_, &mut at| now.0.saturating_sub(at.0) < ttl);
+                while map.len() >= self.capacity {
+                    let victim = map.keys().next().cloned();
+                    match victim {
+                        Some(k) => map.remove(&k),
+                        None => break,
+                    };
+                }
+            }
+            map.insert((group.clone(), digest), now);
+        }
+    }
+
+    /// True when an unexpired absent answer is cached. A poisoned cache
+    /// answers `false` (forcing a real check — fail closed for liveness,
+    /// never for access).
+    #[must_use]
+    pub fn contains(&self, group: &GroupName, digest: &MemberDigest, now: Timestamp) -> bool {
+        self.entries.lock().is_ok_and(|map| {
+            map.get(&(group.clone(), *digest))
+                .is_some_and(|at| now.0.saturating_sub(at.0) < self.ttl_ticks)
+        })
+    }
+
+    /// Drops every entry (e.g. after a mirror update changes answers).
+    pub fn clear(&self) {
+        if let Ok(mut map) = self.entries.lock() {
+            map.clear();
+        }
+    }
+
+    /// Entries currently cached (expired ones included until touched).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.lock().map_or(0, |m| m.len())
+    }
+
+    /// True when nothing is cached.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Per-group mirrored state.
+#[derive(Clone, Debug)]
+struct GroupMirror {
+    epoch: u64,
+    members: Arc<HashSet<MemberDigest>>,
+}
+
+/// The receiver side: per-group membership mirrors consulted on the
+/// authorization hot path. `assert` takes one shard read-lock just long
+/// enough to clone an `Arc`; applying artifacts builds the successor set
+/// off-lock and swaps it in.
+#[derive(Debug)]
+pub struct MembershipDirectory {
+    mirrors: crate::shard::ShardMap<GroupName, GroupMirror>,
+    negatives: NegativeCache,
+}
+
+/// Default negative-cache capacity.
+pub const DEFAULT_NEGATIVE_CAPACITY: usize = 4096;
+
+/// Default negative-cache TTL in logical ticks.
+pub const DEFAULT_NEGATIVE_TTL_TICKS: u64 = 60;
+
+impl Default for MembershipDirectory {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MembershipDirectory {
+    /// An empty directory with the default negative cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_negative_cache(DEFAULT_NEGATIVE_CAPACITY, DEFAULT_NEGATIVE_TTL_TICKS)
+    }
+
+    /// An empty directory with a negative cache of `capacity` entries
+    /// and `ttl_ticks` tick lifetime.
+    #[must_use]
+    pub fn with_negative_cache(capacity: usize, ttl_ticks: u64) -> Self {
+        Self {
+            mirrors: crate::shard::ShardMap::new(),
+            negatives: NegativeCache::new(capacity, ttl_ticks),
+        }
+    }
+
+    /// The mirrored epoch for `group` (0 when no artifact has applied).
+    #[must_use]
+    pub fn epoch_of(&self, group: &GroupName) -> u64 {
+        self.mirrors.read(group, |m| m.map_or(0, |m| m.epoch))
+    }
+
+    /// Mirrored member count for `group`, when a mirror exists.
+    #[must_use]
+    pub fn member_count(&self, group: &GroupName) -> Option<usize> {
+        self.mirrors.read(group, |m| m.map(|m| m.members.len()))
+    }
+
+    /// Answers a membership assert from local state only — no round
+    /// trips. `now` drives the negative-cache TTL.
+    #[must_use]
+    pub fn assert(
+        &self,
+        group: &GroupName,
+        principal: &PrincipalId,
+        now: Timestamp,
+    ) -> MembershipAnswer {
+        let digest = member_digest(principal);
+        if self.negatives.contains(group, &digest, now) {
+            return MembershipAnswer::NotMember;
+        }
+        // The roster probe runs inside the shard read closure: shared
+        // lock, one point lookup, no refcount traffic on the hot path.
+        let mirrored = self
+            .mirrors
+            .read(group, |m| m.map(|m| m.members.contains(&digest)));
+        match mirrored {
+            Some(true) => MembershipAnswer::Member,
+            Some(false) => {
+                self.negatives.record(group, digest, now);
+                MembershipAnswer::NotMember
+            }
+            None => MembershipAnswer::Unknown,
+        }
+    }
+
+    /// Applies a *seal-verified* artifact. Snapshots must advance the
+    /// epoch (or establish a first mirror); deltas must extend the exact
+    /// current epoch. Rejections leave the last good state enforced. On
+    /// success the negative cache is cleared (answers may have changed).
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::EpochRegression`] / [`ArtifactError::BaseMismatch`].
+    pub fn apply_verified(&self, artifact: &MembershipArtifact) -> Result<(), ArtifactError> {
+        let group = artifact.group.clone();
+        let outcome = match artifact.kind {
+            MembershipKind::Snapshot => {
+                let fresh: Arc<HashSet<MemberDigest>> =
+                    Arc::new(artifact.adds.iter().copied().collect());
+                self.mirrors.upsert(
+                    group,
+                    || GroupMirror {
+                        epoch: 0,
+                        members: Arc::new(HashSet::new()),
+                    },
+                    |m| {
+                        if artifact.epoch < m.epoch
+                            || (artifact.epoch == m.epoch && artifact.epoch != 0)
+                        {
+                            return Err(ArtifactError::EpochRegression {
+                                current: m.epoch,
+                                offered: artifact.epoch,
+                            });
+                        }
+                        m.epoch = artifact.epoch;
+                        m.members = fresh;
+                        Ok(())
+                    },
+                )
+            }
+            MembershipKind::Delta { base_epoch } => {
+                if artifact.epoch <= base_epoch {
+                    return Err(ArtifactError::EpochRegression {
+                        current: base_epoch,
+                        offered: artifact.epoch,
+                    });
+                }
+                let current = self
+                    .mirrors
+                    .read(&group, |m| m.map(|m| (m.epoch, m.members.clone())));
+                let (cur_epoch, cur_members) = match current {
+                    Some(pair) => pair,
+                    None => (0, Arc::new(HashSet::new())),
+                };
+                if cur_epoch != base_epoch {
+                    return Err(ArtifactError::BaseMismatch {
+                        current: cur_epoch,
+                        base: base_epoch,
+                    });
+                }
+                // Build the successor set off the shard lock.
+                let mut next = (*cur_members).clone();
+                for d in &artifact.adds {
+                    next.insert(*d);
+                }
+                for d in &artifact.removes {
+                    next.remove(d);
+                }
+                let next = Arc::new(next);
+                self.mirrors.upsert(
+                    group,
+                    || GroupMirror {
+                        epoch: 0,
+                        members: Arc::new(HashSet::new()),
+                    },
+                    |m| {
+                        if m.epoch != base_epoch {
+                            return Err(ArtifactError::BaseMismatch {
+                                current: m.epoch,
+                                base: base_epoch,
+                            });
+                        }
+                        m.epoch = artifact.epoch;
+                        m.members = next;
+                        Ok(())
+                    },
+                )
+            }
+        };
+        if outcome.is_ok() {
+            self.negatives.clear();
+        }
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proxy_crypto::keys::SymmetricKey;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn p(name: &str) -> PrincipalId {
+        PrincipalId::new(name)
+    }
+
+    fn g(name: &str) -> GroupName {
+        GroupName::new(p("groups"), name)
+    }
+
+    fn auth_pair() -> (GrantAuthority, GrantorVerifier) {
+        let mut rng = StdRng::seed_from_u64(7);
+        let k = SymmetricKey::generate(&mut rng);
+        (
+            GrantAuthority::SharedKey(k.clone()),
+            GrantorVerifier::SharedKey(k),
+        )
+    }
+
+    #[test]
+    fn digests_are_stable_and_distinct() {
+        assert_eq!(member_digest(&p("alice")), member_digest(&p("alice")));
+        assert_ne!(member_digest(&p("alice")), member_digest(&p("bob")));
+    }
+
+    #[test]
+    fn artifact_round_trip_and_seal() {
+        let (authority, verifier) = auth_pair();
+        let adds = vec![member_digest(&p("alice")), member_digest(&p("bob"))];
+        let artifact = MembershipArtifact::seal(
+            g("staff"),
+            1,
+            MembershipKind::Snapshot,
+            adds,
+            Vec::new(),
+            &authority,
+        );
+        assert!(artifact.verify_seal(&verifier));
+        let back = MembershipArtifact::decode(&artifact.encode()).unwrap();
+        assert_eq!(back, artifact);
+        assert!(back.verify_seal(&verifier));
+    }
+
+    #[test]
+    fn decode_rejects_unsorted_digests_and_snapshot_removals() {
+        let (authority, _) = auth_pair();
+        let mut artifact = MembershipArtifact::seal(
+            g("staff"),
+            1,
+            MembershipKind::Snapshot,
+            vec![[2u8; 16], [1u8; 16]],
+            Vec::new(),
+            &authority,
+        );
+        // seal() canonicalized; forge an unsorted body by hand.
+        artifact.adds = vec![[2u8; 16], [1u8; 16]];
+        assert!(MembershipArtifact::decode(&artifact.encode()).is_err());
+        // Snapshot with removals is malformed.
+        let mut bad = MembershipArtifact::seal(
+            g("staff"),
+            1,
+            MembershipKind::Delta { base_epoch: 0 },
+            vec![[1u8; 16]],
+            vec![[3u8; 16]],
+            &authority,
+        );
+        bad.kind = MembershipKind::Snapshot;
+        assert!(MembershipArtifact::decode(&bad.encode()).is_err());
+    }
+
+    #[test]
+    fn directory_asserts_member_notmember_unknown() {
+        let (authority, _) = auth_pair();
+        let dir = MembershipDirectory::new();
+        let now = Timestamp(1000);
+        assert_eq!(
+            dir.assert(&g("staff"), &p("alice"), now),
+            MembershipAnswer::Unknown,
+            "no mirror yet: must fall back, never assume"
+        );
+        let snap = MembershipArtifact::seal(
+            g("staff"),
+            1,
+            MembershipKind::Snapshot,
+            vec![member_digest(&p("alice"))],
+            Vec::new(),
+            &authority,
+        );
+        dir.apply_verified(&snap).unwrap();
+        assert_eq!(
+            dir.assert(&g("staff"), &p("alice"), now),
+            MembershipAnswer::Member
+        );
+        assert_eq!(
+            dir.assert(&g("staff"), &p("bob"), now),
+            MembershipAnswer::NotMember
+        );
+        assert!(!dir.negatives.is_empty(), "absent answer cached");
+        // Other groups are still unmirrored.
+        assert_eq!(
+            dir.assert(&g("faculty"), &p("alice"), now),
+            MembershipAnswer::Unknown
+        );
+    }
+
+    #[test]
+    fn deltas_add_and_remove_members() {
+        let (authority, _) = auth_pair();
+        let dir = MembershipDirectory::new();
+        let now = Timestamp(5);
+        let snap = MembershipArtifact::seal(
+            g("staff"),
+            1,
+            MembershipKind::Snapshot,
+            vec![member_digest(&p("alice")), member_digest(&p("bob"))],
+            Vec::new(),
+            &authority,
+        );
+        dir.apply_verified(&snap).unwrap();
+        let delta = MembershipArtifact::seal(
+            g("staff"),
+            2,
+            MembershipKind::Delta { base_epoch: 1 },
+            vec![member_digest(&p("carol"))],
+            vec![member_digest(&p("bob"))],
+            &authority,
+        );
+        dir.apply_verified(&delta).unwrap();
+        assert_eq!(
+            dir.assert(&g("staff"), &p("carol"), now),
+            MembershipAnswer::Member
+        );
+        assert_eq!(
+            dir.assert(&g("staff"), &p("bob"), now),
+            MembershipAnswer::NotMember
+        );
+        assert_eq!(dir.member_count(&g("staff")), Some(2));
+        // Epoch rollback and wrong-base deltas rejected, state kept.
+        let rollback = MembershipArtifact::seal(
+            g("staff"),
+            1,
+            MembershipKind::Snapshot,
+            Vec::new(),
+            Vec::new(),
+            &authority,
+        );
+        assert!(matches!(
+            dir.apply_verified(&rollback),
+            Err(ArtifactError::EpochRegression { .. })
+        ));
+        let wrong_base = MembershipArtifact::seal(
+            g("staff"),
+            9,
+            MembershipKind::Delta { base_epoch: 7 },
+            vec![member_digest(&p("mallory"))],
+            Vec::new(),
+            &authority,
+        );
+        assert!(matches!(
+            dir.apply_verified(&wrong_base),
+            Err(ArtifactError::BaseMismatch { .. })
+        ));
+        assert_eq!(
+            dir.assert(&g("staff"), &p("mallory"), now),
+            MembershipAnswer::NotMember
+        );
+    }
+
+    #[test]
+    fn negative_cache_expires_and_stays_bounded() {
+        let cache = NegativeCache::new(2, 10);
+        let d1 = member_digest(&p("a"));
+        let d2 = member_digest(&p("b"));
+        let d3 = member_digest(&p("c"));
+        let t0 = Timestamp(100);
+        cache.record(&g("x"), d1, t0);
+        assert!(cache.contains(&g("x"), &d1, t0));
+        assert!(!cache.contains(&g("x"), &d1, Timestamp(111)), "expired");
+        cache.record(&g("x"), d2, t0);
+        cache.record(&g("x"), d3, t0);
+        assert!(cache.len() <= 2, "capacity bound holds");
+    }
+
+    #[test]
+    fn mirror_update_clears_negative_cache() {
+        let (authority, _) = auth_pair();
+        let dir = MembershipDirectory::new();
+        let now = Timestamp(50);
+        let snap = MembershipArtifact::seal(
+            g("staff"),
+            1,
+            MembershipKind::Snapshot,
+            Vec::new(),
+            Vec::new(),
+            &authority,
+        );
+        dir.apply_verified(&snap).unwrap();
+        assert_eq!(
+            dir.assert(&g("staff"), &p("dave"), now),
+            MembershipAnswer::NotMember
+        );
+        let delta = MembershipArtifact::seal(
+            g("staff"),
+            2,
+            MembershipKind::Delta { base_epoch: 1 },
+            vec![member_digest(&p("dave"))],
+            Vec::new(),
+            &authority,
+        );
+        dir.apply_verified(&delta).unwrap();
+        assert_eq!(
+            dir.assert(&g("staff"), &p("dave"), now),
+            MembershipAnswer::Member,
+            "stale negative answer must not outlive the update"
+        );
+    }
+}

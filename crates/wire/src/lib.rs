@@ -72,3 +72,9 @@ pub const MAX_GROUPS: usize = 64;
 
 /// Most (currency, amount) pairs accepted in one request.
 pub const MAX_AMOUNTS: usize = 16;
+
+/// Most revocation or membership artifacts accepted in one update
+/// message. A delta chain longer than this rides several frames (or the
+/// issuer falls back to a snapshot); a hostile count cannot commit the
+/// receiver to decoding an unbounded artifact train.
+pub const MAX_ARTIFACTS: usize = 64;

@@ -20,9 +20,14 @@ use restricted_proxy::prelude::{
     ProxyKey, Timestamp, Validity,
 };
 
+use restricted_proxy::membership::MembershipArtifact;
+use restricted_proxy::revocation::RevocationArtifact;
+
 use crate::error::WireError;
 use crate::frame;
-use crate::{MAX_AMOUNTS, MAX_CHAIN_DEPTH, MAX_GROUPS, MAX_PRESENTATIONS, MAX_RESTRICTIONS};
+use crate::{
+    MAX_AMOUNTS, MAX_ARTIFACTS, MAX_CHAIN_DEPTH, MAX_GROUPS, MAX_PRESENTATIONS, MAX_RESTRICTIONS,
+};
 
 /// Typed reason carried by an [`Message::Error`] reply.
 ///
@@ -280,6 +285,39 @@ pub enum Message {
         /// The certification proxy.
         proxy: Proxy,
     },
+    /// §6: a mirror asks an issuer for revocation-index updates newer
+    /// than the epoch it already holds.
+    RevocationFetch {
+        /// Whose revocation index is wanted (the issuing authority).
+        issuer: PrincipalId,
+        /// Epoch of the index the requester already mirrors (0 = none).
+        have_epoch: u64,
+    },
+    /// Reply to [`Message::RevocationFetch`]: a contiguous delta chain
+    /// from the requester's epoch, or a single snapshot when the
+    /// issuer's delta log no longer reaches back that far. Empty means
+    /// the requester is already current.
+    RevocationUpdate {
+        /// Sealed artifacts, in application order.
+        artifacts: Vec<RevocationArtifact>,
+    },
+    /// §3.3: a mirror asks a group server for membership updates newer
+    /// than the epoch it already holds, enabling round-trip-free
+    /// membership assertion at the end-server.
+    MembershipFetch {
+        /// The authenticated requester.
+        requester: PrincipalId,
+        /// Group name local to the queried server.
+        group: String,
+        /// Epoch of the roster the requester already mirrors (0 = none).
+        have_epoch: u64,
+    },
+    /// Reply to [`Message::MembershipFetch`]: delta chain or snapshot,
+    /// same contract as [`Message::RevocationUpdate`].
+    MembershipUpdate {
+        /// Sealed artifacts, in application order.
+        artifacts: Vec<MembershipArtifact>,
+    },
     /// Typed failure reply.
     Error {
         /// Machine-readable reason.
@@ -309,6 +347,10 @@ impl Message {
             Message::CheckEndorsed { .. } => 0x0D,
             Message::CheckCertify { .. } => 0x0E,
             Message::CheckCertified { .. } => 0x0F,
+            Message::RevocationFetch { .. } => 0x10,
+            Message::RevocationUpdate { .. } => 0x11,
+            Message::MembershipFetch { .. } => 0x12,
+            Message::MembershipUpdate { .. } => 0x13,
             Message::Error { .. } => 0x7F,
         }
     }
@@ -332,6 +374,10 @@ impl Message {
             Message::CheckEndorsed { .. } => "check-endorsed",
             Message::CheckCertify { .. } => "check-certify",
             Message::CheckCertified { .. } => "check-certified",
+            Message::RevocationFetch { .. } => "revocation-fetch",
+            Message::RevocationUpdate { .. } => "revocation-update",
+            Message::MembershipFetch { .. } => "membership-fetch",
+            Message::MembershipUpdate { .. } => "membership-update",
             Message::Error { .. } => "error",
         }
     }
@@ -474,6 +520,28 @@ impl Message {
                     .u64(*amount)
                     .str(payee.as_str());
                 encode_validity(e, validity);
+            }
+            Message::RevocationFetch { issuer, have_epoch } => {
+                e.str(issuer.as_str()).u64(*have_epoch);
+            }
+            Message::RevocationUpdate { artifacts } => {
+                e.count(artifacts.len());
+                for a in artifacts {
+                    a.encode_onto(e);
+                }
+            }
+            Message::MembershipFetch {
+                requester,
+                group,
+                have_epoch,
+            } => {
+                e.str(requester.as_str()).str(group).u64(*have_epoch);
+            }
+            Message::MembershipUpdate { artifacts } => {
+                e.count(artifacts.len());
+                for a in artifacts {
+                    a.encode_onto(e);
+                }
             }
             Message::Error { code, detail } => {
                 e.u32(u32::from(code.as_u16())).str(detail);
@@ -623,6 +691,33 @@ impl Message {
             0x0F => Message::CheckCertified {
                 proxy: decode_proxy(&mut d)?,
             },
+            0x10 => Message::RevocationFetch {
+                issuer: d.principal()?,
+                have_epoch: d.u64()?,
+            },
+            0x11 => {
+                let n = d.counted(40)?;
+                check_limit("revocation artifacts", n, MAX_ARTIFACTS)?;
+                let mut artifacts = Vec::with_capacity(n);
+                for _ in 0..n {
+                    artifacts.push(RevocationArtifact::decode_from(&mut d)?);
+                }
+                Message::RevocationUpdate { artifacts }
+            }
+            0x12 => Message::MembershipFetch {
+                requester: d.principal()?,
+                group: d.str()?.to_string(),
+                have_epoch: d.u64()?,
+            },
+            0x13 => {
+                let n = d.counted(40)?;
+                check_limit("membership artifacts", n, MAX_ARTIFACTS)?;
+                let mut artifacts = Vec::with_capacity(n);
+                for _ in 0..n {
+                    artifacts.push(MembershipArtifact::decode_from(&mut d)?);
+                }
+                Message::MembershipUpdate { artifacts }
+            }
             0x7F => {
                 let raw = d.u32()?;
                 let code = u16::try_from(raw)

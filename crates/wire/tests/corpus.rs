@@ -8,11 +8,13 @@ use rand::SeedableRng;
 
 use proxy_wire::frame::encode_frame;
 use proxy_wire::{
-    ErrorCode, Message, WireError, MAX_CHAIN_DEPTH, MAX_FRAME_BODY, MAX_PRESENTATIONS,
-    MAX_RESTRICTIONS,
+    ErrorCode, Message, WireError, MAX_ARTIFACTS, MAX_CHAIN_DEPTH, MAX_FRAME_BODY,
+    MAX_PRESENTATIONS, MAX_RESTRICTIONS,
 };
-use restricted_proxy::encode::DecodeError;
+use restricted_proxy::encode::{DecodeError, Encoder};
+use restricted_proxy::membership::MembershipKind;
 use restricted_proxy::prelude::*;
+use restricted_proxy::revocation::ArtifactKind;
 
 fn p(name: &str) -> PrincipalId {
     PrincipalId::new(name)
@@ -129,11 +131,73 @@ fn sample_messages() -> Vec<Message> {
             validity: window(),
         },
         Message::CheckCertified { proxy },
+        Message::RevocationFetch {
+            issuer: p("authz"),
+            have_epoch: 3,
+        },
+        Message::RevocationUpdate {
+            artifacts: vec![sample_revocation_artifact()],
+        },
+        Message::MembershipFetch {
+            requester: p("mirror"),
+            group: "staff".to_string(),
+            have_epoch: 1,
+        },
+        Message::MembershipUpdate {
+            artifacts: vec![sample_membership_artifact()],
+        },
         Message::Error {
             code: ErrorCode::NotAuthorized,
             detail: "no".to_string(),
         },
     ]
+}
+
+fn sample_authority() -> GrantAuthority {
+    let mut rng = StdRng::seed_from_u64(11);
+    GrantAuthority::SharedKey(proxy_crypto::keys::SymmetricKey::generate(&mut rng))
+}
+
+fn sample_revocation_artifact() -> RevocationArtifact {
+    RevocationArtifact::seal(
+        p("authz"),
+        2,
+        ArtifactKind::Delta { base_epoch: 1 },
+        [1u64, 7, 1 << 20].into_iter().collect(),
+        &sample_authority(),
+    )
+}
+
+fn sample_membership_artifact() -> MembershipArtifact {
+    MembershipArtifact::seal(
+        GroupName::new(p("gs"), "staff"),
+        1,
+        MembershipKind::Snapshot,
+        vec![member_digest(&p("alice")), member_digest(&p("bob"))],
+        vec![],
+        &sample_authority(),
+    )
+}
+
+/// Encodes a `RevocationUpdate` holding one hand-built artifact whose
+/// serial-set bytes are supplied by `serials` — the hook every hostile
+/// container entry below uses. The seal is garbage: decode must reject
+/// the *structure* before anyone gets as far as seal verification.
+fn hostile_revocation_frame(
+    epoch: u64,
+    base_epoch: u64,
+    serials: impl FnOnce(&mut Encoder),
+) -> Vec<u8> {
+    let mut body = Encoder::new();
+    body.bytes(b"proxy-aa revocation artifact v1")
+        .str("authz")
+        .u64(epoch)
+        .u8(1) // delta
+        .u64(base_epoch);
+    serials(&mut body);
+    let mut e = Encoder::new();
+    e.count(1).bytes(&body.finish()).u8(0).raw(&[0u8; 32]);
+    encode_frame(0x11, 1, &e.finish())
 }
 
 #[test]
@@ -142,7 +206,7 @@ fn every_assigned_type_round_trips() {
     let mut types: Vec<u8> = samples.iter().map(Message::msg_type).collect();
     types.sort_unstable();
     types.dedup();
-    assert_eq!(types.len(), 16, "one sample per assigned message type");
+    assert_eq!(types.len(), 20, "one sample per assigned message type");
     for msg in samples {
         let frame = msg.to_frame(77);
         let (id, decoded) =
@@ -285,6 +349,91 @@ fn trailing_bytes_after_body_rejected() {
         Message::from_frame(&frame).unwrap_err(),
         WireError::Decode(DecodeError::TrailingBytes(1))
     );
+}
+
+#[test]
+fn truncated_bitmap_container_rejected() {
+    // A bitmap container must carry all 1024 words; declaring one and
+    // supplying a single word is a truncation, not a short bitmap.
+    let frame = hostile_revocation_frame(2, 1, |e| {
+        e.count(1).u64(0).u8(2).u64(0xFFFF);
+    });
+    assert!(matches!(
+        Message::from_frame(&frame).unwrap_err(),
+        WireError::Decode(_)
+    ));
+}
+
+#[test]
+fn overlapping_run_containers_rejected() {
+    // Runs [0..=5] and [3..=5] overlap; canonical runs are sorted,
+    // disjoint, and non-adjacent, so this must fail closed.
+    let frame = hostile_revocation_frame(2, 1, |e| {
+        e.count(1).u64(0).u8(1).count(2).u16(0).u16(5).u16(3).u16(2);
+    });
+    assert_eq!(
+        Message::from_frame(&frame).unwrap_err(),
+        WireError::Decode(DecodeError::InvalidValue(
+            "run containers overlap or are unsorted"
+        ))
+    );
+}
+
+#[test]
+fn epoch_regression_delta_rejected() {
+    // epoch 1 on a delta claiming base epoch 5: the artifact runs time
+    // backwards and is rejected before any state is touched.
+    let frame = hostile_revocation_frame(1, 5, |e| {
+        e.count(0);
+    });
+    assert_eq!(
+        Message::from_frame(&frame).unwrap_err(),
+        WireError::Decode(DecodeError::InvalidValue("delta epoch not after its base"))
+    );
+}
+
+#[test]
+fn artifact_count_limit_enforced() {
+    let artifacts = vec![sample_revocation_artifact(); MAX_ARTIFACTS + 1];
+    let frame = Message::RevocationUpdate { artifacts }.to_frame(1);
+    assert_eq!(
+        Message::from_frame(&frame).unwrap_err(),
+        WireError::TooManyItems {
+            what: "revocation artifacts",
+            count: MAX_ARTIFACTS + 1,
+            max: MAX_ARTIFACTS
+        }
+    );
+}
+
+#[test]
+fn unsorted_membership_digests_rejected() {
+    // The canonical digest list is strictly increasing; an attacker
+    // reordering (or duplicating) digests must be rejected even though
+    // the seal is never checked at the wire layer.
+    let ok = sample_membership_artifact();
+    let mut e = Encoder::new();
+    e.count(1);
+    // Re-encode the artifact body with the two digests swapped.
+    let mut digests = ok.adds.clone();
+    digests.reverse();
+    let mut body = Encoder::new();
+    body.bytes(b"proxy-aa membership artifact v1")
+        .str("gs")
+        .str("staff")
+        .u64(1)
+        .u8(0)
+        .count(digests.len());
+    for d in &digests {
+        body.raw(d);
+    }
+    body.count(0);
+    e.bytes(&body.finish()).u8(0).raw(&[0u8; 32]);
+    let frame = encode_frame(0x13, 1, &e.finish());
+    assert!(matches!(
+        Message::from_frame(&frame).unwrap_err(),
+        WireError::Decode(DecodeError::InvalidValue(_))
+    ));
 }
 
 #[test]

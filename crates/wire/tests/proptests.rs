@@ -11,6 +11,7 @@ use rand::SeedableRng;
 
 use proxy_wire::{ErrorCode, Message};
 use restricted_proxy::prelude::*;
+use restricted_proxy::{membership, revocation};
 
 fn rng(seed: u64) -> StdRng {
     StdRng::seed_from_u64(seed)
@@ -91,6 +92,102 @@ fn principal_strategy() -> impl Strategy<Value = PrincipalId> {
         Just(p("bank")),
         Just(p("fs"))
     ]
+}
+
+fn authority(seed: u64, public_key: bool) -> GrantAuthority {
+    let mut rng = rng(seed);
+    if public_key {
+        GrantAuthority::Keypair(proxy_crypto::ed25519::SigningKey::generate(&mut rng))
+    } else {
+        GrantAuthority::SharedKey(proxy_crypto::keys::SymmetricKey::generate(&mut rng))
+    }
+}
+
+fn revocation_artifact(
+    seed: u64,
+    public_key: bool,
+    serials: Vec<u64>,
+    delta: bool,
+) -> RevocationArtifact {
+    let kind = if delta {
+        revocation::ArtifactKind::Delta { base_epoch: seed }
+    } else {
+        revocation::ArtifactKind::Snapshot
+    };
+    RevocationArtifact::seal(
+        p("authz"),
+        seed + 1,
+        kind,
+        serials.into_iter().collect(),
+        &authority(seed, public_key),
+    )
+}
+
+fn membership_artifact(
+    seed: u64,
+    public_key: bool,
+    adds: Vec<u64>,
+    removes: Vec<u64>,
+    delta: bool,
+) -> MembershipArtifact {
+    let digest = |n: u64| member_digest(&p(&format!("member-{n}")));
+    let kind = if delta {
+        membership::MembershipKind::Delta { base_epoch: seed }
+    } else {
+        membership::MembershipKind::Snapshot
+    };
+    let removes = if delta {
+        removes.into_iter().map(digest).collect()
+    } else {
+        Vec::new()
+    };
+    MembershipArtifact::seal(
+        GroupName::new(p("gs"), "staff"),
+        seed + 1,
+        kind,
+        adds.into_iter().map(digest).collect(),
+        removes,
+        &authority(seed, public_key),
+    )
+}
+
+fn revocation_update_strategy() -> impl Strategy<Value = Message> {
+    proptest::collection::vec(
+        (
+            0u64..50,
+            any::<bool>(),
+            proptest::collection::vec(any::<u64>(), 0..40),
+            any::<bool>(),
+        ),
+        0..3,
+    )
+    .prop_map(|specs| Message::RevocationUpdate {
+        artifacts: specs
+            .into_iter()
+            .map(|(seed, pk, serials, delta)| revocation_artifact(seed, pk, serials, delta))
+            .collect(),
+    })
+}
+
+fn membership_update_strategy() -> impl Strategy<Value = Message> {
+    proptest::collection::vec(
+        (
+            0u64..50,
+            any::<bool>(),
+            proptest::collection::vec(0u64..1000, 0..20),
+            proptest::collection::vec(0u64..1000, 0..20),
+            any::<bool>(),
+        ),
+        0..3,
+    )
+    .prop_map(|specs| Message::MembershipUpdate {
+        artifacts: specs
+            .into_iter()
+            .map(|(seed, pk, adds, removes, delta)| {
+                membership_artifact(seed, pk, adds, removes, delta)
+            })
+            .collect(),
+    })
 }
 
 fn message_strategy() -> impl Strategy<Value = Message> {
@@ -240,6 +337,24 @@ fn message_strategy() -> impl Strategy<Value = Message> {
             }),
         // 0x0F check-certified
         proxy_strategy().prop_map(|proxy| Message::CheckCertified { proxy }),
+        // 0x10 revocation-fetch
+        (principal_strategy(), any::<u64>())
+            .prop_map(|(issuer, have_epoch)| { Message::RevocationFetch { issuer, have_epoch } }),
+        // 0x11 revocation-update
+        revocation_update_strategy(),
+        // 0x12 membership-fetch
+        (
+            principal_strategy(),
+            prop_oneof![Just("staff"), Just("ops")],
+            any::<u64>()
+        )
+            .prop_map(|(requester, group, have_epoch)| Message::MembershipFetch {
+                requester,
+                group: group.to_string(),
+                have_epoch,
+            }),
+        // 0x13 membership-update
+        membership_update_strategy(),
         // 0x7F error
         (
             0u16..20,

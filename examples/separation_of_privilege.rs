@@ -92,7 +92,7 @@ fn main() {
     // =====================================================================
     let gs = PrincipalId::new("group-server");
     let gs_key = SymmetricKey::generate(&mut rng);
-    let mut groups = GroupServer::new(gs.clone(), GrantAuthority::SharedKey(gs_key.clone()));
+    let groups = GroupServer::new(gs.clone(), GrantAuthority::SharedKey(gs_key.clone()));
     groups.add_member("operators", PrincipalId::new("dana"));
     groups.add_member("safety-board", PrincipalId::new("dana"));
     groups.add_member("operators", PrincipalId::new("erin"));

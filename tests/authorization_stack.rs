@@ -35,7 +35,7 @@ fn stack(seed: u64) -> Stack {
     let gs_key = SymmetricKey::generate(&mut rng);
     let r_key = SymmetricKey::generate(&mut rng);
 
-    let mut groups = GroupServer::new(p("GS"), GrantAuthority::SharedKey(gs_key.clone()));
+    let groups = GroupServer::new(p("GS"), GrantAuthority::SharedKey(gs_key.clone()));
     groups.add_member("staff", p("bob"));
 
     let mut authz = AuthorizationServer::new(

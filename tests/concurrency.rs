@@ -51,6 +51,9 @@ fn public_api_types_are_send_and_sync() {
     assert_send_sync::<AuthorizationServer<MapResolver>>();
     assert_send_sync::<proxy_aa::kerberos::Kdc>();
     assert_send_sync::<proxy_aa::authz::EndServer<MapResolver>>();
+    assert_send_sync::<proxy_aa::authz::GroupServer>();
+    assert_send_sync::<MembershipDirectory>();
+    assert_send_sync::<RevocationDirectory>();
     assert_send_sync::<proxy_aa::netsim::Network>();
 }
 
@@ -338,4 +341,98 @@ fn concurrent_authorization_queries_share_one_server() {
     serials.sort_unstable();
     serials.dedup();
     assert_eq!(serials.len(), 200, "serials unique under contention");
+}
+
+#[test]
+fn contended_group_roster_updates_and_asserts_stay_coherent() {
+    // The group server's roster lives on a sharded map: adds, removes,
+    // membership grants, and mirror syncs all race on one shared &self
+    // instance. The mirror applies only seal-verified artifacts, and at
+    // quiescence it must agree exactly with the issuer's roster.
+    let mut rng = StdRng::seed_from_u64(6);
+    let key = SymmetricKey::generate(&mut rng);
+    let gs = proxy_aa::authz::GroupServer::new(p("GS"), GrantAuthority::SharedKey(key.clone()));
+    let verifier = GrantorVerifier::SharedKey(key);
+    gs.create_group("staff");
+    // Stable members that no writer ever removes: queries against them
+    // must succeed at every interleaving.
+    for i in 0..8u64 {
+        gs.add_member("staff", p(&format!("stable-{i}")));
+    }
+    let staff = GroupName::new(p("GS"), "staff");
+    let mirror = MembershipDirectory::new();
+
+    std::thread::scope(|scope| {
+        // Writers: each owns a disjoint slice of members and churns it.
+        for t in 0..4u64 {
+            let gs = &gs;
+            scope.spawn(move || {
+                for i in 0..50u64 {
+                    let member = p(&format!("member-{t}-{i}"));
+                    gs.add_member("staff", member.clone());
+                    if i % 3 == 0 {
+                        gs.remove_member("staff", &member);
+                    }
+                }
+            });
+        }
+        // Readers: membership grants and point queries under churn. The
+        // stable members are never removed, so their grants must always
+        // succeed; churned members are merely probed (their membership
+        // races with the writers by design).
+        for t in 0..2u64 {
+            let gs = &gs;
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(600 + t);
+                for i in 0..50u64 {
+                    gs.membership_proxy(
+                        &p(&format!("stable-{}", i % 8)),
+                        &["staff"],
+                        window(),
+                        &mut rng,
+                    )
+                    .expect("stable member always gets a grant");
+                    let _ = gs.is_member("staff", &p(&format!("member-{t}-{i}")));
+                }
+            });
+        }
+        // Mirror: pulls delta chains mid-churn and applies the verified
+        // ones; every intermediate state it holds is some epoch the
+        // issuer actually published.
+        {
+            let (gs, mirror, verifier, staff) = (&gs, &mirror, &verifier, &staff);
+            scope.spawn(move || {
+                for _ in 0..20 {
+                    let have = mirror.epoch_of(staff);
+                    for artifact in gs.updates_since("staff", have) {
+                        assert!(artifact.verify_seal(verifier), "issuer seals verify");
+                        // A racing pull may already have applied this
+                        // epoch; only ordering errors are fatal.
+                        let _ = mirror.apply_verified(&artifact);
+                    }
+                }
+            });
+        }
+    });
+
+    // Drain the final pending changes, then the mirror must agree with
+    // the issuer member-for-member.
+    for artifact in gs.updates_since("staff", mirror.epoch_of(&staff)) {
+        assert!(artifact.verify_seal(&verifier));
+        mirror
+            .apply_verified(&artifact)
+            .expect("final sync applies");
+    }
+    assert_eq!(mirror.epoch_of(&staff), gs.epoch_of("staff"));
+    assert_eq!(mirror.member_count(&staff), gs.member_count("staff"));
+    for t in 0..4u64 {
+        for i in 0..50u64 {
+            let member = p(&format!("member-{t}-{i}"));
+            assert_eq!(
+                mirror.assert(&staff, &member, Timestamp(1)) == MembershipAnswer::Member,
+                gs.is_member("staff", &member),
+                "mirror and issuer agree on {member}"
+            );
+        }
+    }
 }

@@ -46,7 +46,7 @@ fn build(seed: u64) -> Campus {
     let gs_key = SymmetricKey::generate(&mut rng);
     let r_key = SymmetricKey::generate(&mut rng);
 
-    let mut groups =
+    let groups =
         proxy_aa::authz::GroupServer::new(p("GS"), GrantAuthority::SharedKey(gs_key.clone()));
     for member in STAFF {
         groups.add_member("staff", p(member));

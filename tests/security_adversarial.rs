@@ -664,3 +664,196 @@ fn forged_seal_in_a_micro_batch_fails_only_that_request() {
         "every deposit's seal was checked through the batcher: {stats:?}"
     );
 }
+
+#[test]
+fn forged_and_rolled_back_revocation_artifacts_cannot_resurrect_a_capability() {
+    use proxy_aa::authz::{Acl, AclRights, AclSubject, AuthzError, EndServer, Request};
+    use proxy_aa::proxy::revocation::{ArtifactError, ArtifactKind, RevocationArtifact, SerialSet};
+
+    let mut rng = StdRng::seed_from_u64(41);
+    let issuer_key = SymmetricKey::generate(&mut rng);
+    let resolver =
+        MapResolver::new().with(p("alice"), GrantorVerifier::SharedKey(issuer_key.clone()));
+    let mut server = EndServer::new(p("fs"), resolver);
+    server.acls.set(
+        ObjectName::new("file1"),
+        Acl::new().with(AclSubject::Principal(p("alice")), AclRights::all()),
+    );
+    let authority = GrantAuthority::SharedKey(issuer_key);
+    let cap = grant(
+        &p("alice"),
+        &authority,
+        RestrictionSet::new().with(Restriction::authorize_op(
+            ObjectName::new("file1"),
+            Operation::new("read"),
+        )),
+        window(),
+        7,
+        &mut rng,
+    );
+
+    // Epoch 1 lands legitimately: serial 7 is dead mid-validity.
+    let kill = RevocationArtifact::seal(
+        p("alice"),
+        1,
+        ArtifactKind::Snapshot,
+        [7u64].into_iter().collect(),
+        &authority,
+    );
+    server
+        .apply_revocation(&kill)
+        .expect("legitimate artifact applies");
+    let present = |server: &EndServer<MapResolver>, nonce: u8| {
+        let req = Request::new(
+            Operation::new("read"),
+            ObjectName::new("file1"),
+            Timestamp(1),
+        )
+        .with_presentation(cap.present_bearer([nonce; 32], &p("fs")));
+        server.authorize(&req).map(|_| ())
+    };
+    assert!(matches!(
+        present(&server, 1),
+        Err(AuthzError::Verify(VerifyError::Revoked { serial: 7, .. }))
+    ));
+
+    // Forgery: an attacker who cannot sign as alice publishes an empty
+    // snapshot at a higher epoch to "un-revoke" the serial. The seal
+    // fails, nothing is applied, and the revocation stands.
+    let attacker = GrantAuthority::SharedKey(SymmetricKey::generate(&mut rng));
+    let forged = RevocationArtifact::seal(
+        p("alice"),
+        9,
+        ArtifactKind::Snapshot,
+        SerialSet::new(),
+        &attacker,
+    );
+    assert!(matches!(
+        server.apply_revocation(&forged),
+        Err(ArtifactError::BadSeal)
+    ));
+    assert_eq!(server.revocation_directory().epoch_of(&p("alice")), 1);
+
+    // Rollback: replaying the genuinely-sealed pre-revocation state (an
+    // empty snapshot alice once published at epoch 0 semantics — here a
+    // same-epoch re-seal) must be refused as an epoch regression.
+    let rollback = RevocationArtifact::seal(
+        p("alice"),
+        1,
+        ArtifactKind::Snapshot,
+        SerialSet::new(),
+        &authority,
+    );
+    assert!(matches!(
+        server.apply_revocation(&rollback),
+        Err(ArtifactError::EpochRegression {
+            current: 1,
+            offered: 1
+        })
+    ));
+    assert_eq!(server.revocation_directory().epoch_of(&p("alice")), 1);
+
+    // A delta claiming a base the mirror never held is also refused.
+    let wild_delta = RevocationArtifact::seal(
+        p("alice"),
+        6,
+        ArtifactKind::Delta { base_epoch: 5 },
+        SerialSet::new(),
+        &authority,
+    );
+    assert!(matches!(
+        server.apply_revocation(&wild_delta),
+        Err(ArtifactError::BaseMismatch {
+            current: 1,
+            base: 5
+        })
+    ));
+
+    // After every attack the capability is still dead.
+    assert!(matches!(
+        present(&server, 2),
+        Err(AuthzError::Verify(VerifyError::Revoked { serial: 7, .. }))
+    ));
+}
+
+#[test]
+fn forged_membership_artifacts_cannot_plant_or_evict_members() {
+    use proxy_aa::authz::{Acl, AclRights, AclSubject, EndServer, Request};
+    use proxy_aa::proxy::membership::{member_digest, MembershipArtifact, MembershipKind};
+    use proxy_aa::proxy::revocation::ArtifactError;
+
+    let mut rng = StdRng::seed_from_u64(42);
+    let gs_key = SymmetricKey::generate(&mut rng);
+    let resolver = MapResolver::new().with(p("gs"), GrantorVerifier::SharedKey(gs_key.clone()));
+    let mut server = EndServer::new(p("fs"), resolver);
+    let staff = GroupName::new(p("gs"), "staff");
+    server.acls.set(
+        ObjectName::new("wiki"),
+        Acl::new().with(AclSubject::Group(staff.clone()), AclRights::all()),
+    );
+    let authority = GrantAuthority::SharedKey(gs_key);
+
+    // Legitimate roster: bob is staff as of epoch 1.
+    let roster = MembershipArtifact::seal(
+        staff.clone(),
+        1,
+        MembershipKind::Snapshot,
+        vec![member_digest(&p("bob"))],
+        vec![],
+        &authority,
+    );
+    server.apply_membership(&roster).expect("roster applies");
+    let edit = |server: &EndServer<MapResolver>, who: &str| {
+        let req = Request::new(
+            Operation::new("edit"),
+            ObjectName::new("wiki"),
+            Timestamp(1),
+        )
+        .authenticated_as(p(who));
+        server.authorize(&req).map(|_| ())
+    };
+    assert!(edit(&server, "bob").is_ok());
+    assert!(edit(&server, "mallory").is_err());
+
+    // Mallory seals herself into the roster with her own key: rejected,
+    // roster unchanged in both directions.
+    let attacker = GrantAuthority::SharedKey(SymmetricKey::generate(&mut rng));
+    let planted = MembershipArtifact::seal(
+        staff.clone(),
+        2,
+        MembershipKind::Snapshot,
+        vec![member_digest(&p("mallory"))],
+        vec![],
+        &attacker,
+    );
+    assert!(matches!(
+        server.apply_membership(&planted),
+        Err(ArtifactError::BadSeal)
+    ));
+    assert!(edit(&server, "mallory").is_err(), "mallory stays out");
+    assert!(edit(&server, "bob").is_ok(), "bob stays in");
+
+    // Replaying the genuine epoch-1 roster after the mirror moved on is
+    // an epoch regression, not a quiet reset.
+    let evict = MembershipArtifact::seal(
+        staff.clone(),
+        2,
+        MembershipKind::Snapshot,
+        vec![member_digest(&p("carol"))],
+        vec![],
+        &authority,
+    );
+    server.apply_membership(&evict).expect("epoch 2 applies");
+    assert!(matches!(
+        server.apply_membership(&roster),
+        Err(ArtifactError::EpochRegression {
+            current: 2,
+            offered: 1
+        })
+    ));
+    assert!(edit(&server, "carol").is_ok());
+    assert!(
+        edit(&server, "bob").is_err(),
+        "epoch 2 evicted bob for real"
+    );
+}
