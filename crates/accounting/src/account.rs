@@ -6,6 +6,7 @@
 
 use std::collections::HashMap;
 
+use restricted_proxy::encode::{DecodeError, Decoder, Encoder};
 use restricted_proxy::principal::PrincipalId;
 use restricted_proxy::restriction::Currency;
 
@@ -23,7 +24,7 @@ pub struct Hold {
 }
 
 /// An account on an accounting server.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Account {
     name: String,
     owners: Vec<PrincipalId>,
@@ -136,6 +137,14 @@ impl Account {
         self.holds.remove(&check_no)
     }
 
+    /// Peeks at the hold for `check_no` without consuming it — the
+    /// durable settle path must know *whether* the debit comes from a
+    /// hold before staging its journal record, and only then apply.
+    #[must_use]
+    pub fn hold(&self, check_no: u64) -> Option<&Hold> {
+        self.holds.get(&check_no)
+    }
+
     /// Releases the hold for `check_no`, returning funds to the balance
     /// (a certified check that was never cashed).
     ///
@@ -186,6 +195,86 @@ impl Account {
             .expect("nonzero allocation") -= amount;
         self.credit(currency.clone(), amount);
         Ok(())
+    }
+
+    /// Canonically encodes the full account state for the durable
+    /// journal's snapshots and administrative records. Hash-map order is
+    /// unstable, so balances and allocations are sorted by currency and
+    /// holds by check number — two equal accounts encode identically.
+    pub fn encode_onto(&self, e: &mut Encoder) {
+        e.str(&self.name);
+        e.count(self.owners.len());
+        for o in &self.owners {
+            e.str(o.as_str());
+        }
+        let mut balances: Vec<_> = self.balances.iter().collect();
+        balances.sort_by(|a, b| a.0.as_str().cmp(b.0.as_str()));
+        e.count(balances.len());
+        for (c, v) in balances {
+            e.str(c.as_str());
+            e.u64(*v);
+        }
+        let mut holds: Vec<_> = self.holds.iter().collect();
+        holds.sort_by_key(|(no, _)| **no);
+        e.count(holds.len());
+        for (no, h) in holds {
+            e.u64(*no);
+            e.str(h.currency.as_str());
+            e.u64(h.amount);
+            e.str(h.payee.as_str());
+        }
+        let mut allocated: Vec<_> = self.allocated.iter().collect();
+        allocated.sort_by(|a, b| a.0.as_str().cmp(b.0.as_str()));
+        e.count(allocated.len());
+        for (c, v) in allocated {
+            e.str(c.as_str());
+            e.u64(*v);
+        }
+    }
+
+    /// Decodes an account previously written by [`Self::encode_onto`].
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError`] on truncated or malformed input.
+    pub fn decode_from(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let name = d.str()?.to_string();
+        let mut owners = Vec::new();
+        for _ in 0..d.counted(2)? {
+            owners.push(d.principal()?);
+        }
+        let mut balances = HashMap::new();
+        for _ in 0..d.counted(10)? {
+            let c = Currency::new(d.str()?);
+            balances.insert(c, d.u64()?);
+        }
+        let mut holds = HashMap::new();
+        for _ in 0..d.counted(20)? {
+            let no = d.u64()?;
+            let currency = Currency::new(d.str()?);
+            let amount = d.u64()?;
+            let payee = d.principal()?;
+            holds.insert(
+                no,
+                Hold {
+                    currency,
+                    amount,
+                    payee,
+                },
+            );
+        }
+        let mut allocated = HashMap::new();
+        for _ in 0..d.counted(10)? {
+            let c = Currency::new(d.str()?);
+            allocated.insert(c, d.u64()?);
+        }
+        Ok(Self {
+            name,
+            owners,
+            balances,
+            holds,
+            allocated,
+        })
     }
 }
 
@@ -277,5 +366,34 @@ mod tests {
         assert!(acct.is_owner(&p("alice")));
         assert!(acct.is_owner(&p("bob")));
         assert!(!acct.is_owner(&p("carol")));
+    }
+
+    #[test]
+    fn encode_round_trips_full_state() {
+        let mut acct = Account::new("joint", vec![p("alice"), p("bob")]);
+        acct.credit(usd(), 900);
+        acct.credit(Currency::new("pages"), 44);
+        acct.place_hold(9, usd(), 100, p("shop")).unwrap();
+        acct.allocate(Currency::new("pages"), 4).unwrap();
+
+        let mut e = Encoder::new();
+        acct.encode_onto(&mut e);
+        let bytes = e.finish();
+        let mut d = Decoder::new(&bytes);
+        let back = Account::decode_from(&mut d).unwrap();
+        d.finish().unwrap();
+
+        assert_eq!(back.name(), "joint");
+        assert!(back.is_owner(&p("alice")) && back.is_owner(&p("bob")));
+        assert_eq!(back.balance(&usd()), 800);
+        assert_eq!(back.balance(&Currency::new("pages")), 40);
+        assert_eq!(back.held(&usd()), 100);
+        assert_eq!(back.hold(9).unwrap().payee, p("shop"));
+        assert_eq!(back.allocated(&Currency::new("pages")), 4);
+
+        // Canonical: re-encoding the decoded account is byte-identical.
+        let mut e2 = Encoder::new();
+        back.encode_onto(&mut e2);
+        assert_eq!(e2.finish(), bytes);
     }
 }

@@ -206,7 +206,7 @@ impl ClearingHouse {
                 .servers
                 .get_mut(hop)
                 .ok_or_else(|| AcctError::NoRoute(hop.clone()))?;
-            server.apply_payment(&payment);
+            server.apply_payment(&payment)?;
             from = hop.clone();
         }
 

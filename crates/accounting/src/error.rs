@@ -1,8 +1,10 @@
 //! Error type for the accounting layer.
 
+use restricted_proxy::encode::DecodeError;
 use restricted_proxy::error::VerifyError;
 use restricted_proxy::principal::PrincipalId;
 use restricted_proxy::restriction::Currency;
+use restricted_proxy::revocation::ArtifactError;
 
 /// Errors from accounts, checks, and clearing.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -39,6 +41,17 @@ pub enum AcctError {
         /// The check number whose hold is missing.
         check_no: u64,
     },
+    /// The durable journal could not record the operation. The server
+    /// is fail-stop: the in-memory mutation did not happen (or, for a
+    /// crash injection, no acknowledgement may be sent), so retrying
+    /// after recovery is safe.
+    Storage(proxy_storage::StorageError),
+    /// The journal read back at recovery did not decode as a record
+    /// this server could have written.
+    BadJournal(&'static str),
+    /// A revocation artifact was refused (bad seal, unknown issuer,
+    /// epoch regression, delta-base mismatch).
+    Artifact(ArtifactError),
 }
 
 impl std::fmt::Display for AcctError {
@@ -66,6 +79,11 @@ impl std::fmt::Display for AcctError {
             AcctError::NoHold { check_no } => {
                 write!(f, "no hold found for certified check {check_no}")
             }
+            AcctError::Storage(e) => write!(f, "durable journal failure: {e}"),
+            AcctError::BadJournal(what) => {
+                write!(f, "journal record does not decode: {what}")
+            }
+            AcctError::Artifact(e) => write!(f, "revocation artifact refused: {e}"),
         }
     }
 }
@@ -74,6 +92,8 @@ impl std::error::Error for AcctError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             AcctError::Verify(e) => Some(e),
+            AcctError::Storage(e) => Some(e),
+            AcctError::Artifact(e) => Some(e),
             _ => None,
         }
     }
@@ -82,5 +102,23 @@ impl std::error::Error for AcctError {
 impl From<VerifyError> for AcctError {
     fn from(e: VerifyError) -> Self {
         AcctError::Verify(e)
+    }
+}
+
+impl From<proxy_storage::StorageError> for AcctError {
+    fn from(e: proxy_storage::StorageError) -> Self {
+        AcctError::Storage(e)
+    }
+}
+
+impl From<ArtifactError> for AcctError {
+    fn from(e: ArtifactError) -> Self {
+        AcctError::Artifact(e)
+    }
+}
+
+impl From<DecodeError> for AcctError {
+    fn from(_: DecodeError) -> Self {
+        AcctError::BadJournal("truncated or malformed field")
     }
 }

@@ -12,6 +12,10 @@
 //!   payment application, bounce handling.
 //! * [`clearing`] — the multi-server Fig. 5 flow with routing and
 //!   message accounting on the simulated network.
+//! * [`journal`] — the durable redo journal (DESIGN.md §15): every
+//!   money-moving operation is staged to a `proxy_storage` backend
+//!   before its effect is visible, and recovery deterministically
+//!   rebuilds accounts, uncollected checks, and the replay guard.
 //!
 //! ```
 //! use proxy_accounting::AccountingServer;
@@ -37,10 +41,12 @@ pub mod account;
 pub mod check;
 pub mod clearing;
 pub mod error;
+pub mod journal;
 pub mod server;
 
 pub use account::{Account, Hold};
 pub use check::{account_object, debit_op, write_check, Check, CheckInfo};
 pub use clearing::{ClearingHouse, ClearingReport};
 pub use error::AcctError;
-pub use server::{AccountingServer, DepositOutcome, Payment};
+pub use journal::{Journal, JournalRecord, SnapshotState};
+pub use server::{AccountMut, AccountingServer, DepositOutcome, Payment};

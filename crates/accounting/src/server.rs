@@ -1,10 +1,13 @@
 //! The accounting server (§4): accounts, check collection, certification.
 
+use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use rand::RngCore;
 
+use proxy_storage::artifacts::StoredArtifact;
+use proxy_storage::{ArtifactStore, Storage};
 use restricted_proxy::batcher::SealBatcher;
 use restricted_proxy::cache::VerifiedCertCache;
 use restricted_proxy::context::RequestContext;
@@ -23,6 +26,9 @@ use restricted_proxy::verify::Verifier;
 use crate::account::Account;
 use crate::check::{account_object, debit_op, Check, CheckInfo};
 use crate::error::AcctError;
+use crate::journal::{
+    Journal, JournalRecord, JournaledReplay, OpGuard, PendingDeposit, ReplayMark, SnapshotState,
+};
 
 /// The reserved account cashier's checks are drawn from.
 pub const CASHIER_ACCOUNT: &str = "__cashier";
@@ -91,6 +97,14 @@ pub struct AccountingServer {
     /// Local mirror of issuers' revoked check/endorsement serials,
     /// consulted by the verifier on every deposited chain.
     revocations: Arc<RevocationDirectory>,
+    /// The durable redo journal, when this server was opened on a
+    /// storage backend ([`Self::with_storage`]). `None` keeps every
+    /// path exactly as before — memory-only, no fsync.
+    journal: Option<Journal>,
+    /// Persisted revocation artifacts ([`Self::with_artifact_store`]):
+    /// verified artifacts are re-recorded here so a restart re-enforces
+    /// the same revocation state without refetching from issuers.
+    artifacts: Option<ArtifactStore<Arc<dyn Storage>>>,
 }
 
 impl AccountingServer {
@@ -120,7 +134,86 @@ impl AccountingServer {
             uncollected: ShardMap::new(),
             next_serial: AtomicU64::new(1),
             revocations,
+            journal: None,
+            artifacts: None,
         }
+    }
+
+    /// Opens this server on a durable storage backend: recovers the
+    /// compacted snapshot plus the journaled record suffix (rebuilding
+    /// accounts, uncollected deposits, the serial counter, and the
+    /// replay guard's accept-once memory), then journals every later
+    /// state-changing operation through `store`.
+    ///
+    /// Call after [`Self::with_replay_capacity`] (recovered marks land
+    /// in the final guard) and before opening accounts, so a fresh
+    /// boot's setup is journaled too. The TCP/event-loop paths are
+    /// unchanged: durability is purely a constructor option.
+    ///
+    /// # Errors
+    ///
+    /// [`AcctError::Storage`] when the backend fails or refuses a
+    /// corrupted log (fail-closed), [`AcctError::BadJournal`] when a
+    /// stored record does not decode, and any replay-application error
+    /// (a log inconsistent with itself).
+    pub fn with_storage(mut self, store: Arc<dyn Storage>) -> Result<Self, AcctError> {
+        let recovered = store.load()?;
+        if let Some(snap) = &recovered.snapshot {
+            let state = SnapshotState::decode(snap)?;
+            self.install_snapshot_state(state);
+        }
+        for rec in &recovered.records {
+            let rec = JournalRecord::decode(rec)?;
+            self.replay_record(rec)?;
+        }
+        self.journal = Some(Journal::new(store));
+        Ok(self)
+    }
+
+    /// Adjusts how many journal records accumulate between automatic
+    /// snapshot installs (0 disables auto-compaction; explicit
+    /// [`Self::compact`] still works). No effect without
+    /// [`Self::with_storage`].
+    #[must_use]
+    pub fn with_compaction_every(mut self, every: u64) -> Self {
+        if let Some(j) = self.journal.as_mut() {
+            j.set_snapshot_every(every);
+        }
+        self
+    }
+
+    /// Attaches a persisted revocation-artifact store: every artifact it
+    /// holds is seal-verified and re-applied (restoring the revocation
+    /// mirror without issuer round trips), and every artifact later
+    /// accepted by [`Self::apply_revocation`] is recorded to it.
+    ///
+    /// Call after registering grantors: an artifact whose issuer is
+    /// unknown is refused fail-closed, not skipped. Storage CRC protects
+    /// against bit rot, not substitution — re-verification on the way in
+    /// is what makes the store trustworthy.
+    ///
+    /// # Errors
+    ///
+    /// [`AcctError::Storage`] on backend failure, and the
+    /// [`Self::apply_revocation`] errors for any stored artifact.
+    pub fn with_artifact_store(mut self, store: Arc<dyn Storage>) -> Result<Self, AcctError> {
+        let artifacts = ArtifactStore::new(store);
+        for stored in artifacts.load()? {
+            match stored {
+                StoredArtifact::Revocation(bytes) => {
+                    let artifact = RevocationArtifact::decode(&bytes)
+                        .map_err(|_| AcctError::BadJournal("stored revocation artifact"))?;
+                    self.apply_revocation(&artifact)?;
+                }
+                StoredArtifact::Membership(_) => {
+                    // The store format is shared with authorization
+                    // servers; an accounting server keeps no membership
+                    // mirror, so such entries are not for us.
+                }
+            }
+        }
+        self.artifacts = Some(artifacts);
+        Ok(self)
     }
 
     /// The local revocation mirror, for instrumentation and epoch sync.
@@ -133,26 +226,236 @@ impl AccountingServer {
     /// endorsement serial is then refused at deposit with no issuer
     /// round trip. Fail-closed like the end-server path — bad seals,
     /// unknown issuers, epoch regressions, and delta-base mismatches all
-    /// leave the last good state enforced.
+    /// leave the last good state enforced. With an artifact store
+    /// attached ([`Self::with_artifact_store`]), the verified artifact
+    /// is durably recorded so a restart re-enforces it.
     ///
     /// # Errors
     ///
-    /// [`ArtifactError`] on unknown issuer, bad seal, epoch regression,
-    /// or delta-base mismatch.
-    pub fn apply_revocation(&self, artifact: &RevocationArtifact) -> Result<(), ArtifactError> {
+    /// [`AcctError::Artifact`] on unknown issuer, bad seal, epoch
+    /// regression, or delta-base mismatch; [`AcctError::Storage`] when
+    /// durable recording fails (the revocation is applied in memory, but
+    /// the server must treat the store as failed).
+    pub fn apply_revocation(&self, artifact: &RevocationArtifact) -> Result<(), AcctError> {
         let verifier = self
             .verifier
             .resolver()
             .grantor_verifier(&artifact.issuer)
-            .ok_or_else(|| ArtifactError::UnknownIssuer(artifact.issuer.clone()))?;
+            .ok_or_else(|| {
+                AcctError::Artifact(ArtifactError::UnknownIssuer(artifact.issuer.clone()))
+            })?;
         if !artifact.verify_seal(&verifier) {
-            return Err(ArtifactError::BadSeal);
+            return Err(AcctError::Artifact(ArtifactError::BadSeal));
         }
-        self.revocations.apply_verified(artifact)
+        self.revocations
+            .apply_verified(artifact)
+            .map_err(AcctError::Artifact)?;
+        if let Some(store) = &self.artifacts {
+            store.record(&StoredArtifact::Revocation(artifact.encode()))?;
+        }
+        Ok(())
     }
 
     fn take_serial(&self) -> u64 {
         self.next_serial.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Raises the serial counter to at least `floor` (recovery only).
+    fn bump_serial(&self, floor: u64) {
+        self.next_serial.fetch_max(floor, Ordering::Relaxed);
+    }
+
+    /// Opens the journal's per-operation guard, or `None` when this
+    /// server is memory-only.
+    fn op_guard(&self) -> Result<Option<OpGuard<'_>>, AcctError> {
+        self.journal.as_ref().map(Journal::begin).transpose()
+    }
+
+    /// Installs a compacted snapshot of the whole server state,
+    /// truncating the journal. Called automatically every
+    /// `with_compaction_every` records; a no-op without a journal.
+    ///
+    /// # Errors
+    ///
+    /// [`AcctError::Storage`] when the install fails (the journal is
+    /// then poisoned — fail-stop).
+    pub fn compact(&self) -> Result<(), AcctError> {
+        let Some(j) = &self.journal else {
+            return Ok(());
+        };
+        j.compact(|| self.snapshot_state())
+    }
+
+    fn maybe_compact(&self) -> Result<(), AcctError> {
+        match &self.journal {
+            Some(j) if j.compaction_due() => self.compact(),
+            _ => Ok(()),
+        }
+    }
+
+    /// Enumerates the whole server state in canonical order. Callers
+    /// must exclude concurrent mutation (the journal's compaction gate,
+    /// or `&mut self`).
+    fn snapshot_state(&self) -> SnapshotState {
+        let mut state = SnapshotState {
+            next_serial: self.next_serial.load(Ordering::Relaxed),
+            ..SnapshotState::default()
+        };
+        self.accounts
+            .for_each(|_, a| state.accounts.push(a.clone()));
+        self.uncollected.for_each(|(payor, check_no), u| {
+            state.pending.push(PendingDeposit {
+                payor: payor.clone(),
+                check_no: *check_no,
+                account: u.account.clone(),
+                currency: u.currency.clone(),
+                amount: u.amount,
+            });
+        });
+        self.replay.for_each_entry(|grantor, id, expires| {
+            state.replay.push(ReplayMark {
+                grantor: grantor.clone(),
+                id,
+                expires,
+            });
+        });
+        state.normalize();
+        state
+    }
+
+    fn install_snapshot_state(&mut self, state: SnapshotState) {
+        for account in state.accounts {
+            self.accounts.insert(account.name().to_string(), account);
+        }
+        for p in state.pending {
+            self.uncollected.insert(
+                (p.payor, p.check_no),
+                Uncollected {
+                    account: p.account,
+                    currency: p.currency,
+                    amount: p.amount,
+                },
+            );
+        }
+        for m in &state.replay {
+            self.replay.rehydrate(&m.grantor, m.id, m.expires);
+        }
+        self.bump_serial(state.next_serial);
+    }
+
+    /// Re-applies one journaled mutation during recovery. No
+    /// cryptography runs here: records describe committed state changes,
+    /// and a record that cannot be applied means the log disagrees with
+    /// itself — an error, never a silent skip.
+    fn replay_record(&mut self, rec: JournalRecord) -> Result<(), AcctError> {
+        match rec {
+            JournalRecord::OpenAccount { name, owners } => {
+                self.accounts
+                    .insert(name.clone(), Account::new(name, owners));
+            }
+            JournalRecord::AdminAccount { account } => {
+                self.accounts.insert(account.name().to_string(), account);
+            }
+            JournalRecord::Settle {
+                payor_account,
+                check_no,
+                currency,
+                amount,
+                from_hold,
+                credit_to,
+                replay,
+            } => {
+                self.accounts.update(&payor_account, |acct| {
+                    let acct =
+                        acct.ok_or(AcctError::BadJournal("settle names a missing account"))?;
+                    if from_hold {
+                        acct.take_hold(check_no)
+                            .ok_or(AcctError::BadJournal("settle names a missing hold"))?;
+                    } else {
+                        acct.debit(&currency, amount)
+                            .map_err(|_| AcctError::BadJournal("settle exceeds the balance"))?;
+                    }
+                    Ok::<(), AcctError>(())
+                })?;
+                if let Some(to) = credit_to {
+                    self.accounts.update(&to, |acct| {
+                        if let Some(acct) = acct {
+                            acct.credit(currency.clone(), amount);
+                        }
+                    });
+                }
+                for m in &replay {
+                    self.replay.rehydrate(&m.grantor, m.id, m.expires);
+                }
+            }
+            JournalRecord::DepositPending {
+                payor,
+                check_no,
+                to_account,
+                currency,
+                amount,
+                serial,
+            } => {
+                self.uncollected.insert(
+                    (payor, check_no),
+                    Uncollected {
+                        account: to_account,
+                        currency,
+                        amount,
+                    },
+                );
+                self.bump_serial(serial + 1);
+            }
+            JournalRecord::Forward { serial } => self.bump_serial(serial + 1),
+            JournalRecord::PaymentApplied { payor, check_no } => {
+                if let Some(u) = self.uncollected.remove(&(payor, check_no)) {
+                    self.accounts.update(&u.account, |acct| {
+                        if let Some(acct) = acct {
+                            acct.credit(u.currency.clone(), u.amount);
+                        }
+                    });
+                }
+            }
+            JournalRecord::Bounced { payor, check_no } => {
+                self.uncollected.remove(&(payor, check_no));
+            }
+            JournalRecord::CashierPurchase {
+                from_account,
+                currency,
+                amount,
+            } => {
+                self.accounts.update(&from_account, |acct| {
+                    let acct = acct.ok_or(AcctError::BadJournal(
+                        "cashier purchase names a missing account",
+                    ))?;
+                    acct.debit(&currency, amount)
+                        .map_err(|_| AcctError::BadJournal("cashier purchase exceeds the balance"))
+                })?;
+                let pool_name = CASHIER_ACCOUNT.to_string();
+                self.accounts.upsert(
+                    pool_name.clone(),
+                    || Account::new(pool_name, vec![self.name.clone()]),
+                    |pool| pool.credit(currency, amount),
+                );
+            }
+            JournalRecord::Certified {
+                account,
+                check_no,
+                currency,
+                amount,
+                payee,
+                serial,
+            } => {
+                self.accounts.update(&account, |acct| {
+                    let acct =
+                        acct.ok_or(AcctError::BadJournal("certify names a missing account"))?;
+                    acct.place_hold(check_no, currency.clone(), amount, payee.clone())
+                        .map_err(|_| AcctError::BadJournal("certify exceeds the balance"))
+                })?;
+                self.bump_serial(serial + 1);
+            }
+        }
+        Ok(())
     }
 
     /// The server's principal name.
@@ -196,9 +499,24 @@ impl AccountingServer {
         self
     }
 
-    /// Opens an account.
+    /// Opens an account. With a journal attached the opening is durable;
+    /// if the journal write fails the account is *not* created and the
+    /// server is fail-stop (the journal poisons, and every later durable
+    /// operation reports [`AcctError::Storage`]).
     pub fn open_account(&mut self, name: impl Into<String>, owners: Vec<PrincipalId>) {
         let name = name.into();
+        if let Some(j) = &self.journal {
+            if j.commit(&JournalRecord::OpenAccount {
+                name: name.clone(),
+                owners: owners.clone(),
+            })
+            .is_err()
+            {
+                // `commit` already poisoned the journal; keep memory in
+                // agreement with the log by not creating the account.
+                return;
+            }
+        }
         self.accounts
             .insert(name.clone(), Account::new(name, owners));
     }
@@ -212,20 +530,32 @@ impl AccountingServer {
 
     /// Mutable access to an account (administrative credit, quota ops).
     /// `&mut self` guarantees exclusivity, so no shard lock is held.
-    pub fn account_mut(&mut self, name: &str) -> Result<&mut Account, AcctError> {
-        self.accounts
+    /// With a journal attached, the guard journals the account's full
+    /// post-mutation state when dropped — `Drop` cannot report failure,
+    /// so a journal write error poisons the journal (fail-stop) instead.
+    pub fn account_mut(&mut self, name: &str) -> Result<AccountMut<'_>, AcctError> {
+        let AccountingServer {
+            accounts, journal, ..
+        } = self;
+        let account = accounts
             .get_mut(&name.to_string())
-            .ok_or_else(|| AcctError::UnknownAccount(name.to_string()))
+            .ok_or_else(|| AcctError::UnknownAccount(name.to_string()))?;
+        Ok(AccountMut {
+            account,
+            journal: journal.as_ref(),
+        })
     }
 
     /// Verifies a check's chain and restrictions as presented by
-    /// `presenter`, consuming the check number on success.
+    /// `presenter`, consuming the check number on success. Also returns
+    /// the accept-once marks consumed, so a durable settlement can
+    /// journal them (the replay guard's memory must survive restart).
     fn verify_check(
         &self,
         check: &Check,
         presenter: &PrincipalId,
         now: Timestamp,
-    ) -> Result<CheckInfo, AcctError> {
+    ) -> Result<(CheckInfo, Vec<ReplayMark>), AcctError> {
         let info = check.info()?;
         if info.drawn_on != self.name {
             return Err(AcctError::WrongServer {
@@ -247,11 +577,11 @@ impl AccountingServer {
         if *presenter != self.name {
             ctx.authenticated.push(self.name.clone());
         }
-        let mut replay = &self.replay;
+        let mut replay = JournaledReplay::new(&self.replay);
         self.verifier
             .verify(&check.proxy.present_delegate(), &ctx, &mut replay)
             .map_err(AcctError::Verify)?;
-        Ok(info)
+        Ok((info, replay.into_marks()))
     }
 
     /// Collects a check drawn on this server, presented by `presenter`
@@ -271,25 +601,87 @@ impl AccountingServer {
         presenter: &PrincipalId,
         now: Timestamp,
     ) -> Result<Payment, AcctError> {
-        let info = self.verify_check(check, presenter, now)?;
+        let guard = self.op_guard()?;
+        let payment = self.settle(check, presenter, now, None)?;
+        drop(guard);
+        self.maybe_compact()?;
+        Ok(payment)
+    }
+
+    /// Settles a check drawn here: verify, debit the payor (hold or
+    /// balance), and optionally credit `credit_to` (the same-server
+    /// deposit path). The caller holds the journal's [`OpGuard`].
+    fn settle(
+        &self,
+        check: &Check,
+        presenter: &PrincipalId,
+        now: Timestamp,
+        credit_to: Option<&str>,
+    ) -> Result<Payment, AcctError> {
+        let (info, marks) = self.verify_check(check, presenter, now)?;
         // Ownership check, hold-taking, and debit are one atomic step
         // under the payor account's shard lock: racing presenters cannot
-        // interleave between the balance check and the debit.
+        // interleave between the balance check and the debit. With a
+        // journal attached, the Settle record is staged inside the same
+        // critical section — after validation, before the mutation — so
+        // log order agrees with memory order; the fsync wait happens
+        // after the lock is released.
+        let mut ticket = None;
         self.accounts.update(&info.payor_account, |account| {
             let account =
                 account.ok_or_else(|| AcctError::UnknownAccount(info.payor_account.clone()))?;
             if !account.is_owner(&info.payor) {
                 return Err(AcctError::NotAuthorized(info.payor.clone()));
             }
-            match account.take_hold(info.check_no) {
+            let from_hold = match account.hold(info.check_no) {
                 Some(hold) => {
                     // Certified check: settle from the hold.
                     debug_assert_eq!(hold.amount, info.amount);
+                    true
                 }
-                None => account.debit(&info.currency, info.amount)?,
+                None => {
+                    let available = account.balance(&info.currency);
+                    if available < info.amount {
+                        return Err(AcctError::InsufficientFunds {
+                            currency: info.currency.clone(),
+                            requested: info.amount,
+                            available,
+                        });
+                    }
+                    false
+                }
+            };
+            if let Some(j) = &self.journal {
+                ticket = Some(j.stage(&JournalRecord::Settle {
+                    payor_account: info.payor_account.clone(),
+                    check_no: info.check_no,
+                    currency: info.currency.clone(),
+                    amount: info.amount,
+                    from_hold,
+                    credit_to: credit_to.map(str::to_string),
+                    replay: marks.clone(),
+                })?);
+            }
+            if from_hold {
+                account.take_hold(info.check_no);
+            } else {
+                account.debit(&info.currency, info.amount)?;
             }
             Ok(())
         })?;
+        if let Some(to) = credit_to {
+            // The payor's shard lock is released before the payee's is
+            // taken — locks strictly one at a time (DESIGN.md §9). The
+            // credit rides in the Settle record, so recovery replays both
+            // halves or neither.
+            self.accounts.update(&to.to_string(), |acct| {
+                acct.ok_or_else(|| AcctError::UnknownAccount(to.to_string()))
+                    .map(|a| a.credit(info.currency.clone(), info.amount))
+            })?;
+        }
+        if let (Some(t), Some(j)) = (ticket, &self.journal) {
+            j.wait(t)?;
+        }
         Ok(Payment {
             payor: info.payor,
             check_no: info.check_no,
@@ -327,18 +719,36 @@ impl AccountingServer {
         if info.payee == self.name && *depositor != self.name {
             return Err(AcctError::NotAuthorized(depositor.clone()));
         }
+        let guard = self.op_guard()?;
         if info.drawn_on == self.name {
-            // `collect` debits the payor under that account's shard lock
-            // and releases it before we credit the payee here — locks are
+            // `settle` debits the payor under that account's shard lock
+            // and releases it before crediting the payee — locks are
             // acquired strictly one at a time (DESIGN.md §9).
-            let payment = self.collect(check, depositor, now)?;
-            self.accounts.update(&to_account.to_string(), |acct| {
-                acct.ok_or_else(|| AcctError::UnknownAccount(to_account.to_string()))
-                    .map(|a| a.credit(payment.currency.clone(), payment.amount))
-            })?;
+            let payment = self.settle(check, depositor, now, Some(to_account))?;
+            drop(guard);
+            self.maybe_compact()?;
             return Ok(DepositOutcome::Settled(payment));
         }
-        // Credit as uncollected and endorse toward the drawee.
+        // Credit as uncollected and endorse toward the drawee. The
+        // DepositPending record is staged *before* the uncollected entry
+        // becomes visible: any dependent record (the payment's return)
+        // can only stage after the insert, so log order is safe.
+        let serial = self.take_serial();
+        let window = check
+            .proxy
+            .effective_validity()
+            .ok_or(AcctError::MalformedCheck("validity"))?;
+        let mut ticket = None;
+        if let Some(j) = &self.journal {
+            ticket = Some(j.stage(&JournalRecord::DepositPending {
+                payor: info.payor.clone(),
+                check_no: info.check_no,
+                to_account: to_account.to_string(),
+                currency: info.currency.clone(),
+                amount: info.amount,
+                serial,
+            })?);
+        }
         self.uncollected.insert(
             (info.payor.clone(), info.check_no),
             Uncollected {
@@ -347,11 +757,6 @@ impl AccountingServer {
                 amount: info.amount,
             },
         );
-        let serial = self.take_serial();
-        let window = check
-            .proxy
-            .effective_validity()
-            .ok_or(AcctError::MalformedCheck("validity"))?;
         let endorsed = check.endorse(
             &self.name,
             &self.authority,
@@ -361,6 +766,11 @@ impl AccountingServer {
             serial,
             rng,
         )?;
+        if let (Some(t), Some(j)) = (ticket, &self.journal) {
+            j.wait(t)?;
+        }
+        drop(guard);
+        self.maybe_compact()?;
         Ok(DepositOutcome::Forwarded {
             check: endorsed,
             next_hop,
@@ -379,12 +789,19 @@ impl AccountingServer {
         next_hop: PrincipalId,
         rng: &mut R,
     ) -> Result<Check, AcctError> {
+        let guard = self.op_guard()?;
         let serial = self.take_serial();
         let window = check
             .proxy
             .effective_validity()
             .ok_or(AcctError::MalformedCheck("validity"))?;
-        check.endorse(
+        if let Some(j) = &self.journal {
+            // Endorsement serials are accept-once identifiers at peer
+            // servers; persisting the counter's high-water mark keeps a
+            // restarted server from re-issuing a consumed serial.
+            j.commit(&JournalRecord::Forward { serial })?;
+        }
+        let endorsed = check.endorse(
             &self.name,
             &self.authority,
             next_hop,
@@ -392,25 +809,44 @@ impl AccountingServer {
             window,
             serial,
             rng,
-        )
+        )?;
+        drop(guard);
+        self.maybe_compact()?;
+        Ok(endorsed)
     }
 
     /// Applies a returned payment: marks the matching uncollected deposit
     /// as collected (the funds are final).
     ///
     /// Returns `true` when a matching uncollected record existed.
-    pub fn apply_payment(&self, payment: &Payment) -> bool {
-        match self
-            .uncollected
-            .remove(&(payment.payor.clone(), payment.check_no))
-        {
+    ///
+    /// # Errors
+    ///
+    /// [`AcctError::Storage`] when the journal refuses the record; the
+    /// uncollected entry is then left untouched.
+    pub fn apply_payment(&self, payment: &Payment) -> Result<bool, AcctError> {
+        let guard = self.op_guard()?;
+        // The gated atomic remove is the linearization point: exactly one
+        // of two racing duplicate payments takes the entry (and stages
+        // the journal record); the loser finds nothing and credits
+        // nothing. The deposit was credited as uncollected at deposit
+        // time; finality means it stays. (A bounced check would instead
+        // reverse it — see `bounce`.)
+        let mut ticket = None;
+        let taken =
+            self.uncollected
+                .remove_if(&(payment.payor.clone(), payment.check_no), |u| {
+                    debug_assert_eq!(u.amount, payment.amount);
+                    if let Some(j) = &self.journal {
+                        ticket = Some(j.stage(&JournalRecord::PaymentApplied {
+                            payor: payment.payor.clone(),
+                            check_no: payment.check_no,
+                        })?);
+                    }
+                    Ok::<(), AcctError>(())
+                })?;
+        let applied = match taken {
             Some(u) => {
-                // The deposit was credited as uncollected at deposit time;
-                // finality means it stays. (A bounced check would instead
-                // reverse it — see `bounce`.) The atomic `remove` is the
-                // linearization point: a racing duplicate payment finds
-                // nothing and credits nothing.
-                debug_assert_eq!(u.amount, payment.amount);
                 let Uncollected {
                     account,
                     currency,
@@ -424,17 +860,44 @@ impl AccountingServer {
                 true
             }
             None => false,
+        };
+        if let (Some(t), Some(j)) = (ticket, &self.journal) {
+            j.wait(t)?;
         }
+        drop(guard);
+        self.maybe_compact()?;
+        Ok(applied)
     }
 
     /// Reverses an uncollected deposit whose check bounced (insufficient
     /// funds at the drawee — the out-of-band path §4 mentions).
     ///
     /// Returns `true` when a matching uncollected record existed.
-    pub fn bounce(&self, payor: &PrincipalId, check_no: u64) -> bool {
-        self.uncollected
-            .remove(&(payor.clone(), check_no))
-            .is_some()
+    ///
+    /// # Errors
+    ///
+    /// [`AcctError::Storage`] when the journal refuses the record; the
+    /// uncollected entry is then left untouched.
+    pub fn bounce(&self, payor: &PrincipalId, check_no: u64) -> Result<bool, AcctError> {
+        let guard = self.op_guard()?;
+        let mut ticket = None;
+        let taken = self
+            .uncollected
+            .remove_if(&(payor.clone(), check_no), |_| {
+                if let Some(j) = &self.journal {
+                    ticket = Some(j.stage(&JournalRecord::Bounced {
+                        payor: payor.clone(),
+                        check_no,
+                    })?);
+                }
+                Ok::<(), AcctError>(())
+            })?;
+        if let (Some(t), Some(j)) = (ticket, &self.journal) {
+            j.wait(t)?;
+        }
+        drop(guard);
+        self.maybe_compact()?;
+        Ok(taken.is_some())
     }
 
     /// Amount of `currency` pending collection into `account`
@@ -473,11 +936,30 @@ impl AccountingServer {
         rng: &mut R,
     ) -> Result<Check, AcctError> {
         // Ownership check + debit: atomic under the purchaser's shard
-        // lock, released before the cashier pool is touched.
+        // lock, released before the cashier pool is touched. The journal
+        // record is staged inside the same critical section, after
+        // validation.
+        let guard = self.op_guard()?;
+        let mut ticket = None;
         self.accounts.update(&from_account.to_string(), |acct| {
             let acct = acct.ok_or_else(|| AcctError::UnknownAccount(from_account.to_string()))?;
             if !acct.is_owner(purchaser) {
                 return Err(AcctError::NotAuthorized(purchaser.clone()));
+            }
+            let available = acct.balance(&currency);
+            if available < amount {
+                return Err(AcctError::InsufficientFunds {
+                    currency: currency.clone(),
+                    requested: amount,
+                    available,
+                });
+            }
+            if let Some(j) = &self.journal {
+                ticket = Some(j.stage(&JournalRecord::CashierPurchase {
+                    from_account: from_account.to_string(),
+                    currency: currency.clone(),
+                    amount,
+                })?);
             }
             acct.debit(&currency, amount)
         })?;
@@ -488,6 +970,11 @@ impl AccountingServer {
             || Account::new(pool_name, vec![self.name.clone()]),
             |pool| pool.credit(currency.clone(), amount),
         );
+        if let (Some(t), Some(j)) = (ticket, &self.journal) {
+            j.wait(t)?;
+        }
+        drop(guard);
+        self.maybe_compact()?;
         // The server can verify its own signature at collection time: its
         // verifier registered the self-key at construction.
         Ok(crate::check::write_check(
@@ -526,15 +1013,41 @@ impl AccountingServer {
     ) -> Result<Proxy, AcctError> {
         // Ownership check + hold placement: one atomic step under the
         // account's shard lock, so concurrent certifications cannot
-        // over-commit the balance.
+        // over-commit the balance. The journal record is staged inside
+        // the same critical section, after validation.
+        let guard = self.op_guard()?;
+        let serial = self.take_serial();
+        let mut ticket = None;
         self.accounts.update(&account.to_string(), |acct| {
             let acct = acct.ok_or_else(|| AcctError::UnknownAccount(account.to_string()))?;
             if !acct.is_owner(requester) {
                 return Err(AcctError::NotAuthorized(requester.clone()));
             }
-            acct.place_hold(check_no, currency.clone(), amount, payee)
+            let available = acct.balance(&currency);
+            if available < amount {
+                return Err(AcctError::InsufficientFunds {
+                    currency: currency.clone(),
+                    requested: amount,
+                    available,
+                });
+            }
+            if let Some(j) = &self.journal {
+                ticket = Some(j.stage(&JournalRecord::Certified {
+                    account: account.to_string(),
+                    check_no,
+                    currency: currency.clone(),
+                    amount,
+                    payee: payee.clone(),
+                    serial,
+                })?);
+            }
+            acct.place_hold(check_no, currency.clone(), amount, payee.clone())
         })?;
-        let serial = self.take_serial();
+        if let (Some(t), Some(j)) = (ticket, &self.journal) {
+            j.wait(t)?;
+        }
+        drop(guard);
+        self.maybe_compact()?;
         let restrictions = RestrictionSet::new()
             .with(Restriction::Authorized {
                 entries: vec![AuthorizedEntry::ops(
@@ -554,6 +1067,43 @@ impl AccountingServer {
             serial,
             rng,
         ))
+    }
+}
+
+/// Exclusive administrative access to one account
+/// ([`AccountingServer::account_mut`]). Dereferences to [`Account`];
+/// when the server has a journal, dropping the guard journals the
+/// account's full post-mutation state as an `AdminAccount` record.
+#[derive(Debug)]
+pub struct AccountMut<'a> {
+    account: &'a mut Account,
+    journal: Option<&'a Journal>,
+}
+
+impl Deref for AccountMut<'_> {
+    type Target = Account;
+
+    fn deref(&self) -> &Account {
+        self.account
+    }
+}
+
+impl DerefMut for AccountMut<'_> {
+    fn deref_mut(&mut self) -> &mut Account {
+        self.account
+    }
+}
+
+impl Drop for AccountMut<'_> {
+    fn drop(&mut self) {
+        if let Some(j) = self.journal {
+            // `Drop` cannot report failure; `commit` poisons the journal
+            // on error, so the server goes fail-stop rather than letting
+            // memory diverge from the log.
+            let _ = j.commit(&JournalRecord::AdminAccount {
+                account: self.account.clone(),
+            });
+        }
     }
 }
 
@@ -1069,6 +1619,369 @@ mod tests {
             )
             .unwrap_err();
         assert!(matches!(err, AcctError::Verify(_)));
+    }
+
+    /// Builds the standard fixture on a durable (in-memory) store:
+    /// every account opening and credit is journaled through `store`.
+    fn durable_fixture(store: Arc<dyn Storage>) -> Fixture {
+        let mut rng = StdRng::seed_from_u64(1);
+        let bank_key = SigningKey::generate(&mut rng);
+        let carol_key = SigningKey::generate(&mut rng);
+        let mut bank = AccountingServer::new(p("bank"), GrantAuthority::Keypair(bank_key))
+            .with_storage(store)
+            .unwrap();
+        bank.register_grantor(
+            p("carol"),
+            GrantorVerifier::PublicKey(carol_key.verifying_key()),
+        );
+        bank.open_account("carol-acct", vec![p("carol")]);
+        bank.open_account("shop-acct", vec![p("shop")]);
+        bank.account_mut("carol-acct").unwrap().credit(usd(), 500);
+        Fixture {
+            rng,
+            bank,
+            carol_auth: GrantAuthority::Keypair(carol_key),
+        }
+    }
+
+    /// "Restarts" the bank: a fresh server recovered from `store` with
+    /// the same keys (regenerated from the fixture's fixed seed).
+    fn restart(store: Arc<dyn Storage>) -> AccountingServer {
+        let mut rng = StdRng::seed_from_u64(1);
+        let bank_key = SigningKey::generate(&mut rng);
+        let carol_key = SigningKey::generate(&mut rng);
+        let mut bank = AccountingServer::new(p("bank"), GrantAuthority::Keypair(bank_key))
+            .with_storage(store)
+            .unwrap();
+        bank.register_grantor(
+            p("carol"),
+            GrantorVerifier::PublicKey(carol_key.verifying_key()),
+        );
+        bank
+    }
+
+    #[test]
+    fn recovery_rebuilds_accounts_and_rejects_replayed_checks() {
+        let store: Arc<dyn Storage> = Arc::new(proxy_storage::MemStorage::new());
+        let mut f = durable_fixture(Arc::clone(&store));
+        let check = carol_check(&mut f, 1, 100);
+        f.bank
+            .deposit(
+                &check,
+                &p("shop"),
+                "shop-acct",
+                p("bank"),
+                Timestamp(1),
+                &mut f.rng,
+            )
+            .unwrap();
+        drop(f.bank);
+
+        let bank = restart(Arc::clone(&store));
+        assert_eq!(bank.account("carol-acct").unwrap().balance(&usd()), 400);
+        assert_eq!(bank.account("shop-acct").unwrap().balance(&usd()), 100);
+        // Exactly-once across restart: the spent check number was
+        // journaled with the settlement, so re-presenting the same check
+        // after recovery is refused — no double credit.
+        let mut rng = StdRng::seed_from_u64(99);
+        let err = bank
+            .deposit(
+                &check,
+                &p("shop"),
+                "shop-acct",
+                p("bank"),
+                Timestamp(2),
+                &mut rng,
+            )
+            .unwrap_err();
+        assert!(matches!(err, AcctError::Verify(_)), "got {err:?}");
+        assert_eq!(bank.account("shop-acct").unwrap().balance(&usd()), 100);
+    }
+
+    #[test]
+    fn recovery_rebuilds_uncollected_holds_and_serials() {
+        let store: Arc<dyn Storage> = Arc::new(proxy_storage::MemStorage::new());
+        let mut f = durable_fixture(Arc::clone(&store));
+        // A cross-server deposit leaves an uncollected entry here (this
+        // bank is not the drawee for this synthetic check).
+        let mut rng2 = StdRng::seed_from_u64(7);
+        let other_key = SigningKey::generate(&mut rng2);
+        let foreign = write_check(
+            &p("carol"),
+            &GrantAuthority::Keypair(other_key),
+            &p("other-bank"),
+            "carol-acct",
+            p("shop"),
+            31,
+            usd(),
+            75,
+            window(),
+            &mut f.rng,
+        );
+        let outcome = f
+            .bank
+            .deposit(
+                &foreign,
+                &p("shop"),
+                "shop-acct",
+                p("other-bank"),
+                Timestamp(1),
+                &mut f.rng,
+            )
+            .unwrap();
+        assert!(matches!(outcome, DepositOutcome::Forwarded { .. }));
+        // And a certified check places a hold.
+        f.bank
+            .certify(
+                &p("carol"),
+                "carol-acct",
+                9,
+                usd(),
+                200,
+                p("shop"),
+                window(),
+                &mut f.rng,
+            )
+            .unwrap();
+        let serial_before = f.bank.next_serial.load(Ordering::Relaxed);
+        drop(f.bank);
+
+        let bank = restart(Arc::clone(&store));
+        assert_eq!(bank.uncollected_total("shop-acct", &usd()), 75);
+        assert_eq!(bank.account("carol-acct").unwrap().held(&usd()), 200);
+        assert_eq!(bank.account("carol-acct").unwrap().balance(&usd()), 300);
+        assert!(
+            bank.next_serial.load(Ordering::Relaxed) >= serial_before,
+            "endorsement serials never rewind across restart"
+        );
+        // The payment's return trip still finds its uncollected entry.
+        assert!(bank
+            .apply_payment(&Payment {
+                payor: p("carol"),
+                check_no: 31,
+                currency: usd(),
+                amount: 75,
+            })
+            .unwrap());
+        assert_eq!(bank.account("shop-acct").unwrap().balance(&usd()), 75);
+        // The certified hold still clears after restart.
+        let mut rng = StdRng::seed_from_u64(55);
+        let carol_key = {
+            let mut r = StdRng::seed_from_u64(1);
+            let _bank = SigningKey::generate(&mut r);
+            SigningKey::generate(&mut r)
+        };
+        let check = write_check(
+            &p("carol"),
+            &GrantAuthority::Keypair(carol_key),
+            &p("bank"),
+            "carol-acct",
+            p("shop"),
+            9,
+            usd(),
+            200,
+            window(),
+            &mut rng,
+        );
+        let outcome = bank
+            .deposit(
+                &check,
+                &p("shop"),
+                "shop-acct",
+                p("bank"),
+                Timestamp(2),
+                &mut rng,
+            )
+            .unwrap();
+        assert!(matches!(outcome, DepositOutcome::Settled(_)));
+        assert_eq!(bank.account("carol-acct").unwrap().held(&usd()), 0);
+    }
+
+    #[test]
+    fn compaction_preserves_recovered_state() {
+        let store: Arc<dyn Storage> = Arc::new(proxy_storage::MemStorage::new());
+        let mut f = durable_fixture(Arc::clone(&store));
+        for no in 1..=5 {
+            let check = carol_check(&mut f, no, 10);
+            f.bank
+                .deposit(
+                    &check,
+                    &p("shop"),
+                    "shop-acct",
+                    p("bank"),
+                    Timestamp(1),
+                    &mut f.rng,
+                )
+                .unwrap();
+        }
+        f.bank.compact().unwrap();
+        // More activity lands after the snapshot.
+        let check = carol_check(&mut f, 6, 10);
+        f.bank
+            .deposit(
+                &check,
+                &p("shop"),
+                "shop-acct",
+                p("bank"),
+                Timestamp(1),
+                &mut f.rng,
+            )
+            .unwrap();
+        drop(f.bank);
+
+        let bank = restart(Arc::clone(&store));
+        assert_eq!(bank.account("carol-acct").unwrap().balance(&usd()), 440);
+        assert_eq!(bank.account("shop-acct").unwrap().balance(&usd()), 60);
+        // The snapshot carried the replay marks too.
+        let mut rng = StdRng::seed_from_u64(77);
+        let carol_key = {
+            let mut r = StdRng::seed_from_u64(1);
+            let _bank = SigningKey::generate(&mut r);
+            SigningKey::generate(&mut r)
+        };
+        let replayed = write_check(
+            &p("carol"),
+            &GrantAuthority::Keypair(carol_key),
+            &p("bank"),
+            "carol-acct",
+            p("shop"),
+            3,
+            usd(),
+            10,
+            window(),
+            &mut rng,
+        );
+        assert!(bank
+            .deposit(
+                &replayed,
+                &p("shop"),
+                "shop-acct",
+                p("bank"),
+                Timestamp(2),
+                &mut rng,
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn crash_point_poisons_the_server_fail_stop() {
+        let mem = Arc::new(proxy_storage::MemStorage::new());
+        let store: Arc<dyn Storage> = Arc::clone(&mem) as Arc<dyn Storage>;
+        let mut f = durable_fixture(store);
+        // The next staged record "crashes" the backend: the deposit must
+        // report failure (no acknowledgement), and the server must
+        // refuse all later durable work rather than diverge from its log.
+        mem.crash_after_stages(1);
+        let check = carol_check(&mut f, 1, 100);
+        let err = f
+            .bank
+            .deposit(
+                &check,
+                &p("shop"),
+                "shop-acct",
+                p("bank"),
+                Timestamp(1),
+                &mut f.rng,
+            )
+            .unwrap_err();
+        assert!(matches!(err, AcctError::Storage(_)), "got {err:?}");
+        let check2 = carol_check(&mut f, 2, 10);
+        let err = f
+            .bank
+            .deposit(
+                &check2,
+                &p("shop"),
+                "shop-acct",
+                p("bank"),
+                Timestamp(2),
+                &mut f.rng,
+            )
+            .unwrap_err();
+        assert!(
+            matches!(err, AcctError::Storage(_)),
+            "poisoned server stays fail-stop: {err:?}"
+        );
+    }
+
+    #[test]
+    fn revocations_survive_restart_through_the_artifact_store() {
+        use restricted_proxy::revocation::{ArtifactKind, RevocationArtifact};
+        let store: Arc<dyn Storage> = Arc::new(proxy_storage::MemStorage::new());
+        let mut f = {
+            let mut rng = StdRng::seed_from_u64(1);
+            let bank_key = SigningKey::generate(&mut rng);
+            let carol_key = SigningKey::generate(&mut rng);
+            let mut bank = AccountingServer::new(p("bank"), GrantAuthority::Keypair(bank_key));
+            bank.register_grantor(
+                p("carol"),
+                GrantorVerifier::PublicKey(carol_key.verifying_key()),
+            );
+            let mut bank = bank.with_artifact_store(Arc::clone(&store)).unwrap();
+            bank.open_account("carol-acct", vec![p("carol")]);
+            bank.open_account("shop-acct", vec![p("shop")]);
+            bank.account_mut("carol-acct").unwrap().credit(usd(), 500);
+            Fixture {
+                rng,
+                bank,
+                carol_auth: GrantAuthority::Keypair(carol_key),
+            }
+        };
+        // Carol revokes check serial 5 (say the check was stolen).
+        let kill = RevocationArtifact::seal(
+            p("carol"),
+            1,
+            ArtifactKind::Snapshot,
+            [5u64].into_iter().collect(),
+            &f.carol_auth,
+        );
+        f.bank.apply_revocation(&kill).unwrap();
+        let check = carol_check(&mut f, 5, 50);
+        assert!(f
+            .bank
+            .deposit(
+                &check,
+                &p("shop"),
+                "shop-acct",
+                p("bank"),
+                Timestamp(1),
+                &mut f.rng,
+            )
+            .is_err());
+        drop(f.bank);
+
+        // Restart: the revocation is re-enforced from the store with no
+        // issuer round trip — the stolen check still bounces.
+        let mut rng = StdRng::seed_from_u64(1);
+        let bank_key = SigningKey::generate(&mut rng);
+        let carol_key = SigningKey::generate(&mut rng);
+        let mut bank = AccountingServer::new(p("bank"), GrantAuthority::Keypair(bank_key));
+        bank.register_grantor(
+            p("carol"),
+            GrantorVerifier::PublicKey(carol_key.verifying_key()),
+        );
+        let mut bank = bank.with_artifact_store(Arc::clone(&store)).unwrap();
+        bank.open_account("carol-acct", vec![p("carol")]);
+        bank.open_account("shop-acct", vec![p("shop")]);
+        bank.account_mut("carol-acct").unwrap().credit(usd(), 500);
+        assert_eq!(bank.revocation_directory().epoch_of(&p("carol")), 1);
+        let mut f2 = Fixture {
+            rng,
+            bank,
+            carol_auth: GrantAuthority::Keypair(carol_key),
+        };
+        let check = carol_check(&mut f2, 5, 50);
+        let err = f2
+            .bank
+            .deposit(
+                &check,
+                &p("shop"),
+                "shop-acct",
+                p("bank"),
+                Timestamp(1),
+                &mut f2.rng,
+            )
+            .unwrap_err();
+        assert!(matches!(err, AcctError::Verify(_)), "got {err:?}");
     }
 
     #[test]

@@ -4,6 +4,8 @@
 
 use std::sync::Arc;
 
+use proxy_storage::artifacts::StoredArtifact;
+use proxy_storage::{ArtifactStore, Storage};
 use restricted_proxy::batcher::SealBatcher;
 use restricted_proxy::cache::VerifiedCertCache;
 use restricted_proxy::context::RequestContext;
@@ -105,6 +107,9 @@ pub struct EndServer<R> {
     /// satisfied by an authenticated identity without a group proxy or a
     /// group-server round trip.
     memberships: Arc<MembershipDirectory>,
+    /// Durable home for verified revocation/membership artifacts: the
+    /// mirrors' epochs survive a restart without an issuer round trip.
+    artifacts: Option<ArtifactStore<Arc<dyn Storage>>>,
 }
 
 impl<R: KeyResolver> EndServer<R> {
@@ -127,7 +132,49 @@ impl<R: KeyResolver> EndServer<R> {
             replay: ReplayCache::new(),
             revocations,
             memberships: Arc::new(MembershipDirectory::new()),
+            artifacts: None,
         }
+    }
+
+    /// Attaches a durable artifact store and replays every artifact it
+    /// holds through the normal verify-and-apply path, so the
+    /// revocation and membership mirrors resume at their pre-restart
+    /// epochs with zero issuer round trips. A revoked serial therefore
+    /// stays revoked across a restart even when the issuer is offline.
+    ///
+    /// Stored artifacts get no trust from having been stored: each seal
+    /// is re-verified on the way in, so a tampered store can only cause
+    /// a refused artifact (fail closed), never a forged epoch.
+    ///
+    /// The resolver must already know the issuers whose artifacts were
+    /// stored — construct the server with its full resolver first.
+    ///
+    /// # Errors
+    ///
+    /// [`AuthzError::Storage`] if the store cannot be read,
+    /// [`AuthzError::Artifact`] if a stored artifact no longer decodes
+    /// or verifies.
+    pub fn with_artifact_store(mut self, store: Arc<dyn Storage>) -> Result<Self, AuthzError> {
+        let artifacts = ArtifactStore::new(store);
+        for stored in artifacts.load().map_err(AuthzError::Storage)? {
+            // `self.artifacts` is still `None`, so replayed artifacts
+            // are not re-recorded (the store would otherwise double on
+            // every restart).
+            match stored {
+                StoredArtifact::Revocation(bytes) => {
+                    let artifact = RevocationArtifact::decode(&bytes)
+                        .map_err(|e| AuthzError::Artifact(ArtifactError::Decode(e)))?;
+                    self.apply_revocation(&artifact)?;
+                }
+                StoredArtifact::Membership(bytes) => {
+                    let artifact = MembershipArtifact::decode(&bytes)
+                        .map_err(|e| AuthzError::Artifact(ArtifactError::Decode(e)))?;
+                    self.apply_membership(&artifact)?;
+                }
+            }
+        }
+        self.artifacts = Some(artifacts);
+        Ok(self)
     }
 
     /// The server's principal name.
@@ -172,18 +219,23 @@ impl<R: KeyResolver> EndServer<R> {
     ///
     /// # Errors
     ///
-    /// [`ArtifactError`] on unknown issuer, bad seal, epoch regression,
-    /// or delta-base mismatch.
-    pub fn apply_revocation(&self, artifact: &RevocationArtifact) -> Result<(), ArtifactError> {
+    /// [`AuthzError::Artifact`] on unknown issuer, bad seal, epoch
+    /// regression, or delta-base mismatch; [`AuthzError::Storage`] when
+    /// the artifact verified and applied but could not be persisted.
+    pub fn apply_revocation(&self, artifact: &RevocationArtifact) -> Result<(), AuthzError> {
         let verifier = self
             .verifier
             .resolver()
             .grantor_verifier(&artifact.issuer)
             .ok_or_else(|| ArtifactError::UnknownIssuer(artifact.issuer.clone()))?;
         if !artifact.verify_seal(&verifier) {
-            return Err(ArtifactError::BadSeal);
+            return Err(ArtifactError::BadSeal.into());
         }
-        self.revocations.apply_verified(artifact)
+        self.revocations.apply_verified(artifact)?;
+        if let Some(store) = &self.artifacts {
+            store.record(&StoredArtifact::Revocation(artifact.encode()))?;
+        }
+        Ok(())
     }
 
     /// Verifies and applies a membership artifact; same fail-closed
@@ -192,18 +244,23 @@ impl<R: KeyResolver> EndServer<R> {
     ///
     /// # Errors
     ///
-    /// [`ArtifactError`] on unknown issuer, bad seal, epoch regression,
-    /// or delta-base mismatch.
-    pub fn apply_membership(&self, artifact: &MembershipArtifact) -> Result<(), ArtifactError> {
+    /// [`AuthzError::Artifact`] on unknown issuer, bad seal, epoch
+    /// regression, or delta-base mismatch; [`AuthzError::Storage`] when
+    /// the artifact verified and applied but could not be persisted.
+    pub fn apply_membership(&self, artifact: &MembershipArtifact) -> Result<(), AuthzError> {
         let verifier = self
             .verifier
             .resolver()
             .grantor_verifier(&artifact.group.server)
             .ok_or_else(|| ArtifactError::UnknownIssuer(artifact.group.server.clone()))?;
         if !artifact.verify_seal(&verifier) {
-            return Err(ArtifactError::BadSeal);
+            return Err(ArtifactError::BadSeal.into());
         }
-        self.memberships.apply_verified(artifact)
+        self.memberships.apply_verified(artifact)?;
+        if let Some(store) = &self.artifacts {
+            store.record(&StoredArtifact::Membership(artifact.encode()))?;
+        }
+        Ok(())
     }
 
     /// Decides a request.
@@ -600,7 +657,7 @@ mod tests {
         );
         assert_eq!(
             server.apply_revocation(&forged),
-            Err(ArtifactError::BadSeal)
+            Err(AuthzError::Artifact(ArtifactError::BadSeal))
         );
         assert!(!server.revocation_directory().is_revoked(&p("alice"), 7));
         // Unknown issuer fails closed before any seal math.
@@ -613,7 +670,9 @@ mod tests {
         );
         assert_eq!(
             server.apply_revocation(&unknown),
-            Err(ArtifactError::UnknownIssuer(p("nobody")))
+            Err(AuthzError::Artifact(ArtifactError::UnknownIssuer(p(
+                "nobody"
+            ))))
         );
         // Same for membership artifacts.
         let forged = MembershipArtifact::seal(
@@ -626,7 +685,7 @@ mod tests {
         );
         assert_eq!(
             server.apply_membership(&forged),
-            Err(ArtifactError::BadSeal)
+            Err(AuthzError::Artifact(ArtifactError::BadSeal))
         );
     }
 

@@ -3,6 +3,7 @@
 use restricted_proxy::error::VerifyError;
 use restricted_proxy::principal::PrincipalId;
 use restricted_proxy::restriction::{ObjectName, Operation};
+use restricted_proxy::revocation::ArtifactError;
 
 /// Errors from ACL evaluation, authorization servers, and group servers.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -31,6 +32,14 @@ pub enum AuthzError {
     /// A client asked the authorization server for rights at a server the
     /// database has no entry for.
     NoRightsAt(PrincipalId),
+    /// A revocation or membership artifact was refused (bad seal,
+    /// unknown issuer, epoch regression, delta-base mismatch, or a
+    /// stored artifact that no longer decodes).
+    Artifact(ArtifactError),
+    /// The durable artifact store could not be read or written; the
+    /// mirror keeps enforcing its last verified state, but new epochs
+    /// are refused rather than accepted without durability.
+    Storage(proxy_storage::StorageError),
 }
 
 impl std::fmt::Display for AuthzError {
@@ -46,6 +55,8 @@ impl std::fmt::Display for AuthzError {
                 write!(f, "{principal} is not a member of {group}")
             }
             AuthzError::NoRightsAt(s) => write!(f, "no rights recorded for server {s}"),
+            AuthzError::Artifact(e) => write!(f, "artifact refused: {e}"),
+            AuthzError::Storage(e) => write!(f, "artifact store failure: {e}"),
         }
     }
 }
@@ -54,6 +65,8 @@ impl std::error::Error for AuthzError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             AuthzError::Verify(e) => Some(e),
+            AuthzError::Artifact(e) => Some(e),
+            AuthzError::Storage(e) => Some(e),
             _ => None,
         }
     }
@@ -62,5 +75,17 @@ impl std::error::Error for AuthzError {
 impl From<VerifyError> for AuthzError {
     fn from(e: VerifyError) -> Self {
         AuthzError::Verify(e)
+    }
+}
+
+impl From<ArtifactError> for AuthzError {
+    fn from(e: ArtifactError) -> Self {
+        AuthzError::Artifact(e)
+    }
+}
+
+impl From<proxy_storage::StorageError> for AuthzError {
+    fn from(e: proxy_storage::StorageError) -> Self {
+        AuthzError::Storage(e)
     }
 }

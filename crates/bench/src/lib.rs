@@ -20,6 +20,7 @@ pub mod pipeline;
 pub mod revocation;
 pub mod seed_ed25519;
 pub mod throughput;
+pub mod wal;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;

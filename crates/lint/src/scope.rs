@@ -9,8 +9,11 @@
 /// L1 — untrusted-input paths that must never panic: wire decode, the
 /// canonical codec, the revocation / membership artifact decoders (they
 /// parse peer-supplied bitmap and digest structures), the whole net
-/// service layer, and the authz / accounting request handlers that
-/// consume wire-decoded values.
+/// service layer, the authz / accounting request handlers that consume
+/// wire-decoded values, and the storage decode paths (WAL framing, the
+/// stored-artifact envelope, journal records — at recovery these parse
+/// whatever bytes survived on disk, and a bit-rotted or tampered log
+/// must surface a typed error, not a panic).
 pub fn panic_free_applies(rel: &str) -> bool {
     rel.starts_with("crates/wire/src/")
         || rel.starts_with("crates/net/src/")
@@ -22,6 +25,9 @@ pub fn panic_free_applies(rel: &str) -> bool {
         || rel == "crates/accounting/src/server.rs"
         || rel == "crates/accounting/src/check.rs"
         || rel == "crates/accounting/src/clearing.rs"
+        || rel == "crates/accounting/src/journal.rs"
+        || rel == "crates/storage/src/log.rs"
+        || rel == "crates/storage/src/artifacts.rs"
 }
 
 /// L2 — verifier modules where a `match` on `Restriction` must not
@@ -81,8 +87,12 @@ mod tests {
         assert!(panic_free_applies("crates/proxy/src/revocation.rs"));
         assert!(panic_free_applies("crates/proxy/src/membership.rs"));
         assert!(panic_free_applies("crates/accounting/src/check.rs"));
+        assert!(panic_free_applies("crates/accounting/src/journal.rs"));
+        assert!(panic_free_applies("crates/storage/src/log.rs"));
+        assert!(panic_free_applies("crates/storage/src/artifacts.rs"));
         assert!(!panic_free_applies("crates/proxy/src/verify.rs"));
         assert!(!panic_free_applies("crates/crypto/src/sha256.rs"));
+        assert!(!panic_free_applies("crates/storage/src/wal.rs"));
     }
 
     #[test]

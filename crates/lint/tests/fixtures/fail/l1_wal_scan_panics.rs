@@ -1,0 +1,31 @@
+// lint-fixture: path=crates/storage/src/log.rs rule=L1
+// The WAL segment scan written panic-prone: every construct here is a
+// crash reachable from whatever bytes survived on disk — a bit-rotted
+// or truncated log must never take recovery down with it.
+
+fn scan_segment(bytes: &[u8]) -> Vec<Vec<u8>> {
+    let mut records = Vec::new();
+    let mut off = 0usize;
+    while off < bytes.len() {
+        let len_word: [u8; 4] = bytes[off..off + 4].try_into().unwrap(); // indexing + unwrap
+        let len = u32::from_le_bytes(len_word) as usize;
+        assert!(len <= 64 << 20, "implausible record length"); // assert!
+        let crc_word: [u8; 4] = bytes[off + 4..off + 8].try_into().expect("crc word"); // expect
+        let declared = u32::from_le_bytes(crc_word);
+        let payload = &bytes[off + 8..off + 8 + len]; // indexing
+        if checksum(payload) != declared {
+            panic!("crc mismatch at offset {off}"); // panic!
+        }
+        records.push(payload.to_vec());
+        off += 8 + len;
+    }
+    records
+}
+
+fn checksum(payload: &[u8]) -> u32 {
+    let mut acc = 0u32;
+    for &b in payload {
+        acc = acc.rotate_left(5) ^ u32::from(b);
+    }
+    acc ^ payload.len() as u32 // narrowing cast
+}

@@ -279,6 +279,8 @@ pub fn authz_error(e: &AuthzError) -> Message {
         AuthzError::UnknownGroup(_) => ErrorCode::UnknownGroup,
         AuthzError::NotAMember { .. } => ErrorCode::NotAMember,
         AuthzError::NoRightsAt(_) => ErrorCode::NoRightsAt,
+        AuthzError::Artifact(_) => ErrorCode::VerifyFailed,
+        AuthzError::Storage(_) => ErrorCode::Unavailable,
     };
     Message::Error {
         code,
@@ -298,6 +300,10 @@ pub fn acct_error(e: &AcctError) -> Message {
         AcctError::NotAuthorized(_) => ErrorCode::NotAuthorized,
         AcctError::NoRoute(_) => ErrorCode::NoRoute,
         AcctError::NoHold { .. } => ErrorCode::NoHold,
+        // A fail-stop journal failure means the server can no longer
+        // accept durable work; the client should retry elsewhere/later.
+        AcctError::Storage(_) | AcctError::BadJournal(_) => ErrorCode::Unavailable,
+        AcctError::Artifact(_) => ErrorCode::VerifyFailed,
     };
     Message::Error {
         code,

@@ -251,6 +251,37 @@ impl ReplayCache {
         fresh
     }
 
+    /// Force-marks `(grantor, id)` as already consumed, *bypassing* the
+    /// capacity bound: the durable-recovery path (`proxy-storage` WAL
+    /// replay) restores the pre-crash replay set with this, and on
+    /// recovery never-forget is the safe direction — an over-full cache
+    /// rejects some fresh proxies until entries expire, while a dropped
+    /// mark would admit a replayed check. No expiry judgement is made
+    /// here (recovery takes no ambient clock); the normal sweeps trim
+    /// stale marks as soon as the server starts serving.
+    pub fn rehydrate(&self, grantor: &PrincipalId, id: u64, expires: Timestamp) {
+        let mut shard = self.shard(grantor, id).lock().expect("replay shard");
+        let key = (grantor.clone(), id);
+        let keep = shard
+            .seen
+            .get(&key)
+            .map_or(expires, |prior| expires.max(*prior));
+        shard.seen.insert(key, keep);
+    }
+
+    /// Visits every remembered `(grantor, id, expires)` entry, one shard
+    /// at a time — the durable snapshot writer enumerates the replay set
+    /// with this. Entries within a shard come in hash-map order; callers
+    /// needing a canonical order must sort.
+    pub fn for_each_entry(&self, mut f: impl FnMut(&PrincipalId, u64, Timestamp)) {
+        for shard in self.shards.iter() {
+            let shard = shard.lock().expect("replay shard");
+            for ((grantor, id), expires) in shard.seen.iter() {
+                f(grantor, *id, *expires);
+            }
+        }
+    }
+
     /// Sweeps every shard's expired entries.
     pub fn sweep(&self, now: Timestamp) {
         for shard in self.shards.iter() {
@@ -473,6 +504,52 @@ mod tests {
         // Expiring everything restores admission.
         cache.sweep(Timestamp(u64::MAX));
         assert!(cache.check_and_mark(&p("c"), 1, Timestamp(0), Timestamp(u64::MAX)));
+    }
+
+    #[test]
+    fn rehydrated_marks_reject_replays_and_round_trip_enumeration() {
+        let cache = ReplayCache::with_capacity(1024, 4);
+        cache.rehydrate(&p("c"), 7, Timestamp(100));
+        cache.rehydrate(&p("d"), 7, Timestamp(200));
+        // A pre-crash consumed identifier stays consumed.
+        assert!(!cache.check_and_mark(&p("c"), 7, Timestamp(0), Timestamp(100)));
+        assert!(cache.check_and_mark(&p("c"), 8, Timestamp(0), Timestamp(100)));
+        // Enumeration sees rehydrated and fresh marks alike.
+        let mut seen = Vec::new();
+        cache.for_each_entry(|g, id, exp| seen.push((g.clone(), id, exp)));
+        seen.sort();
+        assert_eq!(
+            seen,
+            vec![
+                (p("c"), 7, Timestamp(100)),
+                (p("c"), 8, Timestamp(100)),
+                (p("d"), 7, Timestamp(200)),
+            ]
+        );
+    }
+
+    #[test]
+    fn rehydrate_bypasses_the_capacity_bound() {
+        // Recovery must restore every pre-crash mark even into a cache
+        // already full of live entries: forgetting admits a replay.
+        let cache = ReplayCache::with_capacity(4, 1);
+        for id in 0..4 {
+            assert!(cache.check_and_mark(&p("c"), id, Timestamp(0), Timestamp(1000)));
+        }
+        cache.rehydrate(&p("c"), 99, Timestamp(1000));
+        assert!(
+            !cache.check_and_mark(&p("c"), 99, Timestamp(0), Timestamp(1000)),
+            "rehydrated mark must hold despite the full cache"
+        );
+        // And rehydrating an existing key keeps the longer retention.
+        cache.rehydrate(&p("c"), 0, Timestamp(5));
+        let mut kept = None;
+        cache.for_each_entry(|g, id, exp| {
+            if g == &p("c") && id == 0 {
+                kept = Some(exp);
+            }
+        });
+        assert_eq!(kept, Some(Timestamp(1000)));
     }
 
     #[test]

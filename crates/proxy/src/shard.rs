@@ -93,6 +93,28 @@ impl<K: Hash + Eq, V> ShardMap<K, V> {
         f(shard.entry(key).or_insert_with(default))
     }
 
+    /// Removes `key` only when `gate` approves of (and possibly stages a
+    /// side effect for) the present value, all under one write-lock
+    /// acquisition — the check-stage-remove linearization point durable
+    /// servers need (a plain `read` + `remove` pair would let a racing
+    /// collector take the same entry twice). Returns `Ok(None)` when the
+    /// key is absent; when `gate` errs the entry is left untouched.
+    /// `gate` must not re-enter this map.
+    pub fn remove_if<E>(
+        &self,
+        key: &K,
+        gate: impl FnOnce(&V) -> Result<(), E>,
+    ) -> Result<Option<V>, E> {
+        let mut shard = self.shard(key).write().expect("shard");
+        match shard.get(key) {
+            None => Ok(None),
+            Some(v) => {
+                gate(v)?;
+                Ok(shard.remove(key))
+            }
+        }
+    }
+
     /// Clones the value under `key`.
     #[must_use]
     pub fn get_cloned(&self, key: &K) -> Option<V>
@@ -196,6 +218,42 @@ mod tests {
         *map.get_mut(&"a".into()).unwrap() = 9;
         assert_eq!(map.get_cloned(&"a".into()), Some(9));
         assert!(map.get_mut(&"missing".into()).is_none());
+    }
+
+    #[test]
+    fn remove_if_gates_and_takes_atomically() {
+        let map: ShardMap<String, u64> = ShardMap::new();
+        map.insert("a".into(), 7);
+        // Gate rejects: entry stays.
+        assert_eq!(map.remove_if(&"a".into(), |_| Err("no")), Err("no"));
+        assert_eq!(map.get_cloned(&"a".into()), Some(7));
+        // Gate approves: entry taken.
+        assert_eq!(map.remove_if::<()>(&"a".into(), |_| Ok(())), Ok(Some(7)));
+        assert_eq!(map.remove_if::<()>(&"a".into(), |_| Ok(())), Ok(None));
+    }
+
+    #[test]
+    fn remove_if_admits_exactly_one_racing_taker() {
+        let map: ShardMap<u64, u64> = ShardMap::new();
+        for k in 0..64 {
+            map.insert(k, k);
+        }
+        let taken = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let map = &map;
+                let taken = &taken;
+                scope.spawn(move || {
+                    for k in 0..64 {
+                        if let Ok(Some(_)) = map.remove_if::<()>(&k, |_| Ok(())) {
+                            taken.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(taken.load(Ordering::Relaxed), 64, "each entry taken once");
+        assert!(map.is_empty());
     }
 
     #[test]

@@ -1,0 +1,139 @@
+//! In-memory [`Storage`]: today's volatile behavior, made explicit.
+//!
+//! A [`MemStorage`] keeps the record log and snapshot in process memory.
+//! It exists for three reasons: netsim/bench determinism (no filesystem
+//! in the timed path), as the semantic reference the WAL backend is
+//! tested against, and for in-process "restart" tests — the store is
+//! shared by `Arc`, so a test can drop a server and reopen a new one
+//! from the same store, exercising the recovery path without touching
+//! disk.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use crate::{Recovered, Storage, StorageError, Ticket, MAX_RECORD};
+
+#[derive(Debug, Default)]
+struct MemInner {
+    snapshot: Option<Vec<u8>>,
+    records: Vec<Vec<u8>>,
+    staged: u64,
+    crash_after: Option<u64>,
+}
+
+/// An in-memory [`Storage`] backend. Every staged record is immediately
+/// "durable" (it lives exactly as long as the store).
+#[derive(Debug, Default)]
+pub struct MemStorage {
+    inner: Mutex<MemInner>,
+}
+
+impl MemStorage {
+    /// Creates an empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arms the injected crash point: the `n`-th staged record from now
+    /// is recorded durably but its `stage` call returns
+    /// [`StorageError::Crashed`] (as does everything after), simulating
+    /// a kill between the WAL append and the reply.
+    pub fn crash_after_stages(&self, n: u64) {
+        let mut inner = self.lock();
+        let at = inner.staged.saturating_add(n);
+        inner.crash_after = Some(at);
+    }
+
+    /// Number of records currently in the log (post-snapshot).
+    #[must_use]
+    pub fn record_count(&self) -> usize {
+        self.lock().records.len()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, MemInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl Storage for MemStorage {
+    fn stage(&self, record: &[u8]) -> Result<Ticket, StorageError> {
+        if record.len() > MAX_RECORD {
+            return Err(StorageError::TooLarge(record.len()));
+        }
+        let mut inner = self.lock();
+        if let Some(at) = inner.crash_after {
+            if inner.staged >= at {
+                return Err(StorageError::Crashed);
+            }
+        }
+        inner.staged += 1;
+        inner.records.push(record.to_vec());
+        let ticket = Ticket(inner.staged);
+        if inner.crash_after == Some(inner.staged) {
+            // The record is in the log — the client just never hears
+            // back. (Durable-then-dead, the exactly-once crash window.)
+            return Err(StorageError::Crashed);
+        }
+        Ok(ticket)
+    }
+
+    fn wait_durable(&self, _ticket: Ticket) -> Result<(), StorageError> {
+        Ok(())
+    }
+
+    fn install_snapshot(&self, state: &[u8]) -> Result<(), StorageError> {
+        let mut inner = self.lock();
+        inner.snapshot = Some(state.to_vec());
+        inner.records.clear();
+        Ok(())
+    }
+
+    fn load(&self) -> Result<Recovered, StorageError> {
+        let inner = self.lock();
+        Ok(Recovered {
+            snapshot: inner.snapshot.clone(),
+            records: inner.records.clone(),
+            torn_tail: false,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_load_round_trip() {
+        let s = MemStorage::new();
+        s.append(b"one").unwrap();
+        s.append(b"two").unwrap();
+        let r = s.load().unwrap();
+        assert_eq!(r.records, vec![b"one".to_vec(), b"two".to_vec()]);
+        assert!(r.snapshot.is_none());
+        assert!(!r.torn_tail);
+    }
+
+    #[test]
+    fn snapshot_truncates_log() {
+        let s = MemStorage::new();
+        s.append(b"folded").unwrap();
+        s.install_snapshot(b"state").unwrap();
+        s.append(b"fresh").unwrap();
+        let r = s.load().unwrap();
+        assert_eq!(r.snapshot.as_deref(), Some(b"state".as_slice()));
+        assert_eq!(r.records, vec![b"fresh".to_vec()]);
+    }
+
+    #[test]
+    fn crash_point_records_then_reports_death() {
+        let s = MemStorage::new();
+        s.append(b"before").unwrap();
+        s.crash_after_stages(1);
+        // The doomed append: durable but unacknowledged.
+        assert_eq!(s.append(b"doomed"), Err(StorageError::Crashed));
+        // Everything after is gone with the process.
+        assert_eq!(s.append(b"lost"), Err(StorageError::Crashed));
+        let r = s.load().unwrap();
+        assert_eq!(r.records, vec![b"before".to_vec(), b"doomed".to_vec()]);
+    }
+}

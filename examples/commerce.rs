@@ -196,7 +196,8 @@ fn main() {
     let reversed = house
         .server_mut(&p("$1"))
         .unwrap()
-        .bounce(&p("carol"), 1003);
+        .bounce(&p("carol"), 1003)
+        .expect("in-memory bounce cannot fail");
     println!("shop's bank reverses the uncollected deposit: {reversed}");
 }
 

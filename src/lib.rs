@@ -48,5 +48,6 @@ pub use proxy_baselines as baselines;
 pub use proxy_crypto as crypto;
 pub use proxy_net as net;
 pub use proxy_runtime as runtime;
+pub use proxy_storage as storage;
 pub use proxy_wire as wire;
 pub use restricted_proxy as proxy;

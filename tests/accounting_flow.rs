@@ -217,7 +217,7 @@ fn quota_allocate_release_cycle() {
         .account_mut("carol")
         .unwrap()
         .credit(blocks.clone(), 100);
-    let acct = bank2.account_mut("carol").unwrap();
+    let mut acct = bank2.account_mut("carol").unwrap();
     acct.allocate(blocks.clone(), 80).unwrap();
     assert_eq!(acct.balance(&blocks), 20);
     // Cannot allocate past the quota.
@@ -327,7 +327,7 @@ fn bounced_check_reverses_pending_credit_only() {
         100,
         "pending, not final"
     );
-    assert!(bank1.bounce(&p("carol"), 9));
+    assert!(bank1.bounce(&p("carol"), 9).unwrap());
     assert_eq!(bank1.uncollected_total("shop", &usd()), 0);
     assert_eq!(
         bank1.account("shop").unwrap().balance(&usd()),

@@ -244,7 +244,8 @@ fn randomized_campus_scenario_agrees_with_oracle() {
                             .house
                             .server_mut(&p("$bookstore"))
                             .unwrap()
-                            .bounce(&p(user), check_no);
+                            .bounce(&p(user), check_no)
+                            .unwrap();
                     }
                     assert_eq!(total_money(&campus), start_money, "conservation");
                 }

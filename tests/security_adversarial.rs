@@ -730,7 +730,7 @@ fn forged_and_rolled_back_revocation_artifacts_cannot_resurrect_a_capability() {
     );
     assert!(matches!(
         server.apply_revocation(&forged),
-        Err(ArtifactError::BadSeal)
+        Err(AuthzError::Artifact(ArtifactError::BadSeal))
     ));
     assert_eq!(server.revocation_directory().epoch_of(&p("alice")), 1);
 
@@ -746,10 +746,10 @@ fn forged_and_rolled_back_revocation_artifacts_cannot_resurrect_a_capability() {
     );
     assert!(matches!(
         server.apply_revocation(&rollback),
-        Err(ArtifactError::EpochRegression {
+        Err(AuthzError::Artifact(ArtifactError::EpochRegression {
             current: 1,
             offered: 1
-        })
+        }))
     ));
     assert_eq!(server.revocation_directory().epoch_of(&p("alice")), 1);
 
@@ -763,10 +763,10 @@ fn forged_and_rolled_back_revocation_artifacts_cannot_resurrect_a_capability() {
     );
     assert!(matches!(
         server.apply_revocation(&wild_delta),
-        Err(ArtifactError::BaseMismatch {
+        Err(AuthzError::Artifact(ArtifactError::BaseMismatch {
             current: 1,
             base: 5
-        })
+        }))
     ));
 
     // After every attack the capability is still dead.
@@ -778,7 +778,7 @@ fn forged_and_rolled_back_revocation_artifacts_cannot_resurrect_a_capability() {
 
 #[test]
 fn forged_membership_artifacts_cannot_plant_or_evict_members() {
-    use proxy_aa::authz::{Acl, AclRights, AclSubject, EndServer, Request};
+    use proxy_aa::authz::{Acl, AclRights, AclSubject, AuthzError, EndServer, Request};
     use proxy_aa::proxy::membership::{member_digest, MembershipArtifact, MembershipKind};
     use proxy_aa::proxy::revocation::ArtifactError;
 
@@ -828,7 +828,7 @@ fn forged_membership_artifacts_cannot_plant_or_evict_members() {
     );
     assert!(matches!(
         server.apply_membership(&planted),
-        Err(ArtifactError::BadSeal)
+        Err(AuthzError::Artifact(ArtifactError::BadSeal))
     ));
     assert!(edit(&server, "mallory").is_err(), "mallory stays out");
     assert!(edit(&server, "bob").is_ok(), "bob stays in");
@@ -846,14 +846,99 @@ fn forged_membership_artifacts_cannot_plant_or_evict_members() {
     server.apply_membership(&evict).expect("epoch 2 applies");
     assert!(matches!(
         server.apply_membership(&roster),
-        Err(ArtifactError::EpochRegression {
+        Err(AuthzError::Artifact(ArtifactError::EpochRegression {
             current: 2,
             offered: 1
-        })
+        }))
     ));
     assert!(edit(&server, "carol").is_ok());
     assert!(
         edit(&server, "bob").is_err(),
         "epoch 2 evicted bob for real"
     );
+}
+
+#[test]
+fn captured_check_cannot_be_replayed_across_a_server_restart() {
+    // The classic attack on a RAM-only replay guard: capture a check
+    // presentation, wait for (or force) the server to restart, then
+    // re-present it hoping the accept-once state died with the process.
+    // With the journaled replay bound (DESIGN.md §15), the marks a
+    // settlement consumed ride in its journal record, so the rebuilt
+    // server still refuses the capture.
+    use proxy_aa::accounting::{write_check, AccountingServer, AcctError};
+    use proxy_aa::crypto::ed25519::SigningKey;
+    use proxy_aa::storage::{MemStorage, Storage};
+    use std::sync::Arc;
+
+    let usd = || Currency::new("USD");
+    let store: Arc<dyn Storage> = Arc::new(MemStorage::new());
+    let boot = |store: Arc<dyn Storage>| {
+        let mut rng = StdRng::seed_from_u64(17);
+        let bank_key = SigningKey::generate(&mut rng);
+        let carol_key = SigningKey::generate(&mut rng);
+        let mut bank = AccountingServer::new(p("bank"), GrantAuthority::Keypair(bank_key))
+            .with_storage(store)
+            .expect("recovery");
+        bank.register_grantor(
+            p("carol"),
+            GrantorVerifier::PublicKey(carol_key.verifying_key()),
+        );
+        if bank.account("carol").is_none() {
+            bank.open_account("carol", vec![p("carol")]);
+            bank.open_account("shop", vec![p("shop")]);
+            bank.account_mut("carol").unwrap().credit(usd(), 300);
+        }
+        (bank, GrantAuthority::Keypair(carol_key), rng)
+    };
+
+    let (bank, carol, mut rng) = boot(Arc::clone(&store));
+    let check = write_check(
+        &p("carol"),
+        &carol,
+        &p("bank"),
+        "carol",
+        p("shop"),
+        1,
+        usd(),
+        100,
+        window(),
+        &mut rng,
+    );
+    // The legitimate deposit settles; the adversary has a byte-perfect
+    // copy of everything that crossed the wire.
+    bank.deposit(
+        &check,
+        &p("shop"),
+        "shop",
+        p("bank"),
+        Timestamp(1),
+        &mut rng,
+    )
+    .expect("legitimate deposit settles");
+    assert_eq!(bank.account("shop").unwrap().balance(&usd()), 100);
+    drop(bank);
+
+    // Server restarts; the adversary presents the capture.
+    let (bank, _carol, mut rng) = boot(store);
+    let err = bank
+        .deposit(
+            &check,
+            &p("shop"),
+            "shop",
+            p("bank"),
+            Timestamp(2),
+            &mut rng,
+        )
+        .unwrap_err();
+    assert!(
+        matches!(err, AcctError::Verify(_)),
+        "replay across restart must fail verification, got {err:?}"
+    );
+    assert_eq!(
+        bank.account("shop").unwrap().balance(&usd()),
+        100,
+        "no second credit"
+    );
+    assert_eq!(bank.account("carol").unwrap().balance(&usd()), 200);
 }
