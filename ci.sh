@@ -5,11 +5,23 @@ set -eu
 
 cargo fmt --all -- --check
 
-# Workspace invariant analyzer (DESIGN.md §11): panic-freedom on untrusted
-# paths, fail-closed Restriction matching, constant-time secret comparison,
-# determinism, and crate-root hygiene. Suppressions live in lint-allow.toml
-# and must each carry a justification; stale entries fail the run.
-cargo run -q -p proxy-lint -- --workspace --explain
+# Workspace invariant analyzer (DESIGN.md §11, flow-aware tier §16):
+# panic-freedom on untrusted paths, fail-closed Restriction matching,
+# constant-time secret comparison, determinism, crate-root hygiene, the
+# workspace lock-order graph (L6), durability ordering around the journal
+# (L7), and untrusted-length taint into allocation sinks (L8).
+# Suppressions live in lint-allow.toml and must each carry a
+# justification; stale entries fail the run. The run also emits a
+# machine-readable artifact and is budgeted: the deeper flow passes must
+# not become the slowest CI step.
+cargo run -q --release -p proxy-lint -- --workspace --explain \
+    --json target/proxy-lint-report.json --budget-secs 10
+echo "ci.sh: lint artifact at target/proxy-lint-report.json"
+
+# Allowlist rot check: every lint-allow.toml entry must still suppress a
+# real finding; entries that match nothing fail here so dead exemptions
+# cannot accumulate and silently cover future regressions.
+cargo run -q --release -p proxy-lint -- --audit-allows
 
 # Clippy is driven by the [workspace.lints] table in Cargo.toml. Guarded:
 # minimal toolchains ship without the clippy component.

@@ -795,12 +795,12 @@ impl AccountingServer {
             .proxy
             .effective_validity()
             .ok_or(AcctError::MalformedCheck("validity"))?;
-        if let Some(j) = &self.journal {
-            // Endorsement serials are accept-once identifiers at peer
-            // servers; persisting the counter's high-water mark keeps a
-            // restarted server from re-issuing a consumed serial.
-            j.commit(&JournalRecord::Forward { serial })?;
-        }
+        // Endorse before committing: signing is the fallible step, and
+        // once Forward{serial} is durable the operation must not fail —
+        // recovery replays the serial advance whether or not the caller
+        // ever saw the endorsed check. A failed endorsement before the
+        // commit merely wastes an in-memory serial, which is safe: the
+        // accept-once property only matters for serials on issued checks.
         let endorsed = check.endorse(
             &self.name,
             &self.authority,
@@ -810,6 +810,12 @@ impl AccountingServer {
             serial,
             rng,
         )?;
+        if let Some(j) = &self.journal {
+            // Endorsement serials are accept-once identifiers at peer
+            // servers; persisting the counter's high-water mark keeps a
+            // restarted server from re-issuing a consumed serial.
+            j.commit(&JournalRecord::Forward { serial })?;
+        }
         drop(guard);
         self.maybe_compact()?;
         Ok(endorsed)

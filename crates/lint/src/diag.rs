@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-/// The five enforced rule families.
+/// The eight enforced rule families.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Rule {
     /// L1 — panic-freedom on untrusted-input paths.
@@ -16,6 +16,36 @@ pub enum Rule {
     Determinism,
     /// L5 — crate-root hygiene headers.
     Hygiene,
+    /// L6 — lock-order: acyclic lock-acquisition graph, no blocking
+    /// operations while a shard guard is live.
+    LockOrder,
+    /// L7 — durability-ordering: validate → stage → wait-durable →
+    /// infallible apply, with poison-on-storage-error.
+    Durability,
+    /// L8 — untrusted-length taint: decoded lengths must pass a bound
+    /// check before reaching allocation or indexing sinks.
+    Taint,
+}
+
+/// Report severity for a finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Severity {
+    /// Fails the run.
+    Error,
+    /// Reported but advisory (still fails unless allowlisted; the tag
+    /// signals how urgent a fix is).
+    Warning,
+}
+
+impl Severity {
+    /// Lower-case label used in reports and JSON output.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        }
+    }
 }
 
 impl Rule {
@@ -28,6 +58,9 @@ impl Rule {
             Rule::ConstTime => "L3",
             Rule::Determinism => "L4",
             Rule::Hygiene => "L5",
+            Rule::LockOrder => "L6",
+            Rule::Durability => "L7",
+            Rule::Taint => "L8",
         }
     }
 
@@ -40,6 +73,19 @@ impl Rule {
             Rule::ConstTime => "const-time",
             Rule::Determinism => "determinism",
             Rule::Hygiene => "crate-hygiene",
+            Rule::LockOrder => "lock-order",
+            Rule::Durability => "durability-ordering",
+            Rule::Taint => "untrusted-length-taint",
+        }
+    }
+
+    /// Report severity of this rule family. Crate-root hygiene is the
+    /// one advisory family; every invariant family is an error.
+    #[must_use]
+    pub fn severity(self) -> Severity {
+        match self {
+            Rule::Hygiene => Severity::Warning,
+            _ => Severity::Error,
         }
     }
 
@@ -52,6 +98,9 @@ impl Rule {
             "L3" => Some(Rule::ConstTime),
             "L4" => Some(Rule::Determinism),
             "L5" => Some(Rule::Hygiene),
+            "L6" => Some(Rule::LockOrder),
+            "L7" => Some(Rule::Durability),
+            "L8" => Some(Rule::Taint),
             _ => None,
         }
     }

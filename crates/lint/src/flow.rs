@@ -1,0 +1,512 @@
+//! Flow utilities: statement sequencing, `let`-binding recovery, guard
+//! live-ranges, and the flow-sensitive untrusted-length taint engine.
+//!
+//! Everything here is intraprocedural and token-indexed: a "position"
+//! is an index into the file's token stream, and flow facts are ranges
+//! over it. That is deliberately weaker than a CFG — branches are
+//! merged pessimistically for taint (a bound check in either arm
+//! sanitizes) and optimistically for guard ranges (a guard is
+//! considered released at its *first* `drop`), the combination the
+//! calibration corpus showed keeps both false-positive classes out of
+//! the live workspace.
+
+use crate::lexer::{Kind, Token};
+use crate::source::matching_close;
+
+/// The end (exclusive of `;`) of the statement containing `at`: the next
+/// `;` at bracket depth 0, or the index of the `}` closing the
+/// enclosing block when the statement is the block's tail expression.
+#[must_use]
+pub fn stmt_end(tokens: &[Token], at: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = at;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.kind == Kind::Punct {
+            match t.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => {
+                    depth -= 1;
+                    if depth < 0 {
+                        return i;
+                    }
+                }
+                ";" if depth == 0 => return i,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// The start of the statement containing `at`: the token after the
+/// previous `;`/`{`/`}` at bracket depth 0, scanning backward.
+#[must_use]
+pub fn stmt_start(tokens: &[Token], at: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = at;
+    while i > 0 {
+        let t = &tokens[i - 1];
+        if t.kind == Kind::Punct {
+            match t.text.as_str() {
+                ")" | "]" | "}" if i - 1 != at => depth += 1,
+                "(" | "[" | "{" => {
+                    depth -= 1;
+                    if depth < 0 {
+                        return i;
+                    }
+                }
+                ";" if depth == 0 => return i,
+                _ => {}
+            }
+        }
+        i -= 1;
+    }
+    0
+}
+
+/// If the statement starting at `start` is `let [mut] name = …`, returns
+/// the bound name and the index of its `=`.
+#[must_use]
+pub fn let_binding(tokens: &[Token], start: usize) -> Option<(String, usize)> {
+    if !tokens.get(start)?.is_ident("let") {
+        return None;
+    }
+    let mut i = start + 1;
+    if tokens.get(i)?.is_ident("mut") {
+        i += 1;
+    }
+    let name = tokens.get(i)?;
+    if name.kind != Kind::Ident {
+        return None;
+    }
+    // Optional `: Type` annotation before the `=`.
+    let mut j = i + 1;
+    if tokens.get(j)?.is_punct(":") {
+        while j < tokens.len() && !tokens[j].is_punct("=") && !tokens[j].is_punct(";") {
+            if tokens[j].is_punct("(") || tokens[j].is_punct("[") {
+                j = matching_close(tokens, j);
+            }
+            j += 1;
+        }
+    }
+    if !tokens.get(j)?.is_punct("=") {
+        return None;
+    }
+    Some((name.text.clone(), j))
+}
+
+/// The live range of a guard acquired at `acq` (a token inside its
+/// statement): from `acq` to the first `drop(name)` after it when the
+/// statement `let`-binds `name`, else to the end of the statement for a
+/// temporary guard; both capped at the close of the enclosing block.
+///
+/// Taking the *first* `drop` under-approximates on purpose: a branch
+/// that releases early (`if local { drop(guard); … }`) must not extend
+/// the held range over code that runs lock-free.
+#[must_use]
+pub fn guard_range(tokens: &[Token], acq: usize, block_close: usize) -> (usize, usize) {
+    let start = stmt_start(tokens, acq);
+    let hi = block_close.min(tokens.len());
+    let Some((name, _)) = let_binding(tokens, start) else {
+        // A temporary guard lives to the end of its expression: the
+        // statement's `;`, or — for `if let` / `match` on the guard —
+        // the close of the brace group the expression feeds.
+        let mut depth = 0i32;
+        let mut i = acq;
+        while i < hi {
+            match tokens[i].text.as_str() {
+                "{" if tokens[i].kind == Kind::Punct => depth += 1,
+                "}" if tokens[i].kind == Kind::Punct => {
+                    depth -= 1;
+                    if depth <= 0 {
+                        return (acq, i);
+                    }
+                }
+                ";" if tokens[i].kind == Kind::Punct && depth == 0 => return (acq, i),
+                _ => {}
+            }
+            i += 1;
+        }
+        return (acq, hi);
+    };
+    // A let-bound guard dies at the first `drop(name)` or at the close
+    // of the block the `let` lives in — not the whole function body.
+    let mut depth = 0i32;
+    let mut i = stmt_end(tokens, acq);
+    while i < hi {
+        if tokens[i].is_ident("drop")
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct("("))
+            && tokens.get(i + 2).is_some_and(|t| t.is_ident(&name))
+        {
+            return (acq, i);
+        }
+        if tokens[i].kind == Kind::Punct {
+            match tokens[i].text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth < 0 {
+                        return (acq, i);
+                    }
+                }
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    (acq, hi)
+}
+
+/// Calls that *produce* an untrusted length: raw little/big-endian
+/// integer decodes and the bare decoder integer reads.
+const TAINT_SOURCES: &[&str] = &["from_le_bytes", "from_be_bytes", "u16", "u32", "u64"];
+
+/// Calls that *bound* a value by construction: `counted` checks the
+/// claimed element count against the bytes actually remaining, `min` /
+/// `clamp` impose an explicit ceiling.
+const TAINT_SANITIZER_CALLS: &[&str] = &["counted", "min", "clamp"];
+
+/// Allocation / indexing sinks that must not receive an unchecked
+/// untrusted length.
+const TAINT_SINKS: &[&str] = &[
+    "with_capacity",
+    "reserve",
+    "reserve_exact",
+    "resize",
+    "split_at",
+    "split_at_mut",
+    "drain",
+];
+
+/// One taint finding: an unchecked untrusted length reaching a sink.
+#[derive(Debug, Clone)]
+pub struct TaintHit {
+    /// 1-based line of the sink.
+    pub line: u32,
+    /// The sink's name (`with_capacity`, `vec![…; n]`, index `[…]`).
+    pub sink: String,
+    /// The tainted variable (or `"<inline>"` for a direct decode).
+    pub var: String,
+    /// 1-based line the length was read from untrusted bytes.
+    pub source_line: u32,
+}
+
+/// Runs the taint scan over `tokens[start..end]` (one function body).
+///
+/// Model: a `let` whose right-hand side contains a `TAINT_SOURCES`
+/// call (or an already-tainted name) taints the bound name. Any
+/// comparison (`<ident> < …`, `… >= <ident>`, `==`, `!=`) touching a
+/// tainted name sanitizes it — whichever branch continues, the value
+/// has been interposed against a bound. A sink reached by a tainted
+/// name, or by an inline source call, is reported.
+#[must_use]
+pub fn scan_taint(
+    tokens: &[Token],
+    start: usize,
+    end: usize,
+    is_live: &dyn Fn(usize) -> bool,
+) -> Vec<TaintHit> {
+    let hi = end.min(tokens.len());
+    let mut tainted: Vec<(String, u32)> = Vec::new();
+    let mut hits = Vec::new();
+    let mut i = start;
+    while i < hi {
+        if !is_live(i) {
+            i += 1;
+            continue;
+        }
+        let t = &tokens[i];
+        // `let name = <rhs>` — bind taint.
+        if t.is_ident("let") {
+            if let Some((name, eq)) = let_binding(tokens, i) {
+                let rend = stmt_end(tokens, eq);
+                let rhs_src = rhs_source_line(tokens, eq + 1, rend, &tainted);
+                tainted.retain(|(n, _)| *n != name);
+                if let Some(src_line) = rhs_src {
+                    tainted.push((name, src_line));
+                }
+                i = eq + 1;
+                continue;
+            }
+        }
+        // Comparisons sanitize nearby tainted operands.
+        if t.kind == Kind::Punct
+            && matches!(t.text.as_str(), "<" | ">" | "<=" | ">=" | "==" | "!=")
+            && !(t.text == "<" && i > 0 && tokens[i - 1].is_punct("::"))
+        {
+            for off in 1..=3usize {
+                if let Some(p) = i.checked_sub(off).and_then(|k| tokens.get(k)) {
+                    tainted.retain(|(n, _)| *n != p.text);
+                }
+                if let Some(nx) = tokens.get(i + off) {
+                    tainted.retain(|(n, _)| *n != nx.text);
+                }
+            }
+            i += 1;
+            continue;
+        }
+        // Sanitizer calls on a tainted receiver: `len.min(MAX)`.
+        if t.kind == Kind::Ident
+            && TAINT_SANITIZER_CALLS.contains(&t.text.as_str())
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct("("))
+            && i >= 2
+            && tokens[i - 1].is_punct(".")
+        {
+            let recv = &tokens[i - 2].text;
+            tainted.retain(|(n, _)| n != recv);
+        }
+        // Named sinks: `with_capacity(n)`, `.resize(n, 0)`, …
+        if t.kind == Kind::Ident
+            && TAINT_SINKS.contains(&t.text.as_str())
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct("("))
+        {
+            let close = matching_close(tokens, i + 1);
+            if let Some(hit) = arg_taint(tokens, i + 2, close, &tainted) {
+                hits.push(TaintHit {
+                    line: t.line,
+                    sink: t.text.clone(),
+                    var: hit.0,
+                    source_line: hit.1,
+                });
+            }
+            i += 2;
+            continue;
+        }
+        // `vec![elem; n]` sink.
+        if t.is_ident("vec")
+            && tokens.get(i + 1).is_some_and(|n| n.is_punct("!"))
+            && tokens.get(i + 2).is_some_and(|n| n.is_punct("["))
+        {
+            let close = matching_close(tokens, i + 2);
+            // Only the repeat-count form has a top-level `;`.
+            let mut semi = None;
+            let mut depth = 0i32;
+            for (j, tok) in tokens
+                .iter()
+                .enumerate()
+                .take(close.min(tokens.len()))
+                .skip(i + 3)
+            {
+                match tok.text.as_str() {
+                    "(" | "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => depth -= 1,
+                    ";" if depth == 0 && tok.kind == Kind::Punct => {
+                        semi = Some(j);
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            if let Some(s) = semi {
+                if let Some(hit) = arg_taint(tokens, s + 1, close, &tainted) {
+                    hits.push(TaintHit {
+                        line: t.line,
+                        sink: "vec![…; n]".to_string(),
+                        var: hit.0,
+                        source_line: hit.1,
+                    });
+                }
+            }
+            i += 3;
+            continue;
+        }
+        // Indexing sink: `expr[ … tainted … ]`.
+        if t.is_punct("[") && i > 0 {
+            let prev = &tokens[i - 1];
+            let indexable = match prev.kind {
+                Kind::Ident => !crate::lexer::is_keyword(&prev.text),
+                Kind::Punct => matches!(prev.text.as_str(), ")" | "]" | "?"),
+                _ => false,
+            };
+            if indexable {
+                let close = matching_close(tokens, i);
+                if let Some(hit) = arg_taint(tokens, i + 1, close, &tainted) {
+                    hits.push(TaintHit {
+                        line: t.line,
+                        sink: "index […]".to_string(),
+                        var: hit.0,
+                        source_line: hit.1,
+                    });
+                }
+            }
+        }
+        i += 1;
+    }
+    hits
+}
+
+/// Does `tokens[lo..hi]` (a right-hand side) yield a tainted value?
+/// Returns the source line. A sanitizer call or comparison anywhere in
+/// the expression means the result is bounded, not tainted.
+fn rhs_source_line(
+    tokens: &[Token],
+    lo: usize,
+    hi: usize,
+    tainted: &[(String, u32)],
+) -> Option<u32> {
+    let mut src = None;
+    for j in lo..hi.min(tokens.len()) {
+        let t = &tokens[j];
+        // A comparison operator bounds the expression — except `::<`
+        // (turbofish) and a closing `>` before any source appeared
+        // (generic argument list), which are not comparisons.
+        let turbofish = t.text == "<" && j > 0 && tokens[j - 1].is_punct("::");
+        let generic_close = t.text == ">" && src.is_none();
+        if t.kind == Kind::Punct
+            && matches!(t.text.as_str(), "<" | ">" | "<=" | ">=" | "==" | "!=")
+            && !turbofish
+            && !generic_close
+        {
+            return None;
+        }
+        if t.kind == Kind::Ident
+            && TAINT_SANITIZER_CALLS.contains(&t.text.as_str())
+            && tokens.get(j + 1).is_some_and(|n| n.is_punct("("))
+        {
+            return None;
+        }
+        if src.is_none() {
+            if t.kind == Kind::Ident
+                && TAINT_SOURCES.contains(&t.text.as_str())
+                && tokens.get(j + 1).is_some_and(|n| n.is_punct("("))
+            {
+                src = Some(t.line);
+            } else if let Some((_, l)) = tainted.iter().find(|(n, _)| *n == t.text) {
+                src = Some(*l);
+            }
+        }
+    }
+    src
+}
+
+/// Finds a tainted name (or inline source call) in `tokens[lo..hi]`.
+fn arg_taint(
+    tokens: &[Token],
+    lo: usize,
+    hi: usize,
+    tainted: &[(String, u32)],
+) -> Option<(String, u32)> {
+    for j in lo..hi.min(tokens.len()) {
+        let t = &tokens[j];
+        if t.kind != Kind::Ident {
+            continue;
+        }
+        if let Some((n, l)) = tainted.iter().find(|(n, _)| *n == t.text) {
+            return Some((n.clone(), *l));
+        }
+        if TAINT_SOURCES.contains(&t.text.as_str())
+            && tokens.get(j + 1).is_some_and(|n| n.is_punct("("))
+        {
+            return Some(("<inline>".to_string(), t.line));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn taints(src: &str) -> Vec<TaintHit> {
+        let toks = lex(src);
+        scan_taint(&toks, 0, toks.len(), &|_| true)
+    }
+
+    #[test]
+    fn unchecked_length_reaches_allocation() {
+        let hits = taints(
+            "fn d(b: [u8; 4]) { let n = u32::from_le_bytes(b); \
+                           let v: Vec<u8> = Vec::with_capacity(n as usize); }",
+        );
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].sink, "with_capacity");
+        assert_eq!(hits[0].var, "n");
+    }
+
+    #[test]
+    fn comparison_sanitizes() {
+        let hits = taints(
+            "fn d(b: [u8; 4]) { let n = u32::from_le_bytes(b); \
+                           if n > MAX { return Err(e); } \
+                           let v: Vec<u8> = Vec::with_capacity(n as usize); }",
+        );
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn counted_is_bounded_by_construction() {
+        let hits = taints(
+            "fn d(d: &mut D) -> R { let n = d.counted(4)?; \
+                           let mut v = Vec::with_capacity(n); Ok(v) }",
+        );
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn taint_propagates_through_rebinding() {
+        let hits = taints(
+            "fn d(x: &mut D) -> R { let n = x.u32()?; let n = n as usize; \
+                           let mut v = vec![0u8; n]; Ok(v) }",
+        );
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].sink, "vec![…; n]");
+    }
+
+    #[test]
+    fn min_sanitizes_receiver() {
+        let hits = taints(
+            "fn d(x: &mut D) -> R { let n = x.u64()?; \
+                           let cap = n.min(LIMIT); let v = Vec::with_capacity(cap as usize); \
+                           let w = Vec::with_capacity(n as usize); Ok(v) }",
+        );
+        // `cap` is bounded; the raw `n` still reaches the second sink…
+        // except `.min(` also sanitized its receiver `n`.
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn indexing_with_tainted_offset() {
+        let hits = taints(
+            "fn d(b: &[u8], r: [u8; 8]) { let off = u64::from_le_bytes(r); \
+                           let x = b[off as usize]; }",
+        );
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].sink, "index […]");
+    }
+
+    #[test]
+    fn stmt_bounds_and_let_binding() {
+        let toks = lex("fn f() { let mut a = g(1); h(a); }");
+        let g = toks.iter().position(|t| t.is_ident("g")).unwrap();
+        let s = stmt_start(&toks, g);
+        assert!(toks[s].is_ident("let"));
+        let e = stmt_end(&toks, g);
+        assert!(toks[e].is_punct(";"));
+        let (name, _) = let_binding(&toks, s).unwrap();
+        assert_eq!(name, "a");
+    }
+
+    #[test]
+    fn guard_range_stops_at_first_drop() {
+        let toks = lex("fn f(&self) { let g = self.gate.lock(); a(); drop(g); b(); }");
+        let acq = toks.iter().position(|t| t.is_ident("lock")).unwrap();
+        let close = toks.len() - 1;
+        let (_, end) = guard_range(&toks, acq, close);
+        assert!(toks[end].is_ident("drop"));
+        // The `b()` call is outside the held range.
+        let b = toks.iter().position(|t| t.is_ident("b")).unwrap();
+        assert!(b > end);
+    }
+
+    #[test]
+    fn temporary_guard_is_held_for_its_statement() {
+        let toks = lex("fn f(&self) { self.m.lock().insert(1); later(); }");
+        let acq = toks.iter().position(|t| t.is_ident("lock")).unwrap();
+        let (_, end) = guard_range(&toks, acq, toks.len() - 1);
+        let later = toks.iter().position(|t| t.is_ident("later")).unwrap();
+        assert!(later > end);
+    }
+}

@@ -19,9 +19,12 @@
 //! justification-bearing suppression list.
 
 pub mod allow;
+pub mod callgraph;
 pub mod diag;
 pub mod fixture;
+pub mod flow;
 pub mod lexer;
+pub mod parse;
 pub mod rules;
 pub mod scope;
 pub mod source;
@@ -36,9 +39,27 @@ use diag::Finding;
 use source::SourceFile;
 
 /// Lints one file's text as if it lived at `rel_path` in the workspace.
+/// The flow-aware families see only this file's declarations, so a
+/// fixture must be self-contained.
 #[must_use]
 pub fn analyze_source(rel_path: &str, text: String) -> Vec<Finding> {
-    rules::check_all(&SourceFile::new(rel_path, text))
+    analyze_sources(vec![SourceFile::new(rel_path, text)])
+}
+
+/// Lints a set of sources as one workspace: builds the call-graph model
+/// once, then runs per-file rules plus the global lock-order pass.
+#[must_use]
+pub fn analyze_sources(files: Vec<SourceFile>) -> Vec<Finding> {
+    let ws = callgraph::Workspace::build(&files);
+    let mut all = Vec::new();
+    for f in &files {
+        all.extend(rules::check_all(f, &ws));
+    }
+    all.extend(rules::lock_order::check_global(&files, &ws));
+    all.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.rule.code()).cmp(&(b.path.as_str(), b.line, b.rule.code()))
+    });
+    all
 }
 
 /// Everything a workspace run produced, before exit-code policy.
@@ -92,11 +113,12 @@ pub fn analyze_workspace(root: &Path) -> Result<WorkspaceReport, LintError> {
     let entries = load_allowlist(root)?;
     let files = walk::walk_workspace(root)?;
     let files_seen = files.len();
-    let mut all = Vec::new();
+    let mut sources = Vec::with_capacity(files.len());
     for f in &files {
         let text = fs::read_to_string(&f.abs_path)?;
-        all.extend(analyze_source(&f.rel_path, text));
+        sources.push(SourceFile::new(&f.rel_path, text));
     }
+    let all = analyze_sources(sources);
     let (findings, suppressed, stale) = allow::apply_allowlist(all, &entries);
     Ok(WorkspaceReport {
         findings,

@@ -1,12 +1,14 @@
 //! The `proxy-lint` command-line interface.
 //!
 //! ```text
-//! proxy-lint --workspace [--explain]   lint every workspace .rs file
+//! proxy-lint --workspace [--explain] [--json PATH] [--budget-secs N]
+//!                                      lint every workspace .rs file
+//! proxy-lint --audit-allows            report allow-entry health; fail on rot
 //! proxy-lint [--explain] FILE...       lint specific files (fixtures ok)
 //! ```
 //!
-//! Exit codes: `0` clean, `1` findings (or stale allowlist entries),
-//! `2` usage / filesystem / allowlist-parse error.
+//! Exit codes: `0` clean, `1` findings (or stale allowlist entries, or
+//! a blown time budget), `2` usage / filesystem / allowlist-parse error.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -15,9 +17,10 @@ use std::env;
 use std::fs;
 use std::path::Path;
 use std::process::ExitCode;
+use std::time::Instant;
 
-use proxy_lint::diag::Rule;
-use proxy_lint::{analyze_source, analyze_workspace, fixture, walk};
+use proxy_lint::diag::{Finding, Rule};
+use proxy_lint::{analyze_source, analyze_workspace, fixture, walk, WorkspaceReport};
 
 /// What each rule family enforces, shown under `--explain`.
 const RULE_NOTES: &[(Rule, &str)] = &[
@@ -45,16 +48,59 @@ const RULE_NOTES: &[(Rule, &str)] = &[
         Rule::Hygiene,
         "every crate root carries #![forbid(unsafe_code)] and a missing_docs lint",
     ),
+    (
+        Rule::LockOrder,
+        "the workspace lock-acquisition graph (ShardMap stripes, RwLock/Mutex guards) \
+         must be acyclic, and nothing may block — fsync, socket write, wait — while a \
+         shard guard is live",
+    ),
+    (
+        Rule::Durability,
+        "journaled mutations follow validate -> stage -> wait-durable -> infallible \
+         apply: no shard write before the record is staged, no fallible statement \
+         after the durable ack, and every durable entry point poisons on error",
+    ),
+    (
+        Rule::Taint,
+        "lengths decoded from wire/WAL/artifact bytes must pass a bound check before \
+         reaching an allocation or indexing sink (flow-sensitive upgrade of L1)",
+    ),
 ];
 
 fn main() -> ExitCode {
     let mut explain = false;
     let mut workspace = false;
+    let mut audit_allows = false;
+    let mut json_path: Option<String> = None;
+    let mut budget_secs: Option<u64> = None;
     let mut files = Vec::new();
-    for arg in env::args().skip(1) {
-        match arg.as_str() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
             "--explain" => explain = true,
             "--workspace" => workspace = true,
+            "--audit-allows" => audit_allows = true,
+            "--json" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => json_path = Some(p.clone()),
+                    None => {
+                        eprintln!("proxy-lint: --json needs a path\n{}", usage());
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--budget-secs" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse::<u64>().ok()) {
+                    Some(n) => budget_secs = Some(n),
+                    None => {
+                        eprintln!("proxy-lint: --budget-secs needs an integer\n{}", usage());
+                        return ExitCode::from(2);
+                    }
+                }
+            }
             "--help" | "-h" => {
                 print!("{}", usage());
                 return ExitCode::SUCCESS;
@@ -65,26 +111,43 @@ fn main() -> ExitCode {
             }
             file => files.push(file.to_string()),
         }
+        i += 1;
     }
-    match (workspace, files.is_empty()) {
-        (true, true) => run_workspace(explain),
+    let started = Instant::now();
+    let code = match (workspace || audit_allows, files.is_empty()) {
+        (true, true) => run_workspace(explain, audit_allows, json_path.as_deref()),
         (false, false) => run_files(&files, explain),
         _ => {
             eprintln!(
-                "proxy-lint: pass --workspace or file paths, not both\n{}",
+                "proxy-lint: pass --workspace/--audit-allows or file paths, not both\n{}",
                 usage()
             );
             ExitCode::from(2)
         }
+    };
+    if let Some(budget) = budget_secs {
+        let elapsed = started.elapsed();
+        if elapsed.as_secs() >= budget {
+            eprintln!(
+                "proxy-lint: analysis took {:.1}s, over the {budget}s budget — the \
+                 deeper passes must not become the slowest CI step",
+                elapsed.as_secs_f64()
+            );
+            return ExitCode::from(1);
+        }
     }
+    code
 }
 
 fn usage() -> String {
-    "usage: proxy-lint --workspace [--explain]\n       proxy-lint [--explain] FILE...\n".to_string()
+    "usage: proxy-lint --workspace [--explain] [--json PATH] [--budget-secs N]\n       \
+     proxy-lint --audit-allows\n       \
+     proxy-lint [--explain] FILE...\n"
+        .to_string()
 }
 
 /// Lints the whole workspace against the checked-in allowlist.
-fn run_workspace(explain: bool) -> ExitCode {
+fn run_workspace(explain: bool, audit_allows: bool, json_path: Option<&str>) -> ExitCode {
     let cwd = match env::current_dir() {
         Ok(d) => d,
         Err(e) => {
@@ -106,6 +169,17 @@ fn run_workspace(explain: bool) -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    if let Some(path) = json_path {
+        if let Err(e) = fs::write(path, json_report(&report)) {
+            eprintln!("proxy-lint: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+
+    if audit_allows {
+        return run_audit(&report);
+    }
 
     if explain {
         println!("proxy-lint rule families:");
@@ -154,6 +228,92 @@ fn run_workspace(explain: bool) -> ExitCode {
     } else {
         ExitCode::from(1)
     }
+}
+
+/// Stale-allow rot check: every `lint-allow.toml` entry must still
+/// suppress at least one finding, or the list is accumulating dead
+/// exemptions that would silently cover future regressions.
+fn run_audit(report: &WorkspaceReport) -> ExitCode {
+    let mut counts: Vec<(String, usize)> = Vec::new();
+    for (_, entry) in &report.suppressed {
+        let key = entry.to_string();
+        match counts.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, n)) => *n += 1,
+            None => counts.push((key, 1)),
+        }
+    }
+    println!("proxy-lint allow-entry audit:");
+    for (key, n) in &counts {
+        println!("  {n:3}x {key}");
+    }
+    for entry in &report.stale {
+        println!("    0x {entry}  <- STALE ({})", entry.justification);
+    }
+    println!(
+        "proxy-lint: {} live entr{}, {} stale",
+        counts.len(),
+        if counts.len() == 1 { "y" } else { "ies" },
+        report.stale.len()
+    );
+    if report.stale.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+/// Renders the machine-readable report: every finding (live, suppressed,
+/// stale-entry) with file/line/rule/severity, no external JSON crate.
+fn json_report(report: &WorkspaceReport) -> String {
+    let mut out = String::from("{\n  \"findings\": [");
+    let mut first = true;
+    let push = |out: &mut String, f: &Finding, suppressed: bool, first: &mut bool| {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+        out.push_str(&format!(
+            "\n    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"name\": \"{}\", \
+             \"severity\": \"{}\", \"suppressed\": {}, \"message\": \"{}\"}}",
+            json_escape(&f.path),
+            f.line,
+            f.rule.code(),
+            f.rule.name(),
+            f.rule.severity().label(),
+            suppressed,
+            json_escape(&f.message),
+        ));
+    };
+    for f in &report.findings {
+        push(&mut out, f, false, &mut first);
+    }
+    for (f, _) in &report.suppressed {
+        push(&mut out, f, true, &mut first);
+    }
+    out.push_str("\n  ],\n");
+    out.push_str(&format!(
+        "  \"stale_allow_entries\": {},\n  \"files\": {},\n  \"clean\": {}\n}}\n",
+        report.stale.len(),
+        report.files_seen,
+        report.is_clean()
+    ));
+    out
+}
+
+/// Minimal JSON string escaping for paths and messages.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Lints explicit files; fixture directives pick the effective path,

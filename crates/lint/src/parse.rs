@@ -1,0 +1,600 @@
+//! A lightweight structural parse over the token stream.
+//!
+//! The flow-aware rule families (L6–L8) need more shape than a flat
+//! token scan gives: which function a token lives in, what a function's
+//! signature says (does it return a guard? how many parameters?), which
+//! struct fields carry lock types, and where the call expressions are.
+//! This module recovers exactly that much structure — no expression
+//! trees, no types — from the [`crate::lexer`] stream. Like the lexer it
+//! is total: malformed input degrades to fewer recognized items, never
+//! a failure.
+
+use crate::lexer::{is_keyword, Kind, Token};
+use crate::source::matching_close;
+
+/// One `fn` item (including nested and trait/impl functions).
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// The function's bare name.
+    pub name: String,
+    /// 1-based line of the name token.
+    pub line: u32,
+    /// Token index of the `fn` keyword.
+    pub fn_tok: usize,
+    /// Token index of the parameter-list `(`.
+    pub params_open: usize,
+    /// Token index of the parameter-list `)`.
+    pub params_close: usize,
+    /// Token index of the body `{`, when the item has a body.
+    pub body_open: Option<usize>,
+    /// Token index of the body `}` (or the terminating `;`).
+    pub body_close: usize,
+    /// Return-type tokens joined with single spaces (`""` for unit).
+    pub ret_text: String,
+    /// Parameter count, `self` excluded.
+    pub param_count: usize,
+    /// Whether the first parameter is (a borrow of) `self`.
+    pub takes_self: bool,
+    /// Whether the receiver is `&mut self` / `mut self`.
+    pub takes_mut_self: bool,
+}
+
+impl FnDef {
+    /// The body token range `(open, close)`, when there is a body.
+    #[must_use]
+    pub fn body(&self) -> Option<(usize, usize)> {
+        self.body_open.map(|o| (o, self.body_close))
+    }
+}
+
+/// One named field of a struct definition.
+#[derive(Debug, Clone)]
+pub struct FieldDef {
+    /// Field name.
+    pub name: String,
+    /// Type tokens joined with single spaces (`"Mutex < WalState >"`).
+    pub type_text: String,
+    /// 1-based line of the field name.
+    pub line: u32,
+}
+
+/// One `struct` item with named fields (tuple/unit structs have none).
+#[derive(Debug, Clone)]
+pub struct StructDef {
+    /// Struct name.
+    pub name: String,
+    /// Named fields, in declaration order.
+    pub fields: Vec<FieldDef>,
+}
+
+/// One call expression: `callee(args)` or `recv.callee(args)`.
+#[derive(Debug, Clone)]
+pub struct CallExpr {
+    /// The callee's bare name (last path segment).
+    pub callee: String,
+    /// Token index of the callee identifier.
+    pub callee_tok: usize,
+    /// 1-based line of the callee.
+    pub line: u32,
+    /// Token index of the argument-list `(`.
+    pub args_open: usize,
+    /// Token index of the argument-list `)`.
+    pub args_close: usize,
+    /// Whether the call is a method call (`.callee(`).
+    pub is_method: bool,
+    /// Number of top-level arguments.
+    pub arg_count: usize,
+    /// Token range of the receiver chain for method calls
+    /// (`recv_start..=recv_end`), empty (`start > end`) otherwise.
+    pub recv_start: usize,
+    /// End of the receiver chain (inclusive).
+    pub recv_end: usize,
+}
+
+impl CallExpr {
+    /// The receiver-chain token indices, oldest first.
+    #[must_use]
+    pub fn receiver<'t>(&self, tokens: &'t [Token]) -> &'t [Token] {
+        if self.recv_start > self.recv_end {
+            return &[];
+        }
+        tokens.get(self.recv_start..=self.recv_end).unwrap_or(&[])
+    }
+
+    /// The last identifier of the receiver chain (`self.accounts.len()`
+    /// → `accounts`), when the receiver ends in a plain field/var.
+    #[must_use]
+    pub fn receiver_field(&self, tokens: &[Token]) -> Option<String> {
+        let recv = self.receiver(tokens);
+        match recv.last() {
+            Some(t) if t.kind == Kind::Ident && !is_keyword(&t.text) => Some(t.text.clone()),
+            _ => None,
+        }
+    }
+}
+
+/// Finds the index of the `{`/`[`/`(` matching the closer at `close`,
+/// scanning backward. Returns `0` when unbalanced.
+#[must_use]
+pub fn matching_open(tokens: &[Token], close: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = close;
+    loop {
+        if let Some(t) = tokens.get(i) {
+            if t.kind == Kind::Punct {
+                match t.text.as_str() {
+                    "}" | "]" | ")" => depth += 1,
+                    "{" | "[" | "(" => {
+                        depth = depth.saturating_sub(1);
+                        if depth == 0 {
+                            return i;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        if i == 0 {
+            return 0;
+        }
+        i -= 1;
+    }
+}
+
+/// Parses every `fn` item in the stream, nested items included.
+#[must_use]
+pub fn parse_fns(tokens: &[Token]) -> Vec<FnDef> {
+    let mut fns = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].is_ident("fn")
+            && tokens
+                .get(i + 1)
+                .is_some_and(|t| t.kind == Kind::Ident && !is_keyword(&t.text))
+        {
+            if let Some(f) = parse_fn_at(tokens, i) {
+                // Continue just past the name so nested `fn` items inside
+                // this body are discovered by the same scan.
+                i = f.fn_tok + 2;
+                fns.push(f);
+                continue;
+            }
+        }
+        i += 1;
+    }
+    fns
+}
+
+fn parse_fn_at(tokens: &[Token], fn_tok: usize) -> Option<FnDef> {
+    let name_tok = fn_tok + 1;
+    let name = tokens.get(name_tok)?.text.clone();
+    let line = tokens[name_tok].line;
+    let mut j = name_tok + 1;
+    // Generic parameter list: `<` … `>` with nesting (`>>` never merges
+    // in this lexer, so single-token angle counting is exact).
+    if tokens.get(j).is_some_and(|t| t.is_punct("<")) {
+        let mut depth = 0usize;
+        while j < tokens.len() {
+            let t = &tokens[j];
+            if t.is_punct("<") {
+                depth += 1;
+            } else if t.is_punct(">") {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    j += 1;
+                    break;
+                }
+            }
+            j += 1;
+        }
+    }
+    if !tokens.get(j)?.is_punct("(") {
+        return None;
+    }
+    let params_open = j;
+    let params_close = matching_close(tokens, params_open);
+    let (takes_self, takes_mut_self) = self_receiver(tokens, params_open, params_close);
+    let mut param_count = count_top_level(tokens, params_open, params_close);
+    if takes_self {
+        param_count = param_count.saturating_sub(1);
+    }
+    // After the parameters: optional `-> Type`, optional `where` clause,
+    // then `{ body }` or `;` (trait declaration).
+    let mut k = params_close + 1;
+    let mut ret_text = String::new();
+    let mut body_open = None;
+    while k < tokens.len() {
+        let t = &tokens[k];
+        if t.is_punct("{") {
+            body_open = Some(k);
+            break;
+        }
+        if t.is_punct(";") {
+            break;
+        }
+        if t.is_punct("->") && ret_text.is_empty() {
+            let mut m = k + 1;
+            while m < tokens.len() {
+                let u = &tokens[m];
+                if u.is_punct("{") || u.is_punct(";") || u.is_ident("where") {
+                    break;
+                }
+                if !ret_text.is_empty() {
+                    ret_text.push(' ');
+                }
+                ret_text.push_str(&u.text);
+                m += 1;
+            }
+            k = m;
+            continue;
+        }
+        if t.is_punct("(") || t.is_punct("[") {
+            k = matching_close(tokens, k) + 1;
+            continue;
+        }
+        k += 1;
+    }
+    let body_close = body_open.map_or(k, |b| matching_close(tokens, b));
+    Some(FnDef {
+        name,
+        line,
+        fn_tok,
+        params_open,
+        params_close,
+        body_open,
+        body_close,
+        ret_text,
+        param_count,
+        takes_self,
+        takes_mut_self,
+    })
+}
+
+/// Does the parameter list start with a `self` receiver, and is it
+/// mutable (`&mut self` / `mut self`)?
+fn self_receiver(tokens: &[Token], open: usize, close: usize) -> (bool, bool) {
+    let mut saw_mut = false;
+    for t in tokens
+        .get(open + 1..close.min(tokens.len()))
+        .unwrap_or(&[])
+        .iter()
+        .take(4)
+    {
+        if t.is_ident("self") {
+            return (true, saw_mut);
+        }
+        if t.is_ident("mut") {
+            saw_mut = true;
+            continue;
+        }
+        if t.is_punct("&") || t.kind == Kind::Lifetime {
+            continue;
+        }
+        break;
+    }
+    (false, false)
+}
+
+/// Counts comma-separated items between `open` and `close`, ignoring
+/// commas nested in brackets, braces, parens, or angle brackets.
+fn count_top_level(tokens: &[Token], open: usize, close: usize) -> usize {
+    if close <= open + 1 {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut angle = 0i32;
+    let mut items = 1usize;
+    for t in tokens.get(open + 1..close).unwrap_or(&[]) {
+        if t.kind != Kind::Punct {
+            continue;
+        }
+        match t.text.as_str() {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => depth -= 1,
+            "<" => angle += 1,
+            ">" => angle = (angle - 1).max(0),
+            "," if depth == 0 && angle == 0 => items += 1,
+            _ => {}
+        }
+    }
+    items
+}
+
+/// Parses every named-field `struct` definition in the stream.
+#[must_use]
+pub fn parse_structs(tokens: &[Token]) -> Vec<StructDef> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].is_ident("struct")
+            && tokens
+                .get(i + 1)
+                .is_some_and(|t| t.kind == Kind::Ident && !is_keyword(&t.text))
+        {
+            let name = tokens[i + 1].text.clone();
+            let mut j = i + 2;
+            // Skip generics.
+            if tokens.get(j).is_some_and(|t| t.is_punct("<")) {
+                let mut depth = 0usize;
+                while j < tokens.len() {
+                    if tokens[j].is_punct("<") {
+                        depth += 1;
+                    } else if tokens[j].is_punct(">") {
+                        depth = depth.saturating_sub(1);
+                        if depth == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+            }
+            // Skip a `where` clause up to the body brace or `;`.
+            while j < tokens.len() && !tokens[j].is_punct("{") && !tokens[j].is_punct(";") {
+                if tokens[j].is_punct("(") {
+                    // Tuple struct: no named fields.
+                    break;
+                }
+                j += 1;
+            }
+            if tokens.get(j).is_some_and(|t| t.is_punct("{")) {
+                let close = matching_close(tokens, j);
+                out.push(StructDef {
+                    name,
+                    fields: parse_fields(tokens, j, close),
+                });
+                i = j + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+fn parse_fields(tokens: &[Token], open: usize, close: usize) -> Vec<FieldDef> {
+    let mut fields = Vec::new();
+    let mut i = open + 1;
+    while i < close.min(tokens.len()) {
+        // Skip attributes and visibility.
+        if tokens[i].is_punct("#") && tokens.get(i + 1).is_some_and(|t| t.is_punct("[")) {
+            i = matching_close(tokens, i + 1) + 1;
+            continue;
+        }
+        if tokens[i].is_ident("pub") {
+            i += 1;
+            if tokens.get(i).is_some_and(|t| t.is_punct("(")) {
+                i = matching_close(tokens, i) + 1;
+            }
+            continue;
+        }
+        // Field: `name : Type ,`
+        if tokens[i].kind == Kind::Ident
+            && !is_keyword(&tokens[i].text)
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct(":"))
+        {
+            let name = tokens[i].text.clone();
+            let line = tokens[i].line;
+            let mut type_text = String::new();
+            let mut depth = 0i32;
+            let mut angle = 0i32;
+            let mut j = i + 2;
+            while j < close {
+                let t = &tokens[j];
+                if t.kind == Kind::Punct {
+                    match t.text.as_str() {
+                        "(" | "[" | "{" => depth += 1,
+                        ")" | "]" | "}" => depth -= 1,
+                        "<" => angle += 1,
+                        ">" => angle = (angle - 1).max(0),
+                        "," if depth == 0 && angle == 0 => break,
+                        _ => {}
+                    }
+                }
+                if !type_text.is_empty() {
+                    type_text.push(' ');
+                }
+                type_text.push_str(&t.text);
+                j += 1;
+            }
+            fields.push(FieldDef {
+                name,
+                type_text,
+                line,
+            });
+            i = j + 1;
+            continue;
+        }
+        i += 1;
+    }
+    fields
+}
+
+/// Control-flow keywords that look like calls (`if (…)`, `while (…)`).
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "fn", "let", "in", "move", "as", "else",
+    "unsafe", "impl", "where", "use", "mod", "pub", "struct", "enum", "trait", "type",
+];
+
+/// Scans `tokens[start..end]` for call expressions. Macro invocations
+/// (`name!(…)`) are not calls — the `!` separates the name from `(`.
+#[must_use]
+pub fn calls_in(tokens: &[Token], start: usize, end: usize) -> Vec<CallExpr> {
+    let mut out = Vec::new();
+    let hi = end.min(tokens.len());
+    for i in start..hi {
+        let t = &tokens[i];
+        if t.kind != Kind::Ident || NON_CALL_KEYWORDS.contains(&t.text.as_str()) {
+            continue;
+        }
+        if !tokens.get(i + 1).is_some_and(|n| n.is_punct("(")) {
+            continue;
+        }
+        // `fn name(` is a definition, not a call.
+        if i > 0 && tokens[i - 1].is_ident("fn") {
+            continue;
+        }
+        let args_open = i + 1;
+        let args_close = matching_close(tokens, args_open);
+        let is_method = i > 0 && tokens[i - 1].is_punct(".");
+        let (recv_start, recv_end) = if is_method && i >= 2 {
+            receiver_range(tokens, i - 2)
+        } else {
+            (1, 0)
+        };
+        out.push(CallExpr {
+            callee: t.text.clone(),
+            callee_tok: i,
+            line: t.line,
+            args_open,
+            args_close,
+            is_method,
+            arg_count: count_top_level(tokens, args_open, args_close),
+            recv_start,
+            recv_end,
+        });
+    }
+    out
+}
+
+/// Walks a method receiver chain backward from `last` (the token just
+/// before the `.`), returning the inclusive token range of the chain:
+/// identifiers, `self`, `.`/`::`/`?`, and balanced `(…)`/`[…]` groups.
+fn receiver_range(tokens: &[Token], last: usize) -> (usize, usize) {
+    let mut j = last;
+    loop {
+        let t = &tokens[j];
+        let keep = match t.kind {
+            Kind::Ident => !is_keyword(&t.text) || t.text == "self" || t.text == "Self",
+            Kind::Punct => matches!(t.text.as_str(), "." | "::" | "?"),
+            _ => false,
+        };
+        let group = t.is_punct(")") || t.is_punct("]");
+        if group {
+            let open = matching_open(tokens, j);
+            if open == 0 && !tokens[0].is_punct("(") && !tokens[0].is_punct("[") {
+                break;
+            }
+            if open == 0 {
+                return (0, last);
+            }
+            j = open - 1;
+            continue;
+        }
+        if !keep {
+            j += 1;
+            break;
+        }
+        if j == 0 {
+            break;
+        }
+        j -= 1;
+    }
+    if j > last {
+        // Nothing kept: empty range.
+        return (1, 0);
+    }
+    (j, last)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn parses_fn_signatures() {
+        let toks = lex(
+            "impl S { pub fn begin(&self) -> Result<OpGuard, E> { self.gate.read() } \
+                        fn free(a: u32, b: Vec<u8>) {} }",
+        );
+        let fns = parse_fns(&toks);
+        assert_eq!(fns.len(), 2);
+        assert_eq!(fns[0].name, "begin");
+        assert!(fns[0].takes_self);
+        assert!(!fns[0].takes_mut_self);
+        assert_eq!(fns[0].param_count, 0);
+        assert_eq!(fns[0].ret_text, "Result < OpGuard , E >");
+        assert_eq!(fns[1].name, "free");
+        assert!(!fns[1].takes_self);
+        assert_eq!(fns[1].param_count, 2);
+    }
+
+    #[test]
+    fn parses_generic_fn_and_mut_self() {
+        let toks = lex(
+            "fn update<F: FnOnce(&mut V) -> R, R>(&mut self, key: &K, f: F) -> Option<R> { None }",
+        );
+        let fns = parse_fns(&toks);
+        assert_eq!(fns.len(), 1);
+        assert!(fns[0].takes_mut_self);
+        assert_eq!(fns[0].param_count, 2);
+        assert_eq!(fns[0].ret_text, "Option < R >");
+    }
+
+    #[test]
+    fn nested_fns_are_found() {
+        let toks = lex("fn outer() { fn inner(x: u8) {} inner(1); }");
+        let names: Vec<_> = parse_fns(&toks).into_iter().map(|f| f.name).collect();
+        assert_eq!(names, vec!["outer", "inner"]);
+    }
+
+    #[test]
+    fn parses_struct_fields_with_lock_types() {
+        let toks = lex(
+            "pub struct Journal { store: Arc<dyn Storage>, gate: RwLock<()>, \
+                        poisoned: Mutex<Option<StorageError>>, count: u64 }",
+        );
+        let s = parse_structs(&toks);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].fields.len(), 4);
+        assert_eq!(s[0].fields[1].name, "gate");
+        assert!(s[0].fields[1].type_text.contains("RwLock <"));
+        assert!(s[0].fields[2].type_text.contains("Mutex <"));
+        assert!(!s[0].fields[3].type_text.contains("Mutex <"));
+    }
+
+    #[test]
+    fn generic_struct_fields() {
+        let toks = lex("struct ShardMap<K, V> { shards: Box<[RwLock<HashMap<K, V>>]>, n: usize }");
+        let s = parse_structs(&toks);
+        assert_eq!(s[0].name, "ShardMap");
+        assert_eq!(s[0].fields[0].name, "shards");
+        assert!(s[0].fields[0].type_text.contains("RwLock <"));
+    }
+
+    #[test]
+    fn calls_and_receivers() {
+        let toks = lex(
+            "fn f(&self) { self.accounts.update(&k, |a| a.x += 1); helper(1, 2); \
+                        self.shard(&k).write(); }",
+        );
+        let calls = calls_in(&toks, 0, toks.len());
+        let update = calls.iter().find(|c| c.callee == "update").unwrap();
+        assert!(update.is_method);
+        assert_eq!(update.arg_count, 2);
+        assert_eq!(update.receiver_field(&toks).as_deref(), Some("accounts"));
+        let helper = calls.iter().find(|c| c.callee == "helper").unwrap();
+        assert!(!helper.is_method);
+        assert_eq!(helper.arg_count, 2);
+        let write = calls.iter().find(|c| c.callee == "write").unwrap();
+        assert!(write.is_method);
+        assert_eq!(write.arg_count, 0);
+        // The receiver of `.write()` spans the `shard(&k)` helper call.
+        let recv: Vec<_> = write
+            .receiver(&toks)
+            .iter()
+            .map(|t| t.text.as_str())
+            .collect();
+        assert!(recv.contains(&"shard"));
+        assert_eq!(write.receiver_field(&toks), None);
+    }
+
+    #[test]
+    fn macros_are_not_calls() {
+        let toks = lex("fn f() { vec![0; 4]; println!(\"x\"); real(); }");
+        let calls = calls_in(&toks, 0, toks.len());
+        assert_eq!(calls.len(), 1);
+        assert_eq!(calls[0].callee, "real");
+    }
+}

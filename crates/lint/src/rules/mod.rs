@@ -1,24 +1,36 @@
-//! The five rule families (L1–L5).
+//! The eight rule families (L1–L8).
+//!
+//! L1–L5 are token-pattern rules over a single file. L6–L8 are
+//! flow-aware: they query the [`crate::callgraph::Workspace`] model —
+//! L7/L8 per file here, L6 as a global pass in
+//! [`lock_order::check_global`].
 
 mod const_time;
 mod determinism;
+pub mod durability;
 mod fail_closed;
 mod hygiene;
+pub mod lock_order;
 mod panic_free;
+pub mod taint;
 
 pub use const_time::check_const_time;
 pub use determinism::check_determinism;
+pub use durability::check_durability;
 pub use fail_closed::check_fail_closed;
 pub use hygiene::check_hygiene;
 pub use panic_free::check_panic_free;
+pub use taint::check_taint;
 
+use crate::callgraph::Workspace;
 use crate::diag::Finding;
 use crate::scope;
 use crate::source::SourceFile;
 
-/// Runs every rule whose scope covers `file`, returning all findings.
+/// Runs every per-file rule whose scope covers `file`, returning all
+/// findings. The global lock-order pass runs separately.
 #[must_use]
-pub fn check_all(file: &SourceFile) -> Vec<Finding> {
+pub fn check_all(file: &SourceFile, ws: &Workspace) -> Vec<Finding> {
     let rel = file.rel_path.as_str();
     let mut findings = Vec::new();
     if scope::panic_free_applies(rel) {
@@ -35,6 +47,12 @@ pub fn check_all(file: &SourceFile) -> Vec<Finding> {
     }
     if scope::hygiene_applies(rel) {
         findings.extend(check_hygiene(file));
+    }
+    if scope::durability_applies(rel) {
+        findings.extend(check_durability(file, ws));
+    }
+    if scope::taint_applies(rel) {
+        findings.extend(check_taint(file, ws));
     }
     findings.sort_by(|a, b| (a.line, a.rule.code()).cmp(&(b.line, b.rule.code())));
     findings

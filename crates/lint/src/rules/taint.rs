@@ -1,0 +1,87 @@
+//! L8 — untrusted-length taint: a length or count decoded from
+//! wire/WAL/artifact bytes must pass a bound check before it reaches an
+//! allocation or indexing sink.
+//!
+//! L1 already bans the panicking *surface* forms on these paths; L8
+//! closes the gap it leaves: `Vec::with_capacity(n)` never panics for
+//! plausible `n`, yet an attacker-controlled `n` is a one-frame memory
+//! bomb. The taint engine in [`crate::flow`] tracks per-function
+//! let-bindings whose initializer decodes bytes (`u32::from_le_bytes`,
+//! `d.u16()?`, …), kills the taint at an interposed comparison or a
+//! bounded decode (`counted`, `min`, `clamp`), and reports any still-
+//! tainted variable reaching `with_capacity`/`reserve`/`resize`/
+//! `split_at`/`vec![_; n]`/indexing.
+
+use crate::callgraph::Workspace;
+use crate::diag::{Finding, Rule};
+use crate::flow;
+use crate::source::SourceFile;
+
+/// Runs the untrusted-length taint analysis over one file.
+#[must_use]
+pub fn check_taint(file: &SourceFile, ws: &Workspace) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for inst in ws.fns_in(&file.rel_path) {
+        let Some((open, close)) = inst.def.body() else {
+            continue;
+        };
+        let close = close.min(file.tokens.len());
+        for hit in flow::scan_taint(&file.tokens, open + 1, close, &|i| file.is_live(i)) {
+            findings.push(Finding {
+                rule: Rule::Taint,
+                path: file.rel_path.clone(),
+                line: hit.line,
+                message: format!(
+                    "decoded length `{}` (line {}) reaches `{}` without an interposed \
+                     bound check — clamp or compare it against a protocol maximum \
+                     before allocating or indexing",
+                    hit.var, hit.source_line, hit.sink
+                ),
+                snippet: file.line_text(hit.line).to_string(),
+            });
+        }
+    }
+    findings.sort_by_key(|f| f.line);
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let files = vec![SourceFile::new("crates/wire/src/frame.rs", src.to_string())];
+        let ws = Workspace::build(&files);
+        check_taint(&files[0], &ws)
+    }
+
+    #[test]
+    fn unchecked_decode_to_alloc_is_flagged() {
+        let f = run("fn parse(b: &[u8]) -> Result<Vec<u8>, E> {\n\
+             let n = u32::from_le_bytes([b[0], b[1], b[2], b[3]]) as usize;\n\
+             let mut out = Vec::with_capacity(n);\n\
+             Ok(out) }");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("with_capacity"));
+    }
+
+    #[test]
+    fn bound_check_sanitizes() {
+        let f = run("fn parse(b: &[u8]) -> Result<Vec<u8>, E> {\n\
+             let n = u32::from_le_bytes([b[0], b[1], b[2], b[3]]) as usize;\n\
+             if n > MAX_FRAME_BODY { return Err(E::TooBig); }\n\
+             let mut out = Vec::with_capacity(n);\n\
+             Ok(out) }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn taint_is_per_function() {
+        // A tainted `n` in one function must not leak into the next.
+        let f = run(
+            "fn a(d: &mut Dec) -> Result<usize, E> { let n = d.u32()? as usize; bound(n) }\n\
+             fn b(n: usize) -> Vec<u8> { Vec::with_capacity(n) }",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

@@ -60,6 +60,36 @@ pub fn determinism_applies(rel: &str) -> bool {
     .any(|p| rel.starts_with(p))
 }
 
+/// L6 — lock-order analysis: the crates whose runtime takes
+/// `ShardMap`/`RwLock`/`Mutex` guards on hot paths. Findings are only
+/// attributed to files in this set; the call-graph itself is built over
+/// the whole workspace.
+pub fn lock_order_applies(rel: &str) -> bool {
+    rel.starts_with("crates/proxy/src/")
+        || rel.starts_with("crates/net/src/")
+        || rel.starts_with("crates/accounting/src/")
+        || rel.starts_with("crates/storage/src/")
+}
+
+/// L7 — durability-ordering: the journaled accounting mutations and the
+/// storage engines that back them.
+pub fn durability_applies(rel: &str) -> bool {
+    rel == "crates/accounting/src/server.rs"
+        || rel == "crates/accounting/src/journal.rs"
+        || rel.starts_with("crates/storage/src/")
+}
+
+/// L8 — untrusted-length taint: every decode path where a length or
+/// count parsed out of attacker-controlled or disk-recovered bytes can
+/// reach an allocation or indexing sink.
+pub fn taint_applies(rel: &str) -> bool {
+    rel.starts_with("crates/wire/src/")
+        || rel.starts_with("crates/storage/src/")
+        || rel == "crates/proxy/src/encode.rs"
+        || rel == "crates/proxy/src/revocation.rs"
+        || rel == "crates/proxy/src/membership.rs"
+}
+
 /// L5 — crate roots that must carry the hygiene header.
 pub fn hygiene_applies(rel: &str) -> bool {
     if rel == "src/lib.rs" {
@@ -109,6 +139,38 @@ mod tests {
         assert!(determinism_applies("crates/kerberos/src/kdc.rs"));
         assert!(!determinism_applies("crates/net/src/client.rs"));
         assert!(!determinism_applies("crates/runtime/src/lib.rs"));
+    }
+
+    #[test]
+    fn l6_covers_locking_runtime_crates() {
+        assert!(lock_order_applies("crates/proxy/src/shard.rs"));
+        assert!(lock_order_applies("crates/accounting/src/server.rs"));
+        assert!(lock_order_applies("crates/storage/src/wal.rs"));
+        assert!(lock_order_applies("crates/net/src/tcp.rs"));
+        assert!(!lock_order_applies("crates/crypto/src/sha256.rs"));
+        assert!(!lock_order_applies("crates/lint/src/lib.rs"));
+    }
+
+    #[test]
+    fn l7_covers_journal_and_storage() {
+        assert!(durability_applies("crates/accounting/src/server.rs"));
+        assert!(durability_applies("crates/accounting/src/journal.rs"));
+        assert!(durability_applies("crates/storage/src/wal.rs"));
+        assert!(durability_applies("crates/storage/src/mem.rs"));
+        assert!(!durability_applies("crates/accounting/src/check.rs"));
+        assert!(!durability_applies("crates/proxy/src/shard.rs"));
+    }
+
+    #[test]
+    fn l8_covers_decode_paths() {
+        assert!(taint_applies("crates/wire/src/frame.rs"));
+        assert!(taint_applies("crates/storage/src/log.rs"));
+        assert!(taint_applies("crates/storage/src/wal.rs"));
+        assert!(taint_applies("crates/proxy/src/encode.rs"));
+        assert!(taint_applies("crates/proxy/src/revocation.rs"));
+        assert!(taint_applies("crates/proxy/src/membership.rs"));
+        assert!(!taint_applies("crates/proxy/src/verify.rs"));
+        assert!(!taint_applies("crates/accounting/src/server.rs"));
     }
 
     #[test]

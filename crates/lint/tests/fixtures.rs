@@ -45,10 +45,36 @@ fn every_rule_family_has_both_polarities() {
             Rule::ConstTime,
             Rule::Determinism,
             Rule::Hygiene,
+            Rule::LockOrder,
+            Rule::Durability,
+            Rule::Taint,
         ] {
             assert!(
                 rules.contains(rule.code()),
                 "no {polarity} fixture exercises {}",
+                rule.code()
+            );
+        }
+    }
+}
+
+#[test]
+fn flow_aware_families_have_deep_coverage() {
+    // The flow-aware families (L6/L7/L8) lean on workspace-level
+    // inference, so each needs several distinct shapes per polarity to
+    // pin the analysis down — not just one smoke fixture.
+    for polarity in ["pass", "fail"] {
+        for rule in [Rule::LockOrder, Rule::Durability, Rule::Taint] {
+            let n = fixture_files(polarity)
+                .iter()
+                .filter(|p| {
+                    let text = fs::read_to_string(p).expect("read fixture");
+                    fixture_directive(&text).is_some_and(|d| d.rule == rule)
+                })
+                .count();
+            assert!(
+                n >= 3,
+                "only {n} {polarity} fixture(s) exercise {}; need at least 3",
                 rule.code()
             );
         }
@@ -178,4 +204,52 @@ fn cli_workspace_run_is_clean() {
     // --explain wires the allowlist justifications into the output.
     assert!(stdout.contains("lint-allow.toml"));
     assert!(stdout.contains("allowed:"));
+}
+
+#[test]
+fn cli_json_report_is_well_formed() {
+    let root = walk::find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("root");
+    let json_path = std::env::temp_dir().join("proxy-lint-fixture-test.json");
+    let out = Command::new(env!("CARGO_BIN_EXE_proxy-lint"))
+        .arg("--workspace")
+        .arg("--json")
+        .arg(&json_path)
+        .current_dir(&root)
+        .output()
+        .expect("run proxy-lint --workspace --json");
+    assert_eq!(out.status.code(), Some(0));
+    let json = fs::read_to_string(&json_path).expect("json artifact written");
+    let _ = fs::remove_file(&json_path);
+    // No JSON crate in the workspace, so pin the shape structurally: the
+    // document must carry the report fields and a suppressed finding for
+    // every allowlist hit of the clean run.
+    assert!(json.trim_start().starts_with('{') && json.trim_end().ends_with('}'));
+    for field in [
+        "\"findings\"",
+        "\"stale_allow_entries\"",
+        "\"files\"",
+        "\"clean\": true",
+        "\"suppressed\": true",
+        "\"severity\"",
+    ] {
+        assert!(json.contains(field), "json report lacks {field}:\n{json}");
+    }
+}
+
+#[test]
+fn cli_audit_allows_reports_live_entries() {
+    let root = walk::find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("root");
+    let out = Command::new(env!("CARGO_BIN_EXE_proxy-lint"))
+        .arg("--audit-allows")
+        .current_dir(&root)
+        .output()
+        .expect("run proxy-lint --audit-allows");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "allowlist has stale entries:\n{stdout}"
+    );
+    assert!(stdout.contains("allow-entry audit"));
+    assert!(stdout.contains("0 stale"), "{stdout}");
 }

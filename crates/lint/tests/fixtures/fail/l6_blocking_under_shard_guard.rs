@@ -1,0 +1,16 @@
+// lint-fixture: path=crates/proxy/src/shard.rs rule=L6
+// An fsync inside a ShardMap closure: every other request hashing to
+// this stripe stalls behind a disk flush. Blocking work belongs outside
+// the shard guard.
+
+struct Journal {
+    accounts: ShardMap<u64, u64>,
+}
+
+impl Journal {
+    fn settle(&self, key: u64, file: &File) {
+        self.accounts.update(&key, |acct| {
+            file.sync_data();
+        });
+    }
+}

@@ -1,0 +1,21 @@
+// lint-fixture: path=crates/proxy/src/shard.rs rule=L6
+// Two paths take the same pair of locks in opposite orders: the classic
+// AB/BA deadlock. One thread in `charge`, one in `refund`, each holding
+// its first guard and waiting on the other's.
+
+struct Ledger {
+    balances: Mutex<u64>,
+    audit: Mutex<u64>,
+}
+
+impl Ledger {
+    fn charge(&self) {
+        let bal = self.balances.lock();
+        let log = self.audit.lock();
+    }
+
+    fn refund(&self) {
+        let log = self.audit.lock();
+        let bal = self.balances.lock();
+    }
+}

@@ -1,0 +1,20 @@
+// lint-fixture: path=crates/proxy/src/shard.rs rule=L6
+// A ShardMap closure calls a helper that re-enters the same map: if the
+// helper's key lands on the same stripe, the RwLock is taken twice on
+// one thread — a self-deadlock the type system cannot see.
+
+struct Accounts {
+    accounts: ShardMap<u64, u64>,
+}
+
+impl Accounts {
+    fn settle(&self, key: u64, pool: u64) {
+        self.accounts.update(&key, |acct| {
+            self.credit(pool);
+        });
+    }
+
+    fn credit(&self, key: u64) {
+        self.accounts.upsert(&key, |acct| {});
+    }
+}

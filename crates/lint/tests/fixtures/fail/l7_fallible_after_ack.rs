@@ -1,0 +1,17 @@
+// lint-fixture: path=crates/accounting/src/server.rs rule=L7
+// The pre-fix `forward` shape: the journal commit is durable, then a
+// fallible endorsement runs. If it errors, the caller hears "failed"
+// for an operation recovery will replay as committed.
+
+struct Server {
+    accounts: ShardMap<u64, u64>,
+}
+
+impl Server {
+    fn forward(&self, j: &Journal, check: &Check) -> Result<Check, AcctError> {
+        let serial = self.take_serial();
+        j.commit(&record)?;
+        let endorsed = check.endorse(serial)?;
+        Ok(endorsed)
+    }
+}

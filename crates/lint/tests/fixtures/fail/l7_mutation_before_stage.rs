@@ -1,0 +1,19 @@
+// lint-fixture: path=crates/accounting/src/server.rs rule=L7
+// The shard mutation lands before the journal record is staged: a crash
+// between the two loses the mutation — recovery replays the log, and
+// the log never heard about this balance change.
+
+struct Server {
+    accounts: ShardMap<u64, u64>,
+}
+
+impl Server {
+    fn settle(&self, key: u64, j: &Journal, t: Timestamp) -> Result<(), AcctError> {
+        self.accounts.update(&key, |acct| {
+            *acct += 1;
+        });
+        j.stage(&record)?;
+        j.wait(t)?;
+        Ok(())
+    }
+}

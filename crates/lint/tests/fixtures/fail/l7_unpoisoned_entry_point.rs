@@ -1,0 +1,16 @@
+// lint-fixture: path=crates/storage/src/wal.rs rule=L7
+// A durable entry point with a fallible body and no poison latch: after
+// a partial append error the WAL keeps serving as if nothing happened,
+// and the journal above it can diverge from disk.
+
+struct Wal {
+    state: Mutex<WalState>,
+}
+
+impl Wal {
+    fn stage(&self, record: &[u8]) -> Result<Ticket, StorageError> {
+        let mut st = self.state.lock();
+        self.append_record(record)?;
+        Ok(Ticket(st.seq))
+    }
+}

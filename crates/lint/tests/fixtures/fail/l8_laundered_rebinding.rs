@@ -1,0 +1,10 @@
+// lint-fixture: path=crates/storage/src/wal.rs rule=L8
+// Taint survives rebinding: renaming the decoded count does not make it
+// trusted, and the vec![_; n] macro is an allocation sink too.
+
+fn read_batch(d: &mut Decoder) -> Result<Vec<u8>, StorageError> {
+    let count = d.u32()?;
+    let wanted = count as usize;
+    let slots = vec![0u8; wanted];
+    Ok(slots)
+}

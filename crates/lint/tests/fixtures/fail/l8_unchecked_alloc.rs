@@ -1,0 +1,11 @@
+// lint-fixture: path=crates/storage/src/wal.rs rule=L8
+// A length lifted straight out of disk bytes sizes an allocation: a
+// corrupted or hostile record header is a one-frame memory bomb.
+
+fn parse_record(bytes: &[u8]) -> Result<Vec<u8>, StorageError> {
+    let b0 = bytes.first().copied().ok_or(StorageError::Truncated)?;
+    let len = u32::from_le_bytes([b0, 0, 0, 0]) as usize;
+    let mut payload = Vec::with_capacity(len);
+    payload.push(b0);
+    Ok(payload)
+}

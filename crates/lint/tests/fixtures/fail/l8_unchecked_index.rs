@@ -1,0 +1,10 @@
+// lint-fixture: path=crates/storage/src/wal.rs rule=L8
+// A decoded offset used to index and split without any bound check:
+// recovery must treat lengths found on disk as hostile.
+
+fn split_record(bytes: &[u8], b0: u8, b1: u8) -> (u8, usize) {
+    let off = u16::from_le_bytes([b0, b1]) as usize;
+    let head = bytes[off];
+    let parts = bytes.split_at(off);
+    (head, parts.1.len())
+}

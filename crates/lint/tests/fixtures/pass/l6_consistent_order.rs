@@ -1,0 +1,20 @@
+// lint-fixture: path=crates/proxy/src/shard.rs rule=L6
+// Both paths honor the same global order (balances before audit), so
+// the acquisition graph is acyclic.
+
+struct Ledger {
+    balances: Mutex<u64>,
+    audit: Mutex<u64>,
+}
+
+impl Ledger {
+    fn charge(&self) {
+        let bal = self.balances.lock();
+        let log = self.audit.lock();
+    }
+
+    fn refund(&self) {
+        let bal = self.balances.lock();
+        let log = self.audit.lock();
+    }
+}

@@ -1,0 +1,22 @@
+// lint-fixture: path=crates/proxy/src/shard.rs rule=L6
+// Opposite textual orders are fine when the first guard is explicitly
+// dropped before the second lock: no overlap, no edge, no cycle.
+
+struct Ledger {
+    balances: Mutex<u64>,
+    audit: Mutex<u64>,
+}
+
+impl Ledger {
+    fn charge(&self) {
+        let bal = self.balances.lock();
+        drop(bal);
+        let log = self.audit.lock();
+    }
+
+    fn refund(&self) {
+        let log = self.audit.lock();
+        drop(log);
+        let bal = self.balances.lock();
+    }
+}

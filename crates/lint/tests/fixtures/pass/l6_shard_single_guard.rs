@@ -1,0 +1,17 @@
+// lint-fixture: path=crates/proxy/src/shard.rs rule=L6
+// The ShardMap discipline: one closure, one stripe, no nesting — the
+// second op starts only after the first guard is gone.
+
+struct Accounts {
+    accounts: ShardMap<u64, u64>,
+    uncollected: ShardMap<u64, u64>,
+}
+
+impl Accounts {
+    fn settle(&self, key: u64) {
+        self.accounts.update(&key, |acct| {
+            *acct += 1;
+        });
+        self.uncollected.remove_if(&key, |pending| true);
+    }
+}

@@ -1,0 +1,21 @@
+// lint-fixture: path=crates/storage/src/wal.rs rule=L7
+// The durable entry point checks the latch on entry and sets it on the
+// error path: a storage error fences every later operation.
+
+struct Wal {
+    state: Mutex<WalState>,
+}
+
+impl Wal {
+    fn stage(&self, record: &[u8]) -> Result<Ticket, StorageError> {
+        self.check_poison()?;
+        let mut st = self.state.lock();
+        match self.append_record(record) {
+            Ok(seq) => Ok(Ticket(seq)),
+            Err(e) => {
+                self.poison(&e);
+                Err(e)
+            }
+        }
+    }
+}

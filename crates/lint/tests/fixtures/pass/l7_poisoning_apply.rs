@@ -1,0 +1,16 @@
+// lint-fixture: path=crates/accounting/src/server.rs rule=L7
+// Fallible work after the durable ack is sanctioned when its error path
+// latches the poison flag: fail-stop instead of silent divergence.
+
+struct Server {
+    accounts: ShardMap<u64, u64>,
+}
+
+impl Server {
+    fn settle(&self, key: u64, j: &Journal, t: Timestamp) -> Result<(), AcctError> {
+        j.stage(&record)?;
+        j.wait(t)?;
+        self.apply_settled(key).map_err(|e| j.poison(e))?;
+        Ok(())
+    }
+}

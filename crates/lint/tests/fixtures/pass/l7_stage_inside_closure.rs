@@ -1,0 +1,19 @@
+// lint-fixture: path=crates/accounting/src/server.rs rule=L7
+// The canonical op: decide and stage under the shard guard, ack
+// durability outside it, apply infallibly.
+
+struct Server {
+    accounts: ShardMap<u64, u64>,
+}
+
+impl Server {
+    fn settle(&self, key: u64, j: &Journal, t: Timestamp) -> Result<(), AcctError> {
+        self.accounts.update(&key, |acct| {
+            j.stage(&record)?;
+            *acct += 1;
+            Ok(())
+        })?;
+        j.wait(t)?;
+        Ok(())
+    }
+}

@@ -1,0 +1,14 @@
+// lint-fixture: path=crates/storage/src/wal.rs rule=L8
+// The decoded length is compared against the protocol maximum before it
+// sizes anything: the canonical bound-check-then-allocate shape.
+
+fn parse_record(bytes: &[u8]) -> Result<Vec<u8>, StorageError> {
+    let b0 = bytes.first().copied().ok_or(StorageError::Truncated)?;
+    let len = u32::from_le_bytes([b0, 0, 0, 0]) as usize;
+    if len > MAX_RECORD {
+        return Err(StorageError::TooLarge(len));
+    }
+    let mut payload = Vec::with_capacity(len);
+    payload.push(b0);
+    Ok(payload)
+}

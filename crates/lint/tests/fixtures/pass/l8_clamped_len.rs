@@ -1,0 +1,8 @@
+// lint-fixture: path=crates/storage/src/wal.rs rule=L8
+// An explicit clamp is a sanitizer: the allocation can never exceed the
+// protocol ceiling no matter what the bytes claim.
+
+fn parse_record(b0: u8, b1: u8) -> Vec<u8> {
+    let len = (u16::from_le_bytes([b0, b1]) as usize).min(MAX_RECORD);
+    Vec::with_capacity(len)
+}

@@ -1,0 +1,10 @@
+// lint-fixture: path=crates/storage/src/wal.rs rule=L8
+// counted() bounds the claimed element count by the bytes actually
+// remaining, so the result is safe to allocate with by construction.
+
+fn read_batch(d: &mut Decoder) -> Result<Vec<u8>, StorageError> {
+    let count = d.counted(4)?;
+    let mut slots = Vec::with_capacity(count);
+    slots.push(0u8);
+    Ok(slots)
+}
