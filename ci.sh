@@ -82,6 +82,16 @@ cargo test --release -q -p proxy-storage --test framing
 cargo run -q -p proxy-bench --bin figures --release -- --wal-smoke \
     || cargo run -q -p proxy-bench --bin figures --release -- --wal-smoke
 
+# Zero-allocation hot path (DESIGN.md §17): reduced-scale smoke with
+# the counting global allocator (feature `alloc-count`) — steady-state
+# allocs/op on the authz-query wire path must stay under the fixed
+# ceiling, and the slicing-by-8 CRC must agree with the bytewise
+# reference before it is timed. Allocation counts are deterministic at
+# steady state, but the retry absorbs a noisy-neighbor window skewing
+# the warm-up on shared hosts.
+cargo run -q -p proxy-bench --features alloc-count --bin figures --release -- --alloc-smoke \
+    || cargo run -q -p proxy-bench --features alloc-count --bin figures --release -- --alloc-smoke
+
 # Documentation gate: rustdoc warnings (broken intra-doc links, bad
 # HTML) are errors.
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q

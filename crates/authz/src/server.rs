@@ -198,22 +198,30 @@ impl<R: KeyResolver> AuthorizationServer<R> {
             .ok_or_else(|| AuthzError::NotAuthorized {
                 operation: operation.clone(),
                 object: object.clone(),
-            })?
-            .clone();
+            })?;
 
         // Build the authorization proxy: "[operation X only]R" of Fig. 3.
-        let restrictions = RestrictionSet::new()
-            .with(Restriction::Authorized {
-                entries: vec![AuthorizedEntry::ops(
-                    object.clone(),
-                    vec![operation.clone()],
-                )],
-            })
-            .with(Restriction::issued_for_one(end_server.clone()))
-            // Entry-attached restrictions are copied in (§3.5)…
-            .union(&entry.rights.restrictions)
-            // …as are propagated restrictions from presented proxies (§7.9).
-            .union(&propagated);
+        // Assembled into one pre-sized set — chaining `union` here would
+        // clone the accumulated set once per source, which dominated the
+        // grant path's allocation profile.
+        let mut restrictions =
+            RestrictionSet::with_capacity(2 + entry.rights.restrictions.len() + propagated.len());
+        restrictions.push(Restriction::Authorized {
+            entries: vec![AuthorizedEntry::ops(
+                object.clone(),
+                vec![operation.clone()],
+            )],
+        });
+        restrictions.push(Restriction::issued_for_one(end_server.clone()));
+        // Entry-attached restrictions are copied in (§3.5)…
+        for r in entry.rights.restrictions.iter() {
+            restrictions.push(r.clone());
+        }
+        // …as are propagated restrictions from presented proxies (§7.9),
+        // moved rather than cloned.
+        for r in propagated {
+            restrictions.push(r);
+        }
         let serial = self.next_serial.fetch_add(1, Ordering::Relaxed);
         Ok(grant(
             &self.name,

@@ -764,6 +764,64 @@ fn wal(smoke: bool) {
     }
 }
 
+/// Runs the steady-state allocation harness (see
+/// `proxy_bench::allocbench`; requires the `alloc-count` feature so the
+/// counting global allocator is installed). In full mode (`--alloc`)
+/// the gated report — ≥70% allocs/op reduction on the authz-query path,
+/// ≥3× CRC throughput — is persisted to `BENCH_alloc.json`; in smoke
+/// mode (`--alloc-smoke`, used by ci.sh) a reduced run checks the fixed
+/// allocs/op ceiling and the recorded results are left untouched.
+fn alloc(smoke: bool) {
+    use proxy_bench::allocbench::{run, Options};
+
+    let opts = if smoke {
+        Options::smoke()
+    } else {
+        Options::default()
+    };
+    let report = match run(&opts) {
+        Ok(report) => report,
+        Err(why) => {
+            eprintln!("figures --alloc: {why}");
+            std::process::exit(2);
+        }
+    };
+    for p in &report.paths {
+        let (before, _) = p.baseline().unwrap_or((0.0, 0.0));
+        report_row(
+            "AL",
+            p.path,
+            p.ops,
+            format!(
+                "{:.1} allocs/op (was {before:.1}), {:.0} B/op, {:.1}% reduction",
+                p.allocs_per_op,
+                p.bytes_per_op,
+                p.reduction_pct().unwrap_or(0.0)
+            ),
+            "",
+        );
+    }
+    report_row(
+        "AL",
+        "crc32-slicing-by-8",
+        report.crc.buf_bytes,
+        format!(
+            "{:.0} MiB/s vs bytewise {:.0} MiB/s ({:.2}x)",
+            report.crc.sliced_mib_s, report.crc.bytewise_mib_s, report.crc.speedup
+        ),
+        "",
+    );
+    // Gate before persisting: a run that fails the regression checks
+    // must not overwrite the recorded results with its own.
+    if smoke {
+        report.check_smoke_gate();
+    } else {
+        report.check_gates();
+        std::fs::write("BENCH_alloc.json", report.to_json()).expect("write BENCH_alloc.json");
+        println!("wrote BENCH_alloc.json");
+    }
+}
+
 fn main() {
     if std::env::args().any(|arg| arg == "--ablate-crypto") {
         ablate_crypto();
@@ -799,6 +857,14 @@ fn main() {
     }
     if std::env::args().any(|arg| arg == "--wal") {
         wal(false);
+        return;
+    }
+    if std::env::args().any(|arg| arg == "--alloc-smoke") {
+        alloc(true);
+        return;
+    }
+    if std::env::args().any(|arg| arg == "--alloc") {
+        alloc(false);
         return;
     }
     if std::env::args().any(|arg| arg == "--revocation") {

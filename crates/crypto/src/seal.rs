@@ -70,6 +70,55 @@ pub fn seal_with_nonce(key: &SymmetricKey, nonce: &Nonce, aad: &[u8], plaintext:
     out
 }
 
+/// Wire length of a sealed 32-byte key: `nonce || ciphertext(32) || tag`.
+pub const SEALED_KEY32_LEN: usize = chacha20::NONCE_LEN + 32 + TAG_LEN;
+
+/// Seals a fixed 32-byte key under `key` without heap allocation.
+///
+/// Byte-identical to `seal(key, aad, key32, rng)` for the same nonce; the
+/// fixed-width output lets hot paths that seal proxy keys (one per grant)
+/// keep the sealed form inline instead of boxing it. [`open`] accepts the
+/// result unchanged.
+pub fn seal_key32<R: RngCore>(
+    key: &SymmetricKey,
+    aad: &[u8],
+    key32: &[u8; 32],
+    rng: &mut R,
+) -> [u8; SEALED_KEY32_LEN] {
+    let nonce = Nonce::generate(rng);
+    seal_key32_with_nonce(key, &nonce, aad, key32)
+}
+
+/// Deterministic variant of [`seal_key32`] for tests and derived-nonce
+/// protocols.
+#[must_use]
+pub fn seal_key32_with_nonce(
+    key: &SymmetricKey,
+    nonce: &Nonce,
+    aad: &[u8],
+    key32: &[u8; 32],
+) -> [u8; SEALED_KEY32_LEN] {
+    let (enc_key, mac_key) = subkeys(key);
+    let mut out = [0u8; SEALED_KEY32_LEN];
+    out[..chacha20::NONCE_LEN].copy_from_slice(nonce.as_bytes());
+    let ct_end = chacha20::NONCE_LEN + 32;
+    out[chacha20::NONCE_LEN..ct_end].copy_from_slice(key32);
+    chacha20::xor_stream(
+        &enc_key,
+        1,
+        nonce.as_bytes(),
+        &mut out[chacha20::NONCE_LEN..ct_end],
+    );
+    let mut mac = HmacSha256::new(&mac_key);
+    mac.update(nonce.as_bytes());
+    mac.update(&(aad.len() as u64).to_le_bytes());
+    mac.update(aad);
+    mac.update(&out[chacha20::NONCE_LEN..ct_end]);
+    let tag = mac.finalize();
+    out[ct_end..].copy_from_slice(&tag);
+    out
+}
+
 /// Opens a message produced by [`seal`], verifying integrity before
 /// returning the plaintext.
 ///
@@ -112,6 +161,20 @@ mod tests {
         let sealed = seal(&key(), b"ticket", b"session key material", &mut rng);
         let opened = open(&key(), b"ticket", &sealed).unwrap();
         assert_eq!(opened, b"session key material");
+    }
+
+    #[test]
+    fn seal_key32_matches_generic_seal_and_opens() {
+        let nonce = Nonce::from_bytes([3u8; 12]);
+        let key32 = [0x42u8; 32];
+        let fixed = seal_key32_with_nonce(&key(), &nonce, b"aad", &key32);
+        let generic = seal_with_nonce(&key(), &nonce, b"aad", &key32);
+        assert_eq!(fixed.as_slice(), generic.as_slice());
+        assert_eq!(open(&key(), b"aad", &fixed).unwrap(), key32);
+        let mut rng = StdRng::seed_from_u64(7);
+        let sealed = seal_key32(&key(), b"aad", &key32, &mut rng);
+        assert_eq!(sealed.len(), SEALED_KEY32_LEN);
+        assert_eq!(open(&key(), b"aad", &sealed).unwrap(), key32);
     }
 
     #[test]

@@ -1,0 +1,16 @@
+// lint-fixture: path=crates/wire/src/frame.rs rule=L8
+// The hazard the reusable-body read path must avoid: a body length
+// lifted from the frame header sizes the scratch `resize` directly —
+// a hostile header is a one-frame memory bomb even though the buffer
+// itself is reused.
+
+fn read_body_into(header: &[u8], body: &mut Vec<u8>) -> Result<(), WireError> {
+    let word = header
+        .get(4..8)
+        .and_then(|w| w.first_chunk::<4>())
+        .ok_or(WireError::Truncated)?;
+    let body_len = u32::from_le_bytes(*word) as usize;
+    body.clear();
+    body.resize(body_len, 0);
+    Ok(())
+}

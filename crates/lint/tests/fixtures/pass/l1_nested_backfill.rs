@@ -1,0 +1,13 @@
+// lint-fixture: path=crates/proxy/src/encode.rs rule=L1
+// The scratch-encoder nesting discipline: the length placeholder is
+// backfilled through `get_mut` and the width conversion is a checked
+// `try_from`, so an oversized nested value is a typed failure, never an
+// indexing or truncation hazard on the hot encode path.
+
+fn backfill_len(buf: &mut Vec<u8>, len_at: usize, start: usize) -> Result<(), EncodeError> {
+    let len = u32::try_from(buf.len() - start).map_err(|_| EncodeError::Oversized)?;
+    if let Some(window) = buf.get_mut(len_at..start) {
+        window.copy_from_slice(&len.to_le_bytes());
+    }
+    Ok(())
+}

@@ -7,8 +7,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
-use proxy_wire::frame::{read_frame, split_frame, write_frame_vectored};
+use proxy_wire::frame::{read_frame_into, split_frame, write_frame_vectored};
 use proxy_wire::{BufPool, Message};
+use restricted_proxy::encode::Encoder;
 
 use crate::error::NetError;
 use crate::transport::Transport;
@@ -191,13 +192,16 @@ impl TcpClient {
     /// the stream state unknowable).
     fn exchange(&self, mut conn: TcpStream, request: &Message) -> Result<Message, NetError> {
         let request_id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        write_frame_vectored(
-            &mut conn,
-            request.msg_type(),
-            request_id,
-            &request.encode_body(),
-        )?;
-        let (header, body) = read_frame(&mut conn)?;
+        // Encode the request body and read the reply body through pooled
+        // scratch buffers: steady-state exchanges reuse warm capacity
+        // instead of allocating two fresh vectors per call.
+        let mut scratch = self.bufs.get();
+        let mut e = Encoder::from_vec(std::mem::take(&mut *scratch));
+        request.encode_body_onto(&mut e);
+        *scratch = e.finish();
+        write_frame_vectored(&mut conn, request.msg_type(), request_id, &scratch)?;
+        let mut body = self.bufs.get();
+        let header = read_frame_into(&mut conn, &mut body)?;
         if header.request_id != request_id {
             return Err(NetError::Protocol("reply request id mismatch"));
         }

@@ -39,10 +39,13 @@ pub(crate) type SealDigest = [u8; 32];
 
 /// Computes the cache key for a certificate checked against a particular
 /// verifier, identified by `verifier_id` (the encoded public key).
-pub(crate) fn seal_digest(cert: &Certificate, verifier_id: &[u8]) -> SealDigest {
+/// `body` must be the certificate's [`Certificate::body_bytes`]; callers
+/// pass it in so a verify pass can reuse one scratch encoding for both
+/// the seal check and the cache key.
+pub(crate) fn seal_digest(cert: &Certificate, body: &[u8], verifier_id: &[u8]) -> SealDigest {
     let mut h = Sha256::new();
     h.update(b"proxy-aa seal-cache v1");
-    h.update(&cert.body_bytes());
+    h.update(body);
     match &cert.seal {
         CertSeal::Hmac(tag) => {
             h.update(&[0]);

@@ -57,17 +57,20 @@ pub struct Certificate {
 }
 
 impl Certificate {
-    /// The canonical byte string covered by the seal: every field except
-    /// the seal itself.
-    #[must_use]
-    pub fn body_bytes(&self) -> Vec<u8> {
-        let mut e = Encoder::new();
+    /// Generous pre-size for a typical single-certificate encode; bigger
+    /// certificates just grow the buffer once.
+    pub(crate) const ENCODE_CAPACITY_HINT: usize = 384;
+
+    /// Appends the canonical seal-covered byte string (every field except
+    /// the seal itself) to `e` — the scratch-buffer form of
+    /// [`body_bytes`](Self::body_bytes).
+    pub fn body_bytes_onto(&self, e: &mut Encoder) {
         e.raw(b"proxy-aa cert v1");
         e.str(self.grantor.as_str());
         e.u64(self.serial);
         e.u64(self.validity.from.0);
         e.u64(self.validity.until.0);
-        self.restrictions.encode_into(&mut e);
+        self.restrictions.encode_into(e);
         match &self.key_material {
             KeyMaterial::SealedSymmetric(sealed) => {
                 e.u8(0).bytes(sealed);
@@ -80,6 +83,14 @@ impl Certificate {
             SigningAuthorityKind::Grantor => 0,
             SigningAuthorityKind::PriorProxyKey => 1,
         });
+    }
+
+    /// The canonical byte string covered by the seal: every field except
+    /// the seal itself.
+    #[must_use]
+    pub fn body_bytes(&self) -> Vec<u8> {
+        let mut e = Encoder::with_capacity(Self::ENCODE_CAPACITY_HINT);
+        self.body_bytes_onto(&mut e);
         e.finish()
     }
 
@@ -89,11 +100,10 @@ impl Certificate {
         self.validity.until
     }
 
-    /// Full wire encoding (body + seal).
-    #[must_use]
-    pub fn encode(&self) -> Vec<u8> {
-        let mut e = Encoder::new();
-        e.bytes(&self.body_bytes());
+    /// Appends the full wire encoding (length-prefixed body + seal) to
+    /// `e`, encoding the body in place — no temporary body buffer.
+    pub fn encode_onto(&self, e: &mut Encoder) {
+        e.nested(|e| self.body_bytes_onto(e));
         match &self.seal {
             CertSeal::Hmac(tag) => {
                 e.u8(0).raw(tag);
@@ -102,6 +112,13 @@ impl Certificate {
                 e.u8(1).raw(sig.as_bytes());
             }
         }
+    }
+
+    /// Full wire encoding (body + seal).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::with_capacity(Self::ENCODE_CAPACITY_HINT);
+        self.encode_onto(&mut e);
         e.finish()
     }
 
@@ -119,7 +136,7 @@ impl Certificate {
     /// *unverified*: its seal must still be checked against the body.
     pub fn decode(input: &[u8]) -> Result<Certificate, DecodeError> {
         let mut d = Decoder::new(input);
-        let body = d.bytes()?.to_vec();
+        let body = d.bytes()?;
         let seal = match d.u8()? {
             0 => {
                 let tag: [u8; 32] = d
@@ -136,7 +153,7 @@ impl Certificate {
             t => return Err(DecodeError::BadTag(t)),
         };
         d.finish()?;
-        let mut cert = Self::decode_body(&body)?;
+        let mut cert = Self::decode_body(body)?;
         cert.seal = seal;
         Ok(cert)
     }
@@ -156,7 +173,11 @@ impl Certificate {
         }
         let restrictions = RestrictionSet::decode_from(&mut d)?;
         let key_material = match d.u8()? {
-            0 => KeyMaterial::SealedSymmetric(d.bytes()?.to_vec()),
+            0 => KeyMaterial::SealedSymmetric(
+                d.bytes()?
+                    .try_into()
+                    .map_err(|_| DecodeError::InvalidValue("sealed proxy key length"))?,
+            ),
             1 => {
                 let bytes: [u8; 32] = d
                     .raw(32)?
@@ -197,7 +218,7 @@ mod tests {
             validity: Validity::new(Timestamp(0), Timestamp(100)),
             restrictions: RestrictionSet::new()
                 .with(Restriction::issued_for_one(PrincipalId::new("fs"))),
-            key_material: KeyMaterial::SealedSymmetric(vec![1, 2, 3]),
+            key_material: KeyMaterial::SealedSymmetric([3u8; crate::key::SEALED_PROXY_KEY_LEN]),
             authority: SigningAuthorityKind::Grantor,
             seal: CertSeal::Hmac([9u8; 32]),
         }

@@ -68,6 +68,15 @@ impl Encoder {
         Self::default()
     }
 
+    /// Creates an empty encoder with `capacity` bytes pre-reserved, so an
+    /// encode of known size pays exactly one allocation.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            buf: Vec::with_capacity(capacity),
+        }
+    }
+
     /// Creates an encoder that appends to `buf`, preserving its existing
     /// contents and capacity — the reusable-scratch-buffer encode path:
     /// a pooled buffer cycles through `from_vec` → encode → [`finish`]
@@ -113,6 +122,29 @@ impl Encoder {
     pub fn bytes(&mut self, v: &[u8]) -> &mut Self {
         self.u32(u32::try_from(v.len()).expect("value too large to encode"));
         self.buf.extend_from_slice(v);
+        self
+    }
+
+    /// Appends a length-prefixed nested value encoded in place: writes a
+    /// `u32` length placeholder, runs `f` against this encoder, then
+    /// backfills the placeholder with the number of bytes `f` appended.
+    ///
+    /// Byte-identical to encoding the nested value into a temporary
+    /// encoder and appending it with [`bytes`](Self::bytes), without the
+    /// temporary allocation — the scratch-buffer path for hot encodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the nested value exceeds `u32::MAX` bytes.
+    pub fn nested(&mut self, f: impl FnOnce(&mut Self)) -> &mut Self {
+        let len_at = self.buf.len();
+        self.u32(0);
+        let start = self.buf.len();
+        f(self);
+        let len = u32::try_from(self.buf.len() - start).expect("nested value too large to encode");
+        if let Some(slot) = self.buf.get_mut(len_at..start) {
+            slot.copy_from_slice(&len.to_le_bytes());
+        }
         self
     }
 

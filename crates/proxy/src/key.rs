@@ -105,13 +105,19 @@ impl ProxyKeyVerifier {
     }
 }
 
+/// Wire length of the sealed symmetric proxy key embedded in a
+/// certificate: always the seal of exactly one 32-byte key.
+pub const SEALED_PROXY_KEY_LEN: usize = seal::SEALED_KEY32_LEN;
+
 /// The key material embedded in a certificate (Fig. 1's `K_proxy` field).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum KeyMaterial {
     /// The symmetric proxy key, sealed under the grantor↔end-server shared
     /// key (chain head) or under the previous proxy key (cascade link), so
     /// an eavesdropper observing the certificate cannot use the proxy.
-    SealedSymmetric(Vec<u8>),
+    /// Fixed-width (a sealed 32-byte key), kept inline so grants and
+    /// decodes never box it.
+    SealedSymmetric([u8; SEALED_PROXY_KEY_LEN]),
     /// The public half of an Ed25519 proxy key pair (needs no secrecy).
     PublicKey(VerifyingKey),
 }
@@ -123,7 +129,7 @@ impl KeyMaterial {
         sealing_key: &SymmetricKey,
         rng: &mut R,
     ) -> KeyMaterial {
-        KeyMaterial::SealedSymmetric(seal::seal(
+        KeyMaterial::SealedSymmetric(seal::seal_key32(
             sealing_key,
             PROXY_KEY_AAD,
             proxy_key.as_bytes(),

@@ -82,13 +82,12 @@ impl Proxy {
 }
 
 impl Presentation {
-    /// Wire encoding.
-    #[must_use]
-    pub fn encode(&self) -> Vec<u8> {
-        let mut e = Encoder::new();
+    /// Appends the wire encoding to `e`, encoding each certificate in
+    /// place (no per-certificate temporaries).
+    pub fn encode_onto(&self, e: &mut Encoder) {
         e.count(self.certs.len());
         for cert in &self.certs {
-            e.bytes(&cert.encode());
+            e.nested(|e| cert.encode_onto(e));
         }
         match &self.proof {
             Proof::Possession {
@@ -101,6 +100,14 @@ impl Presentation {
                 e.u8(1);
             }
         }
+    }
+
+    /// Wire encoding.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e =
+            Encoder::with_capacity(self.certs.len() * Certificate::ENCODE_CAPACITY_HINT + 64);
+        self.encode_onto(&mut e);
         e.finish()
     }
 

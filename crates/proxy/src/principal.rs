@@ -7,6 +7,7 @@
 //! `(accounting-server, account)` (§4).
 
 use std::fmt;
+use std::sync::Arc;
 
 /// The name of a principal.
 ///
@@ -14,13 +15,17 @@ use std::fmt;
 /// `fileserver.isi.edu`); the library imposes no structure beyond
 /// non-emptiness.
 ///
+/// Backed by `Arc<str>`: principal names are cloned on every request
+/// (contexts, claims, restrictions), and a reference-counted slice makes
+/// those clones allocation-free on the hot path.
+///
 /// ```
 /// use restricted_proxy::principal::PrincipalId;
 /// let alice = PrincipalId::new("alice");
 /// assert_eq!(alice.as_str(), "alice");
 /// ```
 #[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct PrincipalId(String);
+pub struct PrincipalId(Arc<str>);
 
 impl PrincipalId {
     /// Creates a principal name.
@@ -30,18 +35,18 @@ impl PrincipalId {
     /// Panics if `name` is empty — an empty principal name is always a
     /// programming error, never data.
     #[must_use]
-    pub fn new(name: impl Into<String>) -> Self {
-        let name = name.into();
+    pub fn new(name: impl AsRef<str>) -> Self {
+        let name = name.as_ref();
         assert!(!name.is_empty(), "principal name must be non-empty");
-        Self(name)
+        Self(Arc::from(name))
     }
 
     /// Creates a principal name, returning `None` when `name` is empty
     /// (the fallible path for decoding untrusted bytes).
     #[must_use]
-    pub fn try_new(name: impl Into<String>) -> Option<Self> {
-        let name = name.into();
-        (!name.is_empty()).then_some(Self(name))
+    pub fn try_new(name: impl AsRef<str>) -> Option<Self> {
+        let name = name.as_ref();
+        (!name.is_empty()).then(|| Self(Arc::from(name)))
     }
 
     /// The name as a string slice.

@@ -15,8 +15,11 @@ use crate::time::Timestamp;
 
 /// A currency for quotas and accounting: monetary (`"USD"`) or
 /// resource-specific (`"disk-blocks"`, `"printer-pages"`) per §4.
+///
+/// Backed by `Arc<str>` so clones on the accounting hot path are
+/// allocation-free (see [`PrincipalId`]).
 #[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct Currency(String);
+pub struct Currency(std::sync::Arc<str>);
 
 impl Currency {
     /// Creates a currency label.
@@ -25,18 +28,18 @@ impl Currency {
     ///
     /// Panics if `name` is empty.
     #[must_use]
-    pub fn new(name: impl Into<String>) -> Self {
-        let name = name.into();
+    pub fn new(name: impl AsRef<str>) -> Self {
+        let name = name.as_ref();
         assert!(!name.is_empty(), "currency name must be non-empty");
-        Self(name)
+        Self(name.into())
     }
 
     /// Creates a currency label, returning `None` when empty (the
     /// fallible path for decoding untrusted bytes).
     #[must_use]
-    pub fn try_new(name: impl Into<String>) -> Option<Self> {
-        let name = name.into();
-        (!name.is_empty()).then_some(Self(name))
+    pub fn try_new(name: impl AsRef<str>) -> Option<Self> {
+        let name = name.as_ref();
+        (!name.is_empty()).then(|| Self(name.into()))
     }
 
     /// The label as a string slice.
@@ -56,13 +59,13 @@ impl std::fmt::Display for Currency {
 /// constraints on the form … other than that the grantor and the
 /// end-server must agree").
 #[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct Operation(String);
+pub struct Operation(std::sync::Arc<str>);
 
 impl Operation {
     /// Creates an operation name.
     #[must_use]
-    pub fn new(name: impl Into<String>) -> Self {
-        Self(name.into())
+    pub fn new(name: impl AsRef<str>) -> Self {
+        Self(name.as_ref().into())
     }
 
     /// The name as a string slice.
@@ -80,13 +83,13 @@ impl std::fmt::Display for Operation {
 
 /// An object name, interpreted by the end-server.
 #[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct ObjectName(String);
+pub struct ObjectName(std::sync::Arc<str>);
 
 impl ObjectName {
     /// Creates an object name.
     #[must_use]
-    pub fn new(name: impl Into<String>) -> Self {
-        Self(name.into())
+    pub fn new(name: impl AsRef<str>) -> Self {
+        Self(name.as_ref().into())
     }
 
     /// The name as a string slice.
@@ -600,6 +603,14 @@ impl RestrictionSet {
         Self::default()
     }
 
+    /// An empty set with room for `n` restrictions — lets hot paths that
+    /// assemble a set of known size pay exactly one allocation instead of
+    /// a growth sequence.
+    #[must_use]
+    pub fn with_capacity(n: usize) -> Self {
+        Self(Vec::with_capacity(n))
+    }
+
     /// Builds a set from restrictions, dropping exact duplicates.
     #[must_use]
     pub fn from_vec(restrictions: Vec<Restriction>) -> Self {
@@ -770,6 +781,16 @@ impl<'a> IntoIterator for &'a RestrictionSet {
     type IntoIter = std::slice::Iter<'a, Restriction>;
     fn into_iter(self) -> Self::IntoIter {
         self.0.iter()
+    }
+}
+
+impl IntoIterator for RestrictionSet {
+    type Item = Restriction;
+    type IntoIter = std::vec::IntoIter<Restriction>;
+    /// Consumes the set, yielding its restrictions by value — lets callers
+    /// that fold one set into another move the elements instead of cloning.
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.into_iter()
     }
 }
 

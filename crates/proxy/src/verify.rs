@@ -16,6 +16,7 @@ use crate::batcher::{SealBatcher, SealCheck};
 use crate::cache::{seal_digest, SealDigest, VerifiedCertCache};
 use crate::cert::{CertSeal, Certificate, SigningAuthorityKind};
 use crate::context::RequestContext;
+use crate::encode::Encoder;
 use crate::error::VerifyError;
 use crate::key::{GrantorVerifier, KeyResolver, ProxyKeyVerifier};
 use crate::present::{presentation_binding, Presentation, Proof};
@@ -24,6 +25,15 @@ use crate::replay::ReplayGuard;
 use crate::restriction::RestrictionSet;
 use crate::revocation::RevocationDirectory;
 use crate::time::Timestamp;
+
+/// Re-encodes `cert`'s canonical body into `out`, reusing its capacity.
+/// Equivalent to `*out = cert.body_bytes()` without the fresh allocation.
+fn encode_body_into(cert: &Certificate, out: &mut Vec<u8>) {
+    out.clear();
+    let mut e = Encoder::from_vec(std::mem::take(out));
+    cert.body_bytes_onto(&mut e);
+    *out = e.finish();
+}
 
 /// An Ed25519 seal check postponed so a whole chain verifies as one batch.
 struct DeferredSeal {
@@ -183,6 +193,10 @@ impl<R: KeyResolver> Verifier<R> {
         let mut prev_key: Option<ProxyKeyVerifier> = None;
         let mut expires = Timestamp::MAX;
         let mut deferred: Vec<DeferredSeal> = Vec::new();
+        // One scratch encoding of the current certificate's body, reused
+        // across the chain — each link's seal check (and cache digest)
+        // reads it instead of re-encoding into a fresh vector.
+        let mut body = Vec::with_capacity(Certificate::ENCODE_CAPACITY_HINT);
         for (index, cert) in certs.iter().enumerate() {
             if !cert.validity.contains(ctx.now) {
                 return Err(VerifyError::NotValidAt {
@@ -199,6 +213,7 @@ impl<R: KeyResolver> Verifier<R> {
                 }
             }
             expires = expires.min(cert.expires());
+            encode_body_into(cert, &mut body);
             let unseal_key = match cert.authority {
                 SigningAuthorityKind::Grantor => {
                     let verifier = self
@@ -207,13 +222,21 @@ impl<R: KeyResolver> Verifier<R> {
                         .ok_or_else(|| VerifyError::UnknownGrantor(cert.grantor.clone()))?;
                     match (&verifier, &cert.seal) {
                         (GrantorVerifier::SharedKey(k), CertSeal::Hmac(tag)) => {
-                            if !HmacSha256::verify(k.as_bytes(), &cert.body_bytes(), tag) {
+                            if !HmacSha256::verify(k.as_bytes(), &body, tag) {
                                 return Err(VerifyError::BadSeal { index });
                             }
                             Some(k.clone())
                         }
                         (GrantorVerifier::PublicKey(vk), CertSeal::Ed25519(sig)) => {
-                            self.queue_ed25519_seal(&mut deferred, cert, index, *vk, *sig, ctx.now);
+                            self.queue_ed25519_seal(
+                                &mut deferred,
+                                cert,
+                                &body,
+                                index,
+                                *vk,
+                                *sig,
+                                ctx.now,
+                            );
                             None
                         }
                         _ => return Err(VerifyError::FlavorMismatch { index }),
@@ -226,13 +249,21 @@ impl<R: KeyResolver> Verifier<R> {
                     let prior = prev_key.as_ref().expect("set on every prior iteration");
                     match (prior, &cert.seal) {
                         (ProxyKeyVerifier::Symmetric(k), CertSeal::Hmac(tag)) => {
-                            if !HmacSha256::verify(k.as_bytes(), &cert.body_bytes(), tag) {
+                            if !HmacSha256::verify(k.as_bytes(), &body, tag) {
                                 return Err(VerifyError::BadSeal { index });
                             }
                             Some(k.clone())
                         }
                         (ProxyKeyVerifier::Ed25519(vk), CertSeal::Ed25519(sig)) => {
-                            self.queue_ed25519_seal(&mut deferred, cert, index, *vk, *sig, ctx.now);
+                            self.queue_ed25519_seal(
+                                &mut deferred,
+                                cert,
+                                &body,
+                                index,
+                                *vk,
+                                *sig,
+                                ctx.now,
+                            );
                             None
                         }
                         _ => return Err(VerifyError::FlavorMismatch { index }),
@@ -302,10 +333,12 @@ impl<R: KeyResolver> Verifier<R> {
 
     /// Queues an Ed25519 seal check for the end-of-pass batch, unless the
     /// cache already vouches for this exact (body, seal, key) triple.
+    #[allow(clippy::too_many_arguments)]
     fn queue_ed25519_seal(
         &self,
         deferred: &mut Vec<DeferredSeal>,
         cert: &Certificate,
+        body: &[u8],
         index: usize,
         vk: VerifyingKey,
         sig: Signature,
@@ -314,7 +347,7 @@ impl<R: KeyResolver> Verifier<R> {
         let digest = self
             .cache
             .as_ref()
-            .map(|_| seal_digest(cert, vk.as_bytes()));
+            .map(|_| seal_digest(cert, body, vk.as_bytes()));
         if let (Some(cache), Some(d)) = (&self.cache, &digest) {
             if cache.contains(d, now) {
                 return;
@@ -322,7 +355,7 @@ impl<R: KeyResolver> Verifier<R> {
         }
         deferred.push(DeferredSeal {
             index,
-            body: cert.body_bytes(),
+            body: body.to_vec(),
             sig,
             vk,
             digest,

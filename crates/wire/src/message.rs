@@ -798,7 +798,7 @@ fn decode_currency(d: &mut Decoder<'_>) -> Result<Currency, WireError> {
 fn encode_presentations(e: &mut Encoder, presentations: &[Presentation]) {
     e.count(presentations.len());
     for p in presentations {
-        e.bytes(&p.encode());
+        e.nested(|e| p.encode_onto(e));
     }
 }
 
@@ -827,7 +827,7 @@ fn decode_presentations(d: &mut Decoder<'_>) -> Result<Vec<Presentation>, WireEr
 fn encode_proxy(e: &mut Encoder, proxy: &Proxy) {
     e.count(proxy.certs.len());
     for c in &proxy.certs {
-        e.bytes(&c.encode());
+        e.nested(|e| c.encode_onto(e));
     }
     match &proxy.key {
         ProxyKey::Symmetric(k) => {
